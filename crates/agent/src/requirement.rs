@@ -1,0 +1,464 @@
+//! Requirement auto-formatting (paper §3.1 and §4.2).
+//!
+//! Translates free-form natural-language requests into the paper's
+//! standard requirement list: one [`Requirement`] per sub-task, each with
+//! a Basic part (topology size, physical size, style, count) and an
+//! Advanced part (extension method, drop-allowed, time limitation).
+//! Requests naming several topology sizes or styles are factorized into
+//! one sub-task per combination, exactly like the running example of
+//! Figure 4 (100k patterns over sizes {200², 500²} → two 50k sub-tasks).
+
+use cp_dataset::Style;
+use cp_extend::ExtensionMethod;
+use serde::{Deserialize, Serialize};
+
+/// One structured sub-task of a user request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Requirement {
+    /// Topology matrix size `(rows, cols)`.
+    pub topology_size: (usize, usize),
+    /// Physical pattern size in nm `(width, height)`.
+    pub physical_size_nm: (i64, i64),
+    /// Pattern style (the diffusion condition).
+    pub style: Style,
+    /// Number of legal patterns to deliver.
+    pub count: usize,
+    /// Requested extension method (`None` = let the agent choose from
+    /// its experience documents).
+    pub extension_method: Option<ExtensionMethod>,
+    /// Whether failed topologies may simply be dropped.
+    pub drop_allowed: bool,
+    /// Optional free-text time limitation.
+    pub time_limit: Option<String>,
+}
+
+impl Requirement {
+    /// A reasonable default sub-task (128² topology, 2048 nm frame,
+    /// Layer-10001, 10 patterns).
+    #[must_use]
+    pub fn default_task() -> Requirement {
+        Requirement {
+            topology_size: (128, 128),
+            physical_size_nm: (2048, 2048),
+            style: Style::Layer10001,
+            count: 10,
+            extension_method: None,
+            drop_allowed: true,
+            time_limit: None,
+        }
+    }
+
+    /// Renders the paper's requirement-list template for sub-task `index`
+    /// (1-based).
+    #[must_use]
+    pub fn render(&self, index: usize) -> String {
+        format!(
+            "# Requirement - subtask {index}\n\
+             ## Basic Part: Topology Size: [{}, {}], Physical Size: [{}, {}] nm, \
+             Style: {}, Count: {},\n\
+             ## Advanced Part: Extension Method: {} (Default: Out), \
+             Drop Allowed: {} (Default: True), Time Limitation: {} (Default: None).",
+            self.topology_size.0,
+            self.topology_size.1,
+            self.physical_size_nm.0,
+            self.physical_size_nm.1,
+            self.style,
+            self.count,
+            self.extension_method.map_or("Out", ExtensionMethod::name),
+            if self.drop_allowed { "True" } else { "False" },
+            self.time_limit.as_deref().unwrap_or("None"),
+        )
+    }
+}
+
+/// Parses a natural-language request into requirement lists.
+///
+/// # Example
+///
+/// ```
+/// use cp_agent::auto_format;
+/// let reqs = auto_format(
+///     "Generate a layout pattern library, there are 100k layout patterns \
+///      in total. The physical size fixed as 1.5um * 1.5um. The topology \
+///      size should be chosen from 200*200 and 500*500. They should be in \
+///      style of 'Layer-10001'.",
+/// );
+/// assert_eq!(reqs.len(), 2);
+/// assert_eq!(reqs[0].count, 50_000);
+/// assert_eq!(reqs[0].topology_size, (200, 200));
+/// assert_eq!(reqs[1].topology_size, (500, 500));
+/// assert_eq!(reqs[0].physical_size_nm, (1500, 1500));
+/// ```
+#[must_use]
+pub fn auto_format(request: &str) -> Vec<Requirement> {
+    let tokens = tokenize(request);
+    let sizes = find_sizes(&tokens);
+    let topo_sizes: Vec<(usize, usize)> = sizes
+        .iter()
+        .filter(|s| !s.physical)
+        .map(|s| (s.a as usize, s.b as usize))
+        .collect();
+    let physical: Vec<(i64, i64)> = sizes
+        .iter()
+        .filter(|s| s.physical)
+        .map(|s| (s.a, s.b))
+        .collect();
+    let styles = find_styles(&tokens);
+    let (count, per_each) = find_count(&tokens);
+    let method = find_method(request);
+    let drop_allowed = find_drop_allowed(&tokens);
+    let time_limit = find_time_limit(&tokens);
+
+    let topo_sizes = if topo_sizes.is_empty() {
+        vec![(128, 128)]
+    } else {
+        topo_sizes
+    };
+    let styles = if styles.is_empty() {
+        vec![Style::Layer10001]
+    } else {
+        styles
+    };
+    let physical0 = physical.first().copied().unwrap_or((2048, 2048));
+
+    let n_subtasks = topo_sizes.len() * styles.len();
+    let total = count.unwrap_or(10 * n_subtasks);
+    let per_task = if per_each { total } else { total / n_subtasks };
+    let remainder = if per_each { 0 } else { total % n_subtasks };
+
+    let mut out = Vec::with_capacity(n_subtasks);
+    for style in &styles {
+        for (i, topo) in topo_sizes.iter().enumerate() {
+            let extra = usize::from(out.is_empty() && remainder > 0) * remainder;
+            let _ = i;
+            out.push(Requirement {
+                topology_size: *topo,
+                physical_size_nm: physical0,
+                style: *style,
+                count: per_task + extra,
+                extension_method: method,
+                drop_allowed,
+                time_limit: time_limit.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SizePair {
+    a: i64,
+    b: i64,
+    physical: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Word(String),
+    Number { value: f64, unit: Unit },
+    Star,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Unit {
+    None,
+    Um,
+    Nm,
+    Kilo,
+    Mega,
+}
+
+fn tokenize(text: &str) -> Vec<Token> {
+    // Normalize separators: unify ×, insert spaces around '*', split
+    // digit-x-digit, strip thousands separators.
+    let lower = text.to_ascii_lowercase().replace('×', "*");
+    let chars: Vec<char> = lower.chars().collect();
+    let mut normalized = String::with_capacity(lower.len() + 16);
+    for (i, &c) in chars.iter().enumerate() {
+        match c {
+            '*' => normalized.push_str(" * "),
+            'x' if i > 0
+                && i + 1 < chars.len()
+                && chars[i - 1].is_ascii_digit()
+                && chars[i + 1].is_ascii_digit() =>
+            {
+                normalized.push_str(" * ");
+            }
+            ',' if i > 0
+                && i + 1 < chars.len()
+                && chars[i - 1].is_ascii_digit()
+                && chars[i + 1].is_ascii_digit() => {}
+            c if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '\'' => {
+                normalized.push(c);
+            }
+            _ => normalized.push(' '),
+        }
+    }
+    normalized
+        .split_whitespace()
+        .map(|raw| {
+            let w = raw.trim_matches(|c| c == '\'' || c == '.' || c == '-');
+            if w == "*" || raw == "*" || w == "x" || w == "by" {
+                return Token::Star;
+            }
+            parse_number(w).map_or_else(|| Token::Word(w.to_owned()), |(value, unit)| Token::Number { value, unit })
+        })
+        .collect()
+}
+
+fn parse_number(word: &str) -> Option<(f64, Unit)> {
+    if word.is_empty() || !word.starts_with(|c: char| c.is_ascii_digit()) {
+        return None;
+    }
+    let digits_end = word
+        .find(|c: char| !c.is_ascii_digit() && c != '.')
+        .unwrap_or(word.len());
+    let (num, suffix) = word.split_at(digits_end);
+    let value: f64 = num.parse().ok()?;
+    let unit = match suffix {
+        "" => Unit::None,
+        "um" | "µm" => Unit::Um,
+        "nm" => Unit::Nm,
+        "k" => Unit::Kilo,
+        "m" => Unit::Mega,
+        _ => return None,
+    };
+    Some((value, unit))
+}
+
+/// Number in nanometres if the unit is physical.
+fn to_nm(value: f64, unit: Unit) -> Option<i64> {
+    match unit {
+        Unit::Um => Some((value * 1000.0).round() as i64),
+        Unit::Nm => Some(value.round() as i64),
+        _ => None,
+    }
+}
+
+fn scalar(value: f64, unit: Unit) -> i64 {
+    match unit {
+        Unit::Kilo => (value * 1e3).round() as i64,
+        Unit::Mega => (value * 1e6).round() as i64,
+        _ => value.round() as i64,
+    }
+}
+
+fn find_sizes(tokens: &[Token]) -> Vec<SizePair> {
+    let mut out = Vec::new();
+    let mut last_keyword: Option<&str> = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Token::Word(w) = &tokens[i] {
+            if w == "physical" || w == "topology" {
+                last_keyword = Some(if w == "physical" { "physical" } else { "topology" });
+            }
+        }
+        if let (
+            Some(Token::Number { value: a, unit: ua }),
+            Some(Token::Star),
+            Some(Token::Number { value: b, unit: ub }),
+        ) = (tokens.get(i), tokens.get(i + 1), tokens.get(i + 2))
+        {
+            let has_physical_unit = to_nm(*a, *ua).is_some() || to_nm(*b, *ub).is_some();
+            let physical = has_physical_unit || last_keyword == Some("physical");
+            let (a, b) = if physical {
+                (
+                    to_nm(*a, *ua).unwrap_or_else(|| scalar(*a, *ua)),
+                    to_nm(*b, *ub).unwrap_or_else(|| scalar(*b, *ub)),
+                )
+            } else {
+                (scalar(*a, *ua), scalar(*b, *ub))
+            };
+            if a > 0 && b > 0 {
+                out.push(SizePair { a, b, physical });
+            }
+            i += 3;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn find_styles(tokens: &[Token]) -> Vec<Style> {
+    let mut styles = Vec::new();
+    for t in tokens {
+        if let Token::Word(w) = t {
+            if let Some(style) = Style::from_name(w) {
+                if w.contains("layer") && !styles.contains(&style) {
+                    styles.push(style);
+                }
+            }
+        }
+    }
+    styles
+}
+
+fn find_count(tokens: &[Token]) -> (Option<usize>, bool) {
+    // A count is a unitless/k/m number followed within three tokens by
+    // "pattern(s)" and not part of a size pair.
+    for (i, t) in tokens.iter().enumerate() {
+        let Token::Number { value, unit } = t else {
+            continue;
+        };
+        if matches!(unit, Unit::Um | Unit::Nm) {
+            continue;
+        }
+        if matches!(tokens.get(i + 1), Some(Token::Star)) || (i > 0 && matches!(tokens[i - 1], Token::Star)) {
+            continue;
+        }
+        let window = &tokens[i + 1..(i + 4).min(tokens.len())];
+        let mentions_patterns = window.iter().any(|t| {
+            matches!(t, Token::Word(w) if w.starts_with("pattern") || w == "layouts" || w == "samples")
+        });
+        if mentions_patterns {
+            let per_each = tokens[(i + 1)..(i + 8).min(tokens.len())]
+                .iter()
+                .any(|t| matches!(t, Token::Word(w) if w == "each" || w == "every"));
+            return (Some(scalar(*value, *unit) as usize), per_each);
+        }
+    }
+    (None, false)
+}
+
+fn find_method(request: &str) -> Option<ExtensionMethod> {
+    let lower = request.to_ascii_lowercase();
+    if lower.contains("out-painting") || lower.contains("out painting") || lower.contains("outpainting") {
+        Some(ExtensionMethod::OutPainting)
+    } else if lower.contains("in-painting") || lower.contains("in painting") || lower.contains("inpainting") {
+        Some(ExtensionMethod::InPainting)
+    } else {
+        None
+    }
+}
+
+fn find_drop_allowed(tokens: &[Token]) -> bool {
+    for (i, t) in tokens.iter().enumerate() {
+        if matches!(t, Token::Word(w) if w.starts_with("drop")) {
+            let before = &tokens[i.saturating_sub(3)..i];
+            let negated = before.iter().any(|t| {
+                matches!(t, Token::Word(w) if w == "not" || w == "no" || w == "never" || w == "without" || w == "don't" || w == "dont")
+            });
+            let after = &tokens[i + 1..(i + 4).min(tokens.len())];
+            let explicit_false = after
+                .iter()
+                .any(|t| matches!(t, Token::Word(w) if w == "false" || w == "disallowed" || w == "forbidden"));
+            if negated || explicit_false {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn find_time_limit(tokens: &[Token]) -> Option<String> {
+    for (i, t) in tokens.iter().enumerate() {
+        if matches!(t, Token::Word(w) if w == "within" || w == "limit") {
+            if let Some(Token::Number { value, unit: _ }) = tokens.get(i + 1) {
+                if let Some(Token::Word(u)) = tokens.get(i + 2) {
+                    if u.starts_with("hour") || u.starts_with("minute") || u.starts_with("second") {
+                        return Some(format!("{value} {u}"));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE4: &str = "Generate a layout pattern library, there are 100k layout \
+        patterns in total. The physical size fixed as 1.5um * 1.5um. The topology size \
+        should be chosen from 200*200 and 500*500. They should be in style of 'Layer-10001'.";
+
+    #[test]
+    fn figure4_request_factorizes_into_two_subtasks() {
+        let reqs = auto_format(FIGURE4);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].topology_size, (200, 200));
+        assert_eq!(reqs[1].topology_size, (500, 500));
+        for r in &reqs {
+            assert_eq!(r.count, 50_000);
+            assert_eq!(r.physical_size_nm, (1500, 1500));
+            assert_eq!(r.style, Style::Layer10001);
+            assert!(r.drop_allowed);
+            assert_eq!(r.time_limit, None);
+        }
+    }
+
+    #[test]
+    fn render_matches_paper_template() {
+        let reqs = auto_format(FIGURE4);
+        let text = reqs[0].render(1);
+        assert!(text.contains("# Requirement - subtask 1"));
+        assert!(text.contains("Topology Size: [200, 200]"));
+        assert!(text.contains("Physical Size: [1500, 1500] nm"));
+        assert!(text.contains("Style: Layer-10001"));
+        assert!(text.contains("Count: 50000"));
+        assert!(text.contains("Drop Allowed: True"));
+    }
+
+    #[test]
+    fn per_each_counts_are_not_split() {
+        let reqs = auto_format(
+            "Please create 10000 patterns for each setting, topology size chosen \
+             from 256*256 and 512*512, style Layer-10003.",
+        );
+        assert_eq!(reqs.len(), 2);
+        assert!(reqs.iter().all(|r| r.count == 10_000));
+        assert!(reqs.iter().all(|r| r.style == Style::Layer10003));
+    }
+
+    #[test]
+    fn nm_sizes_and_x_separator() {
+        let reqs = auto_format("Make 50 patterns of physical size 2048nm x 2048nm, topology 128x128.");
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].physical_size_nm, (2048, 2048));
+        assert_eq!(reqs[0].topology_size, (128, 128));
+        assert_eq!(reqs[0].count, 50);
+    }
+
+    #[test]
+    fn multiple_styles_cross_sizes() {
+        let reqs = auto_format(
+            "Generate 400 patterns in total, topology sizes 128*128 and 256*256, \
+             in styles Layer-10001 and Layer-10003.",
+        );
+        assert_eq!(reqs.len(), 4);
+        assert_eq!(reqs.iter().map(|r| r.count).sum::<usize>(), 400);
+    }
+
+    #[test]
+    fn method_and_drop_preferences() {
+        let reqs = auto_format(
+            "Create 20 patterns at 256*256 using in-painting; do not drop failed \
+             patterns, style Layer-10001.",
+        );
+        assert_eq!(reqs[0].extension_method, Some(ExtensionMethod::InPainting));
+        assert!(!reqs[0].drop_allowed);
+    }
+
+    #[test]
+    fn time_limit_is_captured() {
+        let reqs = auto_format("Generate 100 patterns at 128*128 within 2 hours.");
+        assert_eq!(reqs[0].time_limit.as_deref(), Some("2 hours"));
+    }
+
+    #[test]
+    fn defaults_when_request_is_vague() {
+        let reqs = auto_format("Give me some layout patterns please.");
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].topology_size, (128, 128));
+        assert_eq!(reqs[0].style, Style::Layer10001);
+        assert!(reqs[0].count > 0);
+    }
+
+    #[test]
+    fn comma_thousands_are_parsed() {
+        let reqs = auto_format("I need 10,000 patterns, topology size 128*128, Layer-10003.");
+        assert_eq!(reqs[0].count, 10_000);
+    }
+}

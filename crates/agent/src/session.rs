@@ -1,0 +1,241 @@
+//! The agent execution loop: Thought → Action → Observation.
+
+use crate::llm::{AgentAction, LanguageModel, Message, Role};
+use crate::prompt::system_prompt;
+use crate::tools::{ToolContext, ToolRegistry};
+use cp_squish::SquishPattern;
+use serde_json::json;
+
+/// Outcome of a completed agent session.
+#[derive(Debug)]
+pub struct SessionReport {
+    /// The agent's final summary.
+    pub summary: String,
+    /// Full ReAct transcript (system prompt, request, steps,
+    /// observations).
+    pub transcript: Vec<Message>,
+    /// The delivered pattern library.
+    pub library: Vec<SquishPattern>,
+    /// Number of tool calls executed.
+    pub tool_calls: usize,
+}
+
+impl SessionReport {
+    /// Renders the transcript in the paper's
+    /// Thought/Action/Action-Input/Observation format.
+    #[must_use]
+    pub fn render_transcript(&self) -> String {
+        let mut out = String::new();
+        for m in &self.transcript {
+            let tag = match m.role {
+                Role::System => "[System]",
+                Role::User => "[User]",
+                Role::Assistant => "",
+                Role::Observation => "Observation:",
+            };
+            if tag.is_empty() {
+                out.push_str(&m.content);
+            } else {
+                out.push_str(tag);
+                out.push(' ');
+                out.push_str(&m.content);
+            }
+            out.push_str("\n\n");
+        }
+        out
+    }
+}
+
+/// Drives a [`LanguageModel`] against a [`ToolRegistry`] until it
+/// finishes or the step budget runs out.
+pub struct AgentSession<L> {
+    llm: L,
+    tools: ToolRegistry,
+    ctx: ToolContext,
+    max_steps: usize,
+}
+
+impl<L: std::fmt::Debug> std::fmt::Debug for AgentSession<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AgentSession")
+            .field("llm", &self.llm)
+            .field("max_steps", &self.max_steps)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<L: LanguageModel> AgentSession<L> {
+    /// Assembles a session (default budget: 4096 steps).
+    #[must_use]
+    pub fn new(llm: L, tools: ToolRegistry, ctx: ToolContext) -> AgentSession<L> {
+        AgentSession {
+            llm,
+            tools,
+            ctx,
+            max_steps: 4096,
+        }
+    }
+
+    /// Overrides the step budget.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: usize) -> AgentSession<L> {
+        self.max_steps = max_steps.max(1);
+        self
+    }
+
+    /// Runs the loop on a natural-language request.
+    #[must_use]
+    pub fn run(mut self, request: &str) -> SessionReport {
+        let mut transcript = vec![
+            Message::new(
+                Role::System,
+                system_prompt(&self.tools, self.ctx.knowledge()),
+            ),
+            Message::new(Role::User, request),
+        ];
+        let mut tool_calls = 0usize;
+        let mut summary = String::from("step budget exhausted before the agent finished");
+        for _ in 0..self.max_steps {
+            let step = self.llm.next_step(&transcript);
+            match step.action {
+                AgentAction::Finish { summary: s } => {
+                    transcript.push(Message::new(
+                        Role::Assistant,
+                        format!("Thought: {}\nFinal Answer: {s}", step.thought),
+                    ));
+                    summary = s;
+                    break;
+                }
+                AgentAction::ToolCall { name, args } => {
+                    transcript.push(Message::new(
+                        Role::Assistant,
+                        format!(
+                            "Thought: {}\nAction: {}\nAction Input: {}",
+                            step.thought, name, args
+                        ),
+                    ));
+                    tool_calls += 1;
+                    let observation = match self.tools.get(&name) {
+                        Some(tool) => match tool.call(&mut self.ctx, &args) {
+                            Ok(value) => value,
+                            Err(e) => json!({"error": e.message()}),
+                        },
+                        None => json!({"error": format!("unknown tool '{name}'")}),
+                    };
+                    transcript.push(Message::new(Role::Observation, observation.to_string()));
+                }
+            }
+        }
+        SessionReport {
+            summary,
+            transcript,
+            library: self.ctx.into_library(),
+            tool_calls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::llm::{AgentStep, MockLlm};
+    use crate::{ExpertPolicy, KnowledgeBase};
+    use cp_diffusion::{DiffusionModel, MrfDenoiser, NoiseSchedule};
+    use cp_drc::DesignRules;
+    use cp_legalize::Legalizer;
+    use cp_squish::Topology;
+
+    fn test_ctx(seed: u64) -> ToolContext {
+        let data: Vec<Topology> = (0..6)
+            .map(|i| Topology::from_fn(16, 16, move |_, c| (c + i) % 8 < 4))
+            .collect();
+        let denoiser = MrfDenoiser::fit(&[(0, &data), (1, &data)], 1.0);
+        let model = DiffusionModel::new(NoiseSchedule::scaled_default(8), denoiser, 16);
+        ToolContext::new(
+            Box::new(model),
+            Legalizer::new(DesignRules::new(20, 20, 400)),
+            KnowledgeBase::new(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn mock_session_round_trips_tool_calls() {
+        let mock = MockLlm::new(vec![AgentStep {
+            thought: "generate one".into(),
+            action: crate::AgentAction::ToolCall {
+                name: "topology_gen".into(),
+                args: serde_json::json!({"count": 1, "style": "Layer-10001"}),
+            },
+        }]);
+        let report = AgentSession::new(mock, ToolRegistry::standard(), test_ctx(1)).run("test");
+        assert_eq!(report.tool_calls, 1);
+        // Transcript: system, user, assistant, observation, final.
+        assert!(report.transcript.len() >= 5);
+        let rendered = report.render_transcript();
+        assert!(rendered.contains("Action: topology_gen"));
+        assert!(rendered.contains("Observation:"));
+    }
+
+    #[test]
+    fn unknown_tool_produces_error_observation() {
+        let mock = MockLlm::new(vec![AgentStep {
+            thought: "bad call".into(),
+            action: crate::AgentAction::ToolCall {
+                name: "no_such_tool".into(),
+                args: serde_json::json!({}),
+            },
+        }]);
+        let report = AgentSession::new(mock, ToolRegistry::standard(), test_ctx(2)).run("test");
+        let obs = report
+            .transcript
+            .iter()
+            .find(|m| m.role == Role::Observation)
+            .expect("observation exists");
+        assert!(obs.content.contains("unknown tool"));
+    }
+
+    #[test]
+    fn expert_policy_delivers_small_library_end_to_end() {
+        let policy = ExpertPolicy::new(4, 2);
+        let report = AgentSession::new(policy, ToolRegistry::standard(), test_ctx(3))
+            .run("Generate 6 patterns, topology size 16*16, physical size 2000nm x 2000nm, style Layer-10001.");
+        assert_eq!(report.library.len(), 6, "summary: {}", report.summary);
+        assert!(report.tool_calls >= 4);
+        let rendered = report.render_transcript();
+        assert!(rendered.contains("# Requirement - subtask 1"));
+        assert!(rendered.contains("Action: topology_gen"));
+        assert!(rendered.contains("Action: legalize"));
+        assert!(rendered.contains("Final Answer"));
+    }
+
+    #[test]
+    fn expert_policy_extends_when_target_exceeds_window() {
+        let policy = ExpertPolicy::new(2, 2);
+        let report = AgentSession::new(policy, ToolRegistry::standard(), test_ctx(4))
+            .run("Generate 2 patterns, topology size 32*32, physical size 4000nm x 4000nm, style Layer-10001.");
+        let rendered = report.render_transcript();
+        assert!(
+            rendered.contains("Action: topology_extension"),
+            "agent should extend beyond its 16-cell window"
+        );
+        assert!(rendered.contains("Action: get_documentation"));
+        assert_eq!(report.library.len(), 2, "summary: {}", report.summary);
+        for p in &report.library {
+            assert_eq!(p.topology().shape(), (32, 32));
+            assert_eq!(p.physical_width(), 4000);
+        }
+    }
+
+    #[test]
+    fn expert_policy_handles_two_subtasks() {
+        let policy = ExpertPolicy::new(4, 2);
+        let report = AgentSession::new(policy, ToolRegistry::standard(), test_ctx(5)).run(
+            "Generate 4 patterns in total, topology size chosen from 16*16 and 32*32, \
+             physical size 4000nm x 4000nm, style Layer-10001.",
+        );
+        assert_eq!(report.library.len(), 4, "summary: {}", report.summary);
+        let rendered = report.render_transcript();
+        assert!(rendered.contains("# Requirement - subtask 2"));
+    }
+}

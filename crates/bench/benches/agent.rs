@@ -1,0 +1,28 @@
+//! Criterion: a complete small agent session end to end.
+use chatpattern_core::ChatPattern;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let system = ChatPattern::builder()
+        .window(16)
+        .training_patterns(8)
+        .diffusion_steps(6)
+        .build();
+    let mut seed = 0u64;
+    let mut group = c.benchmark_group("agent");
+    group.sample_size(10);
+    group.bench_function("chat_session_2_patterns", |b| {
+        b.iter(|| {
+            seed += 1;
+            system.chat_with_seed(
+                "Generate 2 patterns, topology size 16*16, physical size 512nm x 512nm, \
+                 style Layer-10001.",
+                seed,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion: out-painting extension to 2L.
+use chatpattern_core::ChatPattern;
+use cp_dataset::Style;
+use cp_extend::ExtensionMethod;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let system = ChatPattern::builder()
+        .window(32)
+        .training_patterns(16)
+        .diffusion_steps(8)
+        .build();
+    let seed_topo = system.generate(Style::Layer10003, 32, 32, 1, 1).remove(0);
+    let mut seed = 0u64;
+    c.bench_function("out_paint_32_to_64", |b| {
+        b.iter(|| {
+            seed += 1;
+            system.extend(&seed_topo, 64, 64, ExtensionMethod::OutPainting, Style::Layer10003, seed)
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion: legalization throughput at the default window.
+use chatpattern_core::ChatPattern;
+use cp_dataset::Style;
+use cp_legalize::Legalizer;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench(c: &mut Criterion) {
+    let system = ChatPattern::builder()
+        .window(32)
+        .training_patterns(16)
+        .diffusion_steps(8)
+        .build();
+    let topology = system.generate(Style::Layer10001, 32, 32, 1, 1).remove(0);
+    let legalizer = Legalizer::new(*system.rules());
+    c.bench_function("legalize_32x32", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| legalizer.legalize(std::hint::black_box(&topology), 512, 512, &mut rng));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion: conditional diffusion sampling throughput.
+use chatpattern_core::ChatPattern;
+use cp_dataset::Style;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let system = ChatPattern::builder()
+        .window(32)
+        .training_patterns(16)
+        .diffusion_steps(8)
+        .build();
+    let mut seed = 0u64;
+    c.bench_function("sample_32x32_conditional", |b| {
+        b.iter(|| {
+            seed += 1;
+            system.generate(Style::Layer10001, 32, 32, 1, seed)
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion: squish encode/normalize round trip on a dense map window.
+use cp_dataset::{generate_map, MapParams, Style};
+use cp_geom::Rect;
+use cp_squish::{normalize_to, SquishPattern};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let map = generate_map(
+        Style::Layer10001,
+        MapParams {
+            width_nm: 4096,
+            height_nm: 4096,
+        },
+        &mut rng,
+    );
+    let window = map.window(Rect::new(0, 0, 1024, 1024));
+    c.bench_function("squish_and_normalize_1024nm_to_64", |b| {
+        b.iter(|| {
+            let squish = SquishPattern::from_layout(std::hint::black_box(&window)).minimized();
+            normalize_to(&squish, 64, 64)
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

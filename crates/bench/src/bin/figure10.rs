@@ -1,0 +1,50 @@
+//! Figure 10: evaluation of In-Painting vs Out-Painting per style —
+//! the statistics the agent's experience documents are built from.
+
+use cp_bench::{evaluate_library, BenchConfig};
+use cp_dataset::Style;
+use cp_diffusion::PatternSampler;
+use cp_extend::{extend, ExtensionMethod};
+use cp_squish::Topology;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    cfg.print_banner("Figure 10: In-Painting vs Out-Painting");
+    let system = cfg.build_system();
+    let rules = *system.rules();
+    let size = cfg.window * 2;
+    let frame = cfg.frame_nm(size);
+    let samples = (cfg.samples / 2).max(8);
+    println!(
+        "{:<14} {:<14} {:>9} {:>10}",
+        "Style", "Method", "Legality", "Diversity"
+    );
+    println!("{}", "-".repeat(50));
+    for style in [Style::Layer10001, Style::Layer10003] {
+        for method in [ExtensionMethod::InPainting, ExtensionMethod::OutPainting] {
+            let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed + 10 + style.id() as u64);
+            let lib: Vec<Topology> = (0..samples)
+                .map(|_| {
+                    let seed_topo = system.model().generate(
+                        cfg.window,
+                        cfg.window,
+                        Some(style.id()),
+                        &mut rng,
+                    );
+                    extend(system.model(), &seed_topo, size, size, method, Some(style.id()), &mut rng)
+                })
+                .collect();
+            let stats = evaluate_library(&lib, frame, &rules, cfg.seed + 11);
+            println!(
+                "{:<14} {:<14} {:>8.2}% {:>10.3}",
+                style.name(),
+                method.to_string(),
+                stats.legality * 100.0,
+                stats.diversity
+            );
+        }
+    }
+    println!("\nThese rows feed the agent's KnowledgeBase (get_documentation).");
+}

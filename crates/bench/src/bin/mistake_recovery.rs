@@ -1,0 +1,50 @@
+//! §4.2 "Unseen Mistake-processing": legalization fails repeatedly in the
+//! same region; the agent in-paints that specific area with the same
+//! style and attempts legalization again instead of dropping the pattern.
+//!
+//! Reproduced by forbidding drops and scanning the frame downward until
+//! legalization genuinely fails, which forces the recovery path.
+
+use cp_bench::BenchConfig;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    cfg.print_banner("§4.2: unseen mistake-processing");
+    let system = cfg.build_system();
+    let mut chosen = None;
+    for per_cell in [12i64, 11, 10, 9, 8, 7] {
+        let request = format!(
+            "Generate 3 patterns, topology size {0}*{0}, physical size {1}nm x {1}nm, \
+             style Layer-10001. Do not drop failed patterns.",
+            cfg.window,
+            (cfg.window as i64) * per_cell,
+        );
+        let report = system.chat_with_seed(&request, cfg.seed + per_cell as u64);
+        let transcript = report.render_transcript();
+        let modifications = transcript.matches("Action: topology_modification").count();
+        if modifications > 0 {
+            println!("[User request] ({per_cell} nm/cell)\n{request}\n");
+            chosen = Some((report, transcript));
+            break;
+        }
+    }
+    let Some((report, transcript)) = chosen else {
+        println!("no legalization failures observed down to 7 nm/cell; nothing to recover");
+        return;
+    };
+    // Print only the interesting part: modification steps and their
+    // surroundings.
+    for block in transcript.split("\n\n") {
+        if block.contains("topology_modification")
+            || block.contains("legalize")
+            || block.contains("Final Answer")
+        {
+            println!("{block}\n");
+        }
+    }
+    println!(
+        "=> delivered {}/3 patterns; modification calls: {}",
+        report.library.len(),
+        transcript.matches("Action: topology_modification").count()
+    );
+}

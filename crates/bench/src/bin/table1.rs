@@ -1,0 +1,176 @@
+//! Regenerates Table 1 of the paper: legality and diversity for the
+//! fixed-size (window-size) and free-size (2×/4×/8×) settings.
+//!
+//! Run with `cargo run -p cp-bench --release --bin table1 [-- --block fixed|free|all]`.
+//! Scale via `CP_WINDOW`, `CP_SAMPLES`, etc. (see `cp_bench` docs).
+
+use cp_baselines::{concat_extend, Cae, DiffPattern, Generator, LayouTransformer, LegalGan, Vcae};
+use cp_bench::{evaluate_assembled, print_table_header, training_topologies, BenchConfig, TableRow};
+use cp_dataset::{DatasetBuilder, Style};
+use cp_diffusion::PatternSampler;
+use cp_extend::{extend, ExtensionMethod};
+use cp_legalize::Legalizer;
+use cp_squish::Topology;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let block = std::env::args()
+        .skip_while(|a| a != "--block")
+        .nth(1)
+        .unwrap_or_else(|| "all".to_owned());
+    cfg.print_banner("Table 1: Comparison on Legality and Diversity");
+
+    let system = cfg.build_system();
+    let rules = *system.rules();
+    let frame = cfg.frame_nm(cfg.window);
+    let train_a = training_topologies(&system, Style::Layer10001);
+    let train_b = training_topologies(&system, Style::Layer10003);
+
+    if block == "fixed" || block == "all" {
+        println!("--- Fixed-size ({0}x{0}) ---", cfg.window);
+        print_table_header();
+
+        // Real-pattern references (raw dataset topologies).
+        TableRow::reference(&train_a, &train_b).print("Real Patterns");
+
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed + 100);
+
+        // CAE + LegalGAN (trained on Layer-10001 only, like the paper).
+        let legal_gan = LegalGan::fit(&train_a);
+        let cae = Cae::fit(&train_a, 12.min(cfg.train / 2));
+        let cae_lib: Vec<Topology> = (0..cfg.samples)
+            .map(|_| legal_gan.legalize_topology(&cae.generate(cfg.window, cfg.window, &mut rng)))
+            .collect();
+        TableRow::single_style(&cae_lib, frame, &rules, cfg.seed + 1).print("CAE+LegalGAN");
+
+        // VCAE + LegalGAN.
+        let vcae = Vcae::fit(&train_a, 12.min(cfg.train / 2));
+        let vcae_lib: Vec<Topology> = (0..cfg.samples)
+            .map(|_| legal_gan.legalize_topology(&vcae.generate(cfg.window, cfg.window, &mut rng)))
+            .collect();
+        TableRow::single_style(&vcae_lib, frame, &rules, cfg.seed + 2).print("VCAE+LegalGAN");
+
+        // LayouTransformer.
+        let lt = LayouTransformer::fit(&train_a, 1.0);
+        let lt_lib: Vec<Topology> = (0..cfg.samples)
+            .map(|_| lt.generate(cfg.window, cfg.window, &mut rng))
+            .collect();
+        TableRow::single_style(&lt_lib, frame, &rules, cfg.seed + 3).print("LayouTransformer");
+
+        // DiffPattern: one unconditional model per style.
+        let dp_a = DiffPattern::fit(&train_a, cfg.steps, cfg.window);
+        let dp_b = DiffPattern::fit(&train_b, cfg.steps, cfg.window);
+        let dp_lib_a: Vec<Topology> = (0..cfg.samples)
+            .map(|_| dp_a.generate(cfg.window, cfg.window, &mut rng))
+            .collect();
+        let dp_lib_b: Vec<Topology> = (0..cfg.samples)
+            .map(|_| dp_b.generate(cfg.window, cfg.window, &mut rng))
+            .collect();
+        TableRow::from_libraries(&dp_lib_a, &dp_lib_b, frame, &rules, cfg.seed + 4)
+            .print("DiffPattern");
+
+        // ChatPattern: one conditional model over the union dataset.
+        let cp_lib_a = system.generate(Style::Layer10001, cfg.window, cfg.window, cfg.samples, cfg.seed + 5);
+        let cp_lib_b = system.generate(Style::Layer10003, cfg.window, cfg.window, cfg.samples, cfg.seed + 6);
+        TableRow::from_libraries(&cp_lib_a, &cp_lib_b, frame, &rules, cfg.seed + 7)
+            .print("ChatPattern");
+        println!();
+    }
+
+    if block == "free" || block == "all" {
+        for scale in [2usize, 4, 8] {
+            let size = cfg.window * scale;
+            let frame = cfg.frame_nm(size);
+            // Fewer samples at the biggest sizes: extension cost is
+            // quadratic in scale (documented in EXPERIMENTS.md).
+            let samples = (cfg.samples / scale).max(8);
+            println!("--- Free-size ({size}x{size}, {samples} samples/style) ---");
+            print_table_header();
+
+            // Real references: dataset windows scaled up like the paper's
+            // 4x/16x/64x larger map splits.
+            let ref_count = samples.min(32);
+            // References use the dataset's native 16 nm/cell windows (the
+            // paper's map-split ratio); they are never legalized, so the
+            // evaluation frame does not apply to them.
+            let reference = |style: Style, seed: u64| -> Vec<Topology> {
+                DatasetBuilder::new(style)
+                    .patch_nm((size as i64) * 16)
+                    .topology_size(size)
+                    .count(ref_count)
+                    .seed(seed)
+                    .build()
+                    .topologies()
+                    .cloned()
+                    .collect()
+            };
+            let ref_a = reference(Style::Layer10001, cfg.seed + 20);
+            let ref_b = reference(Style::Layer10003, cfg.seed + 21);
+            TableRow::reference(&ref_a, &ref_b).print("Real Patterns");
+
+            // DiffPattern w/ Concatenation: stitch already-legalized
+            // tiles; seam geometry is frozen, so legality is the DRC-clean
+            // fraction of the assemblies.
+            let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed + 30 + scale as u64);
+            let legalizer = Legalizer::new(rules);
+            let dp_a = DiffPattern::fit(&train_a, cfg.steps, cfg.window);
+            let dp_b = DiffPattern::fit(&train_b, cfg.steps, cfg.window);
+            let tile_frame = cfg.frame_nm(cfg.window);
+            let mut concat_row = |gen: &DiffPattern, seed_extra: u64| -> Vec<cp_geom::Layout> {
+                let _ = seed_extra;
+                (0..samples)
+                    .filter_map(|_| {
+                        concat_extend(gen, cfg.window, scale, scale, tile_frame, &legalizer, 4, &mut rng)
+                    })
+                    .collect()
+            };
+            let cat_a = concat_row(&dp_a, 0);
+            let cat_b = concat_row(&dp_b, 1);
+            let (leg_a, div_a) = evaluate_assembled(&cat_a, &rules);
+            let (leg_b, div_b) = evaluate_assembled(&cat_b, &rules);
+            let pooled: Vec<cp_geom::Layout> =
+                cat_a.iter().chain(cat_b.iter()).cloned().collect();
+            let (leg_t, div_t) = evaluate_assembled(&pooled, &rules);
+            TableRow {
+                legality_a: leg_a,
+                diversity_a: div_a,
+                legality_b: leg_b,
+                diversity_b: div_b,
+                legality_total: leg_t,
+                diversity_total: div_t,
+            }
+            .print("DiffPattern w/ Concat");
+
+            // ChatPattern: seed sample extended by out-painting (the
+            // agent's documented default choice).
+            let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed + 50 + scale as u64);
+            let mut cp_a = Vec::with_capacity(samples);
+            let mut cp_b = Vec::with_capacity(samples);
+            for (style, out) in [(Style::Layer10001, &mut cp_a), (Style::Layer10003, &mut cp_b)] {
+                for _ in 0..samples {
+                    let seed_topo = system.model().generate(
+                        cfg.window,
+                        cfg.window,
+                        Some(style.id()),
+                        &mut rng,
+                    );
+                    out.push(extend(
+                        system.model(),
+                        &seed_topo,
+                        size,
+                        size,
+                        ExtensionMethod::OutPainting,
+                        Some(style.id()),
+                        &mut rng,
+                    ));
+                }
+            }
+            TableRow::from_libraries(&cp_a, &cp_b, frame, &rules, cfg.seed + 60)
+                .print("ChatPattern");
+            println!();
+        }
+    }
+    println!("done.");
+}

@@ -1,0 +1,275 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Every binary scales with one [`BenchConfig`], read from the
+//! environment so paper-scale runs are a matter of exporting variables:
+//!
+//! | variable | default | paper value | meaning |
+//! |---|---|---|---|
+//! | `CP_WINDOW` | 64 | 128 | model window `L` (fixed-size topology) |
+//! | `CP_SAMPLES` | 40 | 10000 | samples per method per style |
+//! | `CP_STEPS` | 10 | 1000 | diffusion chain length `K` |
+//! | `CP_TRAIN` | 48 | ~10k patches | training patterns per style |
+//! | `CP_SEED` | 0 | — | master seed |
+//!
+//! The physical frame is `32 nm × topology size` (see [`BenchConfig::frame_nm`]
+//! for the calibration note), and free-size experiments run at 2×/4×/8×
+//! the window (the paper's 256²/512²/1024²).
+
+use chatpattern_core::ChatPattern;
+use cp_dataset::Style;
+use cp_drc::{check_pattern, DesignRules};
+use cp_geom::Layout;
+use cp_metrics::{diversity, legality, LibraryStats};
+use cp_squish::{SquishPattern, Topology};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Scale knobs for every experiment binary.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Model window `L` (the paper's 128).
+    pub window: usize,
+    /// Samples per method per style (the paper's 10,000).
+    pub samples: usize,
+    /// Diffusion steps `K` (the paper's 1000).
+    pub steps: usize,
+    /// Training patterns per style.
+    pub train: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> BenchConfig {
+        BenchConfig {
+            window: 64,
+            samples: 40,
+            steps: 10,
+            train: 48,
+            seed: 0,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Reads the configuration from `CP_*` environment variables.
+    #[must_use]
+    pub fn from_env() -> BenchConfig {
+        let get = |name: &str, default: usize| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        let d = BenchConfig::default();
+        BenchConfig {
+            window: get("CP_WINDOW", d.window),
+            samples: get("CP_SAMPLES", d.samples),
+            steps: get("CP_STEPS", d.steps),
+            train: get("CP_TRAIN", d.train),
+            seed: get("CP_SEED", d.seed as usize) as u64,
+        }
+    }
+
+    /// Physical frame (nm) for a topology of `size` cells: 16 nm/cell,
+    /// the paper's 2048 nm / 128-cell ratio. The `calibrate` binary
+    /// reports each method's minimal-extent distribution under the
+    /// reference rules for re-tuning at other scales.
+    #[must_use]
+    pub fn frame_nm(&self, size: usize) -> i64 {
+        (size as i64) * 16
+    }
+
+    /// Builds the ChatPattern system at this scale.
+    #[must_use]
+    pub fn build_system(&self) -> ChatPattern {
+        ChatPattern::builder()
+            .window(self.window)
+            .diffusion_steps(self.steps)
+            .training_patterns(self.train)
+            .seed(self.seed)
+            .build()
+    }
+
+    /// Prints the configuration banner every binary starts with.
+    pub fn print_banner(&self, experiment: &str) {
+        println!("=== {experiment} ===");
+        println!(
+            "config: window={} (paper 128), samples={} (paper 10000), steps={} \
+             (paper 1000), train={} per style, seed={}",
+            self.window, self.samples, self.steps, self.train, self.seed
+        );
+        println!(
+            "frames: fixed {} nm; free sizes {}/{}/{} cells (16 nm/cell)\n",
+            self.frame_nm(self.window),
+            self.window * 2,
+            self.window * 4,
+            self.window * 8,
+        );
+    }
+}
+
+/// Evaluates a topology library exactly as Table 1 does: one
+/// legalization attempt each (no selection), then diversity over the
+/// legal survivors.
+#[must_use]
+pub fn evaluate_library(
+    topologies: &[Topology],
+    frame_nm: i64,
+    rules: &DesignRules,
+    seed: u64,
+) -> LibraryStats {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let report = legality(topologies.iter(), frame_nm, rules, &mut rng);
+    LibraryStats::from_report(&report)
+}
+
+/// Evaluates *assembled* layouts with frozen geometry (the concatenation
+/// baseline): legality is the DRC-clean fraction — no legalization can
+/// repair a stitched pattern — and diversity is measured over the clean
+/// survivors' minimal topologies.
+#[must_use]
+pub fn evaluate_assembled(layouts: &[Layout], rules: &DesignRules) -> (f64, f64) {
+    if layouts.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut clean_topologies = Vec::new();
+    for layout in layouts {
+        let squish = SquishPattern::from_layout(layout).minimized();
+        if check_pattern(&squish, rules).is_clean() {
+            clean_topologies.push(squish.topology().clone());
+        }
+    }
+    let legality = clean_topologies.len() as f64 / layouts.len() as f64;
+    (legality, diversity(clean_topologies.iter()))
+}
+
+/// Reference (real-pattern) diversity of raw topologies.
+#[must_use]
+pub fn reference_diversity(topologies: &[Topology]) -> f64 {
+    diversity(topologies.iter())
+}
+
+/// One Table-1-style row over both styles plus the pooled total.
+#[derive(Debug, Clone, Copy)]
+pub struct TableRow {
+    /// Layer-10001 legality (NaN = not applicable).
+    pub legality_a: f64,
+    /// Layer-10001 diversity.
+    pub diversity_a: f64,
+    /// Layer-10003 legality.
+    pub legality_b: f64,
+    /// Layer-10003 diversity.
+    pub diversity_b: f64,
+    /// Pooled legality.
+    pub legality_total: f64,
+    /// Pooled diversity.
+    pub diversity_total: f64,
+}
+
+impl TableRow {
+    /// Builds the row from per-style libraries.
+    #[must_use]
+    pub fn from_libraries(
+        lib_a: &[Topology],
+        lib_b: &[Topology],
+        frame_nm: i64,
+        rules: &DesignRules,
+        seed: u64,
+    ) -> TableRow {
+        let a = evaluate_library(lib_a, frame_nm, rules, seed);
+        let b = evaluate_library(lib_b, frame_nm, rules, seed + 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed + 2);
+        let pooled_report = legality(lib_a.iter().chain(lib_b.iter()), frame_nm, rules, &mut rng);
+        let pooled = LibraryStats::from_report(&pooled_report);
+        TableRow {
+            legality_a: a.legality,
+            diversity_a: a.diversity,
+            legality_b: b.legality,
+            diversity_b: b.diversity,
+            legality_total: pooled.legality,
+            diversity_total: pooled.diversity,
+        }
+    }
+
+    /// Single-style row (the baselines trained on Layer-10001 only).
+    #[must_use]
+    pub fn single_style(lib_a: &[Topology], frame_nm: i64, rules: &DesignRules, seed: u64) -> TableRow {
+        let a = evaluate_library(lib_a, frame_nm, rules, seed);
+        TableRow {
+            legality_a: a.legality,
+            diversity_a: a.diversity,
+            legality_b: f64::NAN,
+            diversity_b: f64::NAN,
+            legality_total: f64::NAN,
+            diversity_total: f64::NAN,
+        }
+    }
+
+    /// Reference row (no legality column).
+    #[must_use]
+    pub fn reference(lib_a: &[Topology], lib_b: &[Topology]) -> TableRow {
+        let pooled: Vec<Topology> = lib_a.iter().chain(lib_b.iter()).cloned().collect();
+        TableRow {
+            legality_a: f64::NAN,
+            diversity_a: reference_diversity(lib_a),
+            legality_b: f64::NAN,
+            diversity_b: reference_diversity(lib_b),
+            legality_total: f64::NAN,
+            diversity_total: reference_diversity(&pooled),
+        }
+    }
+
+    /// Prints the row in the paper's column layout.
+    pub fn print(&self, label: &str) {
+        let pct = |v: f64| {
+            if v.is_nan() {
+                "      /".to_owned()
+            } else {
+                format!("{:6.2}%", v * 100.0)
+            }
+        };
+        let div = |v: f64| {
+            if v.is_nan() {
+                "      /".to_owned()
+            } else {
+                format!("{v:7.3}")
+            }
+        };
+        println!(
+            "{label:<28} {} {}   {} {}   {} {}",
+            pct(self.legality_a),
+            div(self.diversity_a),
+            pct(self.legality_b),
+            div(self.diversity_b),
+            pct(self.legality_total),
+            div(self.diversity_total),
+        );
+    }
+}
+
+/// Prints the Table-1 column header.
+pub fn print_table_header() {
+    println!(
+        "{:<28} {:>7} {:>7}   {:>7} {:>7}   {:>7} {:>7}",
+        "Method", "10001-L", "10001-H", "10003-L", "10003-H", "Tot-L", "Tot-H"
+    );
+    println!("{}", "-".repeat(82));
+}
+
+/// Both styles in evaluation order.
+#[must_use]
+pub fn styles() -> [Style; 2] {
+    [Style::Layer10001, Style::Layer10003]
+}
+
+/// Training topologies of one style, cloned out of the system datasets.
+#[must_use]
+pub fn training_topologies(system: &ChatPattern, style: Style) -> Vec<Topology> {
+    system
+        .datasets()
+        .iter()
+        .find(|d| d.style() == style)
+        .map(|d| d.topologies().cloned().collect())
+        .unwrap_or_default()
+}

@@ -1,0 +1,463 @@
+//! ChatPattern: the assembled system.
+//!
+//! This crate wires the paper's two halves together:
+//!
+//! * the **generative back-end** — a conditional discrete diffusion model
+//!   ([`cp_diffusion`]) trained on synthetic layout datasets
+//!   ([`cp_dataset`]), with free-size extension ([`cp_extend`]) and
+//!   explainable legalization ([`cp_legalize`]);
+//! * the **LLM agent front-end** ([`cp_agent`]) — requirement
+//!   auto-formatting, task planning, tool execution and mistake
+//!   recovery.
+//!
+//! [`ChatPattern`] is the facade a downstream user touches:
+//! [`ChatPattern::chat`] accepts a natural-language request and returns
+//! the delivered pattern library plus the full agent transcript;
+//! the direct APIs (`generate`, `extend`, `modify`, `legalize`,
+//! `evaluate`) expose the back-end without the agent.
+//!
+//! # Example
+//!
+//! ```
+//! use chatpattern_core::ChatPattern;
+//!
+//! let system = ChatPattern::builder()
+//!     .window(16)
+//!     .training_patterns(8)
+//!     .diffusion_steps(6)
+//!     .seed(1)
+//!     .build();
+//! let report = system.chat(
+//!     "Generate 2 patterns, topology size 16*16, physical size 512nm x 512nm, \
+//!      style Layer-10001.",
+//! );
+//! assert_eq!(report.library.len(), 2);
+//! ```
+
+use cp_agent::{
+    AgentSession, ExpertPolicy, KnowledgeBase, SessionReport, ToolContext, ToolRegistry,
+};
+use cp_dataset::{Dataset, DatasetBuilder, Style};
+use cp_diffusion::{DiffusionModel, Mask, MrfDenoiser, NoiseSchedule, PatternSampler};
+use cp_drc::DesignRules;
+use cp_extend::ExtensionMethod;
+use cp_legalize::{LegalizeFailure, Legalizer};
+use cp_metrics::LibraryStats;
+use cp_squish::{SquishPattern, Topology};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Builder for a [`ChatPattern`] system.
+///
+/// Defaults are the CPU-scale configuration documented in DESIGN.md:
+/// 64-cell window (paper: 128), 16 nm mean grid pitch, 12 diffusion steps
+/// (paper: 1000 — β endpoints preserved), 64 training patterns per style.
+#[derive(Debug, Clone)]
+pub struct ChatPatternBuilder {
+    window: usize,
+    diffusion_steps: usize,
+    training_patterns: usize,
+    seed: u64,
+    rules: DesignRules,
+    styles: Vec<Style>,
+}
+
+impl Default for ChatPatternBuilder {
+    fn default() -> ChatPatternBuilder {
+        ChatPatternBuilder {
+            window: 64,
+            diffusion_steps: 12,
+            training_patterns: 64,
+            seed: 0,
+            rules: DesignRules::reference(),
+            styles: Style::ALL.to_vec(),
+        }
+    }
+}
+
+impl ChatPatternBuilder {
+    /// Native model window size `L` (training resolution).
+    #[must_use]
+    pub fn window(mut self, window: usize) -> ChatPatternBuilder {
+        self.window = window.max(4);
+        self
+    }
+
+    /// Diffusion chain length `K`.
+    #[must_use]
+    pub fn diffusion_steps(mut self, steps: usize) -> ChatPatternBuilder {
+        self.diffusion_steps = steps.max(1);
+        self
+    }
+
+    /// Training patterns per style.
+    #[must_use]
+    pub fn training_patterns(mut self, count: usize) -> ChatPatternBuilder {
+        self.training_patterns = count.max(1);
+        self
+    }
+
+    /// Master RNG seed (training data and sessions are reproducible).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> ChatPatternBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Design rules for legalization and evaluation.
+    #[must_use]
+    pub fn rules(mut self, rules: DesignRules) -> ChatPatternBuilder {
+        self.rules = rules;
+        self
+    }
+
+    /// Styles to train on (default: both layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `styles` is empty.
+    #[must_use]
+    pub fn styles(mut self, styles: Vec<Style>) -> ChatPatternBuilder {
+        assert!(!styles.is_empty(), "need at least one style");
+        self.styles = styles;
+        self
+    }
+
+    /// Builds the system: generates the synthetic training datasets,
+    /// fits the conditional denoiser, and assembles the agent plumbing.
+    #[must_use]
+    pub fn build(self) -> ChatPattern {
+        // 16 nm mean grid pitch, like the paper's 2048 nm / 128 cells.
+        let patch_nm = (self.window as i64) * 16;
+        let datasets: Vec<Dataset> = self
+            .styles
+            .iter()
+            .enumerate()
+            .map(|(i, &style)| {
+                DatasetBuilder::new(style)
+                    .patch_nm(patch_nm)
+                    .topology_size(self.window)
+                    .count(self.training_patterns)
+                    .seed(self.seed.wrapping_add(i as u64))
+                    .build()
+            })
+            .collect();
+        let topo_store: Vec<(u32, Vec<Topology>)> = datasets
+            .iter()
+            .map(|d| {
+                (
+                    d.style().id(),
+                    d.patterns().iter().map(|p| p.topology().clone()).collect(),
+                )
+            })
+            .collect();
+        let fit_refs: Vec<(u32, &[Topology])> = topo_store
+            .iter()
+            .map(|(id, v)| (*id, v.as_slice()))
+            .collect();
+        let denoiser = MrfDenoiser::fit(&fit_refs, 1.0);
+        let model = DiffusionModel::new(
+            NoiseSchedule::scaled_default(self.diffusion_steps),
+            denoiser,
+            self.window,
+        );
+        ChatPattern {
+            model: Arc::new(model),
+            legalizer: Legalizer::new(self.rules),
+            rules: self.rules,
+            datasets,
+            knowledge: KnowledgeBase::new(),
+            patch_nm,
+            seed: self.seed,
+        }
+    }
+}
+
+/// A sampler handle sharing the trained model across sessions.
+#[derive(Clone)]
+struct SharedSampler(Arc<DiffusionModel<MrfDenoiser>>);
+
+impl PatternSampler for SharedSampler {
+    fn window(&self) -> usize {
+        self.0.native_size()
+    }
+
+    fn generate(
+        &self,
+        rows: usize,
+        cols: usize,
+        condition: Option<u32>,
+        rng: &mut dyn RngCore,
+    ) -> Topology {
+        self.0.generate(rows, cols, condition, rng)
+    }
+
+    fn modify(
+        &self,
+        known: &Topology,
+        mask: &Mask,
+        condition: Option<u32>,
+        rng: &mut dyn RngCore,
+    ) -> Topology {
+        PatternSampler::modify(&*self.0, known, mask, condition, rng)
+    }
+}
+
+/// The assembled ChatPattern system.
+pub struct ChatPattern {
+    model: Arc<DiffusionModel<MrfDenoiser>>,
+    legalizer: Legalizer,
+    rules: DesignRules,
+    datasets: Vec<Dataset>,
+    knowledge: KnowledgeBase,
+    patch_nm: i64,
+    seed: u64,
+}
+
+impl std::fmt::Debug for ChatPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChatPattern")
+            .field("window", &self.model.native_size())
+            .field("patch_nm", &self.patch_nm)
+            .field("datasets", &self.datasets.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChatPattern {
+    /// Starts a builder.
+    #[must_use]
+    pub fn builder() -> ChatPatternBuilder {
+        ChatPatternBuilder::default()
+    }
+
+    /// Native model window size.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.model.native_size()
+    }
+
+    /// Physical patch size the defaults assume (16 nm × window).
+    #[must_use]
+    pub fn patch_nm(&self) -> i64 {
+        self.patch_nm
+    }
+
+    /// Design rules in force.
+    #[must_use]
+    pub fn rules(&self) -> &DesignRules {
+        &self.rules
+    }
+
+    /// Training datasets (the "real patterns" references).
+    #[must_use]
+    pub fn datasets(&self) -> &[Dataset] {
+        &self.datasets
+    }
+
+    /// The trained diffusion model (back-end access for experiments).
+    #[must_use]
+    pub fn model(&self) -> &DiffusionModel<MrfDenoiser> {
+        &self.model
+    }
+
+    /// The agent's knowledge base.
+    #[must_use]
+    pub fn knowledge(&self) -> &KnowledgeBase {
+        &self.knowledge
+    }
+
+    /// Mutable knowledge base (seed it with Figure-10 statistics).
+    pub fn knowledge_mut(&mut self) -> &mut KnowledgeBase {
+        &mut self.knowledge
+    }
+
+    /// Runs a full agent session on a natural-language request.
+    #[must_use]
+    pub fn chat(&self, request: &str) -> SessionReport {
+        self.chat_with_seed(request, self.seed)
+    }
+
+    /// [`ChatPattern::chat`] with an explicit session seed.
+    #[must_use]
+    pub fn chat_with_seed(&self, request: &str, seed: u64) -> SessionReport {
+        let ctx = ToolContext::new(
+            Box::new(SharedSampler(Arc::clone(&self.model))),
+            self.legalizer.clone(),
+            self.knowledge.clone(),
+            seed,
+        );
+        let policy = ExpertPolicy::default();
+        AgentSession::new(policy, ToolRegistry::standard(), ctx).run(request)
+    }
+
+    /// Direct API: conditional generation of `count` topologies.
+    #[must_use]
+    pub fn generate(
+        &self,
+        style: Style,
+        rows: usize,
+        cols: usize,
+        count: usize,
+        seed: u64,
+    ) -> Vec<Topology> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| self.model.sample(rows, cols, Some(style.id()), &mut rng))
+            .collect()
+    }
+
+    /// Direct API: free-size extension of an existing topology.
+    #[must_use]
+    pub fn extend(
+        &self,
+        seed_topology: &Topology,
+        rows: usize,
+        cols: usize,
+        method: ExtensionMethod,
+        style: Style,
+        seed: u64,
+    ) -> Topology {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        cp_extend::extend(
+            &SharedSampler(Arc::clone(&self.model)),
+            seed_topology,
+            rows,
+            cols,
+            method,
+            Some(style.id()),
+            &mut rng,
+        )
+    }
+
+    /// Direct API: RePaint modification of a masked region.
+    #[must_use]
+    pub fn modify(&self, known: &Topology, mask: &Mask, style: Style, seed: u64) -> Topology {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        self.model.modify(known, mask, Some(style.id()), 1, &mut rng)
+    }
+
+    /// Direct API: legalization into a physical frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the explainable [`LegalizeFailure`].
+    pub fn legalize(
+        &self,
+        topology: &Topology,
+        width_nm: i64,
+        height_nm: i64,
+        seed: u64,
+    ) -> Result<SquishPattern, LegalizeFailure> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        self.legalizer
+            .legalize(topology, width_nm, height_nm, &mut rng)
+    }
+
+    /// Direct API: Table-1-style evaluation of a topology library.
+    #[must_use]
+    pub fn evaluate<'a>(
+        &self,
+        topologies: impl Iterator<Item = &'a Topology>,
+        frame_nm: i64,
+        seed: u64,
+    ) -> LibraryStats {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        LibraryStats::evaluate(topologies, frame_nm, &self.rules, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_system() -> ChatPattern {
+        ChatPattern::builder()
+            .window(16)
+            .training_patterns(8)
+            .diffusion_steps(6)
+            .seed(3)
+            .build()
+    }
+
+    #[test]
+    fn builder_produces_working_system() {
+        let system = small_system();
+        assert_eq!(system.window(), 16);
+        assert_eq!(system.patch_nm(), 256);
+        assert_eq!(system.datasets().len(), 2);
+    }
+
+    #[test]
+    fn direct_generation_is_conditional_and_reproducible() {
+        let system = small_system();
+        let a = system.generate(Style::Layer10001, 16, 16, 2, 7);
+        let b = system.generate(Style::Layer10001, 16, 16, 2, 7);
+        assert_eq!(a, b);
+        let dense: f64 = a.iter().map(Topology::density).sum::<f64>() / 2.0;
+        let sparse: f64 = system
+            .generate(Style::Layer10003, 16, 16, 2, 7)
+            .iter()
+            .map(Topology::density)
+            .sum::<f64>()
+            / 2.0;
+        assert!(dense > sparse, "dense {dense:.3} vs sparse {sparse:.3}");
+    }
+
+    #[test]
+    fn chat_delivers_requested_library() {
+        let system = small_system();
+        let report = system.chat(
+            "Generate 3 patterns, topology size 16*16, physical size 512nm x 512nm, \
+             style Layer-10003.",
+        );
+        assert_eq!(report.library.len(), 3, "summary: {}", report.summary);
+        for p in &report.library {
+            assert_eq!(p.physical_width(), 512);
+        }
+    }
+
+    #[test]
+    fn extend_and_evaluate_round_trip() {
+        let system = small_system();
+        let seed = system.generate(Style::Layer10003, 16, 16, 1, 5).remove(0);
+        let big = system.extend(
+            &seed,
+            32,
+            32,
+            ExtensionMethod::OutPainting,
+            Style::Layer10003,
+            5,
+        );
+        assert_eq!(big.shape(), (32, 32));
+        let library = [big];
+        let stats = system.evaluate(library.iter(), 512, 5);
+        assert_eq!(stats.total, 1);
+    }
+
+    #[test]
+    fn legalize_direct_api_is_explainable() {
+        let system = small_system();
+        let topology = system.generate(Style::Layer10003, 16, 16, 1, 9).remove(0);
+        // Either outcome is valid; the call must be explainable on failure.
+        if let Err(failure) = system.legalize(&topology, 256, 256, 1) {
+            assert!(!failure.log.is_empty());
+        }
+    }
+
+    #[test]
+    fn modify_respects_mask_through_facade() {
+        let system = small_system();
+        let known = system.generate(Style::Layer10001, 16, 16, 1, 11).remove(0);
+        let mask = Mask::keep_outside(16, 16, cp_squish::Region::new(4, 4, 12, 12));
+        let out = system.modify(&known, &mask, Style::Layer10001, 11);
+        for r in 0..16 {
+            for c in 0..16 {
+                if mask.keeps(r, c) {
+                    assert_eq!(out.get(r, c), known.get(r, c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Patch extraction and dataset assembly.
+
+use crate::{generate_map, MapParams, Style};
+use cp_geom::Rect;
+use cp_squish::{normalize_to, SquishPattern, Topology};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A library of normalized squish patterns of one style.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    style: Style,
+    topo_size: usize,
+    patch_nm: i64,
+    patterns: Vec<SquishPattern>,
+}
+
+impl Dataset {
+    /// The style the patterns were generated in.
+    #[must_use]
+    pub fn style(&self) -> Style {
+        self.style
+    }
+
+    /// Normalized topology size (e.g. 128).
+    #[must_use]
+    pub fn topology_size(&self) -> usize {
+        self.topo_size
+    }
+
+    /// Physical patch size in nm (e.g. 2048).
+    #[must_use]
+    pub fn patch_nm(&self) -> i64 {
+        self.patch_nm
+    }
+
+    /// The normalized patterns.
+    #[must_use]
+    pub fn patterns(&self) -> &[SquishPattern] {
+        &self.patterns
+    }
+
+    /// Number of patterns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True when the dataset holds no patterns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Iterates the bare topology matrices (model training input).
+    pub fn topologies(&self) -> impl Iterator<Item = &Topology> + '_ {
+        self.patterns.iter().map(SquishPattern::topology)
+    }
+
+    /// Doubles the dataset with mirror/rotation augmentations (the
+    /// classic rule-based augmentation the paper's introduction cites).
+    #[must_use]
+    pub fn augmented(&self) -> Dataset {
+        let mut patterns = self.patterns.clone();
+        for p in &self.patterns {
+            let t = p.topology();
+            let flipped = t.flipped_horizontal();
+            let dx: Vec<i64> = p.dx().iter().rev().copied().collect();
+            patterns.push(SquishPattern::new(flipped, dx, p.dy().to_vec()));
+        }
+        Dataset {
+            style: self.style,
+            topo_size: self.topo_size,
+            patch_nm: self.patch_nm,
+            patterns,
+        }
+    }
+}
+
+/// Builder producing a [`Dataset`] by windowing synthetic layout maps.
+///
+/// # Example
+///
+/// ```
+/// use cp_dataset::{DatasetBuilder, Style};
+/// let ds = DatasetBuilder::new(Style::Layer10003)
+///     .patch_nm(2048)
+///     .topology_size(32)
+///     .count(4)
+///     .seed(7)
+///     .build();
+/// assert_eq!(ds.len(), 4);
+/// assert_eq!(ds.patterns()[0].topology().shape(), (32, 32));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    style: Style,
+    patch_nm: i64,
+    topo_size: usize,
+    count: usize,
+    seed: u64,
+}
+
+impl DatasetBuilder {
+    /// Starts a builder with the paper's defaults: 2048 nm patches
+    /// normalized to 128×128 topologies, 256 patterns, seed 0.
+    #[must_use]
+    pub fn new(style: Style) -> DatasetBuilder {
+        DatasetBuilder {
+            style,
+            patch_nm: 2048,
+            topo_size: 128,
+            count: 256,
+            seed: 0,
+        }
+    }
+
+    /// Physical patch window (nm). The paper uses 2048 for 128² and
+    /// 4096/8192/16384 for the 256²/512²/1024² references.
+    #[must_use]
+    pub fn patch_nm(mut self, nm: i64) -> DatasetBuilder {
+        self.patch_nm = nm;
+        self
+    }
+
+    /// Normalized topology matrix size.
+    #[must_use]
+    pub fn topology_size(mut self, size: usize) -> DatasetBuilder {
+        self.topo_size = size;
+        self
+    }
+
+    /// Number of patterns to extract.
+    #[must_use]
+    pub fn count(mut self, count: usize) -> DatasetBuilder {
+        self.count = count;
+        self
+    }
+
+    /// RNG seed (datasets are fully reproducible).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> DatasetBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates maps and extracts patches until `count` normalized
+    /// patterns are collected. Patches whose minimal squish matrix is
+    /// more complex than the target size are dropped (as real dataset
+    /// pipelines do).
+    #[must_use]
+    pub fn build(self) -> Dataset {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut patterns = Vec::with_capacity(self.count);
+        let mut map_round = 0u64;
+        while patterns.len() < self.count {
+            // Map big enough for a grid of overlapping windows.
+            let span = (self.patch_nm * 4).max(8192);
+            let map = generate_map(
+                self.style,
+                MapParams {
+                    width_nm: span,
+                    height_nm: span,
+                },
+                &mut rng,
+            );
+            let stride = self.patch_nm / 2;
+            let mut offsets = Vec::new();
+            let mut y = 0;
+            while y + self.patch_nm <= span {
+                let mut x = 0;
+                while x + self.patch_nm <= span {
+                    offsets.push((x, y));
+                    x += stride;
+                }
+                y += stride;
+            }
+            // Shuffle offsets so truncation at `count` is unbiased.
+            for i in (1..offsets.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                offsets.swap(i, j);
+            }
+            for (x, y) in offsets {
+                if patterns.len() >= self.count {
+                    break;
+                }
+                let window = map.window(Rect::new(x, y, x + self.patch_nm, y + self.patch_nm));
+                if window.is_empty() {
+                    continue;
+                }
+                let squish = SquishPattern::from_layout(&window).minimized();
+                if let Some(normalized) = normalize_to(&squish, self.topo_size, self.topo_size) {
+                    patterns.push(normalized);
+                }
+            }
+            map_round += 1;
+            assert!(
+                map_round < 64,
+                "dataset generation stalled: {} of {} patterns after {map_round} maps",
+                patterns.len(),
+                self.count
+            );
+        }
+        Dataset {
+            style: self.style,
+            topo_size: self.topo_size,
+            patch_nm: self.patch_nm,
+            patterns,
+        }
+    }
+}
+
+/// Convenience: builds the paper's reference libraries for the free-size
+/// rows of Table 1 — patches `scale`× larger than 2048 nm normalized to
+/// `128 * scale` topologies (`scale` ∈ {1, 2, 4, 8}).
+#[must_use]
+pub fn reference_library(style: Style, scale: usize, count: usize, seed: u64) -> Dataset {
+    DatasetBuilder::new(style)
+        .patch_nm(2048 * scale as i64)
+        .topology_size(128 * scale)
+        .count(count)
+        .seed(seed)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_requested_count_and_shape() {
+        let ds = DatasetBuilder::new(Style::Layer10001)
+            .patch_nm(1024)
+            .topology_size(64)
+            .count(6)
+            .seed(3)
+            .build();
+        assert_eq!(ds.len(), 6);
+        for p in ds.patterns() {
+            assert_eq!(p.topology().shape(), (64, 64));
+            assert_eq!(p.physical_width(), 1024);
+            assert_eq!(p.physical_height(), 1024);
+        }
+    }
+
+    #[test]
+    fn datasets_are_reproducible() {
+        let a = DatasetBuilder::new(Style::Layer10003)
+            .topology_size(32)
+            .count(4)
+            .seed(5)
+            .build();
+        let b = DatasetBuilder::new(Style::Layer10003)
+            .topology_size(32)
+            .count(4)
+            .seed(5)
+            .build();
+        assert_eq!(a.patterns(), b.patterns());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DatasetBuilder::new(Style::Layer10001)
+            .patch_nm(1024)
+            .topology_size(64)
+            .count(4)
+            .seed(1)
+            .build();
+        let b = DatasetBuilder::new(Style::Layer10001)
+            .patch_nm(1024)
+            .topology_size(64)
+            .count(4)
+            .seed(2)
+            .build();
+        assert_ne!(a.patterns(), b.patterns());
+    }
+
+    #[test]
+    fn augmentation_doubles_and_mirrors() {
+        let ds = DatasetBuilder::new(Style::Layer10003)
+            .topology_size(32)
+            .count(3)
+            .seed(4)
+            .build();
+        let aug = ds.augmented();
+        assert_eq!(aug.len(), 6);
+        let orig = ds.patterns()[0].topology();
+        let mirrored = aug.patterns()[3].topology();
+        assert_eq!(&orig.flipped_horizontal(), mirrored);
+    }
+
+    #[test]
+    fn styles_produce_distinct_density_statistics() {
+        let dense = DatasetBuilder::new(Style::Layer10001)
+            .patch_nm(1024)
+            .topology_size(64)
+            .count(8)
+            .seed(9)
+            .build();
+        let sparse = DatasetBuilder::new(Style::Layer10003)
+            .topology_size(64)
+            .count(8)
+            .seed(9)
+            .build();
+        let d: f64 = dense.topologies().map(Topology::density).sum::<f64>() / 8.0;
+        let s: f64 = sparse.topologies().map(Topology::density).sum::<f64>() / 8.0;
+        assert!(d > s, "dense {d:.3} vs sparse {s:.3}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Object-safe sampling interface consumed by extension and agent tools.
+
+use crate::{Denoiser, DiffusionModel, Mask};
+use cp_squish::Topology;
+use rand::RngCore;
+
+/// The generation capabilities the rest of the system needs: fixed-window
+/// conditional generation and masked modification.
+///
+/// [`DiffusionModel`] implements this for any denoiser back-end; tests
+/// use lightweight fakes.
+pub trait PatternSampler {
+    /// Native window size `L` (the model's training resolution).
+    fn window(&self) -> usize;
+
+    /// Generates one `rows × cols` topology under `condition`.
+    fn generate(
+        &self,
+        rows: usize,
+        cols: usize,
+        condition: Option<u32>,
+        rng: &mut dyn RngCore,
+    ) -> Topology;
+
+    /// Regenerates the non-kept cells of `known` under `condition`.
+    fn modify(
+        &self,
+        known: &Topology,
+        mask: &Mask,
+        condition: Option<u32>,
+        rng: &mut dyn RngCore,
+    ) -> Topology;
+}
+
+impl<D: Denoiser> PatternSampler for DiffusionModel<D> {
+    fn window(&self) -> usize {
+        self.native_size()
+    }
+
+    fn generate(
+        &self,
+        rows: usize,
+        cols: usize,
+        condition: Option<u32>,
+        mut rng: &mut dyn RngCore,
+    ) -> Topology {
+        self.sample(rows, cols, condition, &mut rng)
+    }
+
+    fn modify(
+        &self,
+        known: &Topology,
+        mask: &Mask,
+        condition: Option<u32>,
+        mut rng: &mut dyn RngCore,
+    ) -> Topology {
+        DiffusionModel::modify(self, known, mask, condition, 1, &mut rng)
+    }
+}
+
+impl<S: PatternSampler + ?Sized> PatternSampler for &S {
+    fn window(&self) -> usize {
+        (**self).window()
+    }
+
+    fn generate(
+        &self,
+        rows: usize,
+        cols: usize,
+        condition: Option<u32>,
+        rng: &mut dyn RngCore,
+    ) -> Topology {
+        (**self).generate(rows, cols, condition, rng)
+    }
+
+    fn modify(
+        &self,
+        known: &Topology,
+        mask: &Mask,
+        condition: Option<u32>,
+        rng: &mut dyn RngCore,
+    ) -> Topology {
+        (**self).modify(known, mask, condition, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::denoiser::test_support::ConstantDenoiser;
+    use crate::NoiseSchedule;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn diffusion_model_implements_sampler() {
+        let model = DiffusionModel::new(
+            NoiseSchedule::scaled_default(4),
+            ConstantDenoiser {
+                probability: 1.0,
+                size: 8,
+            },
+            8,
+        );
+        let sampler: &dyn PatternSampler = &model;
+        assert_eq!(sampler.window(), 8);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = sampler.generate(8, 8, None, &mut rng);
+        assert_eq!(t.count_ones(), 64);
+    }
+
+    #[test]
+    fn sampler_modify_respects_mask_through_trait() {
+        let model = DiffusionModel::new(
+            NoiseSchedule::scaled_default(4),
+            ConstantDenoiser {
+                probability: 1.0,
+                size: 4,
+            },
+            4,
+        );
+        let sampler: &dyn PatternSampler = &model;
+        let known = Topology::filled(4, 4, false);
+        let mask = Mask::keep_inside(4, 4, cp_squish::Region::new(0, 0, 2, 4));
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let out = sampler.modify(&known, &mask, None, &mut rng);
+        assert!(!out.get(0, 0)); // kept
+        assert!(out.get(3, 3)); // regenerated toward ones
+    }
+}

@@ -1,0 +1,156 @@
+//! Design-rule definitions.
+
+use serde::{Deserialize, Serialize};
+
+/// A minimal metal-layer design-rule set: minimum space, minimum width,
+/// minimum polygon area (the three rule families of the paper's Figure 3).
+///
+/// All lengths are nanometres; areas are nm².
+///
+/// # Example
+///
+/// ```
+/// use cp_drc::DesignRules;
+/// let rules = DesignRules::builder()
+///     .min_space(40)
+///     .min_width(40)
+///     .min_area(3200)
+///     .build();
+/// assert_eq!(rules.min_space(), 40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DesignRules {
+    min_space: i64,
+    min_width: i64,
+    min_area: i64,
+}
+
+impl DesignRules {
+    /// Creates a rule set from `(min_space, min_width, min_area)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rule value is non-positive.
+    #[must_use]
+    pub fn new(min_space: i64, min_width: i64, min_area: i64) -> DesignRules {
+        assert!(
+            min_space > 0 && min_width > 0 && min_area > 0,
+            "design rules must be positive"
+        );
+        DesignRules {
+            min_space,
+            min_width,
+            min_area,
+        }
+    }
+
+    /// Starts a builder with the reference rule values.
+    #[must_use]
+    pub fn builder() -> DesignRulesBuilder {
+        DesignRulesBuilder::default()
+    }
+
+    /// Minimum edge-to-edge spacing between adjacent polygons (nm).
+    #[must_use]
+    pub fn min_space(&self) -> i64 {
+        self.min_space
+    }
+
+    /// Minimum shape width in either direction (nm).
+    #[must_use]
+    pub fn min_width(&self) -> i64 {
+        self.min_width
+    }
+
+    /// Minimum polygon area (nm²).
+    #[must_use]
+    pub fn min_area(&self) -> i64 {
+        self.min_area
+    }
+
+    /// The reference rule set used throughout the reproduction: 40 nm
+    /// space/width and a 3200 nm² minimum area, consistent with a
+    /// 2048×2048 nm² patch squished to a 128×128 topology (16 nm average
+    /// grid pitch).
+    #[must_use]
+    pub fn reference() -> DesignRules {
+        DesignRules::new(40, 40, 3200)
+    }
+}
+
+impl Default for DesignRules {
+    fn default() -> DesignRules {
+        DesignRules::reference()
+    }
+}
+
+/// Builder for [`DesignRules`] (starts from [`DesignRules::reference`]).
+#[derive(Debug, Clone)]
+pub struct DesignRulesBuilder {
+    rules: DesignRules,
+}
+
+impl Default for DesignRulesBuilder {
+    fn default() -> DesignRulesBuilder {
+        DesignRulesBuilder {
+            rules: DesignRules::reference(),
+        }
+    }
+}
+
+impl DesignRulesBuilder {
+    /// Sets the minimum spacing rule.
+    pub fn min_space(&mut self, nm: i64) -> &mut DesignRulesBuilder {
+        self.rules.min_space = nm;
+        self
+    }
+
+    /// Sets the minimum width rule.
+    pub fn min_width(&mut self, nm: i64) -> &mut DesignRulesBuilder {
+        self.rules.min_width = nm;
+        self
+    }
+
+    /// Sets the minimum area rule.
+    pub fn min_area(&mut self, nm2: i64) -> &mut DesignRulesBuilder {
+        self.rules.min_area = nm2;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configured value is non-positive.
+    #[must_use]
+    pub fn build(&self) -> DesignRules {
+        DesignRules::new(
+            self.rules.min_space,
+            self.rules.min_width,
+            self.rules.min_area,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_overrides_defaults() {
+        let r = DesignRules::builder().min_space(10).build();
+        assert_eq!(r.min_space(), 10);
+        assert_eq!(r.min_width(), DesignRules::reference().min_width());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rule_rejected() {
+        let _ = DesignRules::new(0, 10, 10);
+    }
+
+    #[test]
+    fn default_is_reference() {
+        assert_eq!(DesignRules::default(), DesignRules::reference());
+    }
+}

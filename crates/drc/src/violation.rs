@@ -1,0 +1,84 @@
+//! DRC violation records.
+
+use cp_geom::{Axis, Rect};
+use cp_squish::Region;
+use serde::{Deserialize, Serialize};
+
+/// The rule family a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// Two polygons closer than the minimum spacing.
+    Space,
+    /// A shape slice narrower than the minimum width.
+    Width,
+    /// A polygon smaller than the minimum area.
+    Area,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViolationKind::Space => f.write_str("space"),
+            ViolationKind::Width => f.write_str("width"),
+            ViolationKind::Area => f.write_str("area"),
+        }
+    }
+}
+
+/// A single design-rule violation with both physical and grid locations.
+///
+/// The grid [`Region`] is what downstream tools (the LLM agent's
+/// `Topology_Modification`) consume; the physical [`Rect`] is for
+/// human-readable logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Rule family violated.
+    pub kind: ViolationKind,
+    /// Measurement axis (`None` for area violations).
+    pub axis: Option<Axis>,
+    /// Measured value (nm for space/width, nm² for area).
+    pub measured: i64,
+    /// Required value from the rule set.
+    pub required: i64,
+    /// Physical location of the violating slice/polygon.
+    pub location: Rect,
+    /// Grid-space location in the topology matrix.
+    pub region: Region,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let unit = if self.kind == ViolationKind::Area { "nm²" } else { "nm" };
+        write!(
+            f,
+            "{} violation: measured {} {unit} < required {} {unit} at {} (grid {})",
+            self.kind, self.measured, self.required, self.location, self.region
+        )?;
+        if let Some(axis) = self.axis {
+            write!(f, " along {axis}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_kind_and_values() {
+        let v = Violation {
+            kind: ViolationKind::Width,
+            axis: Some(Axis::X),
+            measured: 12,
+            required: 40,
+            location: Rect::new(0, 0, 12, 30),
+            region: Region::new(0, 0, 1, 1),
+        };
+        let s = v.to_string();
+        assert!(s.contains("width"));
+        assert!(s.contains("12"));
+        assert!(s.contains("40"));
+        assert!(s.contains("along x"));
+    }
+}

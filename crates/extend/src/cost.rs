@@ -1,0 +1,70 @@
+//! Sampling-count formulas (paper §3.2).
+
+/// Number of model calls for In-Painting extension to `width × height`
+/// with window `l`: `N_in = (2⌈W/L⌉ − 1)(2⌈H/L⌉ − 1)`.
+///
+/// # Panics
+///
+/// Panics if `l == 0` or the target is smaller than the window.
+#[must_use]
+pub fn in_painting_samples(width: usize, height: usize, l: usize) -> usize {
+    assert!(l > 0, "window must be positive");
+    assert!(width >= l && height >= l, "target smaller than window");
+    let a = width.div_ceil(l);
+    let b = height.div_ceil(l);
+    (2 * a - 1) * (2 * b - 1)
+}
+
+/// Number of model calls for Out-Painting extension to `width × height`
+/// with window `l` and stride `s`:
+/// `N_out = (⌈(W−L)/S⌉ + 1)(⌈(H−L)/S⌉ + 1)`.
+///
+/// # Panics
+///
+/// Panics if `l == 0`, `s == 0` or the target is smaller than the window.
+#[must_use]
+pub fn out_painting_samples(width: usize, height: usize, l: usize, s: usize) -> usize {
+    assert!(l > 0 && s > 0, "window and stride must be positive");
+    assert!(width >= l && height >= l, "target smaller than window");
+    let nx = (width - l).div_ceil(s) + 1;
+    let ny = (height - l).div_ceil(s) + 1;
+    nx * ny
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_painting_counts_match_paper_formula() {
+        // W = H = 2L → (2·2−1)² = 9: 4 tiles + 4 seams + 1 corner.
+        assert_eq!(in_painting_samples(256, 256, 128), 9);
+        // W = H = L → a single tile.
+        assert_eq!(in_painting_samples(128, 128, 128), 1);
+        // 4L × 2L → (2·4−1)(2·2−1) = 21.
+        assert_eq!(in_painting_samples(512, 256, 128), 21);
+    }
+
+    #[test]
+    fn out_painting_counts_match_paper_formula() {
+        // W = H = 2L, S = L/2 → (⌈128/64⌉+1)² = 9.
+        assert_eq!(out_painting_samples(256, 256, 128, 64), 9);
+        // Exactly the window → one call per axis.
+        assert_eq!(out_painting_samples(128, 128, 128, 64), 1);
+        // Full-stride: S = L → (⌈(512−128)/128⌉+1) = 4 per axis.
+        assert_eq!(out_painting_samples(512, 512, 128, 128), 16);
+    }
+
+    #[test]
+    fn out_painting_with_smaller_stride_costs_more() {
+        let coarse = out_painting_samples(512, 512, 128, 128);
+        let fine = out_painting_samples(512, 512, 128, 32);
+        assert!(fine > coarse);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than window")]
+    fn target_below_window_rejected() {
+        let _ = in_painting_samples(64, 64, 128);
+    }
+}

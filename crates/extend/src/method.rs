@@ -1,0 +1,136 @@
+//! Method-dispatching extension entry point.
+
+use crate::{in_paint, out_paint};
+use cp_diffusion::PatternSampler;
+use cp_squish::Topology;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Which extension algorithm to use — the choice the LLM agent makes from
+/// its experience documents (out-painting favours legality, in-painting
+/// favours diversity; paper Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ExtensionMethod {
+    /// Grow borders with a sliding window at stride `L/2` (default).
+    #[default]
+    OutPainting,
+    /// Concatenate independent tiles and repair the seams.
+    InPainting,
+}
+
+impl ExtensionMethod {
+    /// Parses the names used in requirement lists (`"Out"`, `"In"`,
+    /// `"out-painting"`, `"In-Painting"` …).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<ExtensionMethod> {
+        let lower = name.to_ascii_lowercase();
+        if lower.starts_with("out") {
+            Some(ExtensionMethod::OutPainting)
+        } else if lower.starts_with("in") {
+            Some(ExtensionMethod::InPainting)
+        } else {
+            None
+        }
+    }
+
+    /// Canonical requirement-list name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtensionMethod::OutPainting => "Out",
+            ExtensionMethod::InPainting => "In",
+        }
+    }
+}
+
+impl std::fmt::Display for ExtensionMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtensionMethod::OutPainting => f.write_str("Out-Painting"),
+            ExtensionMethod::InPainting => f.write_str("In-Painting"),
+        }
+    }
+}
+
+/// Extends `seed` to `rows × cols` with the chosen method.
+///
+/// For [`ExtensionMethod::OutPainting`] the stride is `L/2`. If the
+/// target equals the seed shape, the seed is returned unchanged.
+///
+/// # Panics
+///
+/// Panics if the target is smaller than the seed or the sampler window.
+#[must_use]
+pub fn extend<S: PatternSampler + ?Sized>(
+    sampler: &S,
+    seed: &Topology,
+    rows: usize,
+    cols: usize,
+    method: ExtensionMethod,
+    condition: Option<u32>,
+    rng: &mut dyn RngCore,
+) -> Topology {
+    if seed.shape() == (rows, cols) {
+        return seed.clone();
+    }
+    let l = sampler.window();
+    match method {
+        ExtensionMethod::OutPainting => {
+            out_paint(sampler, seed, rows, cols, (l / 2).max(1), condition, rng)
+        }
+        ExtensionMethod::InPainting => in_paint(sampler, Some(seed), rows, cols, condition, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_diffusion::{DiffusionModel, MrfDenoiser, NoiseSchedule};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn model() -> DiffusionModel<MrfDenoiser> {
+        let data: Vec<Topology> = (0..6)
+            .map(|i| Topology::from_fn(16, 16, move |_, c| (c + i) % 4 < 2))
+            .collect();
+        DiffusionModel::new(
+            NoiseSchedule::scaled_default(8),
+            MrfDenoiser::fit(&[(0, &data)], 1.0),
+            16,
+        )
+    }
+
+    #[test]
+    fn parses_method_names() {
+        assert_eq!(ExtensionMethod::from_name("Out"), Some(ExtensionMethod::OutPainting));
+        assert_eq!(ExtensionMethod::from_name("out-painting"), Some(ExtensionMethod::OutPainting));
+        assert_eq!(ExtensionMethod::from_name("In-Painting"), Some(ExtensionMethod::InPainting));
+        assert_eq!(ExtensionMethod::from_name("sideways"), None);
+    }
+
+    #[test]
+    fn same_size_is_identity() {
+        let m = model();
+        let seed = Topology::from_fn(16, 16, |r, _| r % 2 == 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let out = extend(&m, &seed, 16, 16, ExtensionMethod::OutPainting, None, &mut rng);
+        assert_eq!(out, seed);
+    }
+
+    #[test]
+    fn both_methods_reach_target_size() {
+        let m = model();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let seed = m.sample(16, 16, Some(0), &mut rng);
+        for method in [ExtensionMethod::OutPainting, ExtensionMethod::InPainting] {
+            let out = extend(&m, &seed, 48, 32, method, Some(0), &mut rng);
+            assert_eq!(out.shape(), (48, 32), "{method}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ExtensionMethod::OutPainting.to_string(), "Out-Painting");
+        assert_eq!(ExtensionMethod::InPainting.name(), "In");
+    }
+}

@@ -1,0 +1,183 @@
+//! Connected-component labelling on boolean grids.
+//!
+//! Used to identify polygons in a topology matrix (for area rules,
+//! failure-region reporting, and polygon reconstruction).
+
+/// Labels of 4-connected components over an `rows × cols` boolean grid.
+///
+/// Cells where the occupancy function returns `false` get label
+/// [`ComponentLabels::EMPTY`]; occupied cells get labels `0..count`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabels {
+    rows: usize,
+    cols: usize,
+    labels: Vec<u32>,
+    count: u32,
+}
+
+impl ComponentLabels {
+    /// Sentinel label for unoccupied cells.
+    pub const EMPTY: u32 = u32::MAX;
+
+    /// Number of grid rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of grid columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of connected components found.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Label of cell `(row, col)`, or [`Self::EMPTY`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of bounds.
+    #[must_use]
+    pub fn label(&self, row: usize, col: usize) -> u32 {
+        assert!(row < self.rows && col < self.cols, "label out of bounds");
+        self.labels[row * self.cols + col]
+    }
+
+    /// Iterates over `(row, col)` cells belonging to component `id`.
+    pub fn cells_of(&self, id: u32) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let cols = self.cols;
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(move |(_, &l)| l == id)
+            .map(move |(i, _)| (i / cols, i % cols))
+    }
+
+    /// Grid-space bounding box `(row0, col0, row1, col1)` (inclusive) of
+    /// component `id`, or `None` if the component has no cells.
+    #[must_use]
+    pub fn bbox_of(&self, id: u32) -> Option<(usize, usize, usize, usize)> {
+        let mut bbox: Option<(usize, usize, usize, usize)> = None;
+        for (r, c) in self.cells_of(id) {
+            bbox = Some(match bbox {
+                None => (r, c, r, c),
+                Some((r0, c0, r1, c1)) => (r0.min(r), c0.min(c), r1.max(r), c1.max(c)),
+            });
+        }
+        bbox
+    }
+}
+
+/// Labels 4-connected components of the grid defined by `is_set`.
+///
+/// `is_set(row, col)` must be a pure function over `0..rows × 0..cols`.
+///
+/// # Example
+///
+/// ```
+/// use cp_geom::label_components;
+/// // two diagonal cells are NOT 4-connected
+/// let grid = [[true, false], [false, true]];
+/// let labels = label_components(2, 2, |r, c| grid[r][c]);
+/// assert_eq!(labels.count(), 2);
+/// ```
+#[must_use]
+pub fn label_components(
+    rows: usize,
+    cols: usize,
+    is_set: impl Fn(usize, usize) -> bool,
+) -> ComponentLabels {
+    let mut labels = vec![ComponentLabels::EMPTY; rows * cols];
+    let mut count = 0u32;
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for r0 in 0..rows {
+        for c0 in 0..cols {
+            if !is_set(r0, c0) || labels[r0 * cols + c0] != ComponentLabels::EMPTY {
+                continue;
+            }
+            let id = count;
+            count += 1;
+            stack.push((r0, c0));
+            labels[r0 * cols + c0] = id;
+            while let Some((r, c)) = stack.pop() {
+                let mut visit = |nr: usize, nc: usize| {
+                    if is_set(nr, nc) && labels[nr * cols + nc] == ComponentLabels::EMPTY {
+                        labels[nr * cols + nc] = id;
+                        stack.push((nr, nc));
+                    }
+                };
+                if r > 0 {
+                    visit(r - 1, c);
+                }
+                if r + 1 < rows {
+                    visit(r + 1, c);
+                }
+                if c > 0 {
+                    visit(r, c - 1);
+                }
+                if c + 1 < cols {
+                    visit(r, c + 1);
+                }
+            }
+        }
+    }
+    ComponentLabels {
+        rows,
+        cols,
+        labels,
+        count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_grid_has_no_components() {
+        let l = label_components(3, 3, |_, _| false);
+        assert_eq!(l.count(), 0);
+        assert_eq!(l.label(1, 1), ComponentLabels::EMPTY);
+    }
+
+    #[test]
+    fn full_grid_is_one_component() {
+        let l = label_components(4, 5, |_, _| true);
+        assert_eq!(l.count(), 1);
+        assert_eq!(l.cells_of(0).count(), 20);
+        assert_eq!(l.bbox_of(0), Some((0, 0, 3, 4)));
+    }
+
+    #[test]
+    fn diagonal_cells_are_separate() {
+        let grid = [[true, false, false], [false, true, false], [false, false, true]];
+        let l = label_components(3, 3, |r, c| grid[r][c]);
+        assert_eq!(l.count(), 3);
+    }
+
+    #[test]
+    fn l_shape_is_single_component() {
+        // ##.
+        // #..
+        // ###
+        let grid = [
+            [true, true, false],
+            [true, false, false],
+            [true, true, true],
+        ];
+        let l = label_components(3, 3, |r, c| grid[r][c]);
+        assert_eq!(l.count(), 1);
+        assert_eq!(l.bbox_of(0), Some((0, 0, 2, 2)));
+    }
+
+    #[test]
+    fn bbox_of_missing_component_is_none() {
+        let l = label_components(2, 2, |_, _| false);
+        assert_eq!(l.bbox_of(0), None);
+    }
+}

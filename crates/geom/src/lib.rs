@@ -1,0 +1,65 @@
+//! Rectilinear geometry substrate for ChatPattern.
+//!
+//! Layout patterns in DFM flows are collections of axis-aligned rectilinear
+//! shapes on an integer (nanometre) grid. This crate provides the small set
+//! of geometric primitives everything else is built on:
+//!
+//! * [`Point`] and [`Rect`] — integer-nm coordinates, half-open rectangles;
+//! * [`Layout`] — a frame plus a bag of rectangles (possibly overlapping;
+//!   the union of the rectangles is the drawn metal);
+//! * [`scanline`] — scan-line coordinate extraction used by squish encoding;
+//! * [`component`] — connected-component labelling on boolean grids.
+//!
+//! # Example
+//!
+//! ```
+//! use cp_geom::{Layout, Rect};
+//!
+//! let frame = Rect::new(0, 0, 2048, 2048);
+//! let mut layout = Layout::new(frame);
+//! layout.push(Rect::new(100, 100, 500, 180));
+//! layout.push(Rect::new(100, 300, 900, 380));
+//! assert_eq!(layout.rects().len(), 2);
+//! assert!(layout.union_area() > 0);
+//! ```
+
+pub mod component;
+pub mod layout;
+pub mod point;
+pub mod rect;
+pub mod scanline;
+
+pub use component::{label_components, ComponentLabels};
+pub use layout::Layout;
+pub use point::Point;
+pub use rect::Rect;
+pub use scanline::ScanLines;
+
+/// Axis selector used by design-rule measurements and legalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Axis {
+    /// Horizontal direction (widths/spaces measured along x).
+    X,
+    /// Vertical direction (widths/spaces measured along y).
+    Y,
+}
+
+impl Axis {
+    /// The other axis.
+    #[must_use]
+    pub fn perpendicular(self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::X,
+        }
+    }
+}
+
+impl std::fmt::Display for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Axis::X => f.write_str("x"),
+            Axis::Y => f.write_str("y"),
+        }
+    }
+}

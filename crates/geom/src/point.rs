@@ -1,0 +1,82 @@
+//! Integer points in nanometre coordinates.
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the integer nanometre grid.
+///
+/// # Example
+///
+/// ```
+/// use cp_geom::Point;
+/// let p = Point::new(10, 20);
+/// let q = p.translated(5, -5);
+/// assert_eq!(q, Point::new(15, 15));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in nanometres.
+    pub x: i64,
+    /// Vertical coordinate in nanometres.
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point from x/y nanometre coordinates.
+    #[must_use]
+    pub fn new(x: i64, y: i64) -> Point {
+        Point { x, y }
+    }
+
+    /// Returns this point moved by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(self, dx: i64, dy: i64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Chebyshev (L∞) distance to another point.
+    #[must_use]
+    pub fn chebyshev_distance(self, other: Point) -> i64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Manhattan (L1) distance to another point.
+    #[must_use]
+    pub fn manhattan_distance(self, other: Point) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    fn from((x, y): (i64, i64)) -> Point {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_moves_both_axes() {
+        assert_eq!(Point::new(1, 2).translated(3, 4), Point::new(4, 6));
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, -4);
+        assert_eq!(a.chebyshev_distance(b), 4);
+        assert_eq!(a.manhattan_distance(b), 7);
+    }
+
+    #[test]
+    fn display_is_tuple_like() {
+        assert_eq!(Point::new(5, 6).to_string(), "(5, 6)");
+    }
+}

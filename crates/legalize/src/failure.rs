@@ -1,0 +1,92 @@
+//! Explainable legalization failures.
+
+use cp_geom::Axis;
+use cp_squish::Region;
+use serde::{Deserialize, Serialize};
+
+/// Why legalization could not produce a legal pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The minimal rule-satisfying extent along `axis` exceeds the frame:
+    /// the topology is too complex for the requested physical size.
+    Infeasible {
+        /// Axis whose constraints cannot fit.
+        axis: Axis,
+    },
+    /// Width/space constraints fit, but some polygon cannot reach the
+    /// minimum area even after slack redistribution.
+    AreaUnsatisfiable,
+}
+
+/// An explainable legalization failure.
+///
+/// `region` locates the *unreasonable region* in topology-grid
+/// coordinates — the window the LLM agent passes to
+/// `Topology_Modification` when it decides to repair instead of drop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LegalizeFailure {
+    /// Failure category.
+    pub kind: FailureKind,
+    /// Grid region responsible for the failure.
+    pub region: Region,
+    /// Physical amount required (nm, or nm² for area failures).
+    pub needed: i64,
+    /// Physical amount available.
+    pub available: i64,
+    /// Human/agent-readable log describing the failure.
+    pub log: String,
+}
+
+impl std::fmt::Display for LegalizeFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            FailureKind::Infeasible { axis } => write!(
+                f,
+                "legalization infeasible along {axis}: needs {} nm but only {} nm available; \
+                 unreasonable region at {}",
+                self.needed, self.available, self.region
+            ),
+            FailureKind::AreaUnsatisfiable => write!(
+                f,
+                "polygon area unsatisfiable: needs {} nm² but reached only {} nm²; \
+                 unreasonable region at {}",
+                self.needed, self.available, self.region
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LegalizeFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_reports_region_and_amounts() {
+        let failure = LegalizeFailure {
+            kind: FailureKind::Infeasible { axis: Axis::X },
+            region: Region::new(3, 10, 4, 20),
+            needed: 2500,
+            available: 2048,
+            log: String::new(),
+        };
+        let s = failure.to_string();
+        assert!(s.contains("along x"));
+        assert!(s.contains("2500"));
+        assert!(s.contains("rows 3..4"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error>(_e: &E) {}
+        let failure = LegalizeFailure {
+            kind: FailureKind::AreaUnsatisfiable,
+            region: Region::new(0, 0, 1, 1),
+            needed: 100,
+            available: 50,
+            log: String::new(),
+        };
+        takes_error(&failure);
+    }
+}

@@ -1,0 +1,42 @@
+//! Non-linear topology legalization (DiffPattern's `f_R(F, T)`).
+//!
+//! Legalization turns a bare topology matrix into a physical layout
+//! pattern: it assigns Δx/Δy geometry vectors such that the resulting
+//! squish pattern satisfies the design rules (space, width, area) and the
+//! requested physical frame size, or *explains why it cannot*.
+//!
+//! The solver works per axis. Every maximal run of drawn cells in a scan
+//! line induces a width constraint, every interior run of empty cells a
+//! space constraint — a system of difference constraints over the prefix
+//! sums of the Δ vector. The unique minimal solution is computed in one
+//! left-to-right sweep; remaining slack is distributed randomly (this is
+//! where pattern geometry diversity comes from), and polygon areas are
+//! repaired by shifting slack into deficient components.
+//!
+//! When the minimal solution already exceeds the frame, legalization is
+//! infeasible and the binding constraint chain identifies the
+//! "unreasonable region" — the grid [`Region`](cp_squish::Region) the
+//! paper's LLM agent targets with `Topology_Modification`.
+//!
+//! # Example
+//!
+//! ```
+//! use cp_drc::{check_pattern, DesignRules};
+//! use cp_legalize::Legalizer;
+//! use cp_squish::Topology;
+//! use rand::SeedableRng;
+//!
+//! let rules = DesignRules::new(20, 20, 400);
+//! let legalizer = Legalizer::new(rules);
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let topology = Topology::from_ascii("11.\n.1.\n.11");
+//! let pattern = legalizer.legalize(&topology, 200, 200, &mut rng)?;
+//! assert!(check_pattern(&pattern, &rules).is_clean());
+//! # Ok::<(), cp_legalize::LegalizeFailure>(())
+//! ```
+
+pub mod failure;
+pub mod solver;
+
+pub use failure::{FailureKind, LegalizeFailure};
+pub use solver::{AxisSolution, Legalizer};

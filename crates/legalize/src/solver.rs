@@ -1,0 +1,537 @@
+//! The per-axis difference-constraint solver and area repair loop.
+
+use crate::{FailureKind, LegalizeFailure};
+use cp_drc::DesignRules;
+use cp_geom::{label_components, Axis};
+use cp_squish::{Region, SquishPattern, Topology};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Minimal solution of one axis, kept for diagnostics and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxisSolution {
+    /// Minimal delta per interval (satisfies every width/space bound).
+    pub minimal: Vec<i64>,
+    /// Sum of the minimal deltas.
+    pub total: i64,
+}
+
+/// One width/space lower bound over an inclusive interval of deltas.
+#[derive(Debug, Clone, Copy)]
+struct IntervalBound {
+    start: usize,
+    end: usize,
+    bound: i64,
+    /// Exemplar perpendicular index (a row for x constraints) used for
+    /// failure-region reporting.
+    witness: usize,
+}
+
+/// Topology legalizer: assigns geometry vectors satisfying a rule set.
+///
+/// See the crate docs for the algorithm; construct one per rule set and
+/// reuse it across patterns (it is cheap and `Copy`-free but stateless).
+#[derive(Debug, Clone)]
+pub struct Legalizer {
+    rules: DesignRules,
+    area_repair_iters: usize,
+}
+
+impl Legalizer {
+    /// Creates a legalizer for the given design rules.
+    #[must_use]
+    pub fn new(rules: DesignRules) -> Legalizer {
+        Legalizer {
+            rules,
+            area_repair_iters: 64,
+        }
+    }
+
+    /// Overrides the number of area-repair iterations (default 64).
+    #[must_use]
+    pub fn with_area_repair_iters(mut self, iters: usize) -> Legalizer {
+        self.area_repair_iters = iters;
+        self
+    }
+
+    /// The rule set this legalizer enforces.
+    #[must_use]
+    pub fn rules(&self) -> &DesignRules {
+        &self.rules
+    }
+
+    /// Legalizes `topology` into a `width × height` nm squish pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns an explainable [`LegalizeFailure`] when the topology is too
+    /// complex for the frame (infeasible width/space constraints) or a
+    /// polygon cannot reach the minimum area.
+    pub fn legalize(
+        &self,
+        topology: &Topology,
+        width: i64,
+        height: i64,
+        rng: &mut impl Rng,
+    ) -> Result<SquishPattern, LegalizeFailure> {
+        let x = self.solve_axis(topology, Axis::X, width)?;
+        let y = self.solve_axis(topology, Axis::Y, height)?;
+        // Reserve area-repair budget from the slack first (minting shares
+        // for deficient polygons), then scatter the remainder randomly —
+        // random additions can only grow polygons, never break the repair.
+        let mut dx_share = vec![0i64; x.minimal.len()];
+        let mut dy_share = vec![0i64; y.minimal.len()];
+        let mut slack_x = width - x.total;
+        let mut slack_y = height - y.total;
+        self.repair_areas(
+            topology,
+            &x.minimal,
+            &mut dx_share,
+            &y.minimal,
+            &mut dy_share,
+            &mut slack_x,
+            &mut slack_y,
+        )?;
+        for (share, extra) in dx_share
+            .iter_mut()
+            .zip(distribute_slack(slack_x, x.minimal.len(), rng))
+        {
+            *share += extra;
+        }
+        for (share, extra) in dy_share
+            .iter_mut()
+            .zip(distribute_slack(slack_y, y.minimal.len(), rng))
+        {
+            *share += extra;
+        }
+        let dx: Vec<i64> = x.minimal.iter().zip(&dx_share).map(|(m, s)| m + s).collect();
+        let dy: Vec<i64> = y.minimal.iter().zip(&dy_share).map(|(m, s)| m + s).collect();
+        Ok(SquishPattern::new(topology.clone(), dx, dy))
+    }
+
+    /// Computes the minimal deltas of one axis, or the infeasibility proof.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FailureKind::Infeasible`] with the binding-chain region
+    /// when the minimal extent exceeds `target`.
+    pub fn solve_axis(
+        &self,
+        topology: &Topology,
+        axis: Axis,
+        target: i64,
+    ) -> Result<AxisSolution, LegalizeFailure> {
+        let bounds = self.collect_bounds(topology, axis);
+        let n = match axis {
+            Axis::X => topology.cols(),
+            Axis::Y => topology.rows(),
+        };
+        // Group constraints by their (exclusive) end prefix index.
+        let mut by_end: Vec<Vec<IntervalBound>> = vec![Vec::new(); n + 1];
+        for b in bounds {
+            by_end[b.end + 1].push(b);
+        }
+        // Minimal prefix sums with provenance for the binding chain.
+        let mut s = vec![0i64; n + 1];
+        let mut binding: Vec<Option<IntervalBound>> = vec![None; n + 1];
+        for j in 1..=n {
+            s[j] = s[j - 1] + 1; // every delta is at least 1 nm
+            for &b in &by_end[j] {
+                let candidate = s[b.start] + b.bound;
+                if candidate > s[j] {
+                    s[j] = candidate;
+                    binding[j] = Some(b);
+                }
+            }
+        }
+        if s[n] > target {
+            // Walk the binding chain back from the end, pick the largest
+            // single bound as the reported unreasonable region.
+            let mut j = n;
+            let mut worst: Option<IntervalBound> = None;
+            while j > 0 {
+                match binding[j] {
+                    Some(b) => {
+                        if worst.map_or(true, |w| b.bound > w.bound) {
+                            worst = Some(b);
+                        }
+                        j = b.start;
+                    }
+                    None => j -= 1,
+                }
+            }
+            let region = match (worst, axis) {
+                (Some(b), Axis::X) => {
+                    Region::new(b.witness, b.start, b.witness + 1, b.end + 1)
+                }
+                (Some(b), Axis::Y) => {
+                    Region::new(b.start, b.witness, b.end + 1, b.witness + 1)
+                }
+                (None, _) => Region::full(topology.rows(), topology.cols()),
+            };
+            return Err(LegalizeFailure {
+                kind: FailureKind::Infeasible { axis },
+                region,
+                needed: s[n],
+                available: target,
+                log: format!(
+                    "axis {axis}: minimal extent {} nm exceeds frame {} nm; \
+                     binding region {region} (bound {} nm)",
+                    s[n],
+                    target,
+                    worst.map_or(0, |b| b.bound),
+                ),
+            });
+        }
+        let minimal: Vec<i64> = (0..n).map(|j| s[j + 1] - s[j]).collect();
+        let total = s[n];
+        Ok(AxisSolution { minimal, total })
+    }
+
+    /// Gathers deduplicated width/space interval bounds along `axis`.
+    fn collect_bounds(&self, topology: &Topology, axis: Axis) -> Vec<IntervalBound> {
+        let (lines, perpendicular) = match axis {
+            Axis::X => (topology.cols(), topology.rows()),
+            Axis::Y => (topology.rows(), topology.cols()),
+        };
+        let get = |line: usize, p: usize| match axis {
+            Axis::X => topology.get(p, line),
+            Axis::Y => topology.get(line, p),
+        };
+        let mut map: HashMap<(usize, usize), IntervalBound> = HashMap::new();
+        for p in 0..perpendicular {
+            let mut i = 0;
+            while i < lines {
+                let v = get(i, p);
+                let start = i;
+                while i < lines && get(i, p) == v {
+                    i += 1;
+                }
+                let end = i - 1;
+                let bound = if v {
+                    self.rules.min_width()
+                } else if start > 0 && i < lines {
+                    self.rules.min_space()
+                } else {
+                    continue; // border gap: no rule
+                };
+                map.entry((start, end))
+                    .and_modify(|e| {
+                        if bound > e.bound {
+                            e.bound = bound;
+                            e.witness = p;
+                        }
+                    })
+                    .or_insert(IntervalBound {
+                        start,
+                        end,
+                        bound,
+                        witness: p,
+                    });
+            }
+        }
+        map.into_values().collect()
+    }
+
+    /// Mints slack into polygons below the minimum area.
+    ///
+    /// Growth is taken from the per-axis slack budget (`slack_x`,
+    /// `slack_y`), which only ever *adds* width/height to columns/rows of
+    /// deficient components — monotone, so a few passes converge or prove
+    /// the budget insufficient.
+    #[allow(clippy::too_many_arguments)]
+    fn repair_areas(
+        &self,
+        topology: &Topology,
+        dx_min: &[i64],
+        dx_share: &mut [i64],
+        dy_min: &[i64],
+        dy_share: &mut [i64],
+        slack_x: &mut i64,
+        slack_y: &mut i64,
+    ) -> Result<(), LegalizeFailure> {
+        let labels = label_components(topology.rows(), topology.cols(), |r, c| topology.get(r, c));
+        if labels.count() == 0 {
+            return Ok(());
+        }
+        let comp_count = labels.count() as usize;
+        for _pass in 0..self.area_repair_iters {
+            let dx: Vec<i64> = dx_min.iter().zip(dx_share.iter()).map(|(m, s)| m + s).collect();
+            let dy: Vec<i64> = dy_min.iter().zip(dy_share.iter()).map(|(m, s)| m + s).collect();
+            let mut areas = vec![0i64; comp_count];
+            for (r, c, set) in topology.iter() {
+                if set {
+                    areas[labels.label(r, c) as usize] += dx[c] * dy[r];
+                }
+            }
+            let deficient: Vec<usize> = (0..comp_count)
+                .filter(|&id| areas[id] < self.rules.min_area())
+                .collect();
+            if deficient.is_empty() {
+                return Ok(());
+            }
+            let mut minted = false;
+            for &id in &deficient {
+                let deficit = self.rules.min_area() - areas[id];
+                let mut col_height: HashMap<usize, i64> = HashMap::new();
+                let mut row_width: HashMap<usize, i64> = HashMap::new();
+                for (r, c) in labels.cells_of(id as u32) {
+                    *col_height.entry(c).or_insert(0) += dy[r];
+                    *row_width.entry(r).or_insert(0) += dx[c];
+                }
+                let (&grow_col, &height) = col_height
+                    .iter()
+                    .max_by_key(|(_, &h)| h)
+                    .expect("component has cells");
+                let need_cols = (deficit + height - 1) / height;
+                let take_x = need_cols.min(*slack_x);
+                dx_share[grow_col] += take_x;
+                *slack_x -= take_x;
+                minted |= take_x > 0;
+                if take_x < need_cols {
+                    // X budget dry: grow the widest row from the Y budget.
+                    let (&grow_row, &width) = row_width
+                        .iter()
+                        .max_by_key(|(_, &w)| w)
+                        .expect("component has cells");
+                    if width > 0 {
+                        let residual = (need_cols - take_x) * height;
+                        let need_rows = (residual + width - 1) / width;
+                        let take_y = need_rows.min(*slack_y);
+                        dy_share[grow_row] += take_y;
+                        *slack_y -= take_y;
+                        minted |= take_y > 0;
+                    }
+                }
+            }
+            if !minted {
+                let worst = *deficient
+                    .iter()
+                    .min_by_key(|&&id| areas[id])
+                    .expect("non-empty");
+                let (r0, c0, r1, c1) = labels.bbox_of(worst as u32).expect("component has cells");
+                return Err(LegalizeFailure {
+                    kind: FailureKind::AreaUnsatisfiable,
+                    region: Region::new(r0, c0, r1 + 1, c1 + 1),
+                    needed: self.rules.min_area(),
+                    available: areas[worst],
+                    log: format!(
+                        "component {worst} area {} nm\u{b2} < minimum {} nm\u{b2} and the \
+                         slack budget is exhausted",
+                        areas[worst],
+                        self.rules.min_area()
+                    ),
+                });
+            }
+        }
+        // Final verification after the last pass.
+        let dx: Vec<i64> = dx_min.iter().zip(dx_share.iter()).map(|(m, s)| m + s).collect();
+        let dy: Vec<i64> = dy_min.iter().zip(dy_share.iter()).map(|(m, s)| m + s).collect();
+        let mut areas = vec![0i64; comp_count];
+        for (r, c, set) in topology.iter() {
+            if set {
+                areas[labels.label(r, c) as usize] += dx[c] * dy[r];
+            }
+        }
+        if let Some((worst, &area)) = areas
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a < self.rules.min_area())
+            .min_by_key(|(_, &a)| a)
+        {
+            let (r0, c0, r1, c1) = labels.bbox_of(worst as u32).expect("cells");
+            return Err(LegalizeFailure {
+                kind: FailureKind::AreaUnsatisfiable,
+                region: Region::new(r0, c0, r1 + 1, c1 + 1),
+                needed: self.rules.min_area(),
+                available: area,
+                log: format!("area repair did not converge for component {worst}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Randomly splits `slack` nanometres over `n` intervals (non-negative
+/// integer shares summing to exactly `slack`).
+fn distribute_slack(slack: i64, n: usize, rng: &mut impl Rng) -> Vec<i64> {
+    assert!(slack >= 0, "negative slack reached distribution");
+    if n == 0 {
+        return Vec::new();
+    }
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() + 1e-9).collect();
+    let total: f64 = weights.iter().sum();
+    let mut shares: Vec<i64> = weights
+        .iter()
+        .map(|w| ((w / total) * slack as f64).floor() as i64)
+        .collect();
+    let mut assigned: i64 = shares.iter().sum();
+    // Hand out the remainder one nm at a time by largest fractional part.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let fa = (weights[a] / total) * slack as f64 - shares[a] as f64;
+        let fb = (weights[b] / total) * slack as f64 - shares[b] as f64;
+        fb.partial_cmp(&fa).expect("finite fractions")
+    });
+    let mut i = 0;
+    while assigned < slack {
+        shares[order[i % n]] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_drc::check_pattern;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    fn rules() -> DesignRules {
+        DesignRules::new(20, 20, 400)
+    }
+
+    #[test]
+    fn simple_topology_legalizes_clean() {
+        let t = Topology::from_ascii(
+            "11..
+             11..
+             ..11
+             ..11",
+        );
+        let legalizer = Legalizer::new(rules());
+        let sq = legalizer.legalize(&t, 300, 300, &mut rng()).expect("legal");
+        assert_eq!(sq.physical_width(), 300);
+        assert_eq!(sq.physical_height(), 300);
+        assert!(check_pattern(&sq, &rules()).is_clean());
+    }
+
+    #[test]
+    fn empty_topology_is_trivially_legal() {
+        let t = Topology::filled(8, 8, false);
+        let sq = Legalizer::new(rules())
+            .legalize(&t, 100, 100, &mut rng())
+            .expect("legal");
+        assert!(check_pattern(&sq, &rules()).is_clean());
+        assert_eq!(sq.physical_width(), 100);
+    }
+
+    #[test]
+    fn infeasible_when_frame_too_small() {
+        // Alternating columns: 4 width + 3 space constraints of 20 nm each
+        // over 7 intervals = 140 nm minimum, frame only 100 nm.
+        let t = Topology::from_ascii("1.1.1.1");
+        let err = Legalizer::new(rules())
+            .legalize(&t, 100, 100, &mut rng())
+            .expect_err("infeasible");
+        assert!(matches!(err.kind, FailureKind::Infeasible { axis: Axis::X }));
+        assert!(err.needed >= 140);
+        assert_eq!(err.available, 100);
+        assert!(!err.log.is_empty());
+    }
+
+    #[test]
+    fn failure_region_points_at_binding_constraint() {
+        let t = Topology::from_ascii(
+            "........
+             .1.1.1..
+             ........",
+        );
+        let err = Legalizer::new(rules())
+            .legalize(&t, 80, 200, &mut rng())
+            .expect_err("infeasible");
+        // The witness row must be the busy row 1.
+        assert_eq!(err.region.row0(), 1);
+        assert!(err.region.width() >= 1);
+    }
+
+    #[test]
+    fn area_repair_grows_small_polygons() {
+        // Single 1-cell shape: width bounds force 20x20 = 400 nm²;
+        // with min_area 900 the repair loop must stretch it.
+        let strict = DesignRules::new(20, 20, 900);
+        let t = Topology::from_ascii(
+            "...
+             .1.
+             ...",
+        );
+        let sq = Legalizer::new(strict)
+            .legalize(&t, 300, 300, &mut rng())
+            .expect("repairable");
+        assert!(check_pattern(&sq, &strict).is_clean());
+    }
+
+    #[test]
+    fn area_failure_when_no_slack() {
+        // Frame exactly the minimal solution: no slack for area repair.
+        // 3 intervals, minimal = [1, 20, 1] (width bound on centre) = 22.
+        let strict = DesignRules::new(20, 20, 2000);
+        let t = Topology::from_ascii(
+            "...
+             .1.
+             ...",
+        );
+        let err = Legalizer::new(strict)
+            .legalize(&t, 22, 22, &mut rng())
+            .expect_err("area unsatisfiable");
+        assert_eq!(err.kind, FailureKind::AreaUnsatisfiable);
+        assert_eq!(err.region, Region::new(1, 1, 2, 2));
+    }
+
+    #[test]
+    fn minimal_solution_is_tight() {
+        let t = Topology::from_ascii("1.1");
+        let legalizer = Legalizer::new(rules());
+        let sol = legalizer.solve_axis(&t, Axis::X, 1000).expect("feasible");
+        assert_eq!(sol.minimal, vec![20, 20, 20]);
+        assert_eq!(sol.total, 60);
+    }
+
+    #[test]
+    fn dense_128_topology_legalizes_in_2048_frame() {
+        // Stripes of width 4 cells with 4-cell gaps at 128 resolution:
+        // 16 wires → 16*40 + 15*40 = 1240 nm minimal < 2048.
+        let t = Topology::from_fn(128, 128, |_, c| (c / 4) % 2 == 0);
+        let reference = DesignRules::reference();
+        let sq = Legalizer::new(reference)
+            .legalize(&t, 2048, 2048, &mut rng())
+            .expect("legal");
+        assert!(check_pattern(&sq, &reference).is_clean());
+        assert_eq!(sq.physical_width(), 2048);
+    }
+
+    #[test]
+    fn slack_distribution_sums_exactly() {
+        let mut r = rng();
+        for slack in [0i64, 1, 7, 1000] {
+            for n in [1usize, 3, 17] {
+                let shares = distribute_slack(slack, n, &mut r);
+                assert_eq!(shares.len(), n);
+                assert_eq!(shares.iter().sum::<i64>(), slack);
+                assert!(shares.iter().all(|&s| s >= 0));
+            }
+        }
+    }
+
+    #[test]
+    fn legalization_is_deterministic_per_seed() {
+        let t = Topology::from_ascii(
+            "11..
+             ..11",
+        );
+        let legalizer = Legalizer::new(rules());
+        let a = legalizer
+            .legalize(&t, 200, 200, &mut ChaCha8Rng::seed_from_u64(5))
+            .expect("legal");
+        let b = legalizer
+            .legalize(&t, 200, 200, &mut ChaCha8Rng::seed_from_u64(5))
+            .expect("legal");
+        assert_eq!(a, b);
+    }
+}

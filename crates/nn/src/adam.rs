@@ -1,0 +1,81 @@
+//! Adam optimizer state (Kingma & Ba), per parameter buffer.
+
+/// First/second-moment accumulators and step counter for one buffer.
+#[derive(Debug, Clone)]
+pub struct AdamState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+}
+
+impl AdamState {
+    /// Fresh state for a buffer of `len` scalars (β₁ = 0.9, β₂ = 0.999).
+    #[must_use]
+    pub fn new(len: usize) -> AdamState {
+        AdamState {
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+        }
+    }
+
+    /// Applies one Adam update of `values` from `grads` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths disagree.
+    pub fn step(&mut self, values: &mut [f32], grads: &[f32], lr: f32) {
+        assert_eq!(values.len(), self.m.len(), "value/state length mismatch");
+        assert_eq!(grads.len(), self.m.len(), "grad/state length mismatch");
+        self.t += 1;
+        let bias1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bias2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..values.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let m_hat = self.m[i] / bias1;
+            let v_hat = self.v[i] / bias2;
+            values[i] -= lr * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimize f(x) = (x - 3)², ∇f = 2(x − 3).
+        let mut state = AdamState::new(1);
+        let mut x = [0.0f32];
+        for _ in 0..500 {
+            let grad = [2.0 * (x[0] - 3.0)];
+            state.step(&mut x, &grad, 0.05);
+        }
+        assert!((x[0] - 3.0).abs() < 0.05, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn first_step_magnitude_is_learning_rate() {
+        // Adam's debiased first step is ≈ lr regardless of grad scale.
+        let mut state = AdamState::new(1);
+        let mut x = [0.0f32];
+        state.step(&mut x, &[1e-3], 0.1);
+        assert!((x[0] + 0.1).abs() < 1e-3, "x = {}", x[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let mut state = AdamState::new(2);
+        let mut x = [0.0f32];
+        state.step(&mut x, &[1.0], 0.1);
+    }
+}

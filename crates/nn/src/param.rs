@@ -1,0 +1,113 @@
+//! Learnable parameter buffers.
+
+use crate::AdamState;
+use rand::Rng;
+
+/// A learnable buffer: values, accumulated gradients, and Adam state.
+#[derive(Debug, Clone)]
+pub struct Param {
+    value: Vec<f32>,
+    grad: Vec<f32>,
+    adam: AdamState,
+}
+
+impl Param {
+    /// Zero-initialized parameter of `len` elements.
+    #[must_use]
+    pub fn zeros(len: usize) -> Param {
+        Param {
+            value: vec![0.0; len],
+            grad: vec![0.0; len],
+            adam: AdamState::new(len),
+        }
+    }
+
+    /// Kaiming-style uniform initialization with the given fan-in.
+    #[must_use]
+    pub fn kaiming(len: usize, fan_in: usize, rng: &mut impl Rng) -> Param {
+        let bound = (1.0 / fan_in.max(1) as f32).sqrt();
+        Param {
+            value: (0..len).map(|_| rng.gen_range(-bound..bound)).collect(),
+            grad: vec![0.0; len],
+            adam: AdamState::new(len),
+        }
+    }
+
+    /// Number of scalar parameters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Parameter values.
+    #[must_use]
+    pub fn values(&self) -> &[f32] {
+        &self.value
+    }
+
+    /// Mutable values (for tests / manual initialization).
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.value
+    }
+
+    /// Accumulated gradients.
+    #[must_use]
+    pub fn grads(&self) -> &[f32] {
+        &self.grad
+    }
+
+    /// Mutable gradient buffer (backward passes accumulate here).
+    pub fn grads_mut(&mut self) -> &mut [f32] {
+        &mut self.grad
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// One Adam update with learning rate `lr`, then clears gradients.
+    pub fn step(&mut self, lr: f32) {
+        self.adam.step(&mut self.value, &self.grad, lr);
+        self.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn kaiming_bounds_follow_fan_in() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let p = Param::kaiming(1000, 100, &mut rng);
+        let bound = (1.0f32 / 100.0).sqrt();
+        assert!(p.values().iter().all(|v| v.abs() <= bound));
+        assert!(p.values().iter().any(|v| v.abs() > bound * 0.5));
+    }
+
+    #[test]
+    fn step_moves_against_gradient() {
+        let mut p = Param::zeros(1);
+        p.grads_mut()[0] = 1.0;
+        p.step(0.1);
+        assert!(p.values()[0] < 0.0, "value should decrease: {}", p.values()[0]);
+        assert_eq!(p.grads()[0], 0.0, "grad cleared after step");
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::zeros(3);
+        p.grads_mut().copy_from_slice(&[1.0, 2.0, 3.0]);
+        p.zero_grad();
+        assert_eq!(p.grads(), &[0.0, 0.0, 0.0]);
+    }
+}

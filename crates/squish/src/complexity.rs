@@ -1,0 +1,113 @@
+//! Pattern complexity `(cx, cy)`.
+//!
+//! The paper defines diversity over the joint distribution of pattern
+//! complexities, where `cx` and `cy` are "the numbers of scan lines
+//! subtracted by one along the x-axis and y-axis". For a *minimal* squish
+//! representation the number of x scan lines equals the number of distinct
+//! adjacent-column groups plus one, so `cx` equals the number of distinct
+//! adjacent-column groups (and symmetrically for `cy`). Computing the
+//! group count directly on a (possibly normalized, i.e. padded) topology
+//! matrix makes the measure independent of normalization.
+
+use crate::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Scan-line complexity of a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Complexity {
+    /// Number of scan lines minus one along x (distinct column groups).
+    pub cx: u32,
+    /// Number of scan lines minus one along y (distinct row groups).
+    pub cy: u32,
+}
+
+impl Complexity {
+    /// Creates a complexity pair.
+    #[must_use]
+    pub fn new(cx: u32, cy: u32) -> Complexity {
+        Complexity { cx, cy }
+    }
+}
+
+impl std::fmt::Display for Complexity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.cx, self.cy)
+    }
+}
+
+/// Computes the `(cx, cy)` complexity of a topology matrix.
+///
+/// Adjacent identical columns (rows) merge into one group, exactly as the
+/// minimal squish representation would merge them.
+///
+/// # Example
+///
+/// ```
+/// use cp_squish::{complexity, Topology};
+/// let t = Topology::from_ascii("11..\n11..");
+/// let c = complexity(&t);
+/// assert_eq!((c.cx, c.cy), (2, 1));
+/// ```
+#[must_use]
+pub fn complexity(topology: &Topology) -> Complexity {
+    let mut cx = 1u32;
+    for c in 1..topology.cols() {
+        if !topology.cols_equal(c - 1, c) {
+            cx += 1;
+        }
+    }
+    let mut cy = 1u32;
+    for r in 1..topology.rows() {
+        if !topology.rows_equal(r - 1, r) {
+            cy += 1;
+        }
+    }
+    Complexity { cx, cy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_has_unit_complexity() {
+        let t = Topology::filled(8, 8, false);
+        assert_eq!(complexity(&t), Complexity::new(1, 1));
+    }
+
+    #[test]
+    fn full_matrix_has_unit_complexity() {
+        let t = Topology::filled(8, 8, true);
+        assert_eq!(complexity(&t), Complexity::new(1, 1));
+    }
+
+    #[test]
+    fn stripes_count_groups() {
+        // Vertical stripes of width 2 over 8 cols → 4 column groups; rows
+        // all identical → cy = 1.
+        let t = Topology::from_fn(4, 8, |_, c| (c / 2) % 2 == 0);
+        let c = complexity(&t);
+        assert_eq!(c.cx, 4);
+        assert_eq!(c.cy, 1);
+    }
+
+    #[test]
+    fn normalization_does_not_change_complexity() {
+        use crate::{normalize_to, SquishPattern};
+        let t = Topology::from_ascii(
+            "#.#
+             .#.",
+        );
+        let base = complexity(&t);
+        let sq = SquishPattern::new(t, vec![10, 20, 30], vec![40, 50]);
+        let n = normalize_to(&sq, 7, 9).expect("normalizable");
+        assert_eq!(complexity(n.topology()), base);
+    }
+
+    #[test]
+    fn checkerboard_is_maximal() {
+        let t = Topology::from_fn(4, 4, |r, c| (r + c) % 2 == 0);
+        let c = complexity(&t);
+        assert_eq!((c.cx, c.cy), (4, 4));
+    }
+}

@@ -1,0 +1,177 @@
+//! Fixed-size normalization of squish patterns.
+//!
+//! Generative models consume topology matrices of a fixed square size
+//! (e.g. 128×128), but minimal squish matrices have data-dependent shapes.
+//! Normalization inserts extra scan lines — splitting the largest Δ
+//! interval in half — until the requested size is reached. Splitting an
+//! interval duplicates the corresponding row/column of `T`, which leaves
+//! the physical geometry unchanged (the same trick as the adaptive squish
+//! pattern datasets the paper trains on).
+
+use crate::{SquishPattern, Topology};
+
+/// Normalizes a squish pattern to exactly `rows × cols` by splitting the
+/// largest Δ interval along each axis until the target is reached.
+///
+/// Returns `None` if the pattern is already *larger* than the target along
+/// either axis (normalization never merges distinct scan lines; use
+/// [`SquishPattern::minimized`] first, and drop patterns that remain too
+/// complex — exactly what dataset builders do).
+///
+/// # Example
+///
+/// ```
+/// use cp_squish::{normalize_to, SquishPattern, Topology};
+/// let t = Topology::from_ascii("#.");
+/// let sq = SquishPattern::new(t, vec![30, 70], vec![50]);
+/// let n = normalize_to(&sq, 4, 4).unwrap();
+/// assert_eq!(n.topology().shape(), (4, 4));
+/// assert_eq!(n.physical_width(), 100);
+/// assert_eq!(n.physical_height(), 50);
+/// ```
+#[must_use]
+pub fn normalize_to(pattern: &SquishPattern, rows: usize, cols: usize) -> Option<SquishPattern> {
+    let (t_rows, t_cols) = pattern.topology().shape();
+    if t_rows > rows || t_cols > cols {
+        return None;
+    }
+    let mut topology = pattern.topology().clone();
+    let mut dx = pattern.dx().to_vec();
+    let mut dy = pattern.dy().to_vec();
+    while dx.len() < cols {
+        let j = argmax(&dx);
+        if dx[j] < 2 {
+            // Cannot split a 1 nm interval further.
+            return None;
+        }
+        let left = dx[j] / 2;
+        let right = dx[j] - left;
+        dx[j] = left;
+        dx.insert(j + 1, right);
+        topology.duplicate_col(j);
+    }
+    while dy.len() < rows {
+        let i = argmax(&dy);
+        if dy[i] < 2 {
+            return None;
+        }
+        let top = dy[i] / 2;
+        let bottom = dy[i] - top;
+        dy[i] = top;
+        dy.insert(i + 1, bottom);
+        topology.duplicate_row(i);
+    }
+    Some(SquishPattern::new(topology, dx, dy))
+}
+
+/// Builds uniform Δ vectors that stretch a bare topology matrix over a
+/// physical frame — the "default geometry" used before legalization, and
+/// for rendering un-legalized topologies.
+///
+/// The remainder of an uneven division is spread over the leading
+/// intervals so the sum is exactly `physical`.
+///
+/// # Panics
+///
+/// Panics if `cells == 0` or `physical < cells as i64` (every interval
+/// must be at least 1 nm).
+#[must_use]
+pub fn uniform_deltas(cells: usize, physical: i64) -> Vec<i64> {
+    assert!(cells > 0, "need at least one cell");
+    assert!(
+        physical >= cells as i64,
+        "physical size {physical} too small for {cells} cells"
+    );
+    let base = physical / cells as i64;
+    let extra = (physical % cells as i64) as usize;
+    (0..cells)
+        .map(|i| if i < extra { base + 1 } else { base })
+        .collect()
+}
+
+fn argmax(v: &[i64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Attaches uniform geometry to a bare topology (convenience wrapper
+/// around [`uniform_deltas`]).
+#[must_use]
+pub fn with_uniform_geometry(topology: &Topology, width: i64, height: i64) -> SquishPattern {
+    let dx = uniform_deltas(topology.cols(), width);
+    let dy = uniform_deltas(topology.rows(), height);
+    SquishPattern::new(topology.clone(), dx, dy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_preserves_physical_size_and_area() {
+        let t = Topology::from_ascii(
+            "#..
+             ##.",
+        );
+        let sq = SquishPattern::new(t, vec![40, 25, 35], vec![60, 40]);
+        let n = normalize_to(&sq, 8, 8).expect("normalizable");
+        assert_eq!(n.topology().shape(), (8, 8));
+        assert_eq!(n.physical_width(), 100);
+        assert_eq!(n.physical_height(), 100);
+        assert_eq!(n.drawn_area(), sq.drawn_area());
+    }
+
+    #[test]
+    fn normalization_is_invertible_via_minimize() {
+        let t = Topology::from_ascii(
+            "#.#
+             ...",
+        );
+        let sq = SquishPattern::new(t, vec![10, 20, 30], vec![5, 15]);
+        let n = normalize_to(&sq, 6, 6).expect("normalizable");
+        let m = n.minimized();
+        assert_eq!(m, sq.minimized());
+    }
+
+    #[test]
+    fn too_large_pattern_is_rejected() {
+        let t = Topology::filled(5, 5, true);
+        let sq = SquishPattern::new(t, vec![10; 5], vec![10; 5]);
+        assert!(normalize_to(&sq, 4, 8).is_none());
+    }
+
+    #[test]
+    fn unsplittable_1nm_intervals_rejected() {
+        let t = Topology::filled(1, 2, false);
+        let sq = SquishPattern::new(t, vec![1, 1], vec![1]);
+        assert!(normalize_to(&sq, 1, 4).is_none());
+    }
+
+    #[test]
+    fn uniform_deltas_sum_exactly() {
+        let d = uniform_deltas(3, 100);
+        assert_eq!(d.iter().sum::<i64>(), 100);
+        assert_eq!(d, vec![34, 33, 33]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn uniform_deltas_reject_overfine_grid() {
+        let _ = uniform_deltas(10, 5);
+    }
+
+    #[test]
+    fn with_uniform_geometry_shapes() {
+        let t = Topology::filled(4, 8, false);
+        let sq = with_uniform_geometry(&t, 160, 80);
+        assert_eq!(sq.dx().len(), 8);
+        assert_eq!(sq.dy().len(), 4);
+        assert_eq!(sq.physical_width(), 160);
+        assert_eq!(sq.physical_height(), 80);
+    }
+}

@@ -1,0 +1,88 @@
+//! Rendering topologies for inspection (ASCII art and binary PGM).
+//!
+//! Used by the figure-regeneration binaries (Figures 8 and 9 of the paper
+//! show raw generated topology matrices).
+
+use crate::Topology;
+
+/// Renders a topology as ASCII art (`#` drawn, `.` empty), optionally
+/// downsampling so the output fits in `max_cols` columns.
+///
+/// # Example
+///
+/// ```
+/// use cp_squish::{render::to_ascii, Topology};
+/// let t = Topology::from_ascii("#.\n.#");
+/// assert_eq!(to_ascii(&t, 80), "#.\n.#\n");
+/// ```
+#[must_use]
+pub fn to_ascii(topology: &Topology, max_cols: usize) -> String {
+    let step = topology.cols().div_ceil(max_cols.max(1)).max(1);
+    let mut out = String::new();
+    let mut r = 0;
+    while r < topology.rows() {
+        let mut c = 0;
+        while c < topology.cols() {
+            // Majority vote over the step×step block.
+            let mut ones = 0usize;
+            let mut total = 0usize;
+            for rr in r..(r + step).min(topology.rows()) {
+                for cc in c..(c + step).min(topology.cols()) {
+                    ones += usize::from(topology.get(rr, cc));
+                    total += 1;
+                }
+            }
+            out.push(if ones * 2 >= total.max(1) && ones > 0 { '#' } else { '.' });
+            c += step;
+        }
+        out.push('\n');
+        r += step;
+    }
+    out
+}
+
+/// Encodes a topology as a binary PGM (P5) image, drawn cells black.
+///
+/// The output is a complete file body suitable for writing to disk.
+#[must_use]
+pub fn to_pgm(topology: &Topology) -> Vec<u8> {
+    let mut out = Vec::with_capacity(topology.len() + 32);
+    out.extend_from_slice(
+        format!("P5\n{} {}\n255\n", topology.cols(), topology.rows()).as_bytes(),
+    );
+    for (_, _, set) in topology.iter() {
+        out.push(if set { 0 } else { 255 });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_no_downsample() {
+        let t = Topology::from_ascii(
+            "##.
+             ..#",
+        );
+        assert_eq!(to_ascii(&t, 10), "##.\n..#\n");
+    }
+
+    #[test]
+    fn ascii_downsamples_to_fit() {
+        let t = Topology::filled(8, 8, true);
+        let art = to_ascii(&t, 4);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == 4 && l.chars().all(|ch| ch == '#')));
+    }
+
+    #[test]
+    fn pgm_header_and_payload() {
+        let t = Topology::from_ascii("#.");
+        let pgm = to_pgm(&t);
+        assert!(pgm.starts_with(b"P5\n2 1\n255\n"));
+        assert_eq!(&pgm[pgm.len() - 2..], &[0u8, 255u8]);
+    }
+}

@@ -1,0 +1,410 @@
+//! Binary topology matrices.
+
+use crate::Region;
+use serde::{Deserialize, Serialize};
+
+/// A binary topology matrix `T` of a squish pattern.
+///
+/// Stored row-major, one byte per cell (cheap, simple, and the sizes in
+/// play — up to a few 1024×1024 matrices — stay in the megabyte range).
+///
+/// # Example
+///
+/// ```
+/// use cp_squish::Topology;
+/// let mut t = Topology::filled(4, 4, false);
+/// t.set(1, 2, true);
+/// assert!(t.get(1, 2));
+/// assert_eq!(t.count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Topology {
+    rows: usize,
+    cols: usize,
+    bits: Vec<u8>,
+}
+
+impl Topology {
+    /// Creates a matrix with every cell set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    #[must_use]
+    pub fn filled(rows: usize, cols: usize, value: bool) -> Topology {
+        assert!(rows > 0 && cols > 0, "topology must be non-empty");
+        Topology {
+            rows,
+            cols,
+            bits: vec![u8::from(value); rows * cols],
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every cell.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Topology {
+        let mut t = Topology::filled(rows, cols, false);
+        for r in 0..rows {
+            for c in 0..cols {
+                t.set(r, c, f(r, c));
+            }
+        }
+        t
+    }
+
+    /// Creates a matrix from rows of `0`/`1` characters (`#` also counts
+    /// as set; spaces/`.`/`0` count as clear). Handy in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths or the input is empty.
+    #[must_use]
+    pub fn from_ascii(art: &str) -> Topology {
+        let lines: Vec<&str> = art.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
+        assert!(!lines.is_empty(), "empty topology art");
+        let cols = lines[0].chars().count();
+        assert!(
+            lines.iter().all(|l| l.chars().count() == cols),
+            "ragged topology art"
+        );
+        Topology::from_fn(lines.len(), cols, |r, c| {
+            matches!(lines[r].chars().nth(c), Some('1') | Some('#'))
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Always false: topology matrices are non-empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Cell value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows && col < self.cols, "topology index out of bounds");
+        self.bits[row * self.cols + col] != 0
+    }
+
+    /// Sets cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.rows && col < self.cols, "topology index out of bounds");
+        self.bits[row * self.cols + col] = u8::from(value);
+    }
+
+    /// Raw row-major cell bytes (0 or 1).
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Number of set cells.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().filter(|&&b| b != 0).count()
+    }
+
+    /// Fraction of set cells in `0.0..=1.0`.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        self.count_ones() as f64 / self.len() as f64
+    }
+
+    /// Iterates cells row-major as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, bool)> + '_ {
+        let cols = self.cols;
+        self.bits
+            .iter()
+            .enumerate()
+            .map(move |(i, &b)| (i / cols, i % cols, b != 0))
+    }
+
+    /// Extracts the sub-matrix covered by `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` exceeds the matrix bounds.
+    #[must_use]
+    pub fn window(&self, region: Region) -> Topology {
+        assert!(
+            region.row1() <= self.rows && region.col1() <= self.cols,
+            "window {region:?} outside {}x{}",
+            self.rows,
+            self.cols
+        );
+        Topology::from_fn(region.height(), region.width(), |r, c| {
+            self.get(region.row0() + r, region.col0() + c)
+        })
+    }
+
+    /// Pastes `src` with its top-left corner at `(row0, col0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` does not fit.
+    pub fn paste(&mut self, src: &Topology, row0: usize, col0: usize) {
+        assert!(
+            row0 + src.rows <= self.rows && col0 + src.cols <= self.cols,
+            "paste of {}x{} at ({row0},{col0}) outside {}x{}",
+            src.rows,
+            src.cols,
+            self.rows,
+            self.cols
+        );
+        for r in 0..src.rows {
+            let dst_off = (row0 + r) * self.cols + col0;
+            let src_off = r * src.cols;
+            self.bits[dst_off..dst_off + src.cols]
+                .copy_from_slice(&src.bits[src_off..src_off + src.cols]);
+        }
+    }
+
+    /// Horizontal mirror (left-right flip).
+    #[must_use]
+    pub fn flipped_horizontal(&self) -> Topology {
+        Topology::from_fn(self.rows, self.cols, |r, c| self.get(r, self.cols - 1 - c))
+    }
+
+    /// Vertical mirror (top-bottom flip).
+    #[must_use]
+    pub fn flipped_vertical(&self) -> Topology {
+        Topology::from_fn(self.rows, self.cols, |r, c| self.get(self.rows - 1 - r, c))
+    }
+
+    /// Quarter-turn clockwise rotation.
+    #[must_use]
+    pub fn rotated_cw(&self) -> Topology {
+        Topology::from_fn(self.cols, self.rows, |r, c| self.get(self.rows - 1 - c, r))
+    }
+
+    /// True when two adjacent columns hold identical bits.
+    #[must_use]
+    pub fn cols_equal(&self, a: usize, b: usize) -> bool {
+        (0..self.rows).all(|r| self.get(r, a) == self.get(r, b))
+    }
+
+    /// True when two adjacent rows hold identical bits.
+    #[must_use]
+    pub fn rows_equal(&self, a: usize, b: usize) -> bool {
+        let (a0, b0) = (a * self.cols, b * self.cols);
+        self.bits[a0..a0 + self.cols] == self.bits[b0..b0 + self.cols]
+    }
+
+    /// Duplicates column `col`, increasing `cols` by one. The duplicate is
+    /// inserted immediately after the original, preserving topology
+    /// (used by fixed-size normalization: splitting a Δx interval).
+    pub fn duplicate_col(&mut self, col: usize) {
+        assert!(col < self.cols, "column out of bounds");
+        let mut bits = Vec::with_capacity(self.rows * (self.cols + 1));
+        for r in 0..self.rows {
+            let off = r * self.cols;
+            bits.extend_from_slice(&self.bits[off..=off + col]);
+            bits.push(self.bits[off + col]);
+            bits.extend_from_slice(&self.bits[off + col + 1..off + self.cols]);
+        }
+        self.cols += 1;
+        self.bits = bits;
+    }
+
+    /// Duplicates row `row`, increasing `rows` by one.
+    pub fn duplicate_row(&mut self, row: usize) {
+        assert!(row < self.rows, "row out of bounds");
+        let off = row * self.cols;
+        let dup: Vec<u8> = self.bits[off..off + self.cols].to_vec();
+        let insert_at = off + self.cols;
+        self.bits.splice(insert_at..insert_at, dup);
+        self.rows += 1;
+    }
+
+    /// Counts maximal runs of set cells in row `row` (shape slices).
+    #[must_use]
+    pub fn row_runs(&self, row: usize) -> Vec<(usize, usize)> {
+        runs((0..self.cols).map(|c| self.get(row, c)))
+    }
+
+    /// Counts maximal runs of set cells in column `col`.
+    #[must_use]
+    pub fn col_runs(&self, col: usize) -> Vec<(usize, usize)> {
+        runs((0..self.rows).map(|r| self.get(r, col)))
+    }
+}
+
+/// Maximal runs of `true` over a boolean sequence: `(start, end)` inclusive.
+fn runs(seq: impl Iterator<Item = bool>) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    let mut last = 0usize;
+    for (i, v) in seq.enumerate() {
+        last = i;
+        match (v, start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                out.push((s, i - 1));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        out.push((s, last));
+    }
+    out
+}
+
+impl std::fmt::Debug for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Topology({}x{}):", self.rows, self.cols)?;
+        // Cap debug output for huge matrices.
+        let max = 32usize;
+        for r in 0..self.rows.min(max) {
+            for c in 0..self.cols.min(max) {
+                f.write_str(if self.get(r, c) { "#" } else { "." })?;
+            }
+            if self.cols > max {
+                f.write_str("…")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max {
+            writeln!(f, "…")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_ascii_round_trip() {
+        let t = Topology::from_ascii(
+            "##..
+             .#..
+             ...#",
+        );
+        assert_eq!(t.shape(), (3, 4));
+        assert!(t.get(0, 0) && t.get(0, 1) && t.get(1, 1) && t.get(2, 3));
+        assert_eq!(t.count_ones(), 4);
+    }
+
+    #[test]
+    fn window_and_paste_round_trip() {
+        let t = Topology::from_ascii(
+            "####
+             #..#
+             ####",
+        );
+        let w = t.window(Region::new(1, 1, 3, 3));
+        assert_eq!(w.shape(), (2, 2));
+        assert!(!w.get(0, 0) && !w.get(0, 1));
+        let mut big = Topology::filled(5, 5, false);
+        big.paste(&t, 1, 1);
+        assert!(big.get(1, 1) && big.get(3, 4) && !big.get(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn paste_out_of_bounds_panics() {
+        let mut t = Topology::filled(3, 3, false);
+        let s = Topology::filled(2, 2, true);
+        t.paste(&s, 2, 2);
+    }
+
+    #[test]
+    fn flips_and_rotation() {
+        let t = Topology::from_ascii(
+            "#.
+             ..",
+        );
+        assert!(t.flipped_horizontal().get(0, 1));
+        assert!(t.flipped_vertical().get(1, 0));
+        let r = t.rotated_cw();
+        assert_eq!(r.shape(), (2, 2));
+        assert!(r.get(0, 1));
+    }
+
+    #[test]
+    fn rotation_four_times_is_identity() {
+        let t = Topology::from_ascii(
+            "##.
+             ..#",
+        );
+        let r4 = t.rotated_cw().rotated_cw().rotated_cw().rotated_cw();
+        assert_eq!(t, r4);
+    }
+
+    #[test]
+    fn duplicate_col_preserves_pattern_shape() {
+        let mut t = Topology::from_ascii(
+            "#.#
+             .#.",
+        );
+        t.duplicate_col(1);
+        assert_eq!(t.cols(), 4);
+        assert!(t.cols_equal(1, 2));
+        assert!(t.get(1, 1) && t.get(1, 2) && !t.get(0, 1));
+    }
+
+    #[test]
+    fn duplicate_row_preserves_pattern_shape() {
+        let mut t = Topology::from_ascii(
+            "#.
+             .#",
+        );
+        t.duplicate_row(0);
+        assert_eq!(t.rows(), 3);
+        assert!(t.rows_equal(0, 1));
+        assert!(t.get(2, 1));
+    }
+
+    #[test]
+    fn row_and_col_runs() {
+        let t = Topology::from_ascii(
+            "##.##
+             .....
+             #####",
+        );
+        assert_eq!(t.row_runs(0), vec![(0, 1), (3, 4)]);
+        assert_eq!(t.row_runs(1), vec![]);
+        assert_eq!(t.row_runs(2), vec![(0, 4)]);
+        assert_eq!(t.col_runs(0), vec![(0, 0), (2, 2)]);
+    }
+
+    #[test]
+    fn density_of_half_filled() {
+        let t = Topology::from_fn(2, 2, |r, _| r == 0);
+        assert!((t.density() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,22 @@
+//! A full agent session with the ReAct transcript printed — the Figure 4
+//! pipeline including requirement auto-formatting and tool execution.
+//!
+//! Run with `cargo run --release --example agent_session`.
+
+use chatpattern::core::ChatPattern;
+
+fn main() {
+    let system = ChatPattern::builder()
+        .window(16)
+        .training_patterns(12)
+        .diffusion_steps(8)
+        .seed(2)
+        .build();
+    let report = system.chat(
+        "Generate a layout pattern library, there are 4 layout patterns in total. \
+         The physical size fixed as 512nm * 512nm. The topology size should be \
+         chosen from 16*16 and 32*32. They should be in style of 'Layer-10001'.",
+    );
+    println!("{}", report.render_transcript());
+    println!("=> {} patterns delivered", report.library.len());
+}

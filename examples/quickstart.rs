@@ -1,0 +1,33 @@
+//! Quickstart: build a small ChatPattern system and ask it, in English,
+//! for a pattern library.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use chatpattern::core::ChatPattern;
+
+fn main() {
+    // Small CPU-friendly configuration; see DESIGN.md for paper scale.
+    let system = ChatPattern::builder()
+        .window(32)
+        .training_patterns(24)
+        .diffusion_steps(8)
+        .seed(7)
+        .build();
+
+    let report = system.chat(
+        "Generate 5 patterns, topology size 32*32, physical size 1024nm x 1024nm, \
+         style Layer-10003.",
+    );
+
+    println!("agent summary: {}", report.summary);
+    println!("library size:  {}", report.library.len());
+    for (i, pattern) in report.library.iter().enumerate() {
+        println!(
+            "pattern {i}: {}x{} cells, {} nm wide, drawn area {} nm²",
+            pattern.topology().rows(),
+            pattern.topology().cols(),
+            pattern.physical_width(),
+            pattern.drawn_area(),
+        );
+    }
+}

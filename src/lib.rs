@@ -1,0 +1,32 @@
+//! # ChatPattern
+//!
+//! A Rust reproduction of **"ChatPattern: Layout Pattern Customization
+//! via Natural Language"** (DAC 2024): an LLM-agent front-end driving a
+//! conditional discrete-diffusion layout pattern generator with
+//! free-size extension and explainable legalization.
+//!
+//! This crate re-exports the whole workspace; see [`core::ChatPattern`]
+//! for the facade and the `examples/` directory for runnable scenarios.
+//!
+//! ```
+//! use chatpattern::core::ChatPattern;
+//! let system = ChatPattern::builder()
+//!     .window(16)
+//!     .training_patterns(8)
+//!     .diffusion_steps(6)
+//!     .build();
+//! assert_eq!(system.window(), 16);
+//! ```
+
+pub use chatpattern_core as core;
+pub use cp_agent as agent;
+pub use cp_baselines as baselines;
+pub use cp_dataset as dataset;
+pub use cp_diffusion as diffusion;
+pub use cp_drc as drc;
+pub use cp_extend as extend;
+pub use cp_geom as geom;
+pub use cp_legalize as legalize;
+pub use cp_metrics as metrics;
+pub use cp_nn as nn;
+pub use cp_squish as squish;
