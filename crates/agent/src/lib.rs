@@ -37,6 +37,6 @@ pub mod tools;
 pub use knowledge::KnowledgeBase;
 pub use llm::{AgentAction, AgentStep, LanguageModel, Message, MockLlm, Role};
 pub use policy::ExpertPolicy;
-pub use requirement::{auto_format, Requirement};
-pub use session::{AgentSession, SessionReport};
+pub use requirement::{auto_format, try_auto_format, Requirement, RequirementError};
+pub use session::{render_transcript, AgentSession, SessionReport};
 pub use tools::{ToolContext, ToolError, ToolRegistry};

@@ -144,7 +144,10 @@ impl ExpertPolicy {
             thought: format!(
                 "The model window is {}x{} but the target is {}x{}; extend the \
                  batch via {method}.",
-                self.generated_size.0, self.generated_size.1, req.topology_size.0, req.topology_size.1
+                self.generated_size.0,
+                self.generated_size.1,
+                req.topology_size.0,
+                req.topology_size.1
             ),
             action: AgentAction::ToolCall {
                 name: "topology_extension".to_owned(),

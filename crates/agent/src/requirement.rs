@@ -12,6 +12,37 @@ use cp_dataset::Style;
 use cp_extend::ExtensionMethod;
 use serde::{Deserialize, Serialize};
 
+/// Why a natural-language request could not be turned into a usable
+/// requirement list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequirementError {
+    message: String,
+}
+
+impl RequirementError {
+    /// Creates an error with a message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> RequirementError {
+        RequirementError {
+            message: message.into(),
+        }
+    }
+
+    /// The error message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for RequirementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "requirement parsing failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for RequirementError {}
+
 /// One structured sub-task of a user request.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Requirement {
@@ -145,6 +176,31 @@ pub fn auto_format(request: &str) -> Vec<Requirement> {
     out
 }
 
+/// Fallible requirement parsing: like [`auto_format`] but rejects
+/// requests that cannot produce a meaningful plan instead of silently
+/// falling back to defaults.
+///
+/// # Errors
+///
+/// Returns a [`RequirementError`] when the request is empty or when the
+/// requested total splits to zero patterns for some sub-task.
+pub fn try_auto_format(request: &str) -> Result<Vec<Requirement>, RequirementError> {
+    if request.trim().is_empty() {
+        return Err(RequirementError::new(
+            "the request is empty; describe the pattern library to generate",
+        ));
+    }
+    let requirements = auto_format(request);
+    if let Some(bad) = requirements.iter().find(|r| r.count == 0) {
+        return Err(RequirementError::new(format!(
+            "the requested total splits to zero patterns for the {}x{} sub-task; \
+             raise the count or drop a topology size",
+            bad.topology_size.0, bad.topology_size.1,
+        )));
+    }
+    Ok(requirements)
+}
+
 #[derive(Debug, Clone, Copy)]
 struct SizePair {
     a: i64,
@@ -201,7 +257,10 @@ fn tokenize(text: &str) -> Vec<Token> {
             if w == "*" || raw == "*" || w == "x" || w == "by" {
                 return Token::Star;
             }
-            parse_number(w).map_or_else(|| Token::Word(w.to_owned()), |(value, unit)| Token::Number { value, unit })
+            parse_number(w).map_or_else(
+                || Token::Word(w.to_owned()),
+                |(value, unit)| Token::Number { value, unit },
+            )
         })
         .collect()
 }
@@ -250,7 +309,11 @@ fn find_sizes(tokens: &[Token]) -> Vec<SizePair> {
     while i < tokens.len() {
         if let Token::Word(w) = &tokens[i] {
             if w == "physical" || w == "topology" {
-                last_keyword = Some(if w == "physical" { "physical" } else { "topology" });
+                last_keyword = Some(if w == "physical" {
+                    "physical"
+                } else {
+                    "topology"
+                });
             }
         }
         if let (
@@ -304,7 +367,9 @@ fn find_count(tokens: &[Token]) -> (Option<usize>, bool) {
         if matches!(unit, Unit::Um | Unit::Nm) {
             continue;
         }
-        if matches!(tokens.get(i + 1), Some(Token::Star)) || (i > 0 && matches!(tokens[i - 1], Token::Star)) {
+        if matches!(tokens.get(i + 1), Some(Token::Star))
+            || (i > 0 && matches!(tokens[i - 1], Token::Star))
+        {
             continue;
         }
         let window = &tokens[i + 1..(i + 4).min(tokens.len())];
@@ -323,9 +388,15 @@ fn find_count(tokens: &[Token]) -> (Option<usize>, bool) {
 
 fn find_method(request: &str) -> Option<ExtensionMethod> {
     let lower = request.to_ascii_lowercase();
-    if lower.contains("out-painting") || lower.contains("out painting") || lower.contains("outpainting") {
+    if lower.contains("out-painting")
+        || lower.contains("out painting")
+        || lower.contains("outpainting")
+    {
         Some(ExtensionMethod::OutPainting)
-    } else if lower.contains("in-painting") || lower.contains("in painting") || lower.contains("inpainting") {
+    } else if lower.contains("in-painting")
+        || lower.contains("in painting")
+        || lower.contains("inpainting")
+    {
         Some(ExtensionMethod::InPainting)
     } else {
         None
@@ -414,7 +485,8 @@ mod tests {
 
     #[test]
     fn nm_sizes_and_x_separator() {
-        let reqs = auto_format("Make 50 patterns of physical size 2048nm x 2048nm, topology 128x128.");
+        let reqs =
+            auto_format("Make 50 patterns of physical size 2048nm x 2048nm, topology 128x128.");
         assert_eq!(reqs.len(), 1);
         assert_eq!(reqs[0].physical_size_nm, (2048, 2048));
         assert_eq!(reqs[0].topology_size, (128, 128));
@@ -460,5 +532,27 @@ mod tests {
     fn comma_thousands_are_parsed() {
         let reqs = auto_format("I need 10,000 patterns, topology size 128*128, Layer-10003.");
         assert_eq!(reqs[0].count, 10_000);
+    }
+
+    #[test]
+    fn try_auto_format_rejects_empty_requests() {
+        let err = try_auto_format("   ").expect_err("empty request must fail");
+        assert!(err.message().contains("empty"));
+        assert!(err.to_string().contains("requirement parsing failed"));
+    }
+
+    #[test]
+    fn try_auto_format_rejects_zero_count_subtasks() {
+        let err = try_auto_format(
+            "Generate 1 pattern, topology size chosen from 16*16 and 32*32, style Layer-10001.",
+        )
+        .expect_err("1 pattern over 2 sub-tasks must fail");
+        assert!(err.message().contains("zero patterns"));
+    }
+
+    #[test]
+    fn try_auto_format_accepts_the_figure4_request() {
+        let reqs = try_auto_format(FIGURE4).expect("valid request");
+        assert_eq!(reqs.len(), 2);
     }
 }

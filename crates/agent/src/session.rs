@@ -20,29 +20,36 @@ pub struct SessionReport {
     pub tool_calls: usize,
 }
 
+/// Renders a transcript in the paper's
+/// Thought/Action/Action-Input/Observation format.
+#[must_use]
+pub fn render_transcript(messages: &[Message]) -> String {
+    let mut out = String::new();
+    for m in messages {
+        let tag = match m.role {
+            Role::System => "[System]",
+            Role::User => "[User]",
+            Role::Assistant => "",
+            Role::Observation => "Observation:",
+        };
+        if tag.is_empty() {
+            out.push_str(&m.content);
+        } else {
+            out.push_str(tag);
+            out.push(' ');
+            out.push_str(&m.content);
+        }
+        out.push_str("\n\n");
+    }
+    out
+}
+
 impl SessionReport {
     /// Renders the transcript in the paper's
     /// Thought/Action/Action-Input/Observation format.
     #[must_use]
     pub fn render_transcript(&self) -> String {
-        let mut out = String::new();
-        for m in &self.transcript {
-            let tag = match m.role {
-                Role::System => "[System]",
-                Role::User => "[User]",
-                Role::Assistant => "",
-                Role::Observation => "Observation:",
-            };
-            if tag.is_empty() {
-                out.push_str(&m.content);
-            } else {
-                out.push_str(tag);
-                out.push(' ');
-                out.push_str(&m.content);
-            }
-            out.push_str("\n\n");
-        }
-        out
+        render_transcript(&self.transcript)
     }
 }
 
@@ -115,13 +122,13 @@ impl<L: LanguageModel> AgentSession<L> {
                         ),
                     ));
                     tool_calls += 1;
-                    let observation = match self.tools.get(&name) {
-                        Some(tool) => match tool.call(&mut self.ctx, &args) {
-                            Ok(value) => value,
-                            Err(e) => json!({"error": e.message()}),
-                        },
-                        None => json!({"error": format!("unknown tool '{name}'")}),
-                    };
+                    // One dispatch path for every invocation; failures
+                    // come back to the model as error observations, the
+                    // same way a real LLM sees them.
+                    let observation = self
+                        .tools
+                        .dispatch(&mut self.ctx, &name, &args)
+                        .unwrap_or_else(|e| json!({"error": e.message()}));
                     transcript.push(Message::new(Role::Observation, observation.to_string()));
                 }
             }

@@ -218,6 +218,24 @@ impl ToolRegistry {
         self.tools.iter().find(|t| t.name() == name).map(|b| &**b)
     }
 
+    /// Dispatches one tool call: the single fallible entry point the
+    /// agent loop and the service API route every invocation through.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ToolError`] for unknown tool names and for failures
+    /// inside the tool itself.
+    pub fn dispatch(
+        &self,
+        ctx: &mut ToolContext,
+        name: &str,
+        args: &Value,
+    ) -> Result<Value, ToolError> {
+        self.get(name)
+            .ok_or_else(|| ToolError::new(format!("unknown tool '{name}'")))?
+            .call(ctx, args)
+    }
+
     /// Renders the `(functions and descriptions)` block of the system
     /// prompt (#2 Tool Learning in Figure 4).
     #[must_use]
@@ -357,8 +375,19 @@ impl Tool for TopologyExtension {
                     "pattern {id} is already larger than the target"
                 )));
             }
-            let extended = extend(&*ctx.sampler, &seed, rows, cols, method, style, &mut ctx.rng);
-            let entry = ctx.store.get_mut(&id).expect("checked above");
+            let extended = extend(
+                &*ctx.sampler,
+                &seed,
+                rows,
+                cols,
+                method,
+                style,
+                &mut ctx.rng,
+            );
+            let entry = ctx
+                .store
+                .get_mut(&id)
+                .ok_or_else(|| ToolError::new(format!("pattern id {id} vanished mid-call")))?;
             entry.topology = extended;
             entry.legal = None;
         }
@@ -392,17 +421,19 @@ impl Tool for LegalizeTool {
                 .get(&id)
                 .ok_or_else(|| ToolError::new(format!("unknown pattern id {id}")))?;
             let topology = entry.topology.clone();
-            match ctx
-                .legalizer
-                .legalize(&topology, width as i64, height as i64, &mut ctx.rng)
-            {
+            let outcome =
+                ctx.legalizer
+                    .legalize(&topology, width as i64, height as i64, &mut ctx.rng);
+            let entry = ctx
+                .store
+                .get_mut(&id)
+                .ok_or_else(|| ToolError::new(format!("pattern id {id} vanished mid-call")))?;
+            match outcome {
                 Ok(pattern) => {
-                    let entry = ctx.store.get_mut(&id).expect("exists");
                     entry.legal = Some(pattern);
                     legal.push(id);
                 }
                 Err(failure) => {
-                    let entry = ctx.store.get_mut(&id).expect("exists");
                     entry.failures += 1;
                     entry.last_failure_region = Some(failure.region);
                     failed.push(json!({
@@ -462,9 +493,18 @@ impl Tool for TopologyModification {
         // Working space: a window of native size containing the region
         // (clamped to the matrix), so memory stays bounded.
         let l = ctx.window().max(region.height()).max(region.width());
-        let win_r0 = upper.saturating_sub((l - region.height()) / 2).min(rows.saturating_sub(l));
-        let win_c0 = left.saturating_sub((l - region.width()) / 2).min(cols.saturating_sub(l));
-        let win = Region::new(win_r0, win_c0, (win_r0 + l).min(rows), (win_c0 + l).min(cols));
+        let win_r0 = upper
+            .saturating_sub((l - region.height()) / 2)
+            .min(rows.saturating_sub(l));
+        let win_c0 = left
+            .saturating_sub((l - region.width()) / 2)
+            .min(cols.saturating_sub(l));
+        let win = Region::new(
+            win_r0,
+            win_c0,
+            (win_r0 + l).min(rows),
+            (win_c0 + l).min(cols),
+        );
         let known = topology.window(win);
         let local = Region::new(
             upper - win.row0(),
@@ -474,7 +514,10 @@ impl Tool for TopologyModification {
         );
         let mask = Mask::keep_outside(known.rows(), known.cols(), local);
         let repainted = ctx.sampler.modify(&known, &mask, style, &mut ctx.rng);
-        let entry = ctx.store.get_mut(&id).expect("exists");
+        let entry = ctx
+            .store
+            .get_mut(&id)
+            .ok_or_else(|| ToolError::new(format!("pattern id {id} vanished mid-call")))?;
         entry.topology.paste(&repainted, win.row0(), win.col0());
         entry.legal = None;
         Ok(json!({"id": id, "modified_cells": region.cell_count()}))
@@ -524,11 +567,12 @@ impl Tool for SaveLibrary {
         let ids = arg_ids(args, "ids")?;
         let mut saved = 0;
         for id in ids {
-            if let Some(entry) = ctx.store.get(&id) {
-                if entry.legal.is_some() {
-                    let entry = ctx.store.remove(&id).expect("exists");
-                    ctx.library.push(entry.legal.expect("checked"));
-                    saved += 1;
+            if let std::collections::hash_map::Entry::Occupied(entry) = ctx.store.entry(id) {
+                if entry.get().legal.is_some() {
+                    if let Some(pattern) = entry.remove().legal {
+                        ctx.library.push(pattern);
+                        saved += 1;
+                    }
                 }
             }
         }
@@ -551,8 +595,8 @@ impl Tool for GetDocumentation {
     }
 
     fn call(&self, ctx: &mut ToolContext, args: &Value) -> Result<Value, ToolError> {
-        let style = arg_style(args, "style")
-            .ok_or_else(|| ToolError::new("missing or invalid 'style'"))?;
+        let style =
+            arg_style(args, "style").ok_or_else(|| ToolError::new("missing or invalid 'style'"))?;
         let method = ctx.knowledge.recommend(style);
         Ok(json!({
             "recommended_method": method.name(),
@@ -656,7 +700,11 @@ mod tests {
     #[test]
     fn extension_grows_stored_topology() {
         let mut ctx = test_ctx();
-        let out = call(&mut ctx, "topology_gen", json!({"count": 1, "style": "Layer-10001"}));
+        let out = call(
+            &mut ctx,
+            "topology_gen",
+            json!({"count": 1, "style": "Layer-10001"}),
+        );
         let id = out["ids"][0].as_u64().expect("id");
         let out = call(
             &mut ctx,
@@ -670,7 +718,11 @@ mod tests {
     #[test]
     fn legalize_reports_legal_and_failed_with_regions() {
         let mut ctx = test_ctx();
-        let out = call(&mut ctx, "topology_gen", json!({"count": 2, "style": "Layer-10001"}));
+        let out = call(
+            &mut ctx,
+            "topology_gen",
+            json!({"count": 2, "style": "Layer-10001"}),
+        );
         let ids: Vec<u64> = out["ids"]
             .as_array()
             .expect("ids")
@@ -695,7 +747,11 @@ mod tests {
     #[test]
     fn modification_changes_only_window_region_owner() {
         let mut ctx = test_ctx();
-        let out = call(&mut ctx, "topology_gen", json!({"count": 1, "style": "Layer-10001"}));
+        let out = call(
+            &mut ctx,
+            "topology_gen",
+            json!({"count": 1, "style": "Layer-10001"}),
+        );
         let id = out["ids"][0].as_u64().expect("id");
         let before = ctx.stored(id).expect("stored").topology.clone();
         let out = call(
@@ -712,7 +768,11 @@ mod tests {
     #[test]
     fn save_library_moves_only_legalized() {
         let mut ctx = test_ctx();
-        let out = call(&mut ctx, "topology_gen", json!({"count": 2, "style": "Layer-10001"}));
+        let out = call(
+            &mut ctx,
+            "topology_gen",
+            json!({"count": 2, "style": "Layer-10001"}),
+        );
         let ids: Vec<u64> = out["ids"]
             .as_array()
             .expect("ids")
@@ -722,7 +782,11 @@ mod tests {
         // Save before legalization: nothing moves.
         let out = call(&mut ctx, "save_library", json!({"ids": ids}));
         assert_eq!(out["saved"], 0);
-        let _ = call(&mut ctx, "legalize", json!({"ids": ids, "physical": [2000, 2000]}));
+        let _ = call(
+            &mut ctx,
+            "legalize",
+            json!({"ids": ids, "physical": [2000, 2000]}),
+        );
         let out = call(&mut ctx, "save_library", json!({"ids": ids}));
         assert_eq!(
             out["library_total"].as_u64().expect("total"),
@@ -733,7 +797,11 @@ mod tests {
     #[test]
     fn drop_removes_from_store() {
         let mut ctx = test_ctx();
-        let out = call(&mut ctx, "topology_gen", json!({"count": 2, "style": "Layer-10001"}));
+        let out = call(
+            &mut ctx,
+            "topology_gen",
+            json!({"count": 2, "style": "Layer-10001"}),
+        );
         let ids: Vec<u64> = out["ids"]
             .as_array()
             .expect("ids")
@@ -752,9 +820,16 @@ mod tests {
             .record_extension(0, ExtensionMethod::InPainting, 10, 9);
         ctx.knowledge_mut()
             .record_extension(0, ExtensionMethod::OutPainting, 10, 3);
-        let out = call(&mut ctx, "get_documentation", json!({"style": "Layer-10001"}));
+        let out = call(
+            &mut ctx,
+            "get_documentation",
+            json!({"style": "Layer-10001"}),
+        );
         assert_eq!(out["recommended_method"], "In");
-        assert!(out["documents"].as_str().expect("docs").contains("legality"));
+        assert!(out["documents"]
+            .as_str()
+            .expect("docs")
+            .contains("legality"));
     }
 
     #[test]
@@ -778,6 +853,24 @@ mod tests {
             .call(&mut ctx, &json!({"ids": [99], "physical": [100, 100]}))
             .expect_err("should fail");
         assert!(err.message().contains("unknown pattern id"));
+    }
+
+    #[test]
+    fn dispatch_routes_and_reports_unknown_tools() {
+        let mut ctx = test_ctx();
+        let registry = ToolRegistry::standard();
+        let out = registry
+            .dispatch(
+                &mut ctx,
+                "topology_gen",
+                &json!({"count": 1, "style": "Layer-10001"}),
+            )
+            .expect("known tool dispatches");
+        assert_eq!(out["ids"].as_array().map(Vec::len), Some(1));
+        let err = registry
+            .dispatch(&mut ctx, "no_such_tool", &json!({}))
+            .expect_err("unknown tool errors");
+        assert!(err.message().contains("unknown tool 'no_such_tool'"));
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 use crate::{Generator, PcaModel};
 use cp_squish::Topology;
+use rand::SeedableRng;
 use rand::{Rng, RngCore};
 use rand_chacha::ChaCha8Rng;
-use rand::SeedableRng;
 
 /// Convolutional-auto-encoder proxy: PCA decoder sampled with isotropic
 /// latent noise and a fixed 0.5 threshold.

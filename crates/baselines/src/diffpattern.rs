@@ -108,7 +108,10 @@ mod tests {
             .map(|_| dp.generate(16, 16, &mut rng).density())
             .sum::<f64>()
             / 4.0;
-        assert!((mean - expected).abs() < 0.2, "density {mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() < 0.2,
+            "density {mean} vs {expected}"
+        );
     }
 
     #[test]

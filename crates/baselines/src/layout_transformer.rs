@@ -69,7 +69,11 @@ fn causal_context(
     c: usize,
 ) -> usize {
     let probe = |rr: i64, cc: i64| -> bool {
-        rr >= 0 && cc >= 0 && (rr as usize) < rows && (cc as usize) < cols && get(rr as usize, cc as usize)
+        rr >= 0
+            && cc >= 0
+            && (rr as usize) < rows
+            && (cc as usize) < cols
+            && get(rr as usize, cc as usize)
     };
     let r = r as i64;
     let c = c as i64;

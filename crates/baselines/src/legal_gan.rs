@@ -41,8 +41,8 @@ impl LegalGan {
             }
         }
         LegalGan {
-            min_run_x: min_run_x.min(8).max(1),
-            min_run_y: min_run_y.min(8).max(1),
+            min_run_x: min_run_x.clamp(1, 8),
+            min_run_y: min_run_y.clamp(1, 8),
             majority_iters: 2,
         }
     }

@@ -39,7 +39,7 @@ pub mod cae;
 pub mod concat;
 pub mod diffpattern;
 pub mod generator;
-pub mod layou_transformer;
+pub mod layout_transformer;
 pub mod legal_gan;
 pub mod pca;
 pub mod vcae;
@@ -48,7 +48,7 @@ pub use cae::Cae;
 pub use concat::concat_extend;
 pub use diffpattern::DiffPattern;
 pub use generator::Generator;
-pub use layou_transformer::LayouTransformer;
+pub use layout_transformer::LayouTransformer;
 pub use legal_gan::LegalGan;
 pub use pca::PcaModel;
 pub use vcae::Vcae;

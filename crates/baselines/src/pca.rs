@@ -159,7 +159,9 @@ impl PcaModel {
     /// topology of the training shape.
     #[must_use]
     pub fn binarize(&self, x: &[f64], threshold: f64) -> Topology {
-        Topology::from_fn(self.rows, self.cols, |r, c| x[r * self.cols + c] > threshold)
+        Topology::from_fn(self.rows, self.cols, |r, c| {
+            x[r * self.cols + c] > threshold
+        })
     }
 }
 

@@ -7,18 +7,21 @@ fn bench(c: &mut Criterion) {
         .window(16)
         .training_patterns(8)
         .diffusion_steps(6)
-        .build();
+        .build()
+        .expect("valid bench configuration");
     let mut seed = 0u64;
     let mut group = c.benchmark_group("agent");
     group.sample_size(10);
     group.bench_function("chat_session_2_patterns", |b| {
         b.iter(|| {
             seed += 1;
-            system.chat_with_seed(
-                "Generate 2 patterns, topology size 16*16, physical size 512nm x 512nm, \
-                 style Layer-10001.",
-                seed,
-            )
+            system
+                .chat_with_seed(
+                    "Generate 2 patterns, topology size 16*16, physical size 512nm x 512nm, \
+                     style Layer-10001.",
+                    seed,
+                )
+                .expect("valid chat request")
         });
     });
     group.finish();

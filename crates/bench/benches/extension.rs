@@ -9,13 +9,26 @@ fn bench(c: &mut Criterion) {
         .window(32)
         .training_patterns(16)
         .diffusion_steps(8)
-        .build();
-    let seed_topo = system.generate(Style::Layer10003, 32, 32, 1, 1).remove(0);
+        .build()
+        .expect("valid bench configuration");
+    let seed_topo = system
+        .generate(Style::Layer10003, 32, 32, 1, 1)
+        .expect("valid generation request")
+        .remove(0);
     let mut seed = 0u64;
     c.bench_function("out_paint_32_to_64", |b| {
         b.iter(|| {
             seed += 1;
-            system.extend(&seed_topo, 64, 64, ExtensionMethod::OutPainting, Style::Layer10003, seed)
+            system
+                .extend(
+                    &seed_topo,
+                    64,
+                    64,
+                    ExtensionMethod::OutPainting,
+                    Style::Layer10003,
+                    seed,
+                )
+                .expect("valid extension request")
         });
     });
 }

@@ -11,8 +11,12 @@ fn bench(c: &mut Criterion) {
         .window(32)
         .training_patterns(16)
         .diffusion_steps(8)
-        .build();
-    let topology = system.generate(Style::Layer10001, 32, 32, 1, 1).remove(0);
+        .build()
+        .expect("valid bench configuration");
+    let topology = system
+        .generate(Style::Layer10001, 32, 32, 1, 1)
+        .expect("valid generation request")
+        .remove(0);
     let legalizer = Legalizer::new(*system.rules());
     c.bench_function("legalize_32x32", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(1);

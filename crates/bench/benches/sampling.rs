@@ -8,12 +8,15 @@ fn bench(c: &mut Criterion) {
         .window(32)
         .training_patterns(16)
         .diffusion_steps(8)
-        .build();
+        .build()
+        .expect("valid bench configuration");
     let mut seed = 0u64;
     c.bench_function("sample_32x32_conditional", |b| {
         b.iter(|| {
             seed += 1;
-            system.generate(Style::Layer10001, 32, 32, 1, seed)
+            system
+                .generate(Style::Layer10001, 32, 32, 1, seed)
+                .expect("valid generation request")
         });
     });
 }

@@ -12,8 +12,14 @@ fn extents(label: &str, lib: &[Topology], legalizer: &Legalizer) {
     let mut exts: Vec<i64> = lib
         .iter()
         .map(|t| {
-            let x = legalizer.solve_axis(t, Axis::X, i64::MAX / 4).map(|s| s.total).unwrap_or(0);
-            let y = legalizer.solve_axis(t, Axis::Y, i64::MAX / 4).map(|s| s.total).unwrap_or(0);
+            let x = legalizer
+                .solve_axis(t, Axis::X, i64::MAX / 4)
+                .map(|s| s.total)
+                .unwrap_or(0);
+            let y = legalizer
+                .solve_axis(t, Axis::Y, i64::MAX / 4)
+                .map(|s| s.total)
+                .unwrap_or(0);
             x.max(y)
         })
         .collect();
@@ -21,7 +27,11 @@ fn extents(label: &str, lib: &[Topology], legalizer: &Legalizer) {
     let n = exts.len();
     println!(
         "{label:<18} min {} p25 {} median {} p75 {} max {}",
-        exts[0], exts[n / 4], exts[n / 2], exts[3 * n / 4], exts[n - 1]
+        exts[0],
+        exts[n / 4],
+        exts[n / 2],
+        exts[3 * n / 4],
+        exts[n - 1]
     );
 }
 
@@ -34,14 +44,22 @@ fn main() {
     let n = 40;
     extents("train-10001", &train_a, &legalizer);
     let gan = LegalGan::fit(&train_a);
-    println!("legalgan min runs: x={} y={}", gan.min_run_x(), gan.min_run_y());
+    println!(
+        "legalgan min runs: x={} y={}",
+        gan.min_run_x(),
+        gan.min_run_y()
+    );
     let cae = Cae::fit(&train_a, 12);
-    let lib: Vec<Topology> = (0..n).map(|_| gan.legalize_topology(&cae.generate(32, 32, &mut rng))).collect();
+    let lib: Vec<Topology> = (0..n)
+        .map(|_| gan.legalize_topology(&cae.generate(32, 32, &mut rng)))
+        .collect();
     extents("cae+gan", &lib, &legalizer);
     let lib: Vec<Topology> = (0..n).map(|_| cae.generate(32, 32, &mut rng)).collect();
     extents("cae-raw", &lib, &legalizer);
     let vcae = Vcae::fit(&train_a, 12);
-    let lib: Vec<Topology> = (0..n).map(|_| gan.legalize_topology(&vcae.generate(32, 32, &mut rng))).collect();
+    let lib: Vec<Topology> = (0..n)
+        .map(|_| gan.legalize_topology(&vcae.generate(32, 32, &mut rng)))
+        .collect();
     extents("vcae+gan", &lib, &legalizer);
     let lt = LayouTransformer::fit(&train_a, 1.0);
     let lib: Vec<Topology> = (0..n).map(|_| lt.generate(32, 32, &mut rng)).collect();
@@ -49,6 +67,8 @@ fn main() {
     let dp = DiffPattern::fit(&train_a, cfg.steps, 32);
     let lib: Vec<Topology> = (0..n).map(|_| dp.generate(32, 32, &mut rng)).collect();
     extents("diffpattern", &lib, &legalizer);
-    let lib = system.generate(Style::Layer10001, 32, 32, n, 5);
+    let lib = system
+        .generate(Style::Layer10001, 32, 32, n, 5)
+        .expect("calibration generation parameters are valid");
     extents("chatpattern", &lib, &legalizer);
 }

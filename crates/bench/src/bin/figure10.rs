@@ -27,13 +27,19 @@ fn main() {
             let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed + 10 + style.id() as u64);
             let lib: Vec<Topology> = (0..samples)
                 .map(|_| {
-                    let seed_topo = system.model().generate(
-                        cfg.window,
-                        cfg.window,
+                    let seed_topo =
+                        system
+                            .model()
+                            .generate(cfg.window, cfg.window, Some(style.id()), &mut rng);
+                    extend(
+                        system.model(),
+                        &seed_topo,
+                        size,
+                        size,
+                        method,
                         Some(style.id()),
                         &mut rng,
-                    );
-                    extend(system.model(), &seed_topo, size, size, method, Some(style.id()), &mut rng)
+                    )
                 })
                 .collect();
             let stats = evaluate_library(&lib, frame, &rules, cfg.seed + 11);

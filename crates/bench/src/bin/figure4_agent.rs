@@ -23,7 +23,9 @@ fn main() {
         cfg.window * 3,
     );
     println!("[User request]\n{request}\n");
-    let report = system.chat(&request);
+    let report = system
+        .chat(&request)
+        .expect("the Figure-4 request parses into requirements");
     println!("{}", report.render_transcript());
     println!(
         "=> delivered {} patterns with {} tool calls\nsummary: {}",

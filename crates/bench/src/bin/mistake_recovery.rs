@@ -19,7 +19,9 @@ fn main() {
             cfg.window,
             (cfg.window as i64) * per_cell,
         );
-        let report = system.chat_with_seed(&request, cfg.seed + per_cell as u64);
+        let report = system
+            .chat_with_seed(&request, cfg.seed + per_cell as u64)
+            .expect("the recovery request parses into requirements");
         let transcript = report.render_transcript();
         let modifications = transcript.matches("Action: topology_modification").count();
         if modifications > 0 {

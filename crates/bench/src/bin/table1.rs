@@ -4,8 +4,11 @@
 //! Run with `cargo run -p cp-bench --release --bin table1 [-- --block fixed|free|all]`.
 //! Scale via `CP_WINDOW`, `CP_SAMPLES`, etc. (see `cp_bench` docs).
 
+use chatpattern_core::GenerateParams;
 use cp_baselines::{concat_extend, Cae, DiffPattern, Generator, LayouTransformer, LegalGan, Vcae};
-use cp_bench::{evaluate_assembled, print_table_header, training_topologies, BenchConfig, TableRow};
+use cp_bench::{
+    evaluate_assembled, print_table_header, training_topologies, BenchConfig, TableRow,
+};
 use cp_dataset::{DatasetBuilder, Style};
 use cp_diffusion::PatternSampler;
 use cp_extend::{extend, ExtensionMethod};
@@ -71,9 +74,26 @@ fn main() {
         TableRow::from_libraries(&dp_lib_a, &dp_lib_b, frame, &rules, cfg.seed + 4)
             .print("DiffPattern");
 
-        // ChatPattern: one conditional model over the union dataset.
-        let cp_lib_a = system.generate(Style::Layer10001, cfg.window, cfg.window, cfg.samples, cfg.seed + 5);
-        let cp_lib_b = system.generate(Style::Layer10003, cfg.window, cfg.window, cfg.samples, cfg.seed + 6);
+        // ChatPattern: one conditional model over the union dataset,
+        // driven through the batch fan-out path of the service API.
+        let requests: Vec<GenerateParams> = [
+            (Style::Layer10001, cfg.seed + 5),
+            (Style::Layer10003, cfg.seed + 6),
+        ]
+        .into_iter()
+        .map(|(style, seed)| GenerateParams {
+            style,
+            rows: cfg.window,
+            cols: cfg.window,
+            count: cfg.samples,
+            seed,
+        })
+        .collect();
+        let mut libraries = system
+            .generate_many(&requests)
+            .expect("bench generation parameters are valid");
+        let cp_lib_b = libraries.pop().expect("two libraries");
+        let cp_lib_a = libraries.pop().expect("two libraries");
         TableRow::from_libraries(&cp_lib_a, &cp_lib_b, frame, &rules, cfg.seed + 7)
             .print("ChatPattern");
         println!();
@@ -122,7 +142,9 @@ fn main() {
                 let _ = seed_extra;
                 (0..samples)
                     .filter_map(|_| {
-                        concat_extend(gen, cfg.window, scale, scale, tile_frame, &legalizer, 4, &mut rng)
+                        concat_extend(
+                            gen, cfg.window, scale, scale, tile_frame, &legalizer, 4, &mut rng,
+                        )
                     })
                     .collect()
             };
@@ -130,8 +152,7 @@ fn main() {
             let cat_b = concat_row(&dp_b, 1);
             let (leg_a, div_a) = evaluate_assembled(&cat_a, &rules);
             let (leg_b, div_b) = evaluate_assembled(&cat_b, &rules);
-            let pooled: Vec<cp_geom::Layout> =
-                cat_a.iter().chain(cat_b.iter()).cloned().collect();
+            let pooled: Vec<cp_geom::Layout> = cat_a.iter().chain(cat_b.iter()).cloned().collect();
             let (leg_t, div_t) = evaluate_assembled(&pooled, &rules);
             TableRow {
                 legality_a: leg_a,
@@ -148,14 +169,15 @@ fn main() {
             let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed + 50 + scale as u64);
             let mut cp_a = Vec::with_capacity(samples);
             let mut cp_b = Vec::with_capacity(samples);
-            for (style, out) in [(Style::Layer10001, &mut cp_a), (Style::Layer10003, &mut cp_b)] {
+            for (style, out) in [
+                (Style::Layer10001, &mut cp_a),
+                (Style::Layer10003, &mut cp_b),
+            ] {
                 for _ in 0..samples {
-                    let seed_topo = system.model().generate(
-                        cfg.window,
-                        cfg.window,
-                        Some(style.id()),
-                        &mut rng,
-                    );
+                    let seed_topo =
+                        system
+                            .model()
+                            .generate(cfg.window, cfg.window, Some(style.id()), &mut rng);
                     out.push(extend(
                         system.model(),
                         &seed_topo,

@@ -81,6 +81,11 @@ impl BenchConfig {
     }
 
     /// Builds the ChatPattern system at this scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the `CP_*` environment variables describe an invalid
+    /// configuration — the experiment binaries want the loud failure.
     #[must_use]
     pub fn build_system(&self) -> ChatPattern {
         ChatPattern::builder()
@@ -89,6 +94,7 @@ impl BenchConfig {
             .training_patterns(self.train)
             .seed(self.seed)
             .build()
+            .unwrap_or_else(|e| panic!("invalid CP_* bench configuration: {e}"))
     }
 
     /// Prints the configuration banner every binary starts with.
@@ -194,7 +200,12 @@ impl TableRow {
 
     /// Single-style row (the baselines trained on Layer-10001 only).
     #[must_use]
-    pub fn single_style(lib_a: &[Topology], frame_nm: i64, rules: &DesignRules, seed: u64) -> TableRow {
+    pub fn single_style(
+        lib_a: &[Topology],
+        frame_nm: i64,
+        rules: &DesignRules,
+        seed: u64,
+    ) -> TableRow {
         let a = evaluate_library(lib_a, frame_nm, rules, seed);
         TableRow {
             legality_a: a.legality,

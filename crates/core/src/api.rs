@@ -1,0 +1,454 @@
+//! The unified request/response service API.
+//!
+//! Everything the system can do is expressible as one [`PatternRequest`]
+//! value — a typed, serializable intermediate representation between the
+//! language front-end and the layout engine (the same role the typed IR
+//! plays in LayoutPrompter and Parse-Then-Place). A [`PatternService`]
+//! turns requests into [`PatternResponse`]s carrying a per-variant
+//! payload plus timing metadata; [`ChatPattern`](crate::ChatPattern) is
+//! the canonical implementation.
+//!
+//! Requests and responses round-trip through JSON (`serde_json`), so a
+//! network front-end can speak this API without linking the engine.
+//!
+//! # Example
+//!
+//! ```
+//! use chatpattern_core::{ChatPattern, GenerateParams, PatternRequest, PatternService, ResponsePayload};
+//! use cp_dataset::Style;
+//!
+//! let system = ChatPattern::builder()
+//!     .window(16)
+//!     .training_patterns(8)
+//!     .diffusion_steps(6)
+//!     .build()?;
+//! let response = system.execute(PatternRequest::Generate(GenerateParams {
+//!     style: Style::Layer10003,
+//!     rows: 16,
+//!     cols: 16,
+//!     count: 2,
+//!     seed: 7,
+//! }))?;
+//! match response.payload {
+//!     ResponsePayload::Generate(topologies) => assert_eq!(topologies.len(), 2),
+//!     other => panic!("unexpected payload {other:?}"),
+//! }
+//! # Ok::<(), chatpattern_core::Error>(())
+//! ```
+
+use crate::{ChatPattern, Error};
+use cp_dataset::Style;
+use cp_diffusion::Mask;
+use cp_extend::ExtensionMethod;
+use cp_metrics::LibraryStats;
+use cp_squish::{Region, SquishPattern, Topology};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Parameters of a natural-language agent session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatParams {
+    /// The free-form request text.
+    pub request: String,
+    /// Session seed (`None` = the system's master seed).
+    pub seed: Option<u64>,
+}
+
+/// Parameters of direct conditional generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenerateParams {
+    /// Style condition.
+    pub style: Style,
+    /// Topology rows.
+    pub rows: usize,
+    /// Topology columns.
+    pub cols: usize,
+    /// Number of topologies to generate.
+    pub count: usize,
+    /// RNG stream seed for this request.
+    pub seed: u64,
+}
+
+/// Parameters of free-size extension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtendParams {
+    /// The topology to grow.
+    pub seed_topology: Topology,
+    /// Target rows.
+    pub rows: usize,
+    /// Target columns.
+    pub cols: usize,
+    /// Extension algorithm.
+    pub method: ExtensionMethod,
+    /// Style condition.
+    pub style: Style,
+    /// RNG stream seed for this request.
+    pub seed: u64,
+}
+
+/// Parameters of RePaint-style modification. The rectangular `region`
+/// is regenerated; everything outside stays bit-exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModifyParams {
+    /// The topology to repair.
+    pub known: Topology,
+    /// Grid region to regenerate.
+    pub region: Region,
+    /// Style condition.
+    pub style: Style,
+    /// RNG stream seed for this request.
+    pub seed: u64,
+}
+
+/// Parameters of legalization into a physical frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LegalizeParams {
+    /// The topology to legalize.
+    pub topology: Topology,
+    /// Frame width in nm.
+    pub width_nm: i64,
+    /// Frame height in nm.
+    pub height_nm: i64,
+    /// RNG stream seed (slack distribution).
+    pub seed: u64,
+}
+
+/// Parameters of library evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluateParams {
+    /// The topology library to score.
+    pub topologies: Vec<Topology>,
+    /// Physical frame (nm) used for the legalization attempts.
+    pub frame_nm: i64,
+    /// RNG stream seed.
+    pub seed: u64,
+}
+
+/// One request to the ChatPattern system — the single typed entry point
+/// covering the agent path and every direct back-end capability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PatternRequest {
+    /// Run a full agent session on a natural-language request.
+    Chat(ChatParams),
+    /// Conditional fixed-window generation.
+    Generate(GenerateParams),
+    /// Free-size extension of an existing topology.
+    Extend(ExtendParams),
+    /// RePaint modification of a rectangular region.
+    Modify(ModifyParams),
+    /// Legalization into a physical frame.
+    Legalize(LegalizeParams),
+    /// Table-1-style evaluation of a topology library.
+    Evaluate(EvaluateParams),
+}
+
+/// Outcome of a [`PatternRequest::Chat`] session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatOutcome {
+    /// The agent's final summary.
+    pub summary: String,
+    /// Number of tool calls executed.
+    pub tool_calls: usize,
+    /// The delivered pattern library.
+    pub library: Vec<SquishPattern>,
+    /// Full ReAct transcript.
+    pub transcript: Vec<cp_agent::Message>,
+}
+
+impl ChatOutcome {
+    /// Renders the transcript in the paper's
+    /// Thought/Action/Action-Input/Observation format.
+    #[must_use]
+    pub fn render_transcript(&self) -> String {
+        cp_agent::render_transcript(&self.transcript)
+    }
+}
+
+/// Wall-clock cost of serving one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Timing {
+    /// Microseconds spent inside the service.
+    pub micros: u64,
+}
+
+/// Per-variant response payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResponsePayload {
+    /// Agent session outcome.
+    Chat(ChatOutcome),
+    /// Generated topologies.
+    Generate(Vec<Topology>),
+    /// The extended topology.
+    Extend(Topology),
+    /// The modified topology.
+    Modify(Topology),
+    /// The legalized physical pattern.
+    Legalize(SquishPattern),
+    /// Library statistics.
+    Evaluate(LibraryStats),
+}
+
+/// A served request: payload plus timing metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternResponse {
+    /// What the request produced.
+    pub payload: ResponsePayload,
+    /// How long serving it took.
+    pub timing: Timing,
+}
+
+/// The service abstraction over the assembled system: one typed,
+/// fallible, batchable entry point. Network layers, queues and test
+/// doubles implement or wrap this trait instead of reaching into the
+/// facade.
+pub trait PatternService {
+    /// Serves one request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the workspace-wide [`Error`] for invalid parameters or
+    /// any back-end failure.
+    fn execute(&self, request: PatternRequest) -> Result<PatternResponse, Error>;
+
+    /// Serves a batch of requests, preserving order. Each request
+    /// carries its own seed, so implementations are free to reorder or
+    /// parallelize execution without changing results.
+    fn execute_many(&self, requests: Vec<PatternRequest>) -> Vec<Result<PatternResponse, Error>> {
+        requests.into_iter().map(|r| self.execute(r)).collect()
+    }
+}
+
+impl PatternService for ChatPattern {
+    fn execute(&self, request: PatternRequest) -> Result<PatternResponse, Error> {
+        let started = Instant::now();
+        let payload = match request {
+            PatternRequest::Chat(params) => {
+                let report = match params.seed {
+                    Some(seed) => self.chat_with_seed(&params.request, seed)?,
+                    None => self.chat(&params.request)?,
+                };
+                ResponsePayload::Chat(ChatOutcome {
+                    summary: report.summary,
+                    tool_calls: report.tool_calls,
+                    library: report.library,
+                    transcript: report.transcript,
+                })
+            }
+            PatternRequest::Generate(params) => ResponsePayload::Generate(self.generate(
+                params.style,
+                params.rows,
+                params.cols,
+                params.count,
+                params.seed,
+            )?),
+            PatternRequest::Extend(params) => ResponsePayload::Extend(self.extend(
+                &params.seed_topology,
+                params.rows,
+                params.cols,
+                params.method,
+                params.style,
+                params.seed,
+            )?),
+            PatternRequest::Modify(params) => {
+                let (rows, cols) = params.known.shape();
+                if params.region.is_empty()
+                    || params.region.row1() > rows
+                    || params.region.col1() > cols
+                {
+                    return Err(Error::invalid_request(format!(
+                        "modification region {} is empty or exceeds the {rows}x{cols} topology",
+                        params.region
+                    )));
+                }
+                let mask = Mask::keep_outside(rows, cols, params.region);
+                ResponsePayload::Modify(self.modify(
+                    &params.known,
+                    &mask,
+                    params.style,
+                    params.seed,
+                )?)
+            }
+            PatternRequest::Legalize(params) => ResponsePayload::Legalize(self.legalize(
+                &params.topology,
+                params.width_nm,
+                params.height_nm,
+                params.seed,
+            )?),
+            PatternRequest::Evaluate(params) => ResponsePayload::Evaluate(self.evaluate(
+                params.topologies.iter(),
+                params.frame_nm,
+                params.seed,
+            )?),
+        };
+        Ok(PatternResponse {
+            payload,
+            timing: Timing {
+                micros: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json;
+
+    fn small_system() -> ChatPattern {
+        ChatPattern::builder()
+            .window(16)
+            .training_patterns(8)
+            .diffusion_steps(6)
+            .seed(3)
+            .build()
+            .expect("valid configuration")
+    }
+
+    #[test]
+    fn request_json_round_trips() {
+        let request = PatternRequest::Generate(GenerateParams {
+            style: Style::Layer10001,
+            rows: 16,
+            cols: 16,
+            count: 2,
+            seed: 7,
+        });
+        let text = serde_json::to_string(&request).expect("serializes");
+        assert!(text.contains("Generate"));
+        let back: PatternRequest = serde_json::from_str(&text).expect("parses");
+        assert_eq!(back, request);
+    }
+
+    #[test]
+    fn every_request_variant_round_trips() {
+        let topology = Topology::from_fn(4, 4, |r, c| (r + c) % 2 == 0);
+        let requests = vec![
+            PatternRequest::Chat(ChatParams {
+                request: "Generate 2 patterns".into(),
+                seed: Some(1),
+            }),
+            PatternRequest::Generate(GenerateParams {
+                style: Style::Layer10003,
+                rows: 8,
+                cols: 8,
+                count: 1,
+                seed: 2,
+            }),
+            PatternRequest::Extend(ExtendParams {
+                seed_topology: topology.clone(),
+                rows: 8,
+                cols: 8,
+                method: ExtensionMethod::InPainting,
+                style: Style::Layer10001,
+                seed: 3,
+            }),
+            PatternRequest::Modify(ModifyParams {
+                known: topology.clone(),
+                region: Region::new(1, 1, 3, 3),
+                style: Style::Layer10001,
+                seed: 4,
+            }),
+            PatternRequest::Legalize(LegalizeParams {
+                topology: topology.clone(),
+                width_nm: 200,
+                height_nm: 200,
+                seed: 5,
+            }),
+            PatternRequest::Evaluate(EvaluateParams {
+                topologies: vec![topology],
+                frame_nm: 200,
+                seed: 6,
+            }),
+        ];
+        for request in requests {
+            let text = serde_json::to_string(&request).expect("serializes");
+            let back: PatternRequest = serde_json::from_str(&text).expect("parses");
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn execute_generates_with_timing() {
+        let system = small_system();
+        let response = system
+            .execute(PatternRequest::Generate(GenerateParams {
+                style: Style::Layer10003,
+                rows: 16,
+                cols: 16,
+                count: 2,
+                seed: 9,
+            }))
+            .expect("generation succeeds");
+        match &response.payload {
+            ResponsePayload::Generate(topologies) => assert_eq!(topologies.len(), 2),
+            other => panic!("wrong payload {other:?}"),
+        }
+        // Diffusion sampling is far slower than a microsecond.
+        assert!(response.timing.micros > 0);
+    }
+
+    #[test]
+    fn response_json_round_trips() {
+        let system = small_system();
+        let response = system
+            .execute(PatternRequest::Generate(GenerateParams {
+                style: Style::Layer10001,
+                rows: 16,
+                cols: 16,
+                count: 1,
+                seed: 4,
+            }))
+            .expect("generation succeeds");
+        let text = serde_json::to_string(&response).expect("serializes");
+        let back: PatternResponse = serde_json::from_str(&text).expect("parses");
+        assert_eq!(back, response);
+    }
+
+    #[test]
+    fn execute_many_preserves_order_and_isolates_failures() {
+        let system = small_system();
+        let results = system.execute_many(vec![
+            PatternRequest::Generate(GenerateParams {
+                style: Style::Layer10001,
+                rows: 16,
+                cols: 16,
+                count: 1,
+                seed: 1,
+            }),
+            // Invalid: zero rows.
+            PatternRequest::Generate(GenerateParams {
+                style: Style::Layer10001,
+                rows: 0,
+                cols: 16,
+                count: 1,
+                seed: 2,
+            }),
+            PatternRequest::Generate(GenerateParams {
+                style: Style::Layer10003,
+                rows: 16,
+                cols: 16,
+                count: 1,
+                seed: 3,
+            }),
+        ]);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(Error::InvalidRequest { .. })));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn modify_request_validates_region() {
+        let system = small_system();
+        let known = Topology::filled(16, 16, false);
+        let err = system
+            .execute(PatternRequest::Modify(ModifyParams {
+                known,
+                region: Region::new(0, 0, 32, 32),
+                style: Style::Layer10001,
+                seed: 1,
+            }))
+            .expect_err("out-of-bounds region must fail");
+        assert!(matches!(err, Error::InvalidRequest { .. }));
+    }
+}

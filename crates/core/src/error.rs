@@ -1,0 +1,189 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible entry point of the public API — the
+//! [`ChatPatternBuilder`](crate::ChatPatternBuilder), the
+//! [`ChatPattern`](crate::ChatPattern) facade and the
+//! [`PatternService`](crate::PatternService) trait — returns this one
+//! [`Error`]. The `From` impls fold the per-subsystem failure types
+//! (tool calls, legalization, DRC, requirement parsing) into it, so `?`
+//! works across crate boundaries.
+
+use cp_agent::{RequirementError, ToolError};
+use cp_drc::{DrcReport, Violation};
+use cp_legalize::LegalizeFailure;
+
+/// Any failure the ChatPattern system can report.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Invalid system configuration rejected by
+    /// [`ChatPatternBuilder::build`](crate::ChatPatternBuilder::build).
+    Config {
+        /// What was wrong with the configuration.
+        message: String,
+    },
+    /// Request parameters rejected at the service boundary before any
+    /// work was attempted.
+    InvalidRequest {
+        /// What was wrong with the request.
+        message: String,
+    },
+    /// A natural-language request could not be parsed into requirement
+    /// lists.
+    Requirement(RequirementError),
+    /// A tool invocation failed inside an agent session.
+    Tool(ToolError),
+    /// Legalization failed; the payload explains where and why.
+    Legalize(LegalizeFailure),
+    /// A pattern violated design rules.
+    Drc {
+        /// The violations found, in scan order.
+        violations: Vec<Violation>,
+    },
+}
+
+impl Error {
+    /// Builder-validation error.
+    #[must_use]
+    pub fn config(message: impl Into<String>) -> Error {
+        Error::Config {
+            message: message.into(),
+        }
+    }
+
+    /// Service-boundary validation error.
+    #[must_use]
+    pub fn invalid_request(message: impl Into<String>) -> Error {
+        Error::InvalidRequest {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Config { message } => write!(f, "invalid configuration: {message}"),
+            Error::InvalidRequest { message } => write!(f, "invalid request: {message}"),
+            Error::Requirement(e) => write!(f, "{e}"),
+            Error::Tool(e) => write!(f, "tool call failed: {e}"),
+            Error::Legalize(e) => write!(f, "{e}"),
+            Error::Drc { violations } => write!(
+                f,
+                "design-rule violations: {} total ({} space, {} width, {} area)",
+                violations.len(),
+                violations
+                    .iter()
+                    .filter(|v| v.kind == cp_drc::ViolationKind::Space)
+                    .count(),
+                violations
+                    .iter()
+                    .filter(|v| v.kind == cp_drc::ViolationKind::Width)
+                    .count(),
+                violations
+                    .iter()
+                    .filter(|v| v.kind == cp_drc::ViolationKind::Area)
+                    .count(),
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Requirement(e) => Some(e),
+            Error::Tool(e) => Some(e),
+            Error::Legalize(e) => Some(e),
+            Error::Config { .. } | Error::InvalidRequest { .. } | Error::Drc { .. } => None,
+        }
+    }
+}
+
+impl From<ToolError> for Error {
+    fn from(e: ToolError) -> Error {
+        Error::Tool(e)
+    }
+}
+
+impl From<LegalizeFailure> for Error {
+    fn from(e: LegalizeFailure) -> Error {
+        Error::Legalize(e)
+    }
+}
+
+impl From<RequirementError> for Error {
+    fn from(e: RequirementError) -> Error {
+        Error::Requirement(e)
+    }
+}
+
+impl From<Vec<Violation>> for Error {
+    fn from(violations: Vec<Violation>) -> Error {
+        Error::Drc { violations }
+    }
+}
+
+impl From<&DrcReport> for Error {
+    fn from(report: &DrcReport) -> Error {
+        Error::Drc {
+            violations: report.violations().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_geom::Axis;
+    use cp_legalize::FailureKind;
+    use cp_squish::Region;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let config = Error::config("window must be at least 4 (got 1)");
+        assert!(config.to_string().contains("invalid configuration"));
+        let request = Error::invalid_request("count must be positive");
+        assert!(request.to_string().contains("invalid request"));
+        let tool: Error = ToolError::new("missing 'ids'").into();
+        assert!(tool.to_string().contains("tool call failed"));
+        let requirement: Error = RequirementError::new("empty").into();
+        assert!(requirement
+            .to_string()
+            .contains("requirement parsing failed"));
+        let legalize: Error = LegalizeFailure {
+            kind: FailureKind::Infeasible { axis: Axis::X },
+            region: Region::new(0, 0, 2, 2),
+            needed: 300,
+            available: 200,
+            log: String::new(),
+        }
+        .into();
+        assert!(legalize.to_string().contains("infeasible"));
+        let drc: Error = Vec::<Violation>::new().into();
+        assert!(drc.to_string().contains("design-rule violations"));
+    }
+
+    #[test]
+    fn from_conversions_preserve_payloads() {
+        let tool = ToolError::new("boom");
+        match Error::from(tool.clone()) {
+            Error::Tool(inner) => assert_eq!(inner, tool),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let requirement = RequirementError::new("nope");
+        match Error::from(requirement.clone()) {
+            Error::Requirement(inner) => assert_eq!(inner, requirement),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn source_chains_to_inner_errors() {
+        use std::error::Error as _;
+        let err: Error = ToolError::new("inner message").into();
+        let source = err.source().expect("tool errors chain");
+        assert!(source.to_string().contains("inner message"));
+        assert!(Error::config("x").source().is_none());
+    }
+}

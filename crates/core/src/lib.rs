@@ -10,11 +10,20 @@
 //!   auto-formatting, task planning, tool execution and mistake
 //!   recovery.
 //!
-//! [`ChatPattern`] is the facade a downstream user touches:
-//! [`ChatPattern::chat`] accepts a natural-language request and returns
-//! the delivered pattern library plus the full agent transcript;
-//! the direct APIs (`generate`, `extend`, `modify`, `legalize`,
-//! `evaluate`) expose the back-end without the agent.
+//! # The service API
+//!
+//! [`ChatPattern`] is the engine; the [`api`] module is the one way in:
+//! a typed [`PatternRequest`] (Chat / Generate / Extend / Modify /
+//! Legalize / Evaluate) served by the [`PatternService`] trait into a
+//! [`PatternResponse`] with timing metadata. Every fallible path —
+//! including [`ChatPatternBuilder::build`] — reports the workspace-wide
+//! [`Error`].
+//!
+//! The direct methods ([`ChatPattern::generate`],
+//! [`ChatPattern::extend`], [`ChatPattern::modify`],
+//! [`ChatPattern::legalize`], [`ChatPattern::evaluate`],
+//! [`ChatPattern::chat`]) remain available for in-process callers; they
+//! are exactly what [`PatternService::execute`] dispatches to.
 //!
 //! # Example
 //!
@@ -26,22 +35,33 @@
 //!     .training_patterns(8)
 //!     .diffusion_steps(6)
 //!     .seed(1)
-//!     .build();
+//!     .build()?;
 //! let report = system.chat(
 //!     "Generate 2 patterns, topology size 16*16, physical size 512nm x 512nm, \
 //!      style Layer-10001.",
-//! );
+//! )?;
 //! assert_eq!(report.library.len(), 2);
+//! # Ok::<(), chatpattern_core::Error>(())
 //! ```
 
+pub mod api;
+pub mod error;
+
+pub use api::{
+    ChatOutcome, ChatParams, EvaluateParams, ExtendParams, GenerateParams, LegalizeParams,
+    ModifyParams, PatternRequest, PatternResponse, PatternService, ResponsePayload, Timing,
+};
+pub use error::Error;
+
 use cp_agent::{
-    AgentSession, ExpertPolicy, KnowledgeBase, SessionReport, ToolContext, ToolRegistry,
+    try_auto_format, AgentSession, ExpertPolicy, KnowledgeBase, SessionReport, ToolContext,
+    ToolRegistry,
 };
 use cp_dataset::{Dataset, DatasetBuilder, Style};
 use cp_diffusion::{DiffusionModel, Mask, MrfDenoiser, NoiseSchedule, PatternSampler};
-use cp_drc::DesignRules;
+use cp_drc::{check_pattern, DesignRules};
 use cp_extend::ExtensionMethod;
-use cp_legalize::{LegalizeFailure, Legalizer};
+use cp_legalize::Legalizer;
 use cp_metrics::LibraryStats;
 use cp_squish::{SquishPattern, Topology};
 use rand::{RngCore, SeedableRng};
@@ -53,6 +73,10 @@ use std::sync::Arc;
 /// Defaults are the CPU-scale configuration documented in DESIGN.md:
 /// 64-cell window (paper: 128), 16 nm mean grid pitch, 12 diffusion steps
 /// (paper: 1000 — β endpoints preserved), 64 training patterns per style.
+///
+/// Setters record values verbatim; [`ChatPatternBuilder::build`]
+/// validates the whole configuration and reports [`Error::Config`]
+/// instead of clamping or panicking.
 #[derive(Debug, Clone)]
 pub struct ChatPatternBuilder {
     window: usize,
@@ -76,25 +100,28 @@ impl Default for ChatPatternBuilder {
     }
 }
 
+/// Smallest window the denoiser can be trained at.
+const MIN_WINDOW: usize = 4;
+
 impl ChatPatternBuilder {
     /// Native model window size `L` (training resolution).
     #[must_use]
     pub fn window(mut self, window: usize) -> ChatPatternBuilder {
-        self.window = window.max(4);
+        self.window = window;
         self
     }
 
     /// Diffusion chain length `K`.
     #[must_use]
     pub fn diffusion_steps(mut self, steps: usize) -> ChatPatternBuilder {
-        self.diffusion_steps = steps.max(1);
+        self.diffusion_steps = steps;
         self
     }
 
     /// Training patterns per style.
     #[must_use]
     pub fn training_patterns(mut self, count: usize) -> ChatPatternBuilder {
-        self.training_patterns = count.max(1);
+        self.training_patterns = count;
         self
     }
 
@@ -113,21 +140,48 @@ impl ChatPatternBuilder {
     }
 
     /// Styles to train on (default: both layers).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `styles` is empty.
     #[must_use]
     pub fn styles(mut self, styles: Vec<Style>) -> ChatPatternBuilder {
-        assert!(!styles.is_empty(), "need at least one style");
         self.styles = styles;
         self
     }
 
+    /// Checks the configuration without building.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] describing the first invalid setting.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.window < MIN_WINDOW {
+            return Err(Error::config(format!(
+                "window must be at least {MIN_WINDOW} cells (got {})",
+                self.window
+            )));
+        }
+        if self.diffusion_steps == 0 {
+            return Err(Error::config("diffusion_steps must be at least 1 (got 0)"));
+        }
+        if self.training_patterns == 0 {
+            return Err(Error::config(
+                "training_patterns must be at least 1 (got 0)",
+            ));
+        }
+        if self.styles.is_empty() {
+            return Err(Error::config("at least one style is required"));
+        }
+        Ok(())
+    }
+
     /// Builds the system: generates the synthetic training datasets,
     /// fits the conditional denoiser, and assembles the agent plumbing.
-    #[must_use]
-    pub fn build(self) -> ChatPattern {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when the configuration is invalid (bad
+    /// window or step counts, no styles); this replaces the panics of
+    /// earlier revisions.
+    pub fn build(self) -> Result<ChatPattern, Error> {
+        self.validate()?;
         // 16 nm mean grid pitch, like the paper's 2048 nm / 128 cells.
         let patch_nm = (self.window as i64) * 16;
         let datasets: Vec<Dataset> = self
@@ -162,7 +216,7 @@ impl ChatPatternBuilder {
             denoiser,
             self.window,
         );
-        ChatPattern {
+        Ok(ChatPattern {
             model: Arc::new(model),
             legalizer: Legalizer::new(self.rules),
             rules: self.rules,
@@ -170,7 +224,7 @@ impl ChatPatternBuilder {
             knowledge: KnowledgeBase::new(),
             patch_nm,
             seed: self.seed,
-        }
+        })
     }
 }
 
@@ -205,6 +259,10 @@ impl PatternSampler for SharedSampler {
 }
 
 /// The assembled ChatPattern system.
+///
+/// Obtain one through [`ChatPattern::builder`]; drive it through the
+/// [`PatternService`] trait or the direct methods below. All entry
+/// points return `Result<_, `[`Error`]`>`.
 pub struct ChatPattern {
     model: Arc<DiffusionModel<MrfDenoiser>>,
     legalizer: Legalizer,
@@ -274,14 +332,25 @@ impl ChatPattern {
     }
 
     /// Runs a full agent session on a natural-language request.
-    #[must_use]
-    pub fn chat(&self, request: &str) -> SessionReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Requirement`] when the request cannot be parsed
+    /// into requirement lists.
+    pub fn chat(&self, request: &str) -> Result<SessionReport, Error> {
         self.chat_with_seed(request, self.seed)
     }
 
     /// [`ChatPattern::chat`] with an explicit session seed.
-    #[must_use]
-    pub fn chat_with_seed(&self, request: &str, seed: u64) -> SessionReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Requirement`] when the request cannot be parsed
+    /// into requirement lists.
+    pub fn chat_with_seed(&self, request: &str, seed: u64) -> Result<SessionReport, Error> {
+        // Validate the request up front so callers get a typed error
+        // instead of an agent transcript that went nowhere.
+        try_auto_format(request)?;
         let ctx = ToolContext::new(
             Box::new(SharedSampler(Arc::clone(&self.model))),
             self.legalizer.clone(),
@@ -289,11 +358,14 @@ impl ChatPattern {
             seed,
         );
         let policy = ExpertPolicy::default();
-        AgentSession::new(policy, ToolRegistry::standard(), ctx).run(request)
+        Ok(AgentSession::new(policy, ToolRegistry::standard(), ctx).run(request))
     }
 
     /// Direct API: conditional generation of `count` topologies.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRequest`] when `rows` or `cols` is zero.
     pub fn generate(
         &self,
         style: Style,
@@ -301,15 +373,53 @@ impl ChatPattern {
         cols: usize,
         count: usize,
         seed: u64,
-    ) -> Vec<Topology> {
+    ) -> Result<Vec<Topology>, Error> {
+        if rows == 0 || cols == 0 {
+            return Err(Error::invalid_request(format!(
+                "topology size {rows}x{cols} must be non-empty"
+            )));
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..count)
+        Ok((0..count)
             .map(|_| self.model.sample(rows, cols, Some(style.id()), &mut rng))
+            .collect())
+    }
+
+    /// Batch generation: the seed-stream fan-out path behind
+    /// [`PatternService::execute_many`]. Every request draws from its
+    /// own [`ChaCha8Rng`] stream seeded by `GenerateParams::seed`, so
+    /// the output is a pure function of the request list — independent
+    /// of execution order and ready for parallel dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Error::InvalidRequest`] among the requests;
+    /// nothing is partially delivered. All parameters are validated
+    /// before any sampling starts, so a bad request late in the batch
+    /// cannot waste the earlier requests' diffusion work.
+    pub fn generate_many(&self, requests: &[GenerateParams]) -> Result<Vec<Vec<Topology>>, Error> {
+        for p in requests {
+            if p.rows == 0 || p.cols == 0 {
+                return Err(Error::invalid_request(format!(
+                    "topology size {}x{} must be non-empty",
+                    p.rows, p.cols
+                )));
+            }
+        }
+        requests
+            .iter()
+            .map(|p| self.generate(p.style, p.rows, p.cols, p.count, p.seed))
             .collect()
     }
 
     /// Direct API: free-size extension of an existing topology.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRequest`] when the target is smaller than
+    /// the seed topology, (unless it equals the seed shape) smaller
+    /// than the model window, or — for in-painting — when the seed is
+    /// not exactly window-sized.
     pub fn extend(
         &self,
         seed_topology: &Topology,
@@ -318,9 +428,33 @@ impl ChatPattern {
         method: ExtensionMethod,
         style: Style,
         seed: u64,
-    ) -> Topology {
+    ) -> Result<Topology, Error> {
+        let (seed_rows, seed_cols) = seed_topology.shape();
+        if (rows, cols) != (seed_rows, seed_cols) {
+            if rows < seed_rows || cols < seed_cols {
+                return Err(Error::invalid_request(format!(
+                    "extension target {rows}x{cols} is smaller than the seed \
+                     {seed_rows}x{seed_cols}"
+                )));
+            }
+            let window = self.window();
+            if rows < window || cols < window {
+                return Err(Error::invalid_request(format!(
+                    "extension target {rows}x{cols} is below the model window {window}"
+                )));
+            }
+            // In-painting tiles the canvas in window-sized steps and
+            // places the seed as the first tile, so it requires an
+            // exactly window-sized seed.
+            if method == ExtensionMethod::InPainting && (seed_rows, seed_cols) != (window, window) {
+                return Err(Error::invalid_request(format!(
+                    "in-painting needs a window-sized ({window}x{window}) seed, \
+                     got {seed_rows}x{seed_cols}"
+                )));
+            }
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        cp_extend::extend(
+        Ok(cp_extend::extend(
             &SharedSampler(Arc::clone(&self.model)),
             seed_topology,
             rows,
@@ -328,49 +462,104 @@ impl ChatPattern {
             method,
             Some(style.id()),
             &mut rng,
-        )
+        ))
     }
 
     /// Direct API: RePaint modification of a masked region.
-    #[must_use]
-    pub fn modify(&self, known: &Topology, mask: &Mask, style: Style, seed: u64) -> Topology {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRequest`] when the mask shape does not
+    /// match the topology shape.
+    pub fn modify(
+        &self,
+        known: &Topology,
+        mask: &Mask,
+        style: Style,
+        seed: u64,
+    ) -> Result<Topology, Error> {
+        if mask.shape() != known.shape() {
+            let (mr, mc) = mask.shape();
+            let (kr, kc) = known.shape();
+            return Err(Error::invalid_request(format!(
+                "mask shape {mr}x{mc} does not match topology shape {kr}x{kc}"
+            )));
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        self.model.modify(known, mask, Some(style.id()), 1, &mut rng)
+        Ok(self
+            .model
+            .modify(known, mask, Some(style.id()), 1, &mut rng))
     }
 
     /// Direct API: legalization into a physical frame.
     ///
     /// # Errors
     ///
-    /// Propagates the explainable [`LegalizeFailure`].
+    /// Returns [`Error::InvalidRequest`] for a non-positive frame and
+    /// [`Error::Legalize`] with the explainable failure otherwise.
     pub fn legalize(
         &self,
         topology: &Topology,
         width_nm: i64,
         height_nm: i64,
         seed: u64,
-    ) -> Result<SquishPattern, LegalizeFailure> {
+    ) -> Result<SquishPattern, Error> {
+        if width_nm <= 0 || height_nm <= 0 {
+            return Err(Error::invalid_request(format!(
+                "physical frame {width_nm}x{height_nm} nm must be positive"
+            )));
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        self.legalizer
-            .legalize(topology, width_nm, height_nm, &mut rng)
+        Ok(self
+            .legalizer
+            .legalize(topology, width_nm, height_nm, &mut rng)?)
     }
 
     /// Direct API: Table-1-style evaluation of a topology library.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRequest`] for a non-positive frame.
     pub fn evaluate<'a>(
         &self,
         topologies: impl Iterator<Item = &'a Topology>,
         frame_nm: i64,
         seed: u64,
-    ) -> LibraryStats {
+    ) -> Result<LibraryStats, Error> {
+        if frame_nm <= 0 {
+            return Err(Error::invalid_request(format!(
+                "evaluation frame {frame_nm} nm must be positive"
+            )));
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        LibraryStats::evaluate(topologies, frame_nm, &self.rules, &mut rng)
+        Ok(LibraryStats::evaluate(
+            topologies,
+            frame_nm,
+            &self.rules,
+            &mut rng,
+        ))
+    }
+
+    /// Direct API: independent DRC verification of a physical pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Drc`] carrying every violation when the pattern
+    /// is not clean.
+    pub fn drc_check(&self, pattern: &SquishPattern) -> Result<(), Error> {
+        let report = check_pattern(pattern, &self.rules);
+        if report.is_clean() {
+            Ok(())
+        } else {
+            Err(Error::from(&report))
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cp_squish::Region;
 
     fn small_system() -> ChatPattern {
         ChatPattern::builder()
@@ -379,6 +568,7 @@ mod tests {
             .diffusion_steps(6)
             .seed(3)
             .build()
+            .expect("valid configuration")
     }
 
     #[test]
@@ -390,14 +580,31 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_bad_configurations() {
+        let tiny = ChatPattern::builder().window(2).build();
+        assert!(matches!(tiny, Err(Error::Config { .. })), "{tiny:?}");
+        let no_steps = ChatPattern::builder().diffusion_steps(0).build();
+        assert!(matches!(no_steps, Err(Error::Config { .. })));
+        let no_training = ChatPattern::builder().training_patterns(0).build();
+        assert!(matches!(no_training, Err(Error::Config { .. })));
+        let no_styles = ChatPattern::builder().styles(Vec::new()).build();
+        assert!(matches!(no_styles, Err(Error::Config { .. })));
+    }
+
+    #[test]
     fn direct_generation_is_conditional_and_reproducible() {
         let system = small_system();
-        let a = system.generate(Style::Layer10001, 16, 16, 2, 7);
-        let b = system.generate(Style::Layer10001, 16, 16, 2, 7);
+        let a = system
+            .generate(Style::Layer10001, 16, 16, 2, 7)
+            .expect("generates");
+        let b = system
+            .generate(Style::Layer10001, 16, 16, 2, 7)
+            .expect("generates");
         assert_eq!(a, b);
         let dense: f64 = a.iter().map(Topology::density).sum::<f64>() / 2.0;
         let sparse: f64 = system
             .generate(Style::Layer10003, 16, 16, 2, 7)
+            .expect("generates")
             .iter()
             .map(Topology::density)
             .sum::<f64>()
@@ -406,12 +613,44 @@ mod tests {
     }
 
     #[test]
+    fn generate_many_fans_out_independent_seed_streams() {
+        let system = small_system();
+        let requests = [
+            GenerateParams {
+                style: Style::Layer10001,
+                rows: 16,
+                cols: 16,
+                count: 2,
+                seed: 1,
+            },
+            GenerateParams {
+                style: Style::Layer10003,
+                rows: 16,
+                cols: 16,
+                count: 1,
+                seed: 2,
+            },
+        ];
+        let batch = system.generate_many(&requests).expect("generates");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].len(), 2);
+        assert_eq!(batch[1].len(), 1);
+        // Each request equals its standalone execution: order-free.
+        let solo = system
+            .generate(Style::Layer10003, 16, 16, 1, 2)
+            .expect("generates");
+        assert_eq!(batch[1], solo);
+    }
+
+    #[test]
     fn chat_delivers_requested_library() {
         let system = small_system();
-        let report = system.chat(
-            "Generate 3 patterns, topology size 16*16, physical size 512nm x 512nm, \
-             style Layer-10003.",
-        );
+        let report = system
+            .chat(
+                "Generate 3 patterns, topology size 16*16, physical size 512nm x 512nm, \
+                 style Layer-10003.",
+            )
+            .expect("parses and runs");
         assert_eq!(report.library.len(), 3, "summary: {}", report.summary);
         for p in &report.library {
             assert_eq!(p.physical_width(), 512);
@@ -419,45 +658,172 @@ mod tests {
     }
 
     #[test]
+    fn chat_rejects_unparseable_requests() {
+        let system = small_system();
+        let err = system.chat("   ").expect_err("empty request must fail");
+        assert!(matches!(err, Error::Requirement(_)), "{err:?}");
+    }
+
+    #[test]
     fn extend_and_evaluate_round_trip() {
         let system = small_system();
-        let seed = system.generate(Style::Layer10003, 16, 16, 1, 5).remove(0);
-        let big = system.extend(
-            &seed,
-            32,
-            32,
-            ExtensionMethod::OutPainting,
-            Style::Layer10003,
-            5,
-        );
+        let seed = system
+            .generate(Style::Layer10003, 16, 16, 1, 5)
+            .expect("generates")
+            .remove(0);
+        let big = system
+            .extend(
+                &seed,
+                32,
+                32,
+                ExtensionMethod::OutPainting,
+                Style::Layer10003,
+                5,
+            )
+            .expect("extends");
         assert_eq!(big.shape(), (32, 32));
         let library = [big];
-        let stats = system.evaluate(library.iter(), 512, 5);
+        let stats = system.evaluate(library.iter(), 512, 5).expect("evaluates");
         assert_eq!(stats.total, 1);
+    }
+
+    #[test]
+    fn extend_rejects_shrinking_targets() {
+        let system = small_system();
+        let seed = system
+            .generate(Style::Layer10001, 16, 16, 1, 5)
+            .expect("generates")
+            .remove(0);
+        let err = system
+            .extend(
+                &seed,
+                8,
+                8,
+                ExtensionMethod::OutPainting,
+                Style::Layer10001,
+                5,
+            )
+            .expect_err("shrinking must fail");
+        assert!(matches!(err, Error::InvalidRequest { .. }));
+    }
+
+    #[test]
+    fn extend_rejects_non_window_seed_for_in_painting() {
+        let system = small_system();
+        let small_seed = Topology::filled(8, 8, true);
+        let err = system
+            .extend(
+                &small_seed,
+                32,
+                32,
+                ExtensionMethod::InPainting,
+                Style::Layer10001,
+                5,
+            )
+            .expect_err("8x8 seed under a 16-cell window must be rejected");
+        assert!(matches!(err, Error::InvalidRequest { .. }), "{err:?}");
+        // Out-painting accepts sub-window seeds.
+        let ok = system
+            .extend(
+                &small_seed,
+                32,
+                32,
+                ExtensionMethod::OutPainting,
+                Style::Layer10001,
+                5,
+            )
+            .expect("out-painting grows sub-window seeds");
+        assert_eq!(ok.shape(), (32, 32));
+    }
+
+    #[test]
+    fn generate_many_validates_before_sampling() {
+        let system = small_system();
+        let requests = [
+            GenerateParams {
+                style: Style::Layer10001,
+                rows: 16,
+                cols: 16,
+                count: 1,
+                seed: 1,
+            },
+            GenerateParams {
+                style: Style::Layer10001,
+                rows: 0,
+                cols: 16,
+                count: 1,
+                seed: 2,
+            },
+        ];
+        let err = system
+            .generate_many(&requests)
+            .expect_err("zero-row request must fail the batch");
+        assert!(matches!(err, Error::InvalidRequest { .. }));
     }
 
     #[test]
     fn legalize_direct_api_is_explainable() {
         let system = small_system();
-        let topology = system.generate(Style::Layer10003, 16, 16, 1, 9).remove(0);
+        let topology = system
+            .generate(Style::Layer10003, 16, 16, 1, 9)
+            .expect("generates")
+            .remove(0);
         // Either outcome is valid; the call must be explainable on failure.
-        if let Err(failure) = system.legalize(&topology, 256, 256, 1) {
+        if let Err(Error::Legalize(failure)) = system.legalize(&topology, 256, 256, 1) {
             assert!(!failure.log.is_empty());
         }
     }
 
     #[test]
+    fn legalize_rejects_empty_frames() {
+        let system = small_system();
+        let topology = Topology::filled(4, 4, true);
+        let err = system
+            .legalize(&topology, 0, 100, 1)
+            .expect_err("zero frame must fail");
+        assert!(matches!(err, Error::InvalidRequest { .. }));
+    }
+
+    #[test]
     fn modify_respects_mask_through_facade() {
         let system = small_system();
-        let known = system.generate(Style::Layer10001, 16, 16, 1, 11).remove(0);
-        let mask = Mask::keep_outside(16, 16, cp_squish::Region::new(4, 4, 12, 12));
-        let out = system.modify(&known, &mask, Style::Layer10001, 11);
+        let known = system
+            .generate(Style::Layer10001, 16, 16, 1, 11)
+            .expect("generates")
+            .remove(0);
+        let mask = Mask::keep_outside(16, 16, Region::new(4, 4, 12, 12));
+        let out = system
+            .modify(&known, &mask, Style::Layer10001, 11)
+            .expect("modifies");
         for r in 0..16 {
             for c in 0..16 {
                 if mask.keeps(r, c) {
                     assert_eq!(out.get(r, c), known.get(r, c));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn modify_rejects_mismatched_mask() {
+        let system = small_system();
+        let known = Topology::filled(16, 16, false);
+        let mask = Mask::keep_all(8, 8);
+        let err = system
+            .modify(&known, &mask, Style::Layer10001, 1)
+            .expect_err("shape mismatch must fail");
+        assert!(matches!(err, Error::InvalidRequest { .. }));
+    }
+
+    #[test]
+    fn drc_check_reports_violations_as_error() {
+        let system = small_system();
+        // A 10 nm sliver violates the reference width rule.
+        let bad = SquishPattern::new(Topology::from_ascii("1."), vec![10, 40], vec![50]);
+        let err = system.drc_check(&bad).expect_err("sliver must violate");
+        match err {
+            Error::Drc { violations } => assert!(!violations.is_empty()),
+            other => panic!("wrong variant {other:?}"),
         }
     }
 }

@@ -83,7 +83,10 @@ impl MrfDenoiser {
             .map(|(cond, topos)| {
                 (
                     *cond,
-                    topos.iter().map(|t| downsample_majority(t, coarse)).collect(),
+                    topos
+                        .iter()
+                        .map(|t| downsample_majority(t, coarse))
+                        .collect(),
                 )
             })
             .collect();
@@ -110,7 +113,10 @@ impl MrfDenoiser {
         let mut pooled_cells = 0.0f64;
         let mut native_size = 0usize;
         for &(cond, topologies) in datasets {
-            assert!(!topologies.is_empty(), "dataset for condition {cond} is empty");
+            assert!(
+                !topologies.is_empty(),
+                "dataset for condition {cond} is empty"
+            );
             let mut ones = [0.0f64; CONTEXTS];
             let mut total = [0.0f64; CONTEXTS];
             let mut set_cells = 0.0f64;
@@ -138,8 +144,7 @@ impl MrfDenoiser {
             marginals.push(marginal);
             let mut table = [0.5f64; CONTEXTS];
             for ctx in 0..CONTEXTS {
-                table[ctx] =
-                    (ones[ctx] + smoothing * marginal) / (total[ctx] + smoothing);
+                table[ctx] = (ones[ctx] + smoothing * marginal) / (total[ctx] + smoothing);
             }
             tables.push(table);
             condition_ids.push(cond);
@@ -270,9 +275,19 @@ fn regularize_min_feature(
 fn regularize_once(bits: &mut [bool], rows: usize, cols: usize) {
     for pass in 0..2 {
         let horizontal = pass == 0;
-        let (outer, inner) = if horizontal { (rows, cols) } else { (cols, rows) };
+        let (outer, inner) = if horizontal {
+            (rows, cols)
+        } else {
+            (cols, rows)
+        };
         for o in 0..outer {
-            let idx = |i: usize| if horizontal { o * cols + i } else { i * cols + o };
+            let idx = |i: usize| {
+                if horizontal {
+                    o * cols + i
+                } else {
+                    i * cols + o
+                }
+            };
             // Fill single-cell gaps (1 0 1 → 1 1 1).
             for i in 1..inner.saturating_sub(1) {
                 if !bits[idx(i)] && bits[idx(i - 1)] && bits[idx(i + 1)] {
@@ -293,8 +308,7 @@ fn regularize_once(bits: &mut [bool], rows: usize, cols: usize) {
                     (r > 0 && bits[(r - 1) * cols + c])
                         || (r + 1 < rows && bits[(r + 1) * cols + c])
                 } else {
-                    (c > 0 && bits[r * cols + c - 1])
-                        || (c + 1 < cols && bits[r * cols + c + 1])
+                    (c > 0 && bits[r * cols + c - 1]) || (c + 1 < cols && bits[r * cols + c + 1])
                 };
                 if !perpendicular_run {
                     bits[idx(i)] = false;

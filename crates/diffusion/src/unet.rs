@@ -148,7 +148,11 @@ fn loss_and_grad(
             let ce = if x0_bit { -p0c.ln() } else { -(1.0 - p0c).ln() };
             loss += lambda * ce;
             let dkl_dpi = -t / pi + (1.0 - t) / (1.0 - pi);
-            let dce_dp0 = if x0_bit { -1.0 / p0c } else { 1.0 / (1.0 - p0c) };
+            let dce_dp0 = if x0_bit {
+                -1.0 / p0c
+            } else {
+                1.0 / (1.0 - p0c)
+            };
             let dl_dp0 = dkl_dpi * (a - b) + lambda * dce_dp0;
             let dl_dlogit = dl_dp0 * p0c * (1.0 - p0c) / n;
             grad.set(0, r, c, dl_dlogit as f32);

@@ -111,9 +111,10 @@ pub fn check_pattern(pattern: &SquishPattern, rules: &DesignRules) -> DrcReport 
     }
     for (id, &area) in areas.iter().enumerate() {
         if area < rules.min_area() {
-            let (r0, c0, r1, c1) = labels
-                .bbox_of(id as u32)
-                .expect("component with area has cells");
+            // A label with no cells cannot violate the area rule.
+            let Some((r0, c0, r1, c1)) = labels.bbox_of(id as u32) else {
+                continue;
+            };
             violations.push(Violation {
                 kind: ViolationKind::Area,
                 axis: None,

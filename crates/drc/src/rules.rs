@@ -85,17 +85,9 @@ impl Default for DesignRules {
 }
 
 /// Builder for [`DesignRules`] (starts from [`DesignRules::reference`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct DesignRulesBuilder {
     rules: DesignRules,
-}
-
-impl Default for DesignRulesBuilder {
-    fn default() -> DesignRulesBuilder {
-        DesignRulesBuilder {
-            rules: DesignRules::reference(),
-        }
-    }
 }
 
 impl DesignRulesBuilder {

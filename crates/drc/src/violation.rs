@@ -48,7 +48,11 @@ pub struct Violation {
 
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let unit = if self.kind == ViolationKind::Area { "nm²" } else { "nm" };
+        let unit = if self.kind == ViolationKind::Area {
+            "nm²"
+        } else {
+            "nm"
+        };
         write!(
             f,
             "{} violation: measured {} {unit} < required {} {unit} at {} (grid {})",

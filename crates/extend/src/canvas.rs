@@ -45,10 +45,7 @@ impl Canvas {
     /// painting walk failed to cover the canvas.
     #[must_use]
     pub fn into_topology(self) -> Topology {
-        assert!(
-            self.fully_generated(),
-            "canvas has ungenerated cells left"
-        );
+        assert!(self.fully_generated(), "canvas has ungenerated cells left");
         self.topology
     }
 

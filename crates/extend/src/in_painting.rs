@@ -30,7 +30,11 @@ pub fn in_paint<S: PatternSampler + ?Sized>(
     let l = sampler.window();
     assert!(rows >= l && cols >= l, "target smaller than sampler window");
     if let Some(seed) = seed {
-        assert_eq!(seed.shape(), (l, l), "in-painting seed must be window-sized");
+        assert_eq!(
+            seed.shape(),
+            (l, l),
+            "in-painting seed must be window-sized"
+        );
     }
     let mut canvas = Canvas::new(rows, cols);
     // Tile pass: stride = window (tiles abut; last tile clamps/overlaps).
@@ -53,33 +57,40 @@ pub fn in_paint<S: PatternSampler + ?Sized>(
     }
     let band = l / 2;
     // Vertical seams: windows straddling each internal tile boundary.
-    for w in 1..col_tiles.len() {
-        let seam_x = col_tiles[w]; // boundary column of the tile
+    for &seam_x in col_tiles.iter().skip(1) {
+        // `seam_x` is the boundary column of the tile.
         let col0 = seam_x.saturating_sub(band).min(cols - l);
         for &r0 in &row_tiles {
             let region = Region::new(r0, col0, r0 + l, col0 + l);
             // Repaint band centred on the seam, window-local coordinates.
             let local = seam_x - col0;
-            let repaint = Region::new(0, local.saturating_sub(band / 2), l, (local + band / 2).min(l));
+            let repaint = Region::new(
+                0,
+                local.saturating_sub(band / 2),
+                l,
+                (local + band / 2).min(l),
+            );
             repaint_window(sampler, &mut canvas, region, repaint, condition, rng);
         }
     }
     // Horizontal seams.
-    for w in 1..row_tiles.len() {
-        let seam_y = row_tiles[w];
+    for &seam_y in row_tiles.iter().skip(1) {
         let row0 = seam_y.saturating_sub(band).min(rows - l);
         for &c0 in &col_tiles {
             let region = Region::new(row0, c0, row0 + l, c0 + l);
             let local = seam_y - row0;
-            let repaint = Region::new(local.saturating_sub(band / 2), 0, (local + band / 2).min(l), l);
+            let repaint = Region::new(
+                local.saturating_sub(band / 2),
+                0,
+                (local + band / 2).min(l),
+                l,
+            );
             repaint_window(sampler, &mut canvas, region, repaint, condition, rng);
         }
     }
     // Seam corners: central block at every internal boundary crossing.
-    for wr in 1..row_tiles.len() {
-        for wc in 1..col_tiles.len() {
-            let seam_y = row_tiles[wr];
-            let seam_x = col_tiles[wc];
+    for &seam_y in row_tiles.iter().skip(1) {
+        for &seam_x in col_tiles.iter().skip(1) {
             let row0 = seam_y.saturating_sub(band).min(rows - l);
             let col0 = seam_x.saturating_sub(band).min(cols - l);
             let region = Region::new(row0, col0, row0 + l, col0 + l);
@@ -212,6 +223,13 @@ mod tests {
     fn wrong_seed_shape_rejected() {
         let model = striped_model();
         let seed = Topology::filled(8, 8, false);
-        let _ = in_paint(&model, Some(&seed), 32, 32, None, &mut ChaCha8Rng::seed_from_u64(1));
+        let _ = in_paint(
+            &model,
+            Some(&seed),
+            32,
+            32,
+            None,
+            &mut ChaCha8Rng::seed_from_u64(1),
+        );
     }
 }

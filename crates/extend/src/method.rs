@@ -102,9 +102,18 @@ mod tests {
 
     #[test]
     fn parses_method_names() {
-        assert_eq!(ExtensionMethod::from_name("Out"), Some(ExtensionMethod::OutPainting));
-        assert_eq!(ExtensionMethod::from_name("out-painting"), Some(ExtensionMethod::OutPainting));
-        assert_eq!(ExtensionMethod::from_name("In-Painting"), Some(ExtensionMethod::InPainting));
+        assert_eq!(
+            ExtensionMethod::from_name("Out"),
+            Some(ExtensionMethod::OutPainting)
+        );
+        assert_eq!(
+            ExtensionMethod::from_name("out-painting"),
+            Some(ExtensionMethod::OutPainting)
+        );
+        assert_eq!(
+            ExtensionMethod::from_name("In-Painting"),
+            Some(ExtensionMethod::InPainting)
+        );
         assert_eq!(ExtensionMethod::from_name("sideways"), None);
     }
 
@@ -113,7 +122,15 @@ mod tests {
         let m = model();
         let seed = Topology::from_fn(16, 16, |r, _| r % 2 == 0);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let out = extend(&m, &seed, 16, 16, ExtensionMethod::OutPainting, None, &mut rng);
+        let out = extend(
+            &m,
+            &seed,
+            16,
+            16,
+            ExtensionMethod::OutPainting,
+            None,
+            &mut rng,
+        );
         assert_eq!(out, seed);
     }
 

@@ -27,7 +27,10 @@ pub fn out_paint<S: PatternSampler + ?Sized>(
     rng: &mut dyn RngCore,
 ) -> Topology {
     let l = sampler.window();
-    assert!(seed.rows() <= rows && seed.cols() <= cols, "seed exceeds target");
+    assert!(
+        seed.rows() <= rows && seed.cols() <= cols,
+        "seed exceeds target"
+    );
     assert!(rows >= l && cols >= l, "target smaller than sampler window");
     assert!(stride > 0 && stride <= l, "stride must be in 1..=window");
     let mut canvas = Canvas::new(rows, cols);
@@ -161,8 +164,24 @@ mod tests {
     fn deterministic_per_seed() {
         let model = striped_model();
         let seed = Topology::from_fn(16, 16, |_, c| c % 4 < 2);
-        let a = out_paint(&model, &seed, 24, 24, 8, Some(0), &mut ChaCha8Rng::seed_from_u64(1));
-        let b = out_paint(&model, &seed, 24, 24, 8, Some(0), &mut ChaCha8Rng::seed_from_u64(1));
+        let a = out_paint(
+            &model,
+            &seed,
+            24,
+            24,
+            8,
+            Some(0),
+            &mut ChaCha8Rng::seed_from_u64(1),
+        );
+        let b = out_paint(
+            &model,
+            &seed,
+            24,
+            24,
+            8,
+            Some(0),
+            &mut ChaCha8Rng::seed_from_u64(1),
+        );
         assert_eq!(a, b);
     }
 
@@ -171,6 +190,14 @@ mod tests {
     fn oversized_seed_rejected() {
         let model = striped_model();
         let seed = Topology::filled(64, 64, false);
-        let _ = out_paint(&model, &seed, 32, 32, 8, None, &mut ChaCha8Rng::seed_from_u64(1));
+        let _ = out_paint(
+            &model,
+            &seed,
+            32,
+            32,
+            8,
+            None,
+            &mut ChaCha8Rng::seed_from_u64(1),
+        );
     }
 }

@@ -155,7 +155,11 @@ mod tests {
 
     #[test]
     fn diagonal_cells_are_separate() {
-        let grid = [[true, false, false], [false, true, false], [false, false, true]];
+        let grid = [
+            [true, false, false],
+            [false, true, false],
+            [false, false, true],
+        ];
         let l = label_components(3, 3, |r, c| grid[r][c]);
         assert_eq!(l.count(), 3);
     }

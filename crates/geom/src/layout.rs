@@ -112,9 +112,9 @@ impl Layout {
         let cy = scan.y_cell_midpoint(row);
         // Midpoint-in-rect test: scan lines pass through every rect edge,
         // so a cell is either fully inside or fully outside each rect.
-        self.rects.iter().any(|r| {
-            2 * r.x0() <= cx && cx < 2 * r.x1() && 2 * r.y0() <= cy && cy < 2 * r.y1()
-        })
+        self.rects
+            .iter()
+            .any(|r| 2 * r.x0() <= cx && cx < 2 * r.x1() && 2 * r.y0() <= cy && cy < 2 * r.y1())
     }
 
     /// Returns a new layout translated by `(dx, dy)` (frame and shapes).

@@ -12,7 +12,9 @@ use serde::{Deserialize, Serialize};
 /// let q = p.translated(5, -5);
 /// assert_eq!(q, Point::new(15, 15));
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct Point {
     /// Horizontal coordinate in nanometres.
     pub x: i64,

@@ -63,7 +63,10 @@ impl ScanLines {
         xs.dedup();
         ys.sort_unstable();
         ys.dedup();
-        assert!(xs.len() >= 2 && ys.len() >= 2, "grid needs >=2 lines per axis");
+        assert!(
+            xs.len() >= 2 && ys.len() >= 2,
+            "grid needs >=2 lines per axis"
+        );
         ScanLines { xs, ys }
     }
 
@@ -145,7 +148,12 @@ impl ScanLines {
     /// Grid cell extent as a physical rectangle.
     #[must_use]
     pub fn cell_rect(&self, row: usize, col: usize) -> Rect {
-        Rect::new(self.xs[col], self.ys[row], self.xs[col + 1], self.ys[row + 1])
+        Rect::new(
+            self.xs[col],
+            self.ys[row],
+            self.xs[col + 1],
+            self.ys[row + 1],
+        )
     }
 }
 

@@ -92,20 +92,32 @@ impl Legalizer {
             &mut slack_x,
             &mut slack_y,
         )?;
-        for (share, extra) in dx_share
-            .iter_mut()
-            .zip(distribute_slack(slack_x, x.minimal.len(), rng))
+        for (share, extra) in
+            dx_share
+                .iter_mut()
+                .zip(distribute_slack(slack_x, x.minimal.len(), rng))
         {
             *share += extra;
         }
-        for (share, extra) in dy_share
-            .iter_mut()
-            .zip(distribute_slack(slack_y, y.minimal.len(), rng))
+        for (share, extra) in
+            dy_share
+                .iter_mut()
+                .zip(distribute_slack(slack_y, y.minimal.len(), rng))
         {
             *share += extra;
         }
-        let dx: Vec<i64> = x.minimal.iter().zip(&dx_share).map(|(m, s)| m + s).collect();
-        let dy: Vec<i64> = y.minimal.iter().zip(&dy_share).map(|(m, s)| m + s).collect();
+        let dx: Vec<i64> = x
+            .minimal
+            .iter()
+            .zip(&dx_share)
+            .map(|(m, s)| m + s)
+            .collect();
+        let dy: Vec<i64> = y
+            .minimal
+            .iter()
+            .zip(&dy_share)
+            .map(|(m, s)| m + s)
+            .collect();
         Ok(SquishPattern::new(topology.clone(), dx, dy))
     }
 
@@ -152,7 +164,7 @@ impl Legalizer {
             while j > 0 {
                 match binding[j] {
                     Some(b) => {
-                        if worst.map_or(true, |w| b.bound > w.bound) {
+                        if worst.is_none_or(|w| b.bound > w.bound) {
                             worst = Some(b);
                         }
                         j = b.start;
@@ -161,12 +173,8 @@ impl Legalizer {
                 }
             }
             let region = match (worst, axis) {
-                (Some(b), Axis::X) => {
-                    Region::new(b.witness, b.start, b.witness + 1, b.end + 1)
-                }
-                (Some(b), Axis::Y) => {
-                    Region::new(b.start, b.witness, b.end + 1, b.witness + 1)
-                }
+                (Some(b), Axis::X) => Region::new(b.witness, b.start, b.witness + 1, b.end + 1),
+                (Some(b), Axis::Y) => Region::new(b.start, b.witness, b.end + 1, b.witness + 1),
                 (None, _) => Region::full(topology.rows(), topology.cols()),
             };
             return Err(LegalizeFailure {
@@ -256,8 +264,16 @@ impl Legalizer {
         }
         let comp_count = labels.count() as usize;
         for _pass in 0..self.area_repair_iters {
-            let dx: Vec<i64> = dx_min.iter().zip(dx_share.iter()).map(|(m, s)| m + s).collect();
-            let dy: Vec<i64> = dy_min.iter().zip(dy_share.iter()).map(|(m, s)| m + s).collect();
+            let dx: Vec<i64> = dx_min
+                .iter()
+                .zip(dx_share.iter())
+                .map(|(m, s)| m + s)
+                .collect();
+            let dy: Vec<i64> = dy_min
+                .iter()
+                .zip(dy_share.iter())
+                .map(|(m, s)| m + s)
+                .collect();
             let mut areas = vec![0i64; comp_count];
             for (r, c, set) in topology.iter() {
                 if set {
@@ -325,8 +341,16 @@ impl Legalizer {
             }
         }
         // Final verification after the last pass.
-        let dx: Vec<i64> = dx_min.iter().zip(dx_share.iter()).map(|(m, s)| m + s).collect();
-        let dy: Vec<i64> = dy_min.iter().zip(dy_share.iter()).map(|(m, s)| m + s).collect();
+        let dx: Vec<i64> = dx_min
+            .iter()
+            .zip(dx_share.iter())
+            .map(|(m, s)| m + s)
+            .collect();
+        let dy: Vec<i64> = dy_min
+            .iter()
+            .zip(dy_share.iter())
+            .map(|(m, s)| m + s)
+            .collect();
         let mut areas = vec![0i64; comp_count];
         for (r, c, set) in topology.iter() {
             if set {
@@ -430,7 +454,10 @@ mod tests {
         let err = Legalizer::new(rules())
             .legalize(&t, 100, 100, &mut rng())
             .expect_err("infeasible");
-        assert!(matches!(err.kind, FailureKind::Infeasible { axis: Axis::X }));
+        assert!(matches!(
+            err.kind,
+            FailureKind::Infeasible { axis: Axis::X }
+        ));
         assert!(err.needed >= 140);
         assert_eq!(err.available, 100);
         assert!(!err.log.is_empty());

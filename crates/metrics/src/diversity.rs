@@ -48,7 +48,7 @@ mod tests {
     #[test]
     fn identical_patterns_have_zero_diversity() {
         let t = Topology::from_ascii("1.\n..");
-        let lib = vec![t.clone(), t.clone(), t];
+        let lib = [t.clone(), t.clone(), t];
         assert_eq!(diversity(lib.iter()), 0.0);
     }
 
@@ -62,7 +62,7 @@ mod tests {
     fn uniform_two_class_library_has_one_bit() {
         let a = Topology::from_ascii("1...\n....");
         let b = Topology::from_ascii("1.1.\n....");
-        let lib = vec![a.clone(), a, b.clone(), b];
+        let lib = [a.clone(), a, b.clone(), b];
         assert!((diversity(lib.iter()) - 1.0).abs() < 1e-12);
     }
 
@@ -81,7 +81,7 @@ mod tests {
     fn histogram_counts_complexities() {
         let a = Topology::from_ascii("1...\n...."); // (2,2)
         let b = Topology::from_ascii("1.1.\n...."); // (4,2)
-        let lib = vec![a.clone(), a, b];
+        let lib = [a.clone(), a, b];
         let hist = complexity_histogram(lib.iter());
         assert_eq!(hist.len(), 2);
         assert_eq!(hist.values().sum::<usize>(), 3);

@@ -119,7 +119,7 @@ mod tests {
     #[test]
     fn all_simple_topologies_are_legal() {
         let rules = DesignRules::new(20, 20, 400);
-        let lib = vec![
+        let lib = [
             Topology::from_ascii("11..\n11..\n....\n...."),
             Topology::from_ascii("....\n.11.\n.11.\n...."),
         ];
@@ -133,7 +133,7 @@ mod tests {
     fn overcomplex_topology_fails() {
         let rules = DesignRules::new(20, 20, 400);
         // 1-px checkerboard row at tiny frame: infeasible.
-        let lib = vec![Topology::from_ascii("1.1.1.1.1.1")];
+        let lib = [Topology::from_ascii("1.1.1.1.1.1")];
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let report = legality(lib.iter(), 100, &rules, &mut rng);
         assert_eq!(report.legal_count(), 0);
@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn mixed_library_ratio() {
         let rules = DesignRules::new(20, 20, 400);
-        let lib = vec![
+        let lib = [
             Topology::from_ascii("11\n11"),
             Topology::from_ascii("1.1.1.1.1.1"),
         ];

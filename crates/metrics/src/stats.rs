@@ -85,7 +85,11 @@ impl LibraryStats {
 impl std::fmt::Display for LibraryStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.legality.is_nan() {
-            write!(f, "legality: n/a, diversity: {:.3} ({} patterns)", self.diversity, self.total)
+            write!(
+                f,
+                "legality: n/a, diversity: {:.3} ({} patterns)",
+                self.diversity, self.total
+            )
         } else {
             write!(
                 f,
@@ -108,7 +112,7 @@ mod tests {
     #[test]
     fn evaluate_combines_legality_and_diversity() {
         let rules = DesignRules::new(20, 20, 400);
-        let lib = vec![
+        let lib = [
             Topology::from_ascii("11..\n11..\n....\n...."),
             Topology::from_ascii("....\n.11.\n.11.\n...."),
             Topology::from_ascii("1.1.1.1.1.1"), // will fail in 100 nm
@@ -122,7 +126,7 @@ mod tests {
 
     #[test]
     fn reference_stats_have_nan_legality() {
-        let lib = vec![Topology::from_ascii("1.\n..")];
+        let lib = [Topology::from_ascii("1.\n..")];
         let stats = LibraryStats::reference(lib.iter());
         assert!(stats.legality.is_nan());
         assert_eq!(stats.total, 1);
@@ -133,7 +137,7 @@ mod tests {
     #[test]
     fn display_formats_percentages() {
         let rules = DesignRules::new(20, 20, 400);
-        let lib = vec![Topology::from_ascii("11\n11")];
+        let lib = [Topology::from_ascii("11\n11")];
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let stats = LibraryStats::evaluate(lib.iter(), 100, &rules, &mut rng);
         assert!(stats.to_string().contains("100.00%"));

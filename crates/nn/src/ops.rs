@@ -50,10 +50,10 @@ impl Conv2d {
         let mut out = Tensor::zeros(self.out_ch, h, w);
         let wt = self.weight.values();
         let bias = self.bias.values();
-        for oc in 0..self.out_ch {
+        for (oc, &oc_bias) in bias.iter().enumerate() {
             for y in 0..h {
                 for xx in 0..w {
-                    let mut acc = bias[oc];
+                    let mut acc = oc_bias;
                     for ic in 0..self.in_ch {
                         let wbase = ((oc * self.in_ch) + ic) * 9;
                         for ky in 0..3usize {
@@ -66,8 +66,8 @@ impl Conv2d {
                                 if sx < 0 || sx >= w as isize {
                                     continue;
                                 }
-                                acc += wt[wbase + ky * 3 + kx]
-                                    * x.get(ic, sy as usize, sx as usize);
+                                acc +=
+                                    wt[wbase + ky * 3 + kx] * x.get(ic, sy as usize, sx as usize);
                             }
                         }
                     }
@@ -121,14 +121,14 @@ impl Conv2d {
         }
         {
             let gb = self.bias.grads_mut();
-            for oc in 0..self.out_ch {
+            for (oc, gb_oc) in gb.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 for y in 0..h {
                     for xx in 0..w {
                         acc += gout.get(oc, y, xx);
                     }
                 }
-                gb[oc] += acc;
+                *gb_oc += acc;
             }
         }
         let wt = self.weight.values();
@@ -289,7 +289,11 @@ impl Linear {
         }
         let wt = self.weight.values();
         (0..self.in_dim)
-            .map(|i| (0..self.out_dim).map(|o| gout[o] * wt[o * self.in_dim + i]).sum())
+            .map(|i| {
+                (0..self.out_dim)
+                    .map(|o| gout[o] * wt[o * self.in_dim + i])
+                    .sum()
+            })
             .collect()
     }
 
@@ -419,7 +423,10 @@ pub fn upsample2(x: &Tensor) -> Tensor {
 #[must_use]
 pub fn upsample2_backward(gout: &Tensor) -> Tensor {
     let (c, h, w) = gout.shape();
-    assert!(h % 2 == 0 && w % 2 == 0, "upsample2 backward needs even dims");
+    assert!(
+        h % 2 == 0 && w % 2 == 0,
+        "upsample2 backward needs even dims"
+    );
     let mut gx = Tensor::zeros(c, h / 2, w / 2);
     for ch in 0..c {
         for y in 0..h {
@@ -474,7 +481,9 @@ mod tests {
     fn conv_identity_kernel_preserves_input() {
         let mut conv = Conv2d::new(1, 1, &mut rng());
         // Hand-set a centre-tap identity kernel.
-        conv.weight.values_mut().copy_from_slice(&[0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        conv.weight
+            .values_mut()
+            .copy_from_slice(&[0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
         conv.bias.values_mut()[0] = 0.0;
         let x = Tensor::from_data(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         let y = conv.forward(&x);

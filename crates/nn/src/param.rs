@@ -99,7 +99,11 @@ mod tests {
         let mut p = Param::zeros(1);
         p.grads_mut()[0] = 1.0;
         p.step(0.1);
-        assert!(p.values()[0] < 0.0, "value should decrease: {}", p.values()[0]);
+        assert!(
+            p.values()[0] < 0.0,
+            "value should decrease: {}",
+            p.values()[0]
+        );
         assert_eq!(p.grads()[0], 0.0, "grad cleared after step");
     }
 

@@ -91,7 +91,10 @@ impl Tensor {
     /// Panics when out of bounds.
     #[must_use]
     pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
-        assert!(c < self.c && y < self.h && x < self.w, "tensor index out of bounds");
+        assert!(
+            c < self.c && y < self.h && x < self.w,
+            "tensor index out of bounds"
+        );
         self.data[(c * self.h + y) * self.w + x]
     }
 
@@ -101,7 +104,10 @@ impl Tensor {
     ///
     /// Panics when out of bounds.
     pub fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
-        assert!(c < self.c && y < self.h && x < self.w, "tensor index out of bounds");
+        assert!(
+            c < self.c && y < self.h && x < self.w,
+            "tensor index out of bounds"
+        );
         self.data[(c * self.h + y) * self.w + x] = v;
     }
 

@@ -13,8 +13,8 @@
 //! embedding is added into the embedding of the time step").
 
 use crate::ops::{
-    avg_pool2, avg_pool2_backward, concat_channels, concat_channels_backward, silu,
-    silu_backward, silu_vec, silu_vec_backward, upsample2, upsample2_backward, Conv2d, Linear,
+    avg_pool2, avg_pool2_backward, concat_channels, concat_channels_backward, silu, silu_backward,
+    silu_vec, silu_vec_backward, upsample2, upsample2_backward, Conv2d, Linear,
 };
 use crate::{Param, Tensor};
 use rand::Rng;
@@ -44,10 +44,10 @@ impl ResBlock {
         let mut h = self.conv1.forward(x);
         let bias = self.emb_proj.forward(emb);
         let (c, hh, ww) = h.shape();
-        for ch in 0..c {
+        for (ch, &ch_bias) in bias.iter().enumerate().take(c) {
             for y in 0..hh {
                 for xx in 0..ww {
-                    let v = h.get(ch, y, xx) + bias[ch];
+                    let v = h.get(ch, y, xx) + ch_bias;
                     h.set(ch, y, xx, v);
                 }
             }
@@ -66,10 +66,10 @@ impl ResBlock {
         // Per-channel bias gradient (broadcast sum).
         let (c, hh, ww) = g_pre.shape();
         let mut g_bias = vec![0.0f32; c];
-        for ch in 0..c {
+        for (ch, g_bias_ch) in g_bias.iter_mut().enumerate().take(c) {
             for y in 0..hh {
                 for xx in 0..ww {
-                    g_bias[ch] += g_pre.get(ch, y, xx);
+                    *g_bias_ch += g_pre.get(ch, y, xx);
                 }
             }
         }
@@ -85,7 +85,9 @@ impl ResBlock {
     }
 
     fn parameter_count(&self) -> usize {
-        self.conv1.parameter_count() + self.conv2.parameter_count() + self.emb_proj.parameter_count()
+        self.conv1.parameter_count()
+            + self.conv2.parameter_count()
+            + self.emb_proj.parameter_count()
     }
 }
 
@@ -118,7 +120,10 @@ impl UNet {
     /// Panics if `channels` or `n_classes` is 0.
     #[must_use]
     pub fn new(channels: usize, n_classes: usize, rng: &mut impl Rng) -> UNet {
-        assert!(channels > 0 && n_classes > 0, "channels/classes must be positive");
+        assert!(
+            channels > 0 && n_classes > 0,
+            "channels/classes must be positive"
+        );
         UNet {
             channels,
             n_classes,
@@ -170,7 +175,7 @@ impl UNet {
     pub fn forward(&mut self, x: &Tensor, t_norm: f32, cond: Option<usize>) -> Tensor {
         assert_eq!(x.channels(), 1, "unet expects a single input channel");
         assert!(
-            x.height() % 2 == 0 && x.width() % 2 == 0,
+            x.height().is_multiple_of(2) && x.width().is_multiple_of(2),
             "unet needs even spatial dims"
         );
         if let Some(c) = cond {
@@ -319,7 +324,9 @@ mod tests {
         // Teach the net to output a vertical-stripe pattern regardless of
         // input: loss should drop substantially within a few steps.
         let mut net = UNet::new(6, 1, &mut rng());
-        let target: Vec<f32> = (0..256).map(|i| f32::from(u8::from((i % 16) < 8))).collect();
+        let target: Vec<f32> = (0..256)
+            .map(|i| f32::from(u8::from((i % 16) < 8)))
+            .collect();
         let mut r = rng();
         let mut first_loss = None;
         let mut last_loss = 0.0;
@@ -328,16 +335,17 @@ mod tests {
                 1,
                 16,
                 16,
-                (0..256).map(|_| f32::from(u8::from(rand::Rng::gen::<bool>(&mut r)))).collect(),
+                (0..256)
+                    .map(|_| f32::from(u8::from(rand::Rng::gen::<bool>(&mut r))))
+                    .collect(),
             );
             let logits = net.forward(&x, 0.5, None);
             // BCE loss + gradient.
             let mut g = Tensor::zeros(1, 16, 16);
             let mut loss = 0.0f32;
-            for i in 0..256 {
+            for (i, &t) in target.iter().enumerate() {
                 let l = logits.as_slice()[i];
                 let p = 1.0 / (1.0 + (-l).exp());
-                let t = target[i];
                 loss -= t * p.max(1e-6).ln() + (1.0 - t) * (1.0 - p).max(1e-6).ln();
                 g.as_mut_slice()[i] = (p - t) / 256.0;
             }

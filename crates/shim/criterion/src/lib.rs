@@ -1,0 +1,157 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `Criterion::bench_function`, benchmark groups with `sample_size`, the
+//! `Bencher::iter` closure protocol and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Timing is a simple fixed-sample median (no warm-up modelling or
+//! outlier analysis); results print as `name: median ns/iter` so
+//! `cargo bench` keeps producing comparable numbers offline.
+
+use std::time::Instant;
+
+/// Re-export for `b.iter(|| black_box(...))` call sites.
+pub use std::hint::black_box;
+
+/// Per-iteration timer handed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting one sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed().as_nanos());
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    // One warm-up call, then the measured samples.
+    f(&mut bencher);
+    bencher.samples.clear();
+    while bencher.samples.len() < sample_size {
+        let before = bencher.samples.len();
+        f(&mut bencher);
+        if bencher.samples.len() == before {
+            // The closure never called `iter`; avoid spinning forever.
+            break;
+        }
+    }
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{name}: no samples");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name}: median {median} ns/iter ({} samples)",
+        samples.len()
+    );
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_owned(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group with its own sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{name}", self.prefix), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; mirrors the real API).
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions under one entry-point name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from one or more group names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_sample_size_applies() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls >= 3);
+    }
+}

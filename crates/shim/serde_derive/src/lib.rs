@@ -1,0 +1,367 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the build
+//! environment has no `syn`/`quote`). Supports exactly the shapes this
+//! workspace derives on:
+//!
+//! * structs with named fields;
+//! * enums whose variants are unit or carry named fields.
+//!
+//! Generated representation (matching serde's externally-tagged
+//! default): structs and struct variants become objects keyed by field
+//! name, unit variants become their name as a string, and a
+//! data-carrying variant `V { f }` becomes `{"V": {"f": ...}}`.
+//! Generics, tuple structs and tuple variants are rejected with a
+//! compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(&input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(&input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum VariantShape {
+    /// `V` — serialized as the string `"V"`.
+    Unit,
+    /// `V { f, ... }` — serialized as `{"V": {"f": ...}}`.
+    Named(Vec<String>),
+    /// `V(T)` — serialized as `{"V": <payload>}`.
+    Newtype,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+fn expand(input: &TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => {
+            let code = match (mode, &shape) {
+                (Mode::Serialize, Shape::Struct(fields)) => struct_serialize(&name, fields),
+                (Mode::Deserialize, Shape::Struct(fields)) => struct_deserialize(&name, fields),
+                (Mode::Serialize, Shape::Enum(variants)) => enum_serialize(&name, variants),
+                (Mode::Deserialize, Shape::Enum(variants)) => enum_deserialize(&name, variants),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(message) => format!("compile_error!({message:?});")
+            .parse()
+            .expect("error token parses"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Strips leading `#[...]` attribute pairs and a `pub` / `pub(...)`
+/// visibility prefix from a token list.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut rest = tokens;
+    loop {
+        match rest {
+            [TokenTree::Punct(p), TokenTree::Group(_), tail @ ..] if p.as_char() == '#' => {
+                rest = tail;
+            }
+            [TokenTree::Ident(i), tail @ ..] if i.to_string() == "pub" => {
+                rest = match tail {
+                    [TokenTree::Group(g), inner @ ..]
+                        if g.delimiter() == Delimiter::Parenthesis =>
+                    {
+                        inner
+                    }
+                    _ => tail,
+                };
+            }
+            _ => return rest,
+        }
+    }
+}
+
+/// Splits a token list on commas that sit outside `<...>` nesting.
+/// (Parenthesised/bracketed groups are single trees, so only angle
+/// brackets need explicit depth tracking.)
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Field name from one `name: Type` chunk.
+fn field_name(chunk: &[TokenTree]) -> Result<String, String> {
+    match skip_attrs_and_vis(chunk) {
+        [TokenTree::Ident(name), TokenTree::Punct(colon), ..] if colon.as_char() == ':' => {
+            Ok(name.to_string())
+        }
+        _ => Err("serde shim derive supports named fields only".to_owned()),
+    }
+}
+
+fn parse_named_fields(body: &TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    split_top_level_commas(&tokens)
+        .iter()
+        .map(|chunk| field_name(chunk))
+        .collect()
+}
+
+fn parse_variants(body: &TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    split_top_level_commas(&tokens)
+        .iter()
+        .map(|chunk| match skip_attrs_and_vis(chunk) {
+            [TokenTree::Ident(name)] => Ok(Variant {
+                name: name.to_string(),
+                shape: VariantShape::Unit,
+            }),
+            [TokenTree::Ident(name), TokenTree::Group(g)] if g.delimiter() == Delimiter::Brace => {
+                Ok(Variant {
+                    name: name.to_string(),
+                    shape: VariantShape::Named(parse_named_fields(&g.stream())?),
+                })
+            }
+            [TokenTree::Ident(name), TokenTree::Group(g)]
+                if g.delimiter() == Delimiter::Parenthesis =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if split_top_level_commas(&inner).len() == 1 {
+                    Ok(Variant {
+                        name: name.to_string(),
+                        shape: VariantShape::Newtype,
+                    })
+                } else {
+                    Err("serde shim derive supports single-field tuple variants only".to_owned())
+                }
+            }
+            _ => Err(
+                "serde shim derive supports unit, newtype and named-field variants only".to_owned(),
+            ),
+        })
+        .collect()
+}
+
+fn parse(input: &TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.clone().into_iter().collect();
+    let rest = skip_attrs_and_vis(&tokens);
+    match rest {
+        [TokenTree::Ident(kw), TokenTree::Ident(name), TokenTree::Group(body)]
+            if body.delimiter() == Delimiter::Brace =>
+        {
+            match kw.to_string().as_str() {
+                "struct" => Ok((
+                    name.to_string(),
+                    Shape::Struct(parse_named_fields(&body.stream())?),
+                )),
+                "enum" => Ok((
+                    name.to_string(),
+                    Shape::Enum(parse_variants(&body.stream())?),
+                )),
+                other => Err(format!("cannot derive for `{other}` items")),
+            }
+        }
+        [TokenTree::Ident(_), TokenTree::Ident(name), TokenTree::Punct(p), ..]
+            if p.as_char() == '<' =>
+        {
+            Err(format!(
+                "serde shim derive does not support generics on `{name}`"
+            ))
+        }
+        _ => Err("serde shim derive supports braced structs and enums only".to_owned()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn struct_serialize(name: &str, fields: &[String]) -> String {
+    let inserts: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "map.insert(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::to_value(&self.{f}));\n"
+            )
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut map = ::serde::Map::new();\n\
+                 {inserts}\
+                 ::serde::Value::Object(map)\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn fields_from_object(path: &str, fields: &[String]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                 obj.get({f:?}).unwrap_or(&::serde::Value::Null))?,\n"
+            )
+        })
+        .collect();
+    format!("{path} {{\n{inits}}}")
+}
+
+fn struct_deserialize(name: &str, fields: &[String]) -> String {
+    let body = fields_from_object(name, fields);
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let obj = value.as_object().ok_or_else(|| ::serde::Error::custom(\
+                     format!(\"expected object for struct {name}, found {{value}}\")))?;\n\
+                 ::std::result::Result::Ok({body})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                VariantShape::Unit => format!(
+                    "{name}::{vname} => ::serde::Value::String(\
+                     ::std::string::String::from({vname:?})),\n"
+                ),
+                VariantShape::Newtype => format!(
+                    "{name}::{vname}(payload) => {{\n\
+                         let mut map = ::serde::Map::new();\n\
+                         map.insert(::std::string::String::from({vname:?}), \
+                             ::serde::Serialize::to_value(payload));\n\
+                         ::serde::Value::Object(map)\n\
+                     }}\n"
+                ),
+                VariantShape::Named(fields) => {
+                    let bindings = fields.join(", ");
+                    let inserts: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "inner.insert(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {bindings} }} => {{\n\
+                             let mut inner = ::serde::Map::new();\n\
+                             {inserts}\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert(::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(map)\n\
+                         }}\n"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n")
+        })
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| match &v.shape {
+            VariantShape::Unit => None,
+            VariantShape::Newtype => Some(format!(
+                "if let ::std::option::Option::Some(inner) = map.get({vname:?}) {{\n\
+                     return ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(inner)?));\n\
+                 }}\n",
+                vname = &v.name,
+            )),
+            VariantShape::Named(fields) => {
+                let vname = &v.name;
+                let body = fields_from_object(&format!("{name}::{vname}"), fields);
+                Some(format!(
+                    "if let ::std::option::Option::Some(inner) = map.get({vname:?}) {{\n\
+                         let obj = inner.as_object().ok_or_else(|| ::serde::Error::custom(\
+                             format!(\"expected object payload for variant {name}::{vname}\")))?;\n\
+                         return ::std::result::Result::Ok({body});\n\
+                     }}\n"
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if let ::serde::Value::String(s) = value {{\n\
+                     return match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown variant {{other}} for enum {name}\"))),\n\
+                     }};\n\
+                 }}\n\
+                 if let ::serde::Value::Object(map) = value {{\n\
+                     {tagged_arms}\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"cannot deserialize enum {name} from {{value}}\")))\n\
+             }}\n\
+         }}"
+    )
+}

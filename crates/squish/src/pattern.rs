@@ -144,7 +144,12 @@ impl SquishPattern {
         let rows = self.topology.rows();
         let cols = self.topology.cols();
         let mut covered = vec![false; rows * cols];
-        let mut layout = Layout::new(Rect::new(0, 0, self.physical_width(), self.physical_height()));
+        let mut layout = Layout::new(Rect::new(
+            0,
+            0,
+            self.physical_width(),
+            self.physical_height(),
+        ));
         for r in 0..rows {
             for c in 0..cols {
                 if covered[r * cols + c] || !self.topology.get(r, c) {

@@ -32,7 +32,11 @@ pub fn to_ascii(topology: &Topology, max_cols: usize) -> String {
                     total += 1;
                 }
             }
-            out.push(if ones * 2 >= total.max(1) && ones > 0 { '#' } else { '.' });
+            out.push(if ones * 2 >= total.max(1) && ones > 0 {
+                '#'
+            } else {
+                '.'
+            });
             c += step;
         }
         out.push('\n');
@@ -47,9 +51,7 @@ pub fn to_ascii(topology: &Topology, max_cols: usize) -> String {
 #[must_use]
 pub fn to_pgm(topology: &Topology) -> Vec<u8> {
     let mut out = Vec::with_capacity(topology.len() + 32);
-    out.extend_from_slice(
-        format!("P5\n{} {}\n255\n", topology.cols(), topology.rows()).as_bytes(),
-    );
+    out.extend_from_slice(format!("P5\n{} {}\n255\n", topology.cols(), topology.rows()).as_bytes());
     for (_, _, set) in topology.iter() {
         out.push(if set { 0 } else { 255 });
     }
@@ -75,7 +77,9 @@ mod tests {
         let art = to_ascii(&t, 4);
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert!(lines.iter().all(|l| l.len() == 4 && l.chars().all(|ch| ch == '#')));
+        assert!(lines
+            .iter()
+            .all(|l| l.len() == 4 && l.chars().all(|ch| ch == '#')));
     }
 
     #[test]

@@ -60,7 +60,11 @@ impl Topology {
     /// Panics if rows have unequal lengths or the input is empty.
     #[must_use]
     pub fn from_ascii(art: &str) -> Topology {
-        let lines: Vec<&str> = art.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
+        let lines: Vec<&str> = art
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .collect();
         assert!(!lines.is_empty(), "empty topology art");
         let cols = lines[0].chars().count();
         assert!(
@@ -109,7 +113,10 @@ impl Topology {
     /// Panics when out of bounds.
     #[must_use]
     pub fn get(&self, row: usize, col: usize) -> bool {
-        assert!(row < self.rows && col < self.cols, "topology index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "topology index out of bounds"
+        );
         self.bits[row * self.cols + col] != 0
     }
 
@@ -119,7 +126,10 @@ impl Topology {
     ///
     /// Panics when out of bounds.
     pub fn set(&mut self, row: usize, col: usize, value: bool) {
-        assert!(row < self.rows && col < self.cols, "topology index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "topology index out of bounds"
+        );
         self.bits[row * self.cols + col] = u8::from(value);
     }
 

@@ -1,22 +1,36 @@
 //! A full agent session with the ReAct transcript printed — the Figure 4
-//! pipeline including requirement auto-formatting and tool execution.
+//! pipeline including requirement auto-formatting and tool execution,
+//! served as one `PatternRequest::Chat`.
 //!
 //! Run with `cargo run --release --example agent_session`.
 
-use chatpattern::core::ChatPattern;
+use chatpattern::{
+    ChatParams, ChatPattern, Error, PatternRequest, PatternService, ResponsePayload,
+};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let system = ChatPattern::builder()
         .window(16)
         .training_patterns(12)
         .diffusion_steps(8)
         .seed(2)
-        .build();
-    let report = system.chat(
-        "Generate a layout pattern library, there are 4 layout patterns in total. \
-         The physical size fixed as 512nm * 512nm. The topology size should be \
-         chosen from 16*16 and 32*32. They should be in style of 'Layer-10001'.",
+        .build()?;
+    let response = system.execute(PatternRequest::Chat(ChatParams {
+        request: "Generate a layout pattern library, there are 4 layout patterns in total. \
+                  The physical size fixed as 512nm * 512nm. The topology size should be \
+                  chosen from 16*16 and 32*32. They should be in style of 'Layer-10001'."
+            .into(),
+        seed: None,
+    }))?;
+    let ResponsePayload::Chat(outcome) = response.payload else {
+        unreachable!("Chat requests produce Chat payloads");
+    };
+    println!("{}", outcome.render_transcript());
+    println!(
+        "=> {} patterns delivered with {} tool calls in {} µs",
+        outcome.library.len(),
+        outcome.tool_calls,
+        response.timing.micros,
     );
-    println!("{}", report.render_transcript());
-    println!("=> {} patterns delivered", report.library.len());
+    Ok(())
 }

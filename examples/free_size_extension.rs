@@ -1,33 +1,73 @@
-//! Free-size pattern extension: grow a fixed-size sample to 4× its side
+//! Free-size pattern extension: grow fixed-size samples to 4× their side
 //! with both algorithms and compare legality/diversity — the workload the
 //! paper's free-size rows of Table 1 measure.
 //!
+//! The base samples come from one `generate_many` batch (independent
+//! seed streams per request); extension and evaluation go through the
+//! typed service API.
+//!
 //! Run with `cargo run --release --example free_size_extension`.
 
-use chatpattern::core::ChatPattern;
 use chatpattern::dataset::Style;
 use chatpattern::extend::ExtensionMethod;
 use chatpattern::metrics::diversity;
 use chatpattern::squish::Topology;
+use chatpattern::{
+    ChatPattern, Error, EvaluateParams, ExtendParams, GenerateParams, PatternRequest,
+    PatternService, ResponsePayload,
+};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let system = ChatPattern::builder()
         .window(32)
         .training_patterns(24)
         .diffusion_steps(8)
         .seed(11)
-        .build();
+        .build()?;
     let style = Style::Layer10003;
     let target = 128usize;
     let frame = target as i64 * 16;
 
+    // One batch, one seed stream per request: the fan-out path.
+    let base_requests: Vec<GenerateParams> = (0..6u64)
+        .map(|seed| GenerateParams {
+            style,
+            rows: 32,
+            cols: 32,
+            count: 1,
+            seed,
+        })
+        .collect();
+    let bases: Vec<Topology> = system
+        .generate_many(&base_requests)?
+        .into_iter()
+        .flatten()
+        .collect();
+
     for method in [ExtensionMethod::OutPainting, ExtensionMethod::InPainting] {
         let mut extended: Vec<Topology> = Vec::new();
-        for seed in 0..6u64 {
-            let base = system.generate(style, 32, 32, 1, seed).remove(0);
-            extended.push(system.extend(&base, target, target, method, style, seed));
+        for (seed, base) in bases.iter().enumerate() {
+            let response = system.execute(PatternRequest::Extend(ExtendParams {
+                seed_topology: base.clone(),
+                rows: target,
+                cols: target,
+                method,
+                style,
+                seed: seed as u64,
+            }))?;
+            let ResponsePayload::Extend(topology) = response.payload else {
+                unreachable!("Extend requests produce Extend payloads");
+            };
+            extended.push(topology);
         }
-        let stats = system.evaluate(extended.iter(), frame, 99);
+        let response = system.execute(PatternRequest::Evaluate(EvaluateParams {
+            topologies: extended.clone(),
+            frame_nm: frame,
+            seed: 99,
+        }))?;
+        let ResponsePayload::Evaluate(stats) = response.payload else {
+            unreachable!("Evaluate requests produce Evaluate payloads");
+        };
         println!(
             "{method}: legality {:.1}%, diversity {:.3} (raw library H {:.3})",
             stats.legality * 100.0,
@@ -35,4 +75,5 @@ fn main() {
             diversity(extended.iter()),
         );
     }
+    Ok(())
 }

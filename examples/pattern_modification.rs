@@ -1,38 +1,65 @@
 //! RePaint-style pattern modification: regenerate a rectangular region of
 //! an existing pattern while keeping everything else bit-exact — the tool
-//! behind the agent's §4.2 mistake recovery.
+//! behind the agent's §4.2 mistake recovery, expressed as a
+//! `PatternRequest::Modify`.
 //!
 //! Run with `cargo run --release --example pattern_modification`.
 
-use chatpattern::core::ChatPattern;
 use chatpattern::dataset::Style;
-use chatpattern::diffusion::Mask;
 use chatpattern::squish::{render::to_ascii, Region};
+use chatpattern::{
+    ChatPattern, Error, GenerateParams, ModifyParams, PatternRequest, PatternService,
+    ResponsePayload,
+};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let system = ChatPattern::builder()
         .window(32)
         .training_patterns(24)
         .diffusion_steps(8)
         .seed(5)
-        .build();
+        .build()?;
     let style = Style::Layer10001;
-    let original = system.generate(style, 32, 32, 1, 13).remove(0);
+    let original = system.generate(style, 32, 32, 1, 13)?.remove(0);
     let region = Region::new(8, 8, 24, 24);
-    let mask = Mask::keep_outside(32, 32, region);
-    let modified = system.modify(&original, &mask, style, 17);
+    let response = system.execute(PatternRequest::Modify(ModifyParams {
+        known: original.clone(),
+        region,
+        style,
+        seed: 17,
+    }))?;
+    let ResponsePayload::Modify(modified) = response.payload else {
+        unreachable!("Modify requests produce Modify payloads");
+    };
 
     println!("original:\n{}", to_ascii(&original, 64));
-    println!("modified (rows/cols 8..24 regenerated):\n{}", to_ascii(&modified, 64));
+    println!(
+        "modified (rows/cols 8..24 regenerated):\n{}",
+        to_ascii(&modified, 64)
+    );
 
     let kept_identical = (0..32)
         .flat_map(|r| (0..32).map(move |c| (r, c)))
-        .filter(|&(r, c)| mask.keeps(r, c))
+        .filter(|&(r, c)| !region.contains(r, c))
         .all(|(r, c)| original.get(r, c) == modified.get(r, c));
     let changed = (0..32)
         .flat_map(|r| (0..32).map(move |c| (r, c)))
-        .filter(|&(r, c)| !mask.keeps(r, c))
+        .filter(|&(r, c)| region.contains(r, c))
         .filter(|&(r, c)| original.get(r, c) != modified.get(r, c))
         .count();
-    println!("kept region bit-exact: {kept_identical}; {changed} cells changed inside the mask");
+    println!("kept region bit-exact: {kept_identical}; {changed} cells changed inside the region");
+
+    // The same request, serialized: what a network front-end would send.
+    let request = PatternRequest::Generate(GenerateParams {
+        style,
+        rows: 32,
+        cols: 32,
+        count: 1,
+        seed: 13,
+    });
+    println!(
+        "\nwire form of a generation request:\n{}",
+        serde_json::to_string(&request).expect("serializable"),
+    );
+    Ok(())
 }

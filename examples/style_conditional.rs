@@ -1,36 +1,57 @@
 //! Property-conditional generation: one model, two styles — the
 //! conditional capability that lets ChatPattern train on a multi-source
-//! dataset without style conflict.
+//! dataset without style conflict. Generation and legalization run
+//! through the typed service API; the independent DRC pass uses the
+//! facade's `drc_check`, whose failure is the workspace `Error::Drc`.
 //!
 //! Run with `cargo run --release --example style_conditional`.
 
-use chatpattern::core::ChatPattern;
 use chatpattern::dataset::Style;
-use chatpattern::drc::check_pattern;
 use chatpattern::squish::{complexity, render::to_ascii, Topology};
+use chatpattern::{
+    ChatPattern, Error, GenerateParams, LegalizeParams, PatternRequest, PatternService,
+    ResponsePayload,
+};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let system = ChatPattern::builder()
         .window(32)
         .training_patterns(24)
         .diffusion_steps(8)
         .seed(3)
-        .build();
+        .build()?;
 
     for style in [Style::Layer10001, Style::Layer10003] {
-        let samples = system.generate(style, 32, 32, 4, 21);
+        let response = system.execute(PatternRequest::Generate(GenerateParams {
+            style,
+            rows: 32,
+            cols: 32,
+            count: 4,
+            seed: 21,
+        }))?;
+        let ResponsePayload::Generate(samples) = response.payload else {
+            unreachable!("Generate requests produce Generate payloads");
+        };
         let density: f64 =
             samples.iter().map(Topology::density).sum::<f64>() / samples.len() as f64;
         println!("=== {style} ===");
         println!("mean density {density:.3}");
         println!("{}", to_ascii(&samples[0], 64));
-        match system.legalize(&samples[0], 1024, 1024, 5) {
-            Ok(pattern) => {
-                let report = check_pattern(&pattern, system.rules());
+        let legalized = system.execute(PatternRequest::Legalize(LegalizeParams {
+            topology: samples[0].clone(),
+            width_nm: 1024,
+            height_nm: 1024,
+            seed: 5,
+        }));
+        match legalized {
+            Ok(response) => {
+                let ResponsePayload::Legalize(pattern) = response.payload else {
+                    unreachable!("Legalize requests produce Legalize payloads");
+                };
                 println!(
                     "legalized: {} rects, DRC clean: {}, complexity {}",
                     pattern.to_layout().len(),
-                    report.is_clean(),
+                    system.drc_check(&pattern).is_ok(),
                     complexity(pattern.topology()),
                 );
             }
@@ -38,4 +59,5 @@ fn main() {
         }
         println!();
     }
+    Ok(())
 }

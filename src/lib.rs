@@ -5,17 +5,32 @@
 //! conditional discrete-diffusion layout pattern generator with
 //! free-size extension and explainable legalization.
 //!
-//! This crate re-exports the whole workspace; see [`core::ChatPattern`]
-//! for the facade and the `examples/` directory for runnable scenarios.
+//! This crate re-exports the whole workspace. The public API is the
+//! [`PatternService`] trait served by [`ChatPattern`]: every capability
+//! — the agent chat path and the direct generate / extend / modify /
+//! legalize / evaluate back-ends — is one typed, serializable
+//! [`PatternRequest`], and every failure is the workspace-wide
+//! [`Error`]. See the `examples/` directory for runnable scenarios.
 //!
 //! ```
-//! use chatpattern::core::ChatPattern;
+//! use chatpattern::{ChatPattern, ChatParams, PatternRequest, PatternService, ResponsePayload};
+//!
 //! let system = ChatPattern::builder()
 //!     .window(16)
 //!     .training_patterns(8)
 //!     .diffusion_steps(6)
-//!     .build();
-//! assert_eq!(system.window(), 16);
+//!     .build()?;
+//! let response = system.execute(PatternRequest::Chat(ChatParams {
+//!     request: "Generate 2 patterns, topology size 16*16, physical size 512nm x 512nm, \
+//!               style Layer-10001."
+//!         .into(),
+//!     seed: Some(1),
+//! }))?;
+//! match response.payload {
+//!     ResponsePayload::Chat(outcome) => assert_eq!(outcome.library.len(), 2),
+//!     other => panic!("unexpected payload {other:?}"),
+//! }
+//! # Ok::<(), chatpattern::Error>(())
 //! ```
 
 pub use chatpattern_core as core;
@@ -30,3 +45,9 @@ pub use cp_legalize as legalize;
 pub use cp_metrics as metrics;
 pub use cp_nn as nn;
 pub use cp_squish as squish;
+
+pub use chatpattern_core::{
+    ChatOutcome, ChatParams, ChatPattern, ChatPatternBuilder, Error, EvaluateParams, ExtendParams,
+    GenerateParams, LegalizeParams, ModifyParams, PatternRequest, PatternResponse, PatternService,
+    ResponsePayload, Timing,
+};

@@ -15,6 +15,7 @@ fn small_system(seed: u64) -> ChatPattern {
         .diffusion_steps(8)
         .seed(seed)
         .build()
+        .expect("valid configuration")
 }
 
 #[test]
@@ -22,12 +23,14 @@ fn conditional_generation_separates_styles() {
     let system = small_system(1);
     let dense: f64 = system
         .generate(Style::Layer10001, 16, 16, 6, 2)
+        .expect("generates")
         .iter()
         .map(Topology::density)
         .sum::<f64>()
         / 6.0;
     let sparse: f64 = system
         .generate(Style::Layer10003, 16, 16, 6, 2)
+        .expect("generates")
         .iter()
         .map(Topology::density)
         .sum::<f64>()
@@ -43,12 +46,18 @@ fn legalized_patterns_are_drc_clean() {
     let system = small_system(2);
     let mut clean = 0;
     for seed in 0..8u64 {
-        let topo = system.generate(Style::Layer10003, 16, 16, 1, seed).remove(0);
+        let topo = system
+            .generate(Style::Layer10003, 16, 16, 1, seed)
+            .expect("generates")
+            .remove(0);
         if let Ok(pattern) = system.legalize(&topo, 512, 512, seed) {
             assert!(
                 check_pattern(&pattern, system.rules()).is_clean(),
                 "legalizer output failed independent DRC"
             );
+            system
+                .drc_check(&pattern)
+                .expect("facade drc_check agrees with check_pattern");
             clean += 1;
         }
     }
@@ -58,16 +67,21 @@ fn legalized_patterns_are_drc_clean() {
 #[test]
 fn extension_reaches_any_size_and_keeps_the_seed() {
     let system = small_system(3);
-    let seed_topo = system.generate(Style::Layer10003, 16, 16, 1, 4).remove(0);
+    let seed_topo = system
+        .generate(Style::Layer10003, 16, 16, 1, 4)
+        .expect("generates")
+        .remove(0);
     for (rows, cols) in [(32, 32), (48, 32), (40, 56)] {
-        let big = system.extend(
-            &seed_topo,
-            rows,
-            cols,
-            ExtensionMethod::OutPainting,
-            Style::Layer10003,
-            9,
-        );
+        let big = system
+            .extend(
+                &seed_topo,
+                rows,
+                cols,
+                ExtensionMethod::OutPainting,
+                Style::Layer10003,
+                9,
+            )
+            .expect("extends");
         assert_eq!(big.shape(), (rows, cols));
         for r in 0..16 {
             for c in 0..16 {
@@ -80,9 +94,14 @@ fn extension_reaches_any_size_and_keeps_the_seed() {
 #[test]
 fn modification_is_bit_exact_outside_the_mask() {
     let system = small_system(4);
-    let original = system.generate(Style::Layer10001, 16, 16, 1, 5).remove(0);
+    let original = system
+        .generate(Style::Layer10001, 16, 16, 1, 5)
+        .expect("generates")
+        .remove(0);
     let mask = Mask::keep_outside(16, 16, Region::new(4, 4, 12, 12));
-    let modified = system.modify(&original, &mask, Style::Layer10001, 6);
+    let modified = system
+        .modify(&original, &mask, Style::Layer10001, 6)
+        .expect("modifies");
     for r in 0..16 {
         for c in 0..16 {
             if mask.keeps(r, c) {
@@ -95,10 +114,12 @@ fn modification_is_bit_exact_outside_the_mask() {
 #[test]
 fn agent_session_delivers_requested_library_end_to_end() {
     let system = small_system(5);
-    let report = system.chat(
-        "Generate 4 patterns, topology size 16*16, physical size 512nm x 512nm, \
-         style Layer-10001.",
-    );
+    let report = system
+        .chat(
+            "Generate 4 patterns, topology size 16*16, physical size 512nm x 512nm, \
+             style Layer-10001.",
+        )
+        .expect("parses and runs");
     assert_eq!(report.library.len(), 4, "summary: {}", report.summary);
     let transcript = report.render_transcript();
     assert!(transcript.contains("# Requirement - subtask 1"));
@@ -110,10 +131,12 @@ fn agent_session_delivers_requested_library_end_to_end() {
 #[test]
 fn agent_extends_beyond_window_via_documentation() {
     let system = small_system(6);
-    let report = system.chat(
-        "Generate 2 patterns, topology size 32*32, physical size 1024nm x 1024nm, \
-         style Layer-10003.",
-    );
+    let report = system
+        .chat(
+            "Generate 2 patterns, topology size 32*32, physical size 1024nm x 1024nm, \
+             style Layer-10003.",
+        )
+        .expect("parses and runs");
     assert_eq!(report.library.len(), 2, "summary: {}", report.summary);
     let transcript = report.render_transcript();
     assert!(transcript.contains("Action: get_documentation"));
@@ -126,8 +149,10 @@ fn agent_extends_beyond_window_via_documentation() {
 #[test]
 fn evaluation_pipeline_reports_table1_style_stats() {
     let system = small_system(7);
-    let lib = system.generate(Style::Layer10003, 16, 16, 10, 8);
-    let stats = system.evaluate(lib.iter(), 512, 9);
+    let lib = system
+        .generate(Style::Layer10003, 16, 16, 10, 8)
+        .expect("generates");
+    let stats = system.evaluate(lib.iter(), 512, 9).expect("evaluates");
     assert_eq!(stats.total, 10);
     assert!(stats.legal >= 7, "legality too low: {stats:?}");
     assert!(stats.diversity >= 0.0);

@@ -1,78 +1,119 @@
 //! Property-based tests on cross-crate invariants.
+//!
+//! The original version of this file used the `proptest` crate; the
+//! offline build environment has no registry access, so the same
+//! invariants are now exercised with an explicit seeded generator loop:
+//! 64 deterministic random cases per property, with the failing seed in
+//! every assertion message.
 
 use chatpattern::drc::{check_pattern, DesignRules};
 use chatpattern::geom::{Layout, Rect};
 use chatpattern::legalize::Legalizer;
 use chatpattern::squish::{complexity, normalize_to, SquishPattern, Topology};
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-/// Random small layouts: up to 8 snapped rects in a 512 nm frame.
-fn arb_layout() -> impl Strategy<Value = Layout> {
-    proptest::collection::vec((0i64..28, 0i64..28, 1i64..12, 1i64..12), 0..8).prop_map(|specs| {
-        let mut layout = Layout::new(Rect::new(0, 0, 512, 512));
-        for (x, y, w, h) in specs {
-            layout.push(Rect::from_origin_size(x * 16, y * 16, w * 16, h * 16));
-        }
-        layout
-    })
-}
+const CASES: u64 = 64;
 
-fn arb_topology() -> impl Strategy<Value = Topology> {
-    proptest::collection::vec(proptest::bool::ANY, 64)
-        .prop_map(|bits| Topology::from_fn(8, 8, |r, c| bits[r * 8 + c]))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn squish_round_trip_preserves_union_area(layout in arb_layout()) {
-        let squish = SquishPattern::from_layout(&layout);
-        prop_assert_eq!(squish.to_layout().union_area(), layout.union_area());
+/// Random small layout: up to 8 snapped rects in a 512 nm frame.
+fn arb_layout(rng: &mut ChaCha8Rng) -> Layout {
+    let mut layout = Layout::new(Rect::new(0, 0, 512, 512));
+    for _ in 0..rng.gen_range(0..8usize) {
+        let x: i64 = rng.gen_range(0..28);
+        let y: i64 = rng.gen_range(0..28);
+        let w: i64 = rng.gen_range(1..12);
+        let h: i64 = rng.gen_range(1..12);
+        layout.push(Rect::from_origin_size(x * 16, y * 16, w * 16, h * 16));
     }
+    layout
+}
 
-    #[test]
-    fn minimized_preserves_area_and_complexity(layout in arb_layout()) {
+/// Random dense-ish 8×8 topology.
+fn arb_topology(rng: &mut ChaCha8Rng) -> Topology {
+    let bits: Vec<bool> = (0..64).map(|_| rng.gen::<bool>()).collect();
+    Topology::from_fn(8, 8, |r, c| bits[r * 8 + c])
+}
+
+#[test]
+fn squish_round_trip_preserves_union_area() {
+    for seed in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let layout = arb_layout(&mut rng);
         let squish = SquishPattern::from_layout(&layout);
+        assert_eq!(
+            squish.to_layout().union_area(),
+            layout.union_area(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn minimized_preserves_area_and_complexity() {
+    for seed in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(1000 + seed);
+        let squish = SquishPattern::from_layout(&arb_layout(&mut rng));
         let min = squish.minimized();
-        prop_assert_eq!(min.drawn_area(), squish.drawn_area());
-        prop_assert_eq!(complexity(min.topology()), complexity(squish.topology()));
+        assert_eq!(min.drawn_area(), squish.drawn_area(), "seed {seed}");
+        assert_eq!(
+            complexity(min.topology()),
+            complexity(squish.topology()),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn normalization_preserves_geometry(layout in arb_layout()) {
-        let squish = SquishPattern::from_layout(&layout).minimized();
+#[test]
+fn normalization_preserves_geometry() {
+    for seed in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(2000 + seed);
+        let squish = SquishPattern::from_layout(&arb_layout(&mut rng)).minimized();
         if let Some(normalized) = normalize_to(&squish, 64, 64) {
-            prop_assert_eq!(normalized.physical_width(), squish.physical_width());
-            prop_assert_eq!(normalized.drawn_area(), squish.drawn_area());
-            prop_assert_eq!(complexity(normalized.topology()), complexity(squish.topology()));
+            assert_eq!(
+                normalized.physical_width(),
+                squish.physical_width(),
+                "seed {seed}"
+            );
+            assert_eq!(normalized.drawn_area(), squish.drawn_area(), "seed {seed}");
+            assert_eq!(
+                complexity(normalized.topology()),
+                complexity(squish.topology()),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn legalization_success_implies_drc_clean(topology in arb_topology(), seed in 0u64..1000) {
-        use rand::SeedableRng;
-        let rules = DesignRules::new(20, 20, 400);
-        let legalizer = Legalizer::new(rules);
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+#[test]
+fn legalization_success_implies_drc_clean() {
+    let rules = DesignRules::new(20, 20, 400);
+    let legalizer = Legalizer::new(rules);
+    for seed in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(3000 + seed);
+        let topology = arb_topology(&mut rng);
         if let Ok(pattern) = legalizer.legalize(&topology, 2000, 2000, &mut rng) {
-            prop_assert!(check_pattern(&pattern, &rules).is_clean());
-            prop_assert_eq!(pattern.physical_width(), 2000);
-            prop_assert_eq!(pattern.physical_height(), 2000);
+            assert!(
+                check_pattern(&pattern, &rules).is_clean(),
+                "seed {seed}: legal output failed independent DRC"
+            );
+            assert_eq!(pattern.physical_width(), 2000, "seed {seed}");
+            assert_eq!(pattern.physical_height(), 2000, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn legalization_failure_region_is_in_bounds(topology in arb_topology(), seed in 0u64..100) {
-        use rand::SeedableRng;
-        let rules = DesignRules::new(20, 20, 400);
-        let legalizer = Legalizer::new(rules);
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+#[test]
+fn legalization_failure_region_is_in_bounds() {
+    let rules = DesignRules::new(20, 20, 400);
+    let legalizer = Legalizer::new(rules);
+    for seed in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(4000 + seed);
+        let topology = arb_topology(&mut rng);
         // A frame this tight fails often; the region must stay in bounds.
         if let Err(failure) = legalizer.legalize(&topology, 90, 90, &mut rng) {
-            prop_assert!(failure.region.row1() <= topology.rows());
-            prop_assert!(failure.region.col1() <= topology.cols());
-            prop_assert!(!failure.region.is_empty());
+            assert!(failure.region.row1() <= topology.rows(), "seed {seed}");
+            assert!(failure.region.col1() <= topology.cols(), "seed {seed}");
+            assert!(!failure.region.is_empty(), "seed {seed}");
         }
     }
 }
