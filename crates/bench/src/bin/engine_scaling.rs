@@ -1,0 +1,111 @@
+//! Engine scaling: serial vs. pooled `execute_many` on a 32-request
+//! Generate batch, at several worker counts. Prints a table and writes
+//! `BENCH_ENGINE.json` (in the working directory) so the perf
+//! trajectory starts capturing engine scaling run over run.
+//!
+//! Scale with the usual `CP_*` variables; `CP_ENGINE_WORKERS` is a
+//! comma-separated list of pool sizes to sweep (default `2,4,8`).
+
+use chatpattern_core::{
+    ChatPattern, EngineConfig, GenerateParams, PatternEngine, PatternRequest, PatternService,
+};
+use cp_bench::BenchConfig;
+use cp_dataset::Style;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const BATCH: usize = 32;
+
+fn batch(cfg: &BenchConfig) -> Vec<PatternRequest> {
+    (0..BATCH as u64)
+        .map(|seed| {
+            PatternRequest::Generate(GenerateParams {
+                style: if seed.is_multiple_of(2) {
+                    Style::Layer10001
+                } else {
+                    Style::Layer10003
+                },
+                rows: cfg.window,
+                cols: cfg.window,
+                count: 1,
+                seed,
+            })
+        })
+        .collect()
+}
+
+fn run_serial(system: &ChatPattern, cfg: &BenchConfig) -> f64 {
+    let started = Instant::now();
+    let results = system.execute_many(batch(cfg));
+    assert!(results.iter().all(Result::is_ok), "serial batch failed");
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+fn run_pooled(system: &Arc<ChatPattern>, cfg: &BenchConfig, workers: usize) -> f64 {
+    let engine = PatternEngine::with_config(
+        Arc::clone(system),
+        EngineConfig {
+            workers,
+            queue_depth: BATCH,
+            // Disabled: scaling numbers must measure sampling, not
+            // cache replay.
+            cache_capacity: 0,
+        },
+    )
+    .expect("valid engine config");
+    let started = Instant::now();
+    let results = engine.execute_many(batch(cfg));
+    assert!(results.iter().all(Result::is_ok), "pooled batch failed");
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    cfg.print_banner("Engine scaling: serial vs. pooled execute_many");
+    let sweep: Vec<usize> = std::env::var("CP_ENGINE_WORKERS")
+        .unwrap_or_else(|_| "2,4,8".to_owned())
+        .split(',')
+        .filter_map(|w| w.trim().parse().ok())
+        .filter(|&w| w > 0)
+        .collect();
+
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let system = Arc::new(cfg.build_system());
+    // Warm-up pass so page faults and lazy init don't bias `serial`.
+    let _ = system.execute_many(batch(&cfg));
+    let serial_ms = run_serial(&system, &cfg);
+    println!(
+        "{BATCH}-request Generate batch, window {}, {cpus} CPU(s):",
+        cfg.window
+    );
+    println!("  serial            {serial_ms:9.1} ms   1.00x");
+
+    let mut rows = String::new();
+    for &workers in &sweep {
+        let pooled_ms = run_pooled(&system, &cfg, workers);
+        let speedup = serial_ms / pooled_ms;
+        println!("  pooled {workers:2} workers {pooled_ms:9.1} ms   {speedup:.2}x");
+        let _ = write!(
+            rows,
+            "{}{{\"workers\":{workers},\"millis\":{pooled_ms:.3},\"speedup\":{speedup:.3}}}",
+            if rows.is_empty() { "" } else { "," }
+        );
+    }
+
+    if cpus == 1 {
+        println!(
+            "\nnote: this host exposes a single CPU, so the pooled numbers measure\n\
+             per-job engine overhead (serial/pooled delta ÷ {BATCH}), not scaling;\n\
+             speedups > 1 require a multi-core host."
+        );
+    }
+
+    let json = format!(
+        "{{\"bench\":\"engine_scaling\",\"batch\":{BATCH},\"window\":{},\"steps\":{},\
+         \"train\":{},\"cpus\":{cpus},\"serial_millis\":{serial_ms:.3},\"pooled\":[{rows}]}}\n",
+        cfg.window, cfg.steps, cfg.train
+    );
+    std::fs::write("BENCH_ENGINE.json", &json).expect("write BENCH_ENGINE.json");
+    println!("\nwrote BENCH_ENGINE.json");
+}

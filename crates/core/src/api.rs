@@ -165,10 +165,61 @@ impl ChatOutcome {
 }
 
 /// Wall-clock cost of serving one request.
+///
+/// Direct [`PatternService::execute`] calls spend no time queued, so
+/// `queue_micros` is zero and `micros == exec_micros`. Requests routed
+/// through a [`PatternEngine`](crate::PatternEngine) record how long
+/// the job sat in the submission queue before a worker picked it up;
+/// cache hits additionally set `cached` and report only the (tiny)
+/// lookup cost as `exec_micros`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Timing {
-    /// Microseconds spent inside the service.
+    /// Total microseconds from submission to completion
+    /// (`queue_micros + exec_micros`).
     pub micros: u64,
+    /// Microseconds the job waited in the engine queue (zero for
+    /// direct execution).
+    pub queue_micros: u64,
+    /// Microseconds spent executing (or, for cache hits, looking up)
+    /// the request.
+    pub exec_micros: u64,
+    /// Whether the payload was served from the engine's result cache.
+    pub cached: bool,
+}
+
+impl Timing {
+    /// Timing of a direct, unqueued execution.
+    #[must_use]
+    pub fn direct(exec_micros: u64) -> Timing {
+        Timing {
+            micros: exec_micros,
+            queue_micros: 0,
+            exec_micros,
+            cached: false,
+        }
+    }
+
+    /// Timing of an engine-executed job: queue wait plus execution.
+    #[must_use]
+    pub fn queued(queue_micros: u64, exec_micros: u64) -> Timing {
+        Timing {
+            micros: queue_micros.saturating_add(exec_micros),
+            queue_micros,
+            exec_micros,
+            cached: false,
+        }
+    }
+
+    /// Timing of a cache hit (no queue wait, lookup cost only).
+    #[must_use]
+    pub fn cache_hit(exec_micros: u64) -> Timing {
+        Timing {
+            micros: exec_micros,
+            queue_micros: 0,
+            exec_micros,
+            cached: true,
+        }
+    }
 }
 
 /// Per-variant response payload.
@@ -215,6 +266,19 @@ pub trait PatternService {
     /// parallelize execution without changing results.
     fn execute_many(&self, requests: Vec<PatternRequest>) -> Vec<Result<PatternResponse, Error>> {
         requests.into_iter().map(|r| self.execute(r)).collect()
+    }
+}
+
+/// Sharing a service behind an [`Arc`](std::sync::Arc) is itself a
+/// service — the idiom for handing one built system to both a
+/// [`PatternEngine`](crate::PatternEngine) and direct callers.
+impl<S: PatternService + ?Sized> PatternService for std::sync::Arc<S> {
+    fn execute(&self, request: PatternRequest) -> Result<PatternResponse, Error> {
+        (**self).execute(request)
+    }
+
+    fn execute_many(&self, requests: Vec<PatternRequest>) -> Vec<Result<PatternResponse, Error>> {
+        (**self).execute_many(requests)
     }
 }
 
@@ -268,23 +332,33 @@ impl PatternService for ChatPattern {
                     params.seed,
                 )?)
             }
+            // Non-positive frames are rejected inside `legalize` /
+            // `evaluate` (one copy of each check, shared with direct
+            // callers); only the Vec-shaped emptiness test lives here.
             PatternRequest::Legalize(params) => ResponsePayload::Legalize(self.legalize(
                 &params.topology,
                 params.width_nm,
                 params.height_nm,
                 params.seed,
             )?),
-            PatternRequest::Evaluate(params) => ResponsePayload::Evaluate(self.evaluate(
-                params.topologies.iter(),
-                params.frame_nm,
-                params.seed,
-            )?),
+            PatternRequest::Evaluate(params) => {
+                if params.topologies.is_empty() {
+                    return Err(Error::invalid_request(
+                        "evaluation needs at least one topology",
+                    ));
+                }
+                ResponsePayload::Evaluate(self.evaluate(
+                    params.topologies.iter(),
+                    params.frame_nm,
+                    params.seed,
+                )?)
+            }
         };
         Ok(PatternResponse {
             payload,
-            timing: Timing {
-                micros: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
-            },
+            timing: Timing::direct(
+                u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            ),
         })
     }
 }
@@ -435,6 +509,58 @@ mod tests {
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(Error::InvalidRequest { .. })));
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn timing_constructors_account_totals() {
+        let direct = Timing::direct(120);
+        assert_eq!((direct.micros, direct.queue_micros), (120, 0));
+        assert!(!direct.cached);
+        let queued = Timing::queued(30, 70);
+        assert_eq!(queued.micros, 100);
+        assert_eq!(queued.exec_micros, 70);
+        let hit = Timing::cache_hit(2);
+        assert!(hit.cached);
+        assert_eq!(hit.micros, 2);
+        // Saturating, not wrapping, on absurd inputs.
+        assert_eq!(Timing::queued(u64::MAX, 1).micros, u64::MAX);
+    }
+
+    #[test]
+    fn evaluate_request_rejects_empty_library_and_bad_frame() {
+        let system = small_system();
+        let err = system
+            .execute(PatternRequest::Evaluate(EvaluateParams {
+                topologies: Vec::new(),
+                frame_nm: 200,
+                seed: 1,
+            }))
+            .expect_err("empty library must fail");
+        assert!(matches!(err, Error::InvalidRequest { .. }), "{err:?}");
+        let err = system
+            .execute(PatternRequest::Evaluate(EvaluateParams {
+                topologies: vec![Topology::filled(4, 4, true)],
+                frame_nm: 0,
+                seed: 1,
+            }))
+            .expect_err("zero frame must fail");
+        assert!(matches!(err, Error::InvalidRequest { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn legalize_request_rejects_non_positive_frames() {
+        let system = small_system();
+        for (w, h) in [(0, 100), (100, 0), (-5, 100), (100, -5)] {
+            let err = system
+                .execute(PatternRequest::Legalize(LegalizeParams {
+                    topology: Topology::filled(4, 4, true),
+                    width_nm: w,
+                    height_nm: h,
+                    seed: 1,
+                }))
+                .expect_err("non-positive frame must fail");
+            assert!(matches!(err, Error::InvalidRequest { .. }), "{err:?}");
+        }
     }
 
     #[test]

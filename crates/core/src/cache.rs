@@ -1,0 +1,111 @@
+//! Request-level LRU result cache.
+//!
+//! The engine keys entries on the serialized wire form of a request —
+//! `(request-kind, params, seed)` — so two textually identical requests
+//! share one execution. Only deterministic requests are cached (every
+//! request kind carries an explicit seed except `Chat { seed: None }`,
+//! which bypasses the cache entirely; see
+//! [`cache_key`](crate::engine::cache_key)).
+//!
+//! The implementation is a plain `HashMap` plus a recency queue: hits
+//! and inserts are O(queue length) in the worst case, which is fine at
+//! the few-hundred-entry capacities the engine runs with. Capacity 0
+//! disables caching.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A least-recently-used map from serialized requests to values.
+#[derive(Debug)]
+pub(crate) struct LruCache<V> {
+    capacity: usize,
+    entries: HashMap<String, V>,
+    /// Keys ordered oldest-first; touched keys move to the back.
+    recency: VecDeque<String>,
+}
+
+impl<V: Clone> LruCache<V> {
+    /// Creates a cache holding up to `capacity` entries (0 = disabled).
+    pub(crate) fn new(capacity: usize) -> LruCache<V> {
+        LruCache {
+            capacity,
+            entries: HashMap::new(),
+            recency: VecDeque::new(),
+        }
+    }
+
+    /// Number of live entries.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub(crate) fn get(&mut self, key: &str) -> Option<V> {
+        let value = self.entries.get(key)?.clone();
+        self.touch(key);
+        Some(value)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used
+    /// entry when over capacity.
+    pub(crate) fn insert(&mut self, key: String, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.insert(key.clone(), value).is_some() {
+            self.touch(&key);
+            return;
+        }
+        self.recency.push_back(key);
+        while self.entries.len() > self.capacity {
+            if let Some(oldest) = self.recency.pop_front() {
+                self.entries.remove(&oldest);
+            }
+        }
+    }
+
+    /// Moves `key` to the most-recently-used position.
+    fn touch(&mut self, key: &str) {
+        if let Some(pos) = self.recency.iter().position(|k| k == key) {
+            let k = self.recency.remove(pos).expect("position is in range");
+            self.recency.push_back(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a".into(), 1);
+        cache.insert("b".into(), 2);
+        assert_eq!(cache.get("a"), Some(1)); // refresh "a"; "b" is now LRU
+        cache.insert("c".into(), 3);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("b"), None, "LRU entry evicted");
+        assert_eq!(cache.get("a"), Some(1));
+        assert_eq!(cache.get("c"), Some(3));
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a".into(), 1);
+        cache.insert("b".into(), 2);
+        cache.insert("a".into(), 10); // refresh: "b" becomes LRU
+        cache.insert("c".into(), 3);
+        assert_eq!(cache.get("a"), Some(10));
+        assert_eq!(cache.get("b"), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = LruCache::new(0);
+        cache.insert("a".into(), 1);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.get("a"), None);
+    }
+}

@@ -1,0 +1,708 @@
+//! The job-oriented execution engine.
+//!
+//! [`PatternEngine`] wraps any [`PatternService`] in a fixed pool of
+//! `std::thread` workers fed by a bounded queue, turning the blocking
+//! trait into a submission API:
+//!
+//! * [`PatternEngine::submit`] enqueues a request and returns a
+//!   [`JobHandle`] immediately (or [`Error::QueueFull`] when the
+//!   bounded queue is at capacity);
+//! * [`JobHandle::wait`] blocks for the result,
+//!   [`JobHandle::try_status`] polls without blocking, and
+//!   [`JobHandle::cancel`] aborts a still-queued job with
+//!   [`Error::Cancelled`];
+//! * the engine itself implements [`PatternService`], so
+//!   [`PatternService::execute_many`] becomes a submit-all/wait-all
+//!   loop that finally runs batches in parallel.
+//!
+//! Because every request carries its own RNG seed, parallel execution
+//! returns byte-identical payloads to the serial default — the batch is
+//! a pure function of the request list, independent of worker
+//! interleaving.
+//!
+//! Deterministic requests (everything except `Chat { seed: None }`)
+//! additionally flow through a request-level LRU result cache keyed on
+//! the serialized wire form; hits skip the queue entirely and are
+//! reported in [`EngineStats`]. [`Timing`] distinguishes queue wait
+//! from execution time for every job.
+
+use crate::cache::LruCache;
+use crate::{Error, PatternRequest, PatternResponse, PatternService, ResponsePayload, Timing};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Scale knobs of a [`PatternEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads executing jobs (≥ 1).
+    pub workers: usize,
+    /// Bound of the submission queue (≥ 1); [`PatternEngine::submit`]
+    /// reports [`Error::QueueFull`] beyond it.
+    pub queue_depth: usize,
+    /// Entries in the request-level result cache (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+            queue_depth: 256,
+            cache_capacity: 128,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Checks the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when `workers` or `queue_depth` is
+    /// zero.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.workers == 0 {
+            return Err(Error::config("engine needs at least 1 worker (got 0)"));
+        }
+        if self.queue_depth == 0 {
+            return Err(Error::config("queue_depth must be at least 1 (got 0)"));
+        }
+        Ok(())
+    }
+}
+
+/// Observable lifecycle of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the submission queue.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished (successfully or with an error); `wait` returns
+    /// immediately.
+    Done,
+    /// Cancelled while queued; `wait` returns [`Error::Cancelled`].
+    Cancelled,
+}
+
+/// Counters describing engine activity since construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Jobs accepted by `submit`/`submit_blocking` (cache hits
+    /// included).
+    pub submitted: u64,
+    /// Jobs that completed successfully (cache hits included).
+    pub completed: u64,
+    /// Jobs that completed with an error.
+    pub failed: u64,
+    /// Jobs cancelled while queued.
+    pub cancelled: u64,
+    /// Requests served straight from the result cache.
+    pub cache_hits: u64,
+    /// Cacheable requests that had to execute.
+    pub cache_misses: u64,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Cache key of a request: its serialized wire form, or `None` when
+/// the request is not deterministic (`Chat` without an explicit seed
+/// resolves to the system's master seed at execution time, so its
+/// outcome is not a pure function of the request value).
+pub(crate) fn cache_key(request: &PatternRequest) -> Option<String> {
+    match request {
+        PatternRequest::Chat(params) if params.seed.is_none() => None,
+        _ => serde_json::to_string(request).ok(),
+    }
+}
+
+enum JobState {
+    Queued,
+    Running,
+    Done {
+        cancelled: bool,
+        /// `Some` until `wait` takes it.
+        result: Option<Result<PatternResponse, Error>>,
+    },
+}
+
+struct JobShared {
+    state: Mutex<JobState>,
+    done: Condvar,
+    submitted_at: Instant,
+    /// Engine counters, shared so [`JobHandle::cancel`] can record
+    /// itself at cancellation time (not when a worker later skips the
+    /// job).
+    stats: Arc<AtomicStats>,
+}
+
+impl JobShared {
+    fn finish(&self, cancelled: bool, result: Result<PatternResponse, Error>) {
+        let mut state = self.state.lock().expect("job lock");
+        *state = JobState::Done {
+            cancelled,
+            result: Some(result),
+        };
+        self.done.notify_all();
+    }
+}
+
+/// A submitted job: wait for, poll, or cancel it.
+///
+/// Dropping the handle does not cancel the job; the worker still
+/// executes it (and a cacheable result still lands in the cache).
+#[must_use = "a JobHandle should be waited on, polled or cancelled"]
+pub struct JobHandle {
+    shared: Arc<JobShared>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("status", &self.try_status())
+            .finish()
+    }
+}
+
+impl JobHandle {
+    fn already_done(result: Result<PatternResponse, Error>) -> JobHandle {
+        JobHandle {
+            shared: Arc::new(JobShared {
+                state: Mutex::new(JobState::Done {
+                    cancelled: false,
+                    result: Some(result),
+                }),
+                done: Condvar::new(),
+                submitted_at: Instant::now(),
+                // Never read: a done job cannot be cancelled.
+                stats: Arc::new(AtomicStats::default()),
+            }),
+        }
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever the underlying service reported, or
+    /// [`Error::Cancelled`] when [`JobHandle::cancel`] won the race.
+    pub fn wait(self) -> Result<PatternResponse, Error> {
+        let mut state = self.shared.state.lock().expect("job lock");
+        loop {
+            if let JobState::Done { result, .. } = &mut *state {
+                return result
+                    .take()
+                    .expect("wait consumes the handle, so the result is untaken");
+            }
+            state = self.shared.done.wait(state).expect("job lock");
+        }
+    }
+
+    /// Current lifecycle stage, without blocking.
+    #[must_use]
+    pub fn try_status(&self) -> JobStatus {
+        match &*self.shared.state.lock().expect("job lock") {
+            JobState::Queued => JobStatus::Queued,
+            JobState::Running => JobStatus::Running,
+            JobState::Done {
+                cancelled: true, ..
+            } => JobStatus::Cancelled,
+            JobState::Done { .. } => JobStatus::Done,
+        }
+    }
+
+    /// Cancels the job if it is still queued. Returns `true` when the
+    /// cancellation took effect — [`JobHandle::wait`] will then report
+    /// [`Error::Cancelled`]. Running or finished jobs are unaffected
+    /// (there is no preemption) and `false` is returned.
+    pub fn cancel(&self) -> bool {
+        let mut state = self.shared.state.lock().expect("job lock");
+        match *state {
+            JobState::Queued => {
+                *state = JobState::Done {
+                    cancelled: true,
+                    result: Some(Err(Error::Cancelled)),
+                };
+                self.shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                self.shared.done.notify_all();
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<(Arc<JobShared>, PatternRequest, Option<String>)>,
+    shutdown: bool,
+}
+
+struct EngineShared<S> {
+    service: S,
+    config: EngineConfig,
+    queue: Mutex<QueueState>,
+    /// Signalled when a job is pushed or shutdown begins (workers wait).
+    job_ready: Condvar,
+    /// Signalled when a job is popped (blocking submitters wait).
+    space_ready: Condvar,
+    cache: Mutex<LruCache<ResponsePayload>>,
+    stats: Arc<AtomicStats>,
+}
+
+impl<S: PatternService> EngineShared<S> {
+    /// Executes one claimed job and publishes its result.
+    fn run_job(&self, job: &JobShared, request: PatternRequest, key: Option<&str>) {
+        let queue_micros = elapsed_micros(job.submitted_at);
+        let started = Instant::now();
+        let mut result = self.service.execute(request);
+        let exec_micros = elapsed_micros(started);
+        match &mut result {
+            Ok(response) => {
+                if let Some(key) = key {
+                    self.cache
+                        .lock()
+                        .expect("cache lock")
+                        .insert(key.to_owned(), response.payload.clone());
+                }
+                response.timing = Timing::queued(queue_micros, exec_micros);
+                self.stats.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.stats.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        job.finish(false, result);
+    }
+}
+
+fn elapsed_micros(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// A parallel, caching executor over any [`PatternService`].
+///
+/// See the [module docs](self) for the full story. The engine is
+/// `Sync`: submit from as many threads as you like. Dropping it stops
+/// the workers after their current job and cancels everything still
+/// queued.
+pub struct PatternEngine<S: PatternService + Send + Sync + 'static> {
+    shared: Arc<EngineShared<S>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<S: PatternService + Send + Sync + 'static> std::fmt::Debug for PatternEngine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PatternEngine")
+            .field("config", &self.shared.config)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
+    /// Wraps `service` with the default [`EngineConfig`].
+    #[must_use]
+    pub fn new(service: S) -> PatternEngine<S> {
+        PatternEngine::with_config(service, EngineConfig::default())
+            .expect("default config is valid")
+    }
+
+    /// Wraps `service` with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when the configuration is invalid.
+    pub fn with_config(service: S, config: EngineConfig) -> Result<PatternEngine<S>, Error> {
+        config.validate()?;
+        let shared = Arc::new(EngineShared {
+            service,
+            config,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            stats: Arc::new(AtomicStats::default()),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("pattern-engine-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Ok(PatternEngine { shared, workers })
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> EngineConfig {
+        self.shared.config
+    }
+
+    /// A snapshot of the activity counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// The wrapped service.
+    #[must_use]
+    pub fn service(&self) -> &S {
+        &self.shared.service
+    }
+
+    /// Submits a request without blocking.
+    ///
+    /// Cache hits complete immediately (the returned handle is already
+    /// [`JobStatus::Done`]); otherwise the job is enqueued for the
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::QueueFull`] when the bounded queue is at
+    /// capacity. The request is not enqueued; retry or use
+    /// [`PatternEngine::submit_blocking`].
+    pub fn submit(&self, request: PatternRequest) -> Result<JobHandle, Error> {
+        self.submit_inner(request, false)
+    }
+
+    /// Submits a request, blocking until queue space is available
+    /// (the back-pressure path batch drivers want).
+    pub fn submit_blocking(&self, request: PatternRequest) -> JobHandle {
+        self.submit_inner(request, true)
+            .expect("blocking submit never reports QueueFull")
+    }
+
+    fn submit_inner(&self, request: PatternRequest, block: bool) -> Result<JobHandle, Error> {
+        let key = cache_key(&request);
+        if let Some(key) = &key {
+            let lookup = Instant::now();
+            let hit = self.shared.cache.lock().expect("cache lock").get(key);
+            if let Some(payload) = hit {
+                self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                return Ok(JobHandle::already_done(Ok(PatternResponse {
+                    payload,
+                    timing: Timing::cache_hit(elapsed_micros(lookup)),
+                })));
+            }
+            self.shared
+                .stats
+                .cache_misses
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let job = Arc::new(JobShared {
+            state: Mutex::new(JobState::Queued),
+            done: Condvar::new(),
+            submitted_at: Instant::now(),
+            stats: Arc::clone(&self.shared.stats),
+        });
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            while queue.jobs.len() >= self.shared.config.queue_depth {
+                if !block {
+                    return Err(Error::QueueFull {
+                        depth: self.shared.config.queue_depth,
+                    });
+                }
+                queue = self.shared.space_ready.wait(queue).expect("queue lock");
+            }
+            queue.jobs.push_back((Arc::clone(&job), request, key));
+        }
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.job_ready.notify_one();
+        Ok(JobHandle { shared: job })
+    }
+}
+
+fn worker_loop<S: PatternService>(shared: &EngineShared<S>) {
+    loop {
+        let (job, request, key) = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(entry) = queue.jobs.pop_front() {
+                    shared.space_ready.notify_one();
+                    break entry;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.job_ready.wait(queue).expect("queue lock");
+            }
+        };
+        // Claim the job; a cancel that already won leaves it Done.
+        let claimed = {
+            let mut state = job.state.lock().expect("job lock");
+            match *state {
+                JobState::Queued => {
+                    *state = JobState::Running;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if !claimed {
+            // Cancelled while queued; already counted by `cancel`.
+            continue;
+        }
+        shared.run_job(&job, request, key.as_deref());
+    }
+}
+
+impl<S: PatternService + Send + Sync + 'static> Drop for PatternEngine<S> {
+    fn drop(&mut self) {
+        let drained = {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.shutdown = true;
+            std::mem::take(&mut queue.jobs)
+        };
+        // Anything still queued will never run; release its waiters.
+        for (job, _, _) in drained {
+            let mut state = job.state.lock().expect("job lock");
+            if matches!(*state, JobState::Queued) {
+                *state = JobState::Done {
+                    cancelled: true,
+                    result: Some(Err(Error::Cancelled)),
+                };
+                job.done.notify_all();
+                self.shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.shared.job_ready.notify_all();
+        self.shared.space_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The engine is itself a service: `execute` is submit-and-wait, and
+/// `execute_many` finally runs batches in parallel while preserving
+/// input order (and, thanks to per-request seeds, exact payloads).
+impl<S: PatternService + Send + Sync + 'static> PatternService for PatternEngine<S> {
+    fn execute(&self, request: PatternRequest) -> Result<PatternResponse, Error> {
+        self.submit_blocking(request).wait()
+    }
+
+    fn execute_many(&self, requests: Vec<PatternRequest>) -> Vec<Result<PatternResponse, Error>> {
+        let handles: Vec<JobHandle> = requests
+            .into_iter()
+            .map(|request| self.submit_blocking(request))
+            .collect();
+        handles.into_iter().map(JobHandle::wait).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChatParams, GenerateParams};
+    use cp_dataset::Style;
+    use std::time::Duration;
+
+    /// A service slow enough to keep jobs queued while the test pokes
+    /// at them. `Generate.seed` selects behavior: the response echoes
+    /// an empty payload after `delay`.
+    struct SlowService {
+        delay: Duration,
+    }
+
+    impl PatternService for SlowService {
+        fn execute(&self, request: PatternRequest) -> Result<PatternResponse, Error> {
+            thread::sleep(self.delay);
+            match request {
+                PatternRequest::Generate(p) if p.rows == 0 => {
+                    Err(Error::invalid_request("zero rows"))
+                }
+                _ => Ok(PatternResponse {
+                    payload: ResponsePayload::Generate(Vec::new()),
+                    timing: Timing::direct(self.delay.as_micros() as u64),
+                }),
+            }
+        }
+    }
+
+    fn generate(seed: u64) -> PatternRequest {
+        PatternRequest::Generate(GenerateParams {
+            style: Style::Layer10001,
+            rows: 4,
+            cols: 4,
+            count: 1,
+            seed,
+        })
+    }
+
+    fn slow_engine(workers: usize, queue_depth: usize) -> PatternEngine<SlowService> {
+        PatternEngine::with_config(
+            SlowService {
+                delay: Duration::from_millis(30),
+            },
+            EngineConfig {
+                workers,
+                queue_depth,
+                cache_capacity: 0,
+            },
+        )
+        .expect("valid config")
+    }
+
+    #[test]
+    fn config_validation_rejects_zeros() {
+        let service = SlowService {
+            delay: Duration::ZERO,
+        };
+        let err = PatternEngine::with_config(
+            service,
+            EngineConfig {
+                workers: 0,
+                queue_depth: 1,
+                cache_capacity: 0,
+            },
+        )
+        .expect_err("zero workers rejected");
+        assert!(matches!(err, Error::Config { .. }));
+    }
+
+    #[test]
+    fn submit_reports_queue_full() {
+        // One worker sleeping, depth-1 queue: the third submit must
+        // find the queue occupied.
+        let engine = slow_engine(1, 1);
+        let first = engine.submit_blocking(generate(1));
+        let second = engine.submit_blocking(generate(2));
+        let mut saw_full = false;
+        for seed in 3..100 {
+            match engine.submit(generate(seed)) {
+                Err(Error::QueueFull { depth }) => {
+                    assert_eq!(depth, 1);
+                    saw_full = true;
+                    break;
+                }
+                Ok(handle) => drop(handle.wait()),
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(saw_full, "depth-1 queue never filled");
+        first.wait().expect("first job completes");
+        second.wait().expect("second job completes");
+    }
+
+    #[test]
+    fn cancel_works_only_while_queued() {
+        let engine = slow_engine(1, 8);
+        let running = engine.submit_blocking(generate(1));
+        let queued = engine.submit_blocking(generate(2));
+        assert_eq!(queued.try_status(), JobStatus::Queued);
+        assert!(queued.cancel(), "queued job cancels");
+        assert_eq!(queued.try_status(), JobStatus::Cancelled);
+        assert!(matches!(queued.wait(), Err(Error::Cancelled)));
+        let done = running.wait().expect("running job unaffected");
+        assert!(!done.timing.cached);
+        let finished = engine.submit_blocking(generate(3));
+        finished.wait().expect("completes");
+    }
+
+    #[test]
+    fn cancel_after_completion_is_a_no_op() {
+        let engine = slow_engine(2, 8);
+        let handle = engine.submit_blocking(generate(1));
+        while handle.try_status() != JobStatus::Done {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!handle.cancel(), "finished jobs cannot be cancelled");
+        handle.wait().expect("result still delivered");
+    }
+
+    #[test]
+    fn drop_cancels_queued_jobs() {
+        let engine = slow_engine(1, 8);
+        let _running = engine.submit_blocking(generate(1));
+        let queued = engine.submit_blocking(generate(2));
+        drop(engine);
+        assert!(matches!(queued.wait(), Err(Error::Cancelled)));
+    }
+
+    #[test]
+    fn timing_records_queue_wait() {
+        let engine = slow_engine(1, 8);
+        let _first = engine.submit_blocking(generate(1));
+        let second = engine.submit_blocking(generate(2));
+        let response = second.wait().expect("completes");
+        // The second job waited behind the 30 ms first job.
+        assert!(
+            response.timing.queue_micros >= 10_000,
+            "queue wait was {} µs",
+            response.timing.queue_micros
+        );
+        assert_eq!(
+            response.timing.micros,
+            response.timing.queue_micros + response.timing.exec_micros
+        );
+    }
+
+    #[test]
+    fn errors_count_as_failed_in_stats() {
+        let engine = slow_engine(2, 8);
+        let bad = PatternRequest::Generate(GenerateParams {
+            style: Style::Layer10001,
+            rows: 0,
+            cols: 4,
+            count: 1,
+            seed: 1,
+        });
+        assert!(engine.submit_blocking(bad).wait().is_err());
+        engine.submit_blocking(generate(1)).wait().expect("ok");
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn cache_key_skips_unseeded_chat() {
+        assert!(cache_key(&PatternRequest::Chat(ChatParams {
+            request: "x".into(),
+            seed: None,
+        }))
+        .is_none());
+        assert!(cache_key(&PatternRequest::Chat(ChatParams {
+            request: "x".into(),
+            seed: Some(1),
+        }))
+        .is_some());
+        let a = cache_key(&generate(1)).expect("seeded requests have keys");
+        let b = cache_key(&generate(1)).expect("seeded requests have keys");
+        assert_eq!(a, b, "identical requests share a key");
+        assert_ne!(a, cache_key(&generate(2)).expect("key"));
+    }
+}

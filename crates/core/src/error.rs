@@ -40,6 +40,15 @@ pub enum Error {
         /// The violations found, in scan order.
         violations: Vec<Violation>,
     },
+    /// The job was cancelled while still queued; no work was done.
+    Cancelled,
+    /// The engine's bounded submission queue was full; the request was
+    /// rejected without being enqueued. Retry later or use a blocking
+    /// submit.
+    QueueFull {
+        /// The configured queue depth that was exhausted.
+        depth: usize,
+    },
 }
 
 impl Error {
@@ -85,6 +94,10 @@ impl std::fmt::Display for Error {
                     .filter(|v| v.kind == cp_drc::ViolationKind::Area)
                     .count(),
             ),
+            Error::Cancelled => write!(f, "job cancelled before execution"),
+            Error::QueueFull { depth } => {
+                write!(f, "engine queue is full ({depth} jobs already pending)")
+            }
         }
     }
 }
@@ -95,7 +108,11 @@ impl std::error::Error for Error {
             Error::Requirement(e) => Some(e),
             Error::Tool(e) => Some(e),
             Error::Legalize(e) => Some(e),
-            Error::Config { .. } | Error::InvalidRequest { .. } | Error::Drc { .. } => None,
+            Error::Config { .. }
+            | Error::InvalidRequest { .. }
+            | Error::Drc { .. }
+            | Error::Cancelled
+            | Error::QueueFull { .. } => None,
         }
     }
 }
@@ -162,6 +179,10 @@ mod tests {
         assert!(legalize.to_string().contains("infeasible"));
         let drc: Error = Vec::<Violation>::new().into();
         assert!(drc.to_string().contains("design-rule violations"));
+        assert!(Error::Cancelled.to_string().contains("cancelled"));
+        let full = Error::QueueFull { depth: 8 };
+        assert!(full.to_string().contains("queue is full"));
+        assert!(full.to_string().contains('8'));
     }
 
     #[test]

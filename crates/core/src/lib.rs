@@ -25,6 +25,15 @@
 //! [`ChatPattern::chat`]) remain available for in-process callers; they
 //! are exactly what [`PatternService::execute`] dispatches to.
 //!
+//! # The engine and the wire
+//!
+//! For batch and server workloads, wrap any service in a
+//! [`PatternEngine`]: a worker-pool executor with a bounded submission
+//! queue ([`PatternEngine::submit`] → [`JobHandle`]), a request-level
+//! LRU result cache, and [`EngineStats`] counters. The [`wire`] module
+//! defines the JSON-lines envelopes the `chatpattern-serve` binary
+//! speaks over stdin/stdout.
+//!
 //! # Example
 //!
 //! ```
@@ -45,13 +54,18 @@
 //! ```
 
 pub mod api;
+mod cache;
+pub mod engine;
 pub mod error;
+pub mod wire;
 
 pub use api::{
     ChatOutcome, ChatParams, EvaluateParams, ExtendParams, GenerateParams, LegalizeParams,
     ModifyParams, PatternRequest, PatternResponse, PatternService, ResponsePayload, Timing,
 };
+pub use engine::{EngineConfig, EngineStats, JobHandle, JobStatus, PatternEngine};
 pub use error::Error;
+pub use wire::{RequestEnvelope, ResponseEnvelope, WireError, WireOutcome};
 
 use cp_agent::{
     try_auto_format, AgentSession, ExpertPolicy, KnowledgeBase, SessionReport, ToolContext,

@@ -1,0 +1,222 @@
+//! The JSON-lines wire protocol.
+//!
+//! One request per input line, one response per output line — the
+//! framing `chatpattern-serve` speaks over stdin/stdout (see
+//! `docs/WIRE_PROTOCOL.md` for the full format with worked examples).
+//!
+//! A [`RequestEnvelope`] pairs a client-chosen `id` (any JSON scalar;
+//! echoed verbatim) with a [`PatternRequest`]; a [`ResponseEnvelope`]
+//! echoes the `id` and carries either the [`PatternResponse`] or a
+//! [`WireError`]. Responses may arrive out of submission order — the
+//! `id` is the correlation key.
+
+use crate::{Error, PatternRequest, PatternResponse};
+use serde::{Deserialize, Serialize, Value};
+
+/// One input line: a client-tagged request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    /// Any JSON scalar works; `null` (or a missing `id`) is rejected
+    /// by [`decode_request_line`].
+    pub id: Value,
+    /// The request to execute.
+    pub request: PatternRequest,
+}
+
+/// A serializable rendering of the workspace [`Error`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// The error's variant name (`"InvalidRequest"`, `"Legalize"`, …)
+    /// — stable enough to match on without parsing the message.
+    pub kind: String,
+    /// Human-readable description (the error's `Display` form).
+    pub message: String,
+}
+
+impl From<&Error> for WireError {
+    fn from(error: &Error) -> WireError {
+        let kind = match error {
+            Error::Config { .. } => "Config",
+            Error::InvalidRequest { .. } => "InvalidRequest",
+            Error::Requirement(_) => "Requirement",
+            Error::Tool(_) => "Tool",
+            Error::Legalize(_) => "Legalize",
+            Error::Drc { .. } => "Drc",
+            Error::Cancelled => "Cancelled",
+            Error::QueueFull { .. } => "QueueFull",
+        };
+        WireError {
+            kind: kind.to_owned(),
+            message: error.to_string(),
+        }
+    }
+}
+
+/// The served-or-failed half of a [`ResponseEnvelope`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireOutcome {
+    /// The request was served.
+    Ok(PatternResponse),
+    /// The request failed; the payload says why.
+    Err(WireError),
+}
+
+/// One output line: the outcome of the request with the same `id`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// The correlation id from the request envelope.
+    pub id: Value,
+    /// What happened.
+    pub outcome: WireOutcome,
+}
+
+impl ResponseEnvelope {
+    /// Success envelope.
+    #[must_use]
+    pub fn ok(id: Value, response: PatternResponse) -> ResponseEnvelope {
+        ResponseEnvelope {
+            id,
+            outcome: WireOutcome::Ok(response),
+        }
+    }
+
+    /// Failure envelope.
+    #[must_use]
+    pub fn error(id: Value, error: &Error) -> ResponseEnvelope {
+        ResponseEnvelope {
+            id,
+            outcome: WireOutcome::Err(WireError::from(error)),
+        }
+    }
+
+    /// Renders the envelope as one wire line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| {
+            // The shim serializer is infallible; this arm guards the
+            // real-serde swap path.
+            String::from(r#"{"id":null,"outcome":{"Err":{"kind":"Error","message":"unserializable response"}}}"#)
+        })
+    }
+}
+
+/// Parses one wire line into a [`RequestEnvelope`].
+///
+/// # Errors
+///
+/// On failure returns the best-effort `id` recovered from the line
+/// (so the caller can still address its error reply) plus the decode
+/// problem as an [`Error::InvalidRequest`]. Malformed JSON and absent
+/// ids yield `Value::Null` as the id.
+pub fn decode_request_line(line: &str) -> Result<RequestEnvelope, (Value, Error)> {
+    let value: Value = serde_json::from_str(line).map_err(|e| {
+        (
+            Value::Null,
+            Error::invalid_request(format!("bad JSON: {e}")),
+        )
+    })?;
+    let id = value.get("id").cloned().unwrap_or(Value::Null);
+    if id.is_null() {
+        return Err((
+            Value::Null,
+            Error::invalid_request("request envelope needs a non-null \"id\""),
+        ));
+    }
+    match serde_json::from_value::<RequestEnvelope>(&value) {
+        Ok(envelope) => Ok(envelope),
+        Err(e) => Err((id, Error::invalid_request(format!("bad request: {e}")))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GenerateParams, ResponsePayload, Timing};
+    use cp_dataset::Style;
+
+    fn sample_request() -> PatternRequest {
+        PatternRequest::Generate(GenerateParams {
+            style: Style::Layer10001,
+            rows: 8,
+            cols: 8,
+            count: 1,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn request_envelope_round_trips() {
+        let envelope = RequestEnvelope {
+            id: serde_json::to_value(&"job-1"),
+            request: sample_request(),
+        };
+        let text = serde_json::to_string(&envelope).expect("serializes");
+        let back = decode_request_line(&text).expect("decodes");
+        assert_eq!(back, envelope);
+    }
+
+    #[test]
+    fn numeric_ids_survive() {
+        let envelope = RequestEnvelope {
+            id: serde_json::to_value(&42u64),
+            request: sample_request(),
+        };
+        let back = decode_request_line(&serde_json::to_string(&envelope).expect("serializes"))
+            .expect("decodes");
+        assert_eq!(back.id, 42u64);
+    }
+
+    #[test]
+    fn response_envelope_round_trips_both_outcomes() {
+        let ok = ResponseEnvelope::ok(
+            serde_json::to_value(&"a"),
+            PatternResponse {
+                payload: ResponsePayload::Generate(Vec::new()),
+                timing: Timing::queued(3, 5),
+            },
+        );
+        let back: ResponseEnvelope = serde_json::from_str(&ok.to_line()).expect("parses");
+        assert_eq!(back, ok);
+        let err =
+            ResponseEnvelope::error(serde_json::to_value(&"b"), &Error::invalid_request("nope"));
+        let back: ResponseEnvelope = serde_json::from_str(&err.to_line()).expect("parses");
+        assert_eq!(back, err);
+        match back.outcome {
+            WireOutcome::Err(e) => {
+                assert_eq!(e.kind, "InvalidRequest");
+                assert!(e.message.contains("nope"));
+            }
+            WireOutcome::Ok(_) => panic!("expected the error outcome"),
+        }
+    }
+
+    #[test]
+    fn wire_error_kinds_are_stable() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::config("x"), "Config"),
+            (Error::invalid_request("x"), "InvalidRequest"),
+            (Error::Cancelled, "Cancelled"),
+            (Error::QueueFull { depth: 4 }, "QueueFull"),
+        ];
+        for (error, kind) in cases {
+            assert_eq!(WireError::from(&error).kind, kind);
+        }
+    }
+
+    #[test]
+    fn decode_recovers_id_from_broken_requests() {
+        // Valid JSON, valid id, bogus request body.
+        let (id, err) =
+            decode_request_line(r#"{"id": 7, "request": {"Nonsense": {}}}"#).unwrap_err();
+        assert_eq!(id, 7u64);
+        assert!(matches!(err, Error::InvalidRequest { .. }));
+        // Malformed JSON: no id recoverable.
+        let (id, _) = decode_request_line("{oops").unwrap_err();
+        assert!(id.is_null());
+        // Missing id.
+        let (id, err) = decode_request_line(r#"{"request": "x"}"#).unwrap_err();
+        assert!(id.is_null());
+        assert!(err.to_string().contains("id"));
+    }
+}

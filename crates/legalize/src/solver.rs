@@ -5,7 +5,7 @@ use cp_drc::DesignRules;
 use cp_geom::{label_components, Axis};
 use cp_squish::{Region, SquishPattern, Topology};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Minimal solution of one axis, kept for diagnostics and tests.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -206,7 +206,11 @@ impl Legalizer {
             Axis::X => topology.get(p, line),
             Axis::Y => topology.get(line, p),
         };
-        let mut map: HashMap<(usize, usize), IntervalBound> = HashMap::new();
+        // BTreeMap, not HashMap: the bound order (and witness choice
+        // on ties) feeds slack distribution downstream, and HashMap
+        // iteration order varies per instance and per thread — the
+        // output must stay a pure function of `(topology, seed)`.
+        let mut map: BTreeMap<(usize, usize), IntervalBound> = BTreeMap::new();
         for p in 0..perpendicular {
             let mut i = 0;
             while i < lines {
@@ -289,8 +293,9 @@ impl Legalizer {
             let mut minted = false;
             for &id in &deficient {
                 let deficit = self.rules.min_area() - areas[id];
-                let mut col_height: HashMap<usize, i64> = HashMap::new();
-                let mut row_width: HashMap<usize, i64> = HashMap::new();
+                // BTreeMap for deterministic tie-breaks (see collect_bounds).
+                let mut col_height: BTreeMap<usize, i64> = BTreeMap::new();
+                let mut row_width: BTreeMap<usize, i64> = BTreeMap::new();
                 for (r, c) in labels.cells_of(id as u32) {
                     *col_height.entry(c).or_insert(0) += dy[r];
                     *row_width.entry(r).or_insert(0) += dx[c];
@@ -444,6 +449,35 @@ mod tests {
             .expect("legal");
         assert!(check_pattern(&sq, &rules()).is_clean());
         assert_eq!(sq.physical_width(), 100);
+    }
+
+    #[test]
+    fn legalization_is_deterministic_across_calls_and_threads() {
+        // Regression: interval bounds and area-repair tie-breaks used
+        // to flow through HashMap iteration order, which varies per map
+        // instance and per thread — slack landed in different columns
+        // run to run. The output must be a pure function of
+        // `(topology, frame, seed)`.
+        let t = Topology::from_ascii(
+            "1111..
+             1111..
+             ..1111
+             ..1111
+             11..11
+             11..11",
+        );
+        let legalizer = Legalizer::new(rules());
+        let reference = legalizer.legalize(&t, 400, 400, &mut rng()).expect("legal");
+        let again = legalizer.legalize(&t, 400, 400, &mut rng()).expect("legal");
+        assert_eq!(again, reference, "same thread, same call order");
+        let from_thread = std::thread::spawn({
+            let t = t.clone();
+            let legalizer = legalizer.clone();
+            move || legalizer.legalize(&t, 400, 400, &mut rng()).expect("legal")
+        })
+        .join()
+        .expect("thread runs");
+        assert_eq!(from_thread, reference, "worker thread matches");
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! default): structs and struct variants become objects keyed by field
 //! name, unit variants become their name as a string, and a
 //! data-carrying variant `V { f }` becomes `{"V": {"f": ...}}`.
-//! Generics, tuple structs and tuple variants are rejected with a
-//! compile error.
+//! Like real serde, deserializing a tagged enum from an object demands
+//! exactly one variant key — `{"Ok": ..., "Err": ...}` is rejected, not
+//! first-match-wins (the wire envelopes depend on this). Generics,
+//! tuple structs and tuple variants are rejected with a compile error.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -357,6 +359,11 @@ fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
                      }};\n\
                  }}\n\
                  if let ::serde::Value::Object(map) = value {{\n\
+                     if map.len() != 1 {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"expected exactly one variant tag for enum {name}, \
+                                      found {{}} keys\", map.len())));\n\
+                     }}\n\
                      {tagged_arms}\
                  }}\n\
                  ::std::result::Result::Err(::serde::Error::custom(\

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# End-to-end wire smoke test: pipe the checked-in JSONL request file
+# through chatpattern-serve and assert that (a) every output line is
+# valid JSON with a non-null id and an Ok/Err outcome, and (b) the set
+# of response ids exactly matches the set of request ids. Run from
+# anywhere; needs jq and a built (or buildable) release binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${CHATPATTERN_SERVE:-target/release/chatpattern-serve}
+IN=tests/data/smoke_requests.jsonl
+
+if [ ! -x "$BIN" ]; then
+    cargo build --release --bin chatpattern-serve
+fi
+
+OUT=$("$BIN" --window 16 --training-patterns 8 --diffusion-steps 6 --workers 4 --stats < "$IN")
+
+# (a) every line parses with the envelope shape (jq aborts on bad JSON).
+echo "$OUT" | jq -es '
+    all(.[]; (.id != null) and ((.outcome | has("Ok")) or (.outcome | has("Err"))))
+' > /dev/null || { echo "wire smoke FAILED: malformed response line" >&2; exit 1; }
+
+# (b) response ids are exactly the request ids (order-insensitive:
+# out-of-order completion is allowed by the protocol).
+WANT=$(jq -r '.id' "$IN" | sort)
+GOT=$(echo "$OUT" | jq -r '.id' | sort)
+if [ "$WANT" != "$GOT" ]; then
+    echo "wire smoke FAILED: id mismatch" >&2
+    diff <(echo "$WANT") <(echo "$GOT") >&2 || true
+    exit 1
+fi
+
+echo "wire smoke OK: $(echo "$OUT" | wc -l | tr -d ' ') responses, ids all matched"

@@ -1,0 +1,239 @@
+//! `chatpattern-serve` — the JSON-lines wire front-end.
+//!
+//! Reads one [`RequestEnvelope`] per stdin line, executes it on a
+//! [`PatternEngine`], and writes one [`ResponseEnvelope`] per stdout
+//! line, echoing the client-chosen `id`. Each accepted job gets a
+//! completion-writer thread, so responses go out the moment the job
+//! finishes — an interactive client can hold stdin open and still
+//! receive every reply immediately — and may arrive out of submission
+//! order; the `id` is the correlation key. The format is documented
+//! with worked examples in `docs/WIRE_PROTOCOL.md`.
+//!
+//! ```text
+//! chatpattern-serve [--workers N] [--queue-depth N] [--cache-capacity N]
+//!                   [--window N] [--diffusion-steps N]
+//!                   [--training-patterns N] [--seed N] [--stats]
+//! ```
+//!
+//! `--stats` prints the engine's [`EngineStats`] counters to stderr at
+//! EOF. Malformed lines produce an error envelope immediately (with the
+//! line's `id` when one is recoverable, `null` otherwise) and never
+//! abort the stream; there is no network stack offline, so framing a
+//! socket around stdin/stdout is left to `socat`-style plumbing.
+
+use chatpattern_core::wire::{decode_request_line, ResponseEnvelope};
+use chatpattern_core::{ChatPattern, EngineConfig, JobHandle, PatternEngine};
+use serde_json::Value;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything the command line can configure.
+struct Options {
+    engine: EngineConfig,
+    window: usize,
+    diffusion_steps: usize,
+    training_patterns: usize,
+    seed: u64,
+    stats: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            engine: EngineConfig::default(),
+            // The builder's defaults, restated so `--help` can print
+            // them without constructing a builder.
+            window: 64,
+            diffusion_steps: 12,
+            training_patterns: 64,
+            seed: 0,
+            stats: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+chatpattern-serve: JSON-lines PatternRequest server over stdin/stdout
+
+Each input line: {\"id\": <scalar>, \"request\": <PatternRequest>}
+Each output line: {\"id\": <same>, \"outcome\": {\"Ok\": ...} | {\"Err\": ...}}
+(see docs/WIRE_PROTOCOL.md)
+
+Options:
+  --workers N            engine worker threads (default: CPU count)
+  --queue-depth N        bounded submission queue (default 256)
+  --cache-capacity N     LRU result-cache entries, 0 disables (default 128)
+  --window N             model window L (default 64)
+  --diffusion-steps N    diffusion chain length K (default 12)
+  --training-patterns N  training patterns per style (default 64)
+  --seed N               master seed (default 0)
+  --stats                print engine counters to stderr at EOF
+  --help                 this text";
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        if flag == "--stats" {
+            options.stats = true;
+            continue;
+        }
+        let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let number = |name: &str| {
+            value
+                .parse::<usize>()
+                .map_err(|_| format!("{name} needs an unsigned integer, got {value:?}"))
+        };
+        match flag.as_str() {
+            "--workers" => options.engine.workers = number("--workers")?,
+            "--queue-depth" => options.engine.queue_depth = number("--queue-depth")?,
+            "--cache-capacity" => options.engine.cache_capacity = number("--cache-capacity")?,
+            "--window" => options.window = number("--window")?,
+            "--diffusion-steps" => options.diffusion_steps = number("--diffusion-steps")?,
+            "--training-patterns" => options.training_patterns = number("--training-patterns")?,
+            "--seed" => options.seed = number("--seed")? as u64,
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(options)
+}
+
+/// Stdout shared between the reader loop (error envelopes) and the
+/// per-job completion writers, plus the sticky failure flag.
+struct WireOut {
+    // `Stdout` (not `StdoutLock`): the lock guard is not `Send`, and
+    // the completion writers live on their own threads. The mutex
+    // makes each write-plus-flush atomic across them.
+    out: Mutex<std::io::Stdout>,
+    failed: AtomicBool,
+}
+
+impl WireOut {
+    /// Writes one envelope line; records (and reports) I/O failure.
+    fn write(&self, envelope: &ResponseEnvelope) {
+        let mut out = self.out.lock().expect("stdout lock");
+        if let Err(error) = writeln!(out, "{}", envelope.to_line()).and_then(|()| out.flush()) {
+            eprintln!("chatpattern-serve: stdout error: {error}");
+            self.failed.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Waits for one job on its own thread and writes the response the
+/// moment it finishes — this is what lets an interactive client hold
+/// stdin open and still receive each reply immediately, and where
+/// out-of-order completion surfaces on the wire.
+fn spawn_completion_writer(
+    id: Value,
+    handle: JobHandle,
+    out: &Arc<WireOut>,
+) -> std::thread::JoinHandle<()> {
+    let out = Arc::clone(out);
+    std::thread::spawn(move || {
+        let envelope = match handle.wait() {
+            Ok(response) => ResponseEnvelope::ok(id, response),
+            Err(error) => ResponseEnvelope::error(id, &error),
+        };
+        out.write(&envelope);
+    })
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("chatpattern-serve: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let system = match ChatPattern::builder()
+        .window(options.window)
+        .diffusion_steps(options.diffusion_steps)
+        .training_patterns(options.training_patterns)
+        .seed(options.seed)
+        .build()
+    {
+        Ok(system) => system,
+        Err(error) => {
+            eprintln!("chatpattern-serve: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = match PatternEngine::with_config(system, options.engine) {
+        Ok(engine) => engine,
+        Err(error) => {
+            eprintln!("chatpattern-serve: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let stdin = std::io::stdin();
+    let out = Arc::new(WireOut {
+        out: Mutex::new(std::io::stdout()),
+        failed: AtomicBool::new(false),
+    });
+    let mut waiters: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut io_failed = false;
+
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(error) => {
+                eprintln!("chatpattern-serve: stdin error: {error}");
+                io_failed = true;
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match decode_request_line(&line) {
+            Ok(envelope) => {
+                // Blocking submit: the bounded queue is the
+                // back-pressure that keeps a huge pipe from ballooning
+                // memory — and it bounds the live writer threads to
+                // roughly queue_depth + workers.
+                let handle = engine.submit_blocking(envelope.request);
+                waiters.push(spawn_completion_writer(envelope.id, handle, &out));
+                waiters.retain(|w| !w.is_finished());
+            }
+            Err((id, error)) => out.write(&ResponseEnvelope::error(id, &error)),
+        }
+        if out.failed.load(Ordering::Relaxed) {
+            io_failed = true;
+            break;
+        }
+    }
+
+    // EOF: wait for everything still in flight to be answered.
+    for waiter in waiters {
+        let _ = waiter.join();
+    }
+    io_failed |= out.failed.load(Ordering::Relaxed);
+
+    if options.stats {
+        let stats = engine.stats();
+        eprintln!(
+            "chatpattern-serve: submitted={} completed={} failed={} cancelled={} \
+             cache_hits={} cache_misses={}",
+            stats.submitted,
+            stats.completed,
+            stats.failed,
+            stats.cancelled,
+            stats.cache_hits,
+            stats.cache_misses,
+        );
+    }
+
+    if io_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -10,7 +10,11 @@
 //! — the agent chat path and the direct generate / extend / modify /
 //! legalize / evaluate back-ends — is one typed, serializable
 //! [`PatternRequest`], and every failure is the workspace-wide
-//! [`Error`]. See the `examples/` directory for runnable scenarios.
+//! [`Error`]. For parallel batches and serving, wrap the system in a
+//! [`PatternEngine`] (worker pool + result cache + job handles) or run
+//! the `chatpattern-serve` binary, which speaks the JSON-lines wire
+//! protocol from `docs/WIRE_PROTOCOL.md` over stdin/stdout. See the
+//! `examples/` directory for runnable scenarios.
 //!
 //! ```
 //! use chatpattern::{ChatPattern, ChatParams, PatternRequest, PatternService, ResponsePayload};
@@ -47,7 +51,8 @@ pub use cp_nn as nn;
 pub use cp_squish as squish;
 
 pub use chatpattern_core::{
-    ChatOutcome, ChatParams, ChatPattern, ChatPatternBuilder, Error, EvaluateParams, ExtendParams,
-    GenerateParams, LegalizeParams, ModifyParams, PatternRequest, PatternResponse, PatternService,
-    ResponsePayload, Timing,
+    ChatOutcome, ChatParams, ChatPattern, ChatPatternBuilder, EngineConfig, EngineStats, Error,
+    EvaluateParams, ExtendParams, GenerateParams, JobHandle, JobStatus, LegalizeParams,
+    ModifyParams, PatternEngine, PatternRequest, PatternResponse, PatternService, RequestEnvelope,
+    ResponseEnvelope, ResponsePayload, Timing, WireError, WireOutcome,
 };

@@ -1,0 +1,225 @@
+//! Engine semantics against the real system: parallel execution is
+//! payload-identical to the serial trait default, the result cache
+//! replays payloads with fresh timing, and queued jobs cancel cleanly.
+
+use chatpattern::dataset::Style;
+use chatpattern::extend::ExtensionMethod;
+use chatpattern::squish::Region;
+use chatpattern::{
+    ChatParams, ChatPattern, EngineConfig, Error, EvaluateParams, ExtendParams, GenerateParams,
+    JobStatus, LegalizeParams, ModifyParams, PatternEngine, PatternRequest, PatternService,
+};
+
+fn small_system() -> ChatPattern {
+    ChatPattern::builder()
+        .window(16)
+        .training_patterns(8)
+        .diffusion_steps(6)
+        .seed(3)
+        .build()
+        .expect("valid configuration")
+}
+
+fn generate(seed: u64) -> PatternRequest {
+    PatternRequest::Generate(GenerateParams {
+        style: if seed.is_multiple_of(2) {
+            Style::Layer10001
+        } else {
+            Style::Layer10003
+        },
+        rows: 16,
+        cols: 16,
+        count: 1,
+        seed,
+    })
+}
+
+/// A 32-request batch cycling through every request kind (the
+/// acceptance-criteria batch).
+fn mixed_batch(system: &ChatPattern) -> Vec<PatternRequest> {
+    let topology = system
+        .generate(Style::Layer10001, 16, 16, 1, 99)
+        .expect("generates")
+        .remove(0);
+    (0..32u64)
+        .map(|i| match i % 6 {
+            0 => generate(i),
+            1 => PatternRequest::Chat(ChatParams {
+                request: "Generate 1 pattern, topology size 16*16, physical size \
+                          512nm x 512nm, style Layer-10001."
+                    .into(),
+                seed: Some(i),
+            }),
+            2 => PatternRequest::Extend(ExtendParams {
+                seed_topology: topology.clone(),
+                rows: 32,
+                cols: 32,
+                method: ExtensionMethod::OutPainting,
+                style: Style::Layer10003,
+                seed: i,
+            }),
+            3 => PatternRequest::Modify(ModifyParams {
+                known: topology.clone(),
+                region: Region::new(4, 4, 12, 12),
+                style: Style::Layer10001,
+                seed: i,
+            }),
+            4 => PatternRequest::Legalize(LegalizeParams {
+                topology: topology.clone(),
+                width_nm: 512,
+                height_nm: 512,
+                seed: i,
+            }),
+            _ => PatternRequest::Evaluate(EvaluateParams {
+                topologies: vec![topology.clone()],
+                frame_nm: 512,
+                seed: i,
+            }),
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_execute_many_matches_serial_across_all_kinds() {
+    let system = small_system();
+    let batch = mixed_batch(&system);
+    assert_eq!(batch.len(), 32);
+
+    // Serial reference: the trait's default implementation.
+    let serial: Vec<_> = batch
+        .iter()
+        .cloned()
+        .map(|r| PatternService::execute(&system, r))
+        .collect();
+
+    // Parallel: the same system behind a 4-worker engine. The cache is
+    // disabled so every request truly executes on a worker.
+    let engine = PatternEngine::with_config(
+        system,
+        EngineConfig {
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 0,
+        },
+    )
+    .expect("valid config");
+    let parallel = engine.execute_many(batch);
+
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        match (s, p) {
+            (Ok(a), Ok(b)) => {
+                // Byte-identical payloads: compare the wire form.
+                let a = serde_json::to_string(&a.payload).expect("serializes");
+                let b = serde_json::to_string(&b.payload).expect("serializes");
+                assert_eq!(a, b, "request {i} diverged between serial and parallel");
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "request {i} failed differently"),
+            other => panic!("request {i}: serial/parallel outcome mismatch: {other:?}"),
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.submitted, 32);
+    assert_eq!(stats.completed + stats.failed, 32);
+    assert_eq!(stats.cache_hits, 0, "cache was disabled");
+}
+
+#[test]
+fn cache_hit_replays_payload_with_fresh_timing() {
+    let engine = PatternEngine::with_config(
+        small_system(),
+        EngineConfig {
+            workers: 2,
+            queue_depth: 16,
+            cache_capacity: 8,
+        },
+    )
+    .expect("valid config");
+    let request = generate(7);
+    let first = PatternService::execute(&engine, request.clone()).expect("executes");
+    assert!(!first.timing.cached);
+    assert!(first.timing.exec_micros > 0, "diffusion takes time");
+    let second = PatternService::execute(&engine, request).expect("replays");
+    assert!(second.timing.cached, "second identical request hits");
+    assert_eq!(second.payload, first.payload, "payload replayed exactly");
+    assert_eq!(second.timing.queue_micros, 0, "hits skip the queue");
+    assert!(
+        second.timing.exec_micros < first.timing.exec_micros,
+        "lookup ({} µs) should be cheaper than sampling ({} µs)",
+        second.timing.exec_micros,
+        first.timing.exec_micros
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+}
+
+#[test]
+fn unseeded_chat_bypasses_the_cache() {
+    let engine = PatternEngine::with_config(
+        small_system(),
+        EngineConfig {
+            workers: 2,
+            queue_depth: 16,
+            cache_capacity: 8,
+        },
+    )
+    .expect("valid config");
+    let request = PatternRequest::Chat(ChatParams {
+        request: "Generate 1 pattern, topology size 16*16, physical size 512nm x 512nm, \
+                  style Layer-10003."
+            .into(),
+        seed: None,
+    });
+    for _ in 0..2 {
+        let response = PatternService::execute(&engine, request.clone()).expect("chats");
+        assert!(!response.timing.cached);
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(
+        stats.cache_misses, 0,
+        "unseeded chat never consults the cache"
+    );
+}
+
+#[test]
+fn cancelling_a_queued_job_yields_cancelled() {
+    // One worker: a job submitted while another runs stays queued until
+    // the worker frees up, so the cancel below cannot race a pickup.
+    let engine = PatternEngine::with_config(
+        small_system(),
+        EngineConfig {
+            workers: 1,
+            queue_depth: 16,
+            cache_capacity: 0,
+        },
+    )
+    .expect("valid config");
+    let busy = engine.submit_blocking(PatternRequest::Generate(GenerateParams {
+        style: Style::Layer10001,
+        rows: 32,
+        cols: 32,
+        count: 4,
+        seed: 1,
+    }));
+    // Wait until the worker has actually claimed the busy job.
+    while busy.try_status() == JobStatus::Queued {
+        std::thread::yield_now();
+    }
+    let doomed = engine.submit_blocking(generate(2));
+    // `cancel` is atomic: it succeeds iff the job was still queued, so
+    // gating on its return value makes the test race-free even if the
+    // busy job finished absurdly fast.
+    if doomed.cancel() {
+        assert_eq!(doomed.try_status(), JobStatus::Cancelled);
+        assert!(matches!(doomed.wait(), Err(Error::Cancelled)));
+        assert!(busy.wait().is_ok(), "running job is unaffected");
+        assert_eq!(engine.stats().cancelled, 1);
+    } else {
+        // The worker already claimed the doomed job: it runs to
+        // completion instead — no flaky failure.
+        assert!(doomed.wait().is_ok());
+        assert!(busy.wait().is_ok());
+    }
+}

@@ -1,0 +1,154 @@
+//! End-to-end wire test: run the real `chatpattern-serve` binary over
+//! the checked-in smoke JSONL file (the same one CI pipes through it)
+//! and verify the protocol contract — every line parses as a
+//! [`ResponseEnvelope`], ids match the requests exactly, and the one
+//! deliberately invalid request (`r9`, a zero-row Generate) comes back
+//! as an `Err` outcome instead of killing the stream.
+
+use chatpattern::{ResponseEnvelope, WireOutcome};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+const SMOKE_FILE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/smoke_requests.jsonl"
+);
+
+/// Regression: responses must be written the moment a job finishes,
+/// not when the next stdin line (or EOF) arrives. An interactive
+/// client sends one request, keeps the pipe open, and must receive the
+/// reply — the original loop only flushed finished jobs on the next
+/// input line, deadlocking strict request-then-response clients.
+#[test]
+fn serve_answers_while_stdin_stays_open() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_chatpattern-serve"))
+        .args([
+            "--window",
+            "16",
+            "--training-patterns",
+            "8",
+            "--diffusion-steps",
+            "6",
+            "--workers",
+            "2",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve binary starts");
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    let stdout = child.stdout.take().expect("stdout piped");
+
+    let (sender, receiver) = mpsc::channel();
+    let reader = std::thread::spawn(move || {
+        let mut lines = BufReader::new(stdout).lines();
+        if let Some(Ok(line)) = lines.next() {
+            let _ = sender.send(line);
+        }
+    });
+
+    stdin
+        .write_all(
+            b"{\"id\":\"live\",\"request\":{\"Generate\":{\"style\":\"Layer10001\",\
+              \"rows\":16,\"cols\":16,\"count\":1,\"seed\":1}}}\n",
+        )
+        .expect("request written");
+    stdin.flush().expect("request flushed");
+
+    // Stdin is still open here; the reply must arrive anyway.
+    let line = receiver
+        .recv_timeout(Duration::from_secs(60))
+        .expect("response arrives while stdin is open");
+    let envelope: ResponseEnvelope = serde_json::from_str(&line).expect("parses");
+    assert_eq!(envelope.id.as_str(), Some("live"));
+    assert!(matches!(envelope.outcome, WireOutcome::Ok(_)));
+
+    drop(stdin);
+    reader.join().expect("reader finishes");
+    assert!(child.wait().expect("serve exits").success());
+}
+
+#[test]
+fn serve_round_trips_the_smoke_file_with_matching_ids() {
+    let input = std::fs::read_to_string(SMOKE_FILE).expect("smoke file exists");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_chatpattern-serve"))
+        .args([
+            "--window",
+            "16",
+            "--training-patterns",
+            "8",
+            "--diffusion-steps",
+            "6",
+            "--workers",
+            "4",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve binary starts");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("requests written");
+    let output = child.wait_with_output().expect("serve exits");
+    assert!(
+        output.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+    let mut outcomes: BTreeMap<String, bool> = BTreeMap::new();
+    for line in stdout.lines().filter(|l| !l.trim().is_empty()) {
+        let envelope: ResponseEnvelope =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("unparsable line {line:?}: {e}"));
+        let id = envelope
+            .id
+            .as_str()
+            .unwrap_or_else(|| panic!("non-string id in {line:?}"))
+            .to_owned();
+        let ok = matches!(envelope.outcome, WireOutcome::Ok(_));
+        assert!(
+            outcomes.insert(id.clone(), ok).is_none(),
+            "duplicate response for id {id}"
+        );
+    }
+
+    let want: Vec<String> = input
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            serde_json::from_str::<serde_json::Value>(l)
+                .expect("smoke line is valid JSON")
+                .get("id")
+                .and_then(|v| v.as_str().map(str::to_owned))
+                .expect("smoke line has a string id")
+        })
+        .collect();
+    assert_eq!(
+        outcomes.keys().cloned().collect::<Vec<_>>(),
+        {
+            let mut sorted = want.clone();
+            sorted.sort();
+            sorted
+        },
+        "every request id answered exactly once"
+    );
+
+    // The deliberate bad request fails gracefully; everything else
+    // succeeds.
+    for (id, ok) in &outcomes {
+        if id == "r9" {
+            assert!(!ok, "r9 is a zero-row Generate and must fail");
+        } else {
+            assert!(ok, "request {id} unexpectedly failed");
+        }
+    }
+}
