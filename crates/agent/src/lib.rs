@@ -21,8 +21,8 @@
 //!    reads the explainable failure region from the log and either drops
 //!    the topology or repairs it with `topology_modification` (§4.2).
 //!
-//! The [`LanguageModel`](llm::LanguageModel) trait decouples the loop
-//! from the model: [`ExpertPolicy`](policy::ExpertPolicy) is the
+//! The [`LanguageModel`] trait decouples the loop
+//! from the model: [`ExpertPolicy`] is the
 //! deterministic expert stand-in used in this reproduction (see
 //! DESIGN.md); any external LLM can be plugged in behind the same trait.
 

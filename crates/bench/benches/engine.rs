@@ -1,10 +1,11 @@
-//! Serial vs. pooled `execute_many` on the acceptance-criteria batch:
-//! 32 Generate requests, each with its own seed stream. The engine
-//! runs with the result cache disabled so every iteration measures
-//! real sampling work, not replay.
+//! Serial vs. engine `execute_many` on the acceptance-criteria batch:
+//! 32 Generate requests, each with its own seed stream, once per
+//! execution backend. The engines run with the result cache disabled
+//! so every iteration measures real sampling work, not replay.
 
 use chatpattern_core::{
-    EngineConfig, GenerateParams, PatternEngine, PatternRequest, PatternService,
+    BackendKind, ChatPattern, EngineConfig, GenerateParams, PatternEngine, PatternRequest,
+    PatternService,
 };
 use cp_dataset::Style;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -27,14 +28,31 @@ fn batch() -> Vec<PatternRequest> {
         .collect()
 }
 
-fn bench_execute_many(c: &mut Criterion) {
-    let system = chatpattern_core::ChatPattern::builder()
+fn small_system() -> ChatPattern {
+    ChatPattern::builder()
         .window(16)
         .training_patterns(8)
         .diffusion_steps(6)
         .seed(0)
         .build()
-        .expect("valid configuration");
+        .expect("valid configuration")
+}
+
+fn engine(backend: BackendKind) -> PatternEngine<ChatPattern> {
+    PatternEngine::with_config(
+        small_system(),
+        EngineConfig {
+            backend,
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 0,
+        },
+    )
+    .expect("valid config")
+}
+
+fn bench_execute_many(c: &mut Criterion) {
+    let system = small_system();
     let mut group = c.benchmark_group("execute_many_32");
     group.sample_size(10);
     group.bench_function("serial", |b| {
@@ -43,27 +61,19 @@ fn bench_execute_many(c: &mut Criterion) {
             assert!(results.iter().all(Result::is_ok));
         });
     });
-    let engine = PatternEngine::with_config(
-        chatpattern_core::ChatPattern::builder()
-            .window(16)
-            .training_patterns(8)
-            .diffusion_steps(6)
-            .seed(0)
-            .build()
-            .expect("valid configuration"),
-        EngineConfig {
-            workers: 4,
-            queue_depth: 64,
-            cache_capacity: 0,
-        },
-    )
-    .expect("valid config");
-    group.bench_function("pooled_4_workers", |b| {
-        b.iter(|| {
-            let results = engine.execute_many(batch());
-            assert!(results.iter().all(Result::is_ok));
+    for (name, backend) in [
+        ("inline", BackendKind::Inline),
+        ("pooled_4_workers", BackendKind::ThreadPool),
+        ("sharded_2x2", BackendKind::Sharded { shards: 2 }),
+    ] {
+        let engine = engine(backend);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let results = engine.execute_many(batch());
+                assert!(results.iter().all(Result::is_ok));
+            });
         });
-    });
+    }
     group.finish();
 }
 

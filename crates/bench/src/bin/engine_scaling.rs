@@ -1,13 +1,18 @@
-//! Engine scaling: serial vs. pooled `execute_many` on a 32-request
-//! Generate batch, at several worker counts. Prints a table and writes
+//! Engine scaling: serial `execute_many` vs. every execution backend
+//! (inline, thread pool at several worker counts, sharded) on a
+//! 32-request Generate batch, plus a duplicate-request burst measuring
+//! the in-flight coalescing hit rate. Prints a table and writes
 //! `BENCH_ENGINE.json` (in the working directory) so the perf
-//! trajectory starts capturing engine scaling run over run.
+//! trajectory captures both the backend dimension and coalescing.
 //!
 //! Scale with the usual `CP_*` variables; `CP_ENGINE_WORKERS` is a
-//! comma-separated list of pool sizes to sweep (default `2,4,8`).
+//! comma-separated list of thread-pool sizes to sweep (default
+//! `2,4,8`) and `CP_ENGINE_SHARDS` the shard counts for the sharded
+//! backend (default `2,4`).
 
 use chatpattern_core::{
-    ChatPattern, EngineConfig, GenerateParams, PatternEngine, PatternRequest, PatternService,
+    BackendKind, ChatPattern, EngineConfig, GenerateParams, JobHandle, PatternEngine,
+    PatternRequest, PatternService,
 };
 use cp_bench::BenchConfig;
 use cp_dataset::Style;
@@ -16,6 +21,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 const BATCH: usize = 32;
+/// Distinct requests inside the coalescing burst: 32 submits spread
+/// over 4 unique keys → up to 28 coalesced attachments.
+const UNIQUE: u64 = 4;
 
 fn batch(cfg: &BenchConfig) -> Vec<PatternRequest> {
     (0..BATCH as u64)
@@ -42,33 +50,77 @@ fn run_serial(system: &ChatPattern, cfg: &BenchConfig) -> f64 {
     started.elapsed().as_secs_f64() * 1e3
 }
 
-fn run_pooled(system: &Arc<ChatPattern>, cfg: &BenchConfig, workers: usize) -> f64 {
-    let engine = PatternEngine::with_config(
+fn engine(
+    system: &Arc<ChatPattern>,
+    backend: BackendKind,
+    workers: usize,
+) -> PatternEngine<Arc<ChatPattern>> {
+    PatternEngine::with_config(
         Arc::clone(system),
         EngineConfig {
+            backend,
             workers,
             queue_depth: BATCH,
             // Disabled: scaling numbers must measure sampling, not
-            // cache replay.
+            // cache replay (in-flight coalescing stays active but the
+            // batch has distinct seeds, so it never triggers here).
             cache_capacity: 0,
         },
     )
-    .expect("valid engine config");
+    .expect("valid engine config")
+}
+
+fn run_backend(
+    system: &Arc<ChatPattern>,
+    cfg: &BenchConfig,
+    backend: BackendKind,
+    workers: usize,
+) -> f64 {
+    let engine = engine(system, backend, workers);
     let started = Instant::now();
     let results = engine.execute_many(batch(cfg));
     assert!(results.iter().all(Result::is_ok), "pooled batch failed");
     started.elapsed().as_secs_f64() * 1e3
 }
 
-fn main() {
-    let cfg = BenchConfig::from_env();
-    cfg.print_banner("Engine scaling: serial vs. pooled execute_many");
-    let sweep: Vec<usize> = std::env::var("CP_ENGINE_WORKERS")
-        .unwrap_or_else(|_| "2,4,8".to_owned())
+/// Submits `BATCH` requests cycling through `UNIQUE` distinct seeds,
+/// all in flight at once, and reports `(millis, coalesced)`.
+fn run_coalescing(system: &Arc<ChatPattern>, cfg: &BenchConfig, workers: usize) -> (f64, u64) {
+    let engine = engine(system, BackendKind::ThreadPool, workers);
+    let started = Instant::now();
+    let handles: Vec<JobHandle> = (0..BATCH as u64)
+        .map(|i| {
+            engine.submit_blocking(PatternRequest::Generate(GenerateParams {
+                style: Style::Layer10001,
+                rows: cfg.window,
+                cols: cfg.window,
+                count: 1,
+                seed: i % UNIQUE,
+            }))
+        })
+        .collect();
+    for handle in handles {
+        handle.wait().expect("burst request completes");
+    }
+    let millis = started.elapsed().as_secs_f64() * 1e3;
+    (millis, engine.stats().coalesced)
+}
+
+fn sweep(var: &str, default: &str) -> Vec<usize> {
+    std::env::var(var)
+        .unwrap_or_else(|_| default.to_owned())
         .split(',')
         .filter_map(|w| w.trim().parse().ok())
         .filter(|&w| w > 0)
-        .collect();
+        .collect()
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    cfg.print_banner("Engine scaling: serial vs. inline/threadpool/sharded backends");
+    let worker_sweep = sweep("CP_ENGINE_WORKERS", "2,4,8");
+    let shard_sweep = sweep("CP_ENGINE_SHARDS", "2,4");
+    let max_workers = worker_sweep.iter().copied().max().unwrap_or(4);
 
     let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let system = Arc::new(cfg.build_system());
@@ -79,31 +131,65 @@ fn main() {
         "{BATCH}-request Generate batch, window {}, {cpus} CPU(s):",
         cfg.window
     );
-    println!("  serial            {serial_ms:9.1} ms   1.00x");
+    println!("  serial                    {serial_ms:9.1} ms   1.00x");
 
     let mut rows = String::new();
-    for &workers in &sweep {
-        let pooled_ms = run_pooled(&system, &cfg, workers);
-        let speedup = serial_ms / pooled_ms;
-        println!("  pooled {workers:2} workers {pooled_ms:9.1} ms   {speedup:.2}x");
+    let mut record = |label: &str, backend: &str, workers: usize, shards: usize, millis: f64| {
+        let speedup = serial_ms / millis;
+        println!("  {label:<25} {millis:9.1} ms   {speedup:.2}x");
         let _ = write!(
             rows,
-            "{}{{\"workers\":{workers},\"millis\":{pooled_ms:.3},\"speedup\":{speedup:.3}}}",
+            "{}{{\"backend\":\"{backend}\",\"workers\":{workers},\"shards\":{shards},\
+             \"millis\":{millis:.3},\"speedup\":{speedup:.3}}}",
             if rows.is_empty() { "" } else { "," }
+        );
+    };
+
+    let inline_ms = run_backend(&system, &cfg, BackendKind::Inline, 1);
+    record("inline", "inline", 0, 0, inline_ms);
+    for &workers in &worker_sweep {
+        let ms = run_backend(&system, &cfg, BackendKind::ThreadPool, workers);
+        record(
+            &format!("threadpool {workers:2} workers"),
+            "threadpool",
+            workers,
+            0,
+            ms,
+        );
+    }
+    for &shards in &shard_sweep {
+        let ms = run_backend(&system, &cfg, BackendKind::Sharded { shards }, max_workers);
+        record(
+            &format!("sharded {shards} shards/{max_workers} wrk"),
+            "sharded",
+            max_workers,
+            shards,
+            ms,
         );
     }
 
+    let (burst_ms, coalesced) = run_coalescing(&system, &cfg, max_workers);
+    #[allow(clippy::cast_precision_loss)]
+    let hit_rate = coalesced as f64 / BATCH as f64;
+    println!(
+        "  coalescing burst ({UNIQUE} unique) {burst_ms:7.1} ms   \
+         {coalesced}/{BATCH} coalesced ({:.0}%)",
+        hit_rate * 100.0
+    );
+
     if cpus == 1 {
         println!(
-            "\nnote: this host exposes a single CPU, so the pooled numbers measure\n\
-             per-job engine overhead (serial/pooled delta ÷ {BATCH}), not scaling;\n\
+            "\nnote: this host exposes a single CPU, so the threaded numbers measure\n\
+             per-job engine overhead (serial/backend delta ÷ {BATCH}), not scaling;\n\
              speedups > 1 require a multi-core host."
         );
     }
 
     let json = format!(
         "{{\"bench\":\"engine_scaling\",\"batch\":{BATCH},\"window\":{},\"steps\":{},\
-         \"train\":{},\"cpus\":{cpus},\"serial_millis\":{serial_ms:.3},\"pooled\":[{rows}]}}\n",
+         \"train\":{},\"cpus\":{cpus},\"serial_millis\":{serial_ms:.3},\"backends\":[{rows}],\
+         \"coalescing\":{{\"submitted\":{BATCH},\"unique\":{UNIQUE},\"coalesced\":{coalesced},\
+         \"hit_rate\":{hit_rate:.3},\"millis\":{burst_ms:.3}}}}}\n",
         cfg.window, cfg.steps, cfg.train
     );
     std::fs::write("BENCH_ENGINE.json", &json).expect("write BENCH_ENGINE.json");

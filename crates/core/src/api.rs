@@ -5,8 +5,8 @@
 //! language front-end and the layout engine (the same role the typed IR
 //! plays in LayoutPrompter and Parse-Then-Place). A [`PatternService`]
 //! turns requests into [`PatternResponse`]s carrying a per-variant
-//! payload plus timing metadata; [`ChatPattern`](crate::ChatPattern) is
-//! the canonical implementation.
+//! payload plus timing metadata; [`ChatPattern`] is the canonical
+//! implementation.
 //!
 //! Requests and responses round-trip through JSON (`serde_json`), so a
 //! network front-end can speak this API without linking the engine.
@@ -171,7 +171,12 @@ impl ChatOutcome {
 /// through a [`PatternEngine`](crate::PatternEngine) record how long
 /// the job sat in the submission queue before a worker picked it up;
 /// cache hits additionally set `cached` and report only the (tiny)
-/// lookup cost as `exec_micros`.
+/// lookup cost as `exec_micros`; requests that attached to an
+/// identical in-flight execution set `coalesced`. Every handle's
+/// `micros` is its own submission-to-completion latency — a coalesced
+/// waiter that attached mid-execution reports zero queue wait and
+/// only the slice of the shared execution it actually overlapped
+/// with, never more than it really waited.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Timing {
     /// Total microseconds from submission to completion
@@ -185,6 +190,9 @@ pub struct Timing {
     pub exec_micros: u64,
     /// Whether the payload was served from the engine's result cache.
     pub cached: bool,
+    /// Whether the payload came from an identical in-flight execution
+    /// this request attached to instead of executing itself.
+    pub coalesced: bool,
 }
 
 impl Timing {
@@ -196,6 +204,7 @@ impl Timing {
             queue_micros: 0,
             exec_micros,
             cached: false,
+            coalesced: false,
         }
     }
 
@@ -207,6 +216,7 @@ impl Timing {
             queue_micros,
             exec_micros,
             cached: false,
+            coalesced: false,
         }
     }
 
@@ -218,6 +228,22 @@ impl Timing {
             queue_micros: 0,
             exec_micros,
             cached: true,
+            coalesced: false,
+        }
+    }
+
+    /// Timing of a coalesced waiter: it waited `queue_micros` from its
+    /// own submission, then overlapped the shared execution for
+    /// `exec_micros` (the engine caps this at the handle's real
+    /// elapsed time).
+    #[must_use]
+    pub fn coalesced(queue_micros: u64, exec_micros: u64) -> Timing {
+        Timing {
+            micros: queue_micros.saturating_add(exec_micros),
+            queue_micros,
+            exec_micros,
+            cached: false,
+            coalesced: true,
         }
     }
 }
@@ -521,9 +547,15 @@ mod tests {
         assert_eq!(queued.exec_micros, 70);
         let hit = Timing::cache_hit(2);
         assert!(hit.cached);
+        assert!(!hit.coalesced);
         assert_eq!(hit.micros, 2);
+        let shared = Timing::coalesced(5, 40);
+        assert!(shared.coalesced);
+        assert!(!shared.cached);
+        assert_eq!(shared.micros, 45);
         // Saturating, not wrapping, on absurd inputs.
         assert_eq!(Timing::queued(u64::MAX, 1).micros, u64::MAX);
+        assert_eq!(Timing::coalesced(u64::MAX, 1).micros, u64::MAX);
     }
 
     #[test]

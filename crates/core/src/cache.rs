@@ -1,8 +1,9 @@
 //! Request-level LRU result cache.
 //!
-//! The engine keys entries on the serialized wire form of a request —
+//! The [`ResultBroker`](crate::broker::ResultBroker) keys entries on
+//! the serialized wire form of a request —
 //! `(request-kind, params, seed)` — so two textually identical requests
-//! share one execution. Only deterministic requests are cached (every
+//! share one result. Only deterministic requests are cached (every
 //! request kind carries an explicit seed except `Chat { seed: None }`,
 //! which bypasses the cache entirely; see
 //! [`cache_key`](crate::engine::cache_key)).

@@ -1,59 +1,77 @@
 //! The job-oriented execution engine.
 //!
-//! [`PatternEngine`] wraps any [`PatternService`] in a fixed pool of
-//! `std::thread` workers fed by a bounded queue, turning the blocking
-//! trait into a submission API:
+//! [`PatternEngine`] wraps any [`PatternService`] in a pluggable
+//! execution backend (see [`crate::backend`]) behind a shared result
+//! broker (the cache + coalescer layer), turning the blocking trait
+//! into a submission API:
 //!
 //! * [`PatternEngine::submit`] enqueues a request and returns a
 //!   [`JobHandle`] immediately (or [`Error::QueueFull`] when the
-//!   bounded queue is at capacity);
+//!   target bounded queue is at capacity);
 //! * [`JobHandle::wait`] blocks for the result,
 //!   [`JobHandle::try_status`] polls without blocking, and
-//!   [`JobHandle::cancel`] aborts a still-queued job with
-//!   [`Error::Cancelled`];
+//!   [`JobHandle::cancel`] detaches a handle whose result has not been
+//!   delivered yet, reporting [`Error::Cancelled`] to that handle only;
 //! * the engine itself implements [`PatternService`], so
 //!   [`PatternService::execute_many`] becomes a submit-all/wait-all
-//!   loop that finally runs batches in parallel.
+//!   loop that runs batches in parallel (on the threaded backends).
 //!
 //! Because every request carries its own RNG seed, parallel execution
 //! returns byte-identical payloads to the serial default — the batch is
 //! a pure function of the request list, independent of worker
-//! interleaving.
+//! interleaving or backend choice.
 //!
 //! Deterministic requests (everything except `Chat { seed: None }`)
-//! additionally flow through a request-level LRU result cache keyed on
-//! the serialized wire form; hits skip the queue entirely and are
-//! reported in [`EngineStats`]. [`Timing`] distinguishes queue wait
-//! from execution time for every job.
+//! flow through the result broker: completed results replay from a
+//! request-level LRU cache, and identical requests submitted while one
+//! is still queued or executing **coalesce** — they attach as waiters
+//! to the single in-flight execution and all receive the same payload,
+//! counted in [`EngineStats::coalesced`] and flagged in
+//! [`Timing::coalesced`]. `Chat` with `seed: null` bypasses both, same
+//! as the long-standing cache-bypass rule. [`Timing`] distinguishes
+//! queue wait from execution time for every job. The full semantics
+//! are documented in `docs/ENGINE.md`.
 
-use crate::cache::LruCache;
+use crate::backend::{
+    BackendKind, ExecBackend, InlineBackend, ShardedBackend, TaskFn, ThreadPoolBackend,
+};
+use crate::broker::{Admission, ExecTask, JobShared, ResultBroker, TaskPhase};
 use crate::{Error, PatternRequest, PatternResponse, PatternService, ResponsePayload, Timing};
-use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::{self, JoinHandle};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Scale knobs of a [`PatternEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
-    /// Worker threads executing jobs (≥ 1).
+    /// Execution strategy (see [`BackendKind`]).
+    pub backend: BackendKind,
+    /// Worker threads executing jobs (≥ 1; split across shards for
+    /// [`BackendKind::Sharded`], ignored by [`BackendKind::Inline`]).
     pub workers: usize,
-    /// Bound of the submission queue (≥ 1); [`PatternEngine::submit`]
-    /// reports [`Error::QueueFull`] beyond it.
+    /// Bound of each submission queue (≥ 1); [`PatternEngine::submit`]
+    /// reports [`Error::QueueFull`] beyond it. Per shard for the
+    /// sharded backend; ignored by the inline backend.
     pub queue_depth: usize,
-    /// Entries in the request-level result cache (0 disables caching).
+    /// Entries in the request-level result cache (0 disables caching;
+    /// coalescing of in-flight requests stays active either way).
     pub cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
     fn default() -> EngineConfig {
         EngineConfig {
-            workers: thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+            backend: BackendKind::ThreadPool,
+            workers: thread_count(),
             queue_depth: 256,
             cache_capacity: 128,
         }
     }
+}
+
+fn thread_count() -> usize {
+    std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
 }
 
 impl EngineConfig {
@@ -62,13 +80,32 @@ impl EngineConfig {
     /// # Errors
     ///
     /// Returns [`Error::Config`] when `workers` or `queue_depth` is
-    /// zero.
+    /// zero, or — for the sharded backend — when `shards` is zero or
+    /// exceeds `workers` (every shard needs a dedicated worker to
+    /// drain its queue).
     pub fn validate(&self) -> Result<(), Error> {
         if self.workers == 0 {
             return Err(Error::config("engine needs at least 1 worker (got 0)"));
         }
         if self.queue_depth == 0 {
             return Err(Error::config("queue_depth must be at least 1 (got 0)"));
+        }
+        if let BackendKind::Sharded { shards } = self.backend {
+            if shards == 0 {
+                return Err(Error::config(
+                    "the sharded backend needs at least 1 shard (got 0)",
+                ));
+            }
+            // Each shard drains its own queue, so a shard without a
+            // dedicated worker would never make progress; silently
+            // spawning extra threads would exceed the configured cap.
+            if shards > self.workers {
+                return Err(Error::config(format!(
+                    "the sharded backend needs at least 1 worker per shard \
+                     ({shards} shards > {} workers)",
+                    self.workers
+                )));
+            }
         }
         Ok(())
     }
@@ -77,47 +114,58 @@ impl EngineConfig {
 /// Observable lifecycle of a submitted job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobStatus {
-    /// Waiting in the submission queue.
+    /// Waiting in a backend queue.
     Queued,
-    /// A worker is executing it.
+    /// The shared execution is running.
     Running,
     /// Finished (successfully or with an error); `wait` returns
     /// immediately.
     Done,
-    /// Cancelled while queued; `wait` returns [`Error::Cancelled`].
+    /// This handle was cancelled; `wait` returns [`Error::Cancelled`].
     Cancelled,
 }
 
 /// Counters describing engine activity since construction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EngineStats {
-    /// Jobs accepted by `submit`/`submit_blocking` (cache hits
-    /// included).
+    /// Jobs accepted by `submit`/`submit_blocking` (cache hits and
+    /// coalesced waiters included).
     pub submitted: u64,
-    /// Jobs that completed successfully (cache hits included).
+    /// Jobs whose result was delivered successfully (cache hits and
+    /// coalesced waiters included).
     pub completed: u64,
-    /// Jobs that completed with an error.
+    /// Jobs whose result was an error.
     pub failed: u64,
-    /// Jobs cancelled while queued.
+    /// Handles cancelled before their result was delivered.
     pub cancelled: u64,
     /// Requests served straight from the result cache.
     pub cache_hits: u64,
-    /// Cacheable requests that had to execute.
+    /// Cacheable requests that started a backend execution.
     pub cache_misses: u64,
+    /// Requests that attached to an identical in-flight execution
+    /// instead of starting their own (for keyed submissions,
+    /// `cache_hits + cache_misses + coalesced` partitions them).
+    pub coalesced: u64,
+    /// Jobs currently waiting in each backend queue, one entry per
+    /// queue: empty for [`BackendKind::Inline`], one entry for
+    /// [`BackendKind::ThreadPool`], one per shard for
+    /// [`BackendKind::Sharded`].
+    pub queue_depths: Vec<usize>,
 }
 
 #[derive(Default)]
-struct AtomicStats {
+pub(crate) struct AtomicStats {
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
     cancelled: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl AtomicStats {
-    fn snapshot(&self) -> EngineStats {
+    fn snapshot(&self, queue_depths: Vec<usize>) -> EngineStats {
         EngineStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -125,14 +173,21 @@ impl AtomicStats {
             cancelled: self.cancelled.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            queue_depths,
         }
+    }
+
+    fn add(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 }
 
-/// Cache key of a request: its serialized wire form, or `None` when
-/// the request is not deterministic (`Chat` without an explicit seed
-/// resolves to the system's master seed at execution time, so its
-/// outcome is not a pure function of the request value).
+/// Cache/coalescing key of a request: its serialized wire form, or
+/// `None` when the request is not deterministic (`Chat` without an
+/// explicit seed resolves to the system's master seed at execution
+/// time, so its outcome is not a pure function of the request value —
+/// such requests bypass both the cache and the coalescer).
 pub(crate) fn cache_key(request: &PatternRequest) -> Option<String> {
     match request {
         PatternRequest::Chat(params) if params.seed.is_none() => None,
@@ -140,44 +195,26 @@ pub(crate) fn cache_key(request: &PatternRequest) -> Option<String> {
     }
 }
 
-enum JobState {
-    Queued,
-    Running,
-    Done {
-        cancelled: bool,
-        /// `Some` until `wait` takes it.
-        result: Option<Result<PatternResponse, Error>>,
-    },
-}
-
-struct JobShared {
-    state: Mutex<JobState>,
-    done: Condvar,
-    submitted_at: Instant,
-    /// Engine counters, shared so [`JobHandle::cancel`] can record
-    /// itself at cancellation time (not when a worker later skips the
-    /// job).
-    stats: Arc<AtomicStats>,
-}
-
-impl JobShared {
-    fn finish(&self, cancelled: bool, result: Result<PatternResponse, Error>) {
-        let mut state = self.state.lock().expect("job lock");
-        *state = JobState::Done {
-            cancelled,
-            result: Some(result),
-        };
-        self.done.notify_all();
-    }
-}
-
 /// A submitted job: wait for, poll, or cancel it.
 ///
-/// Dropping the handle does not cancel the job; the worker still
-/// executes it (and a cacheable result still lands in the cache).
+/// Several handles may share one backend execution (request
+/// coalescing); each handle still gets its own result delivery, so
+/// [`JobHandle::cancel`] detaches only this handle. Dropping the
+/// handle does not cancel anything; the shared execution still runs
+/// (and a cacheable result still lands in the cache).
 #[must_use = "a JobHandle should be waited on, polled or cancelled"]
 pub struct JobHandle {
     shared: Arc<JobShared>,
+    /// `None` only for handles born finished (cache hits). Inline
+    /// handles carry a live attachment whose task is already
+    /// `Finished` by the time `submit` returns.
+    attachment: Option<Attachment>,
+}
+
+struct Attachment {
+    task: Arc<ExecTask>,
+    broker: Arc<ResultBroker>,
+    stats: Arc<AtomicStats>,
 }
 
 impl std::fmt::Debug for JobHandle {
@@ -189,18 +226,10 @@ impl std::fmt::Debug for JobHandle {
 }
 
 impl JobHandle {
-    fn already_done(result: Result<PatternResponse, Error>) -> JobHandle {
+    fn done(result: Result<PatternResponse, Error>) -> JobHandle {
         JobHandle {
-            shared: Arc::new(JobShared {
-                state: Mutex::new(JobState::Done {
-                    cancelled: false,
-                    result: Some(result),
-                }),
-                done: Condvar::new(),
-                submitted_at: Instant::now(),
-                // Never read: a done job cannot be cancelled.
-                stats: Arc::new(AtomicStats::default()),
-            }),
+            shared: JobShared::finished(result),
+            attachment: None,
         }
     }
 
@@ -208,94 +237,128 @@ impl JobHandle {
     ///
     /// # Errors
     ///
-    /// Returns whatever the underlying service reported, or
+    /// Returns whatever the underlying service reported (including
+    /// [`Error::Internal`] when the service panicked), or
     /// [`Error::Cancelled`] when [`JobHandle::cancel`] won the race.
+    /// [`Error::QueueFull`] never reaches a handle: an accepted
+    /// submission always resolves to a result — waiters can only
+    /// coalesce onto executions whose dispatch already succeeded.
     pub fn wait(self) -> Result<PatternResponse, Error> {
-        let mut state = self.shared.state.lock().expect("job lock");
-        loop {
-            if let JobState::Done { result, .. } = &mut *state {
-                return result
-                    .take()
-                    .expect("wait consumes the handle, so the result is untaken");
-            }
-            state = self.shared.done.wait(state).expect("job lock");
-        }
+        self.shared.wait()
     }
 
     /// Current lifecycle stage, without blocking.
     #[must_use]
     pub fn try_status(&self) -> JobStatus {
-        match &*self.shared.state.lock().expect("job lock") {
-            JobState::Queued => JobStatus::Queued,
-            JobState::Running => JobStatus::Running,
-            JobState::Done {
-                cancelled: true, ..
-            } => JobStatus::Cancelled,
-            JobState::Done { .. } => JobStatus::Done,
+        match self.shared.done_state() {
+            Some(true) => JobStatus::Cancelled,
+            Some(false) => JobStatus::Done,
+            None => match &self.attachment {
+                Some(attachment) => match attachment.task.phase() {
+                    TaskPhase::Queued => JobStatus::Queued,
+                    // `Finished` here means the fan-out is about to
+                    // deliver; report Running for the last instants.
+                    TaskPhase::Running | TaskPhase::Finished => JobStatus::Running,
+                },
+                None => JobStatus::Running,
+            },
         }
     }
 
-    /// Cancels the job if it is still queued. Returns `true` when the
-    /// cancellation took effect — [`JobHandle::wait`] will then report
-    /// [`Error::Cancelled`]. Running or finished jobs are unaffected
-    /// (there is no preemption) and `false` is returned.
+    /// Cancels this handle if its result has not been delivered yet.
+    /// Returns `true` when the cancellation took effect —
+    /// [`JobHandle::wait`] will then report [`Error::Cancelled`].
+    ///
+    /// Cancellation **detaches**, it never preempts: when other
+    /// handles share the execution (coalesced identical requests),
+    /// the execution proceeds and every other handle still receives
+    /// its payload; only the canceller sees [`Error::Cancelled`].
+    /// When this was the *only* handle and the job is still queued,
+    /// the backend skips it entirely. A job already running runs to
+    /// completion (a cacheable result still lands in the cache) —
+    /// its result is simply discarded. Finished handles are
+    /// unaffected and `false` is returned.
     pub fn cancel(&self) -> bool {
-        let mut state = self.shared.state.lock().expect("job lock");
-        match *state {
-            JobState::Queued => {
-                *state = JobState::Done {
-                    cancelled: true,
-                    result: Some(Err(Error::Cancelled)),
-                };
-                self.shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
-                self.shared.done.notify_all();
-                true
-            }
-            _ => false,
+        if !self.shared.cancel_if_pending() {
+            return false;
         }
+        if let Some(attachment) = &self.attachment {
+            attachment.stats.add(&attachment.stats.cancelled);
+            // Atomic detach: when this empties a still-queued task,
+            // the broker frees the key in the same critical section so
+            // a fresh identical submit re-executes instead of joining
+            // the abandoned task.
+            attachment.broker.detach(&attachment.task, &self.shared);
+        }
+        true
     }
 }
 
-struct QueueState {
-    jobs: VecDeque<(Arc<JobShared>, PatternRequest, Option<String>)>,
-    shutdown: bool,
-}
-
-struct EngineShared<S> {
+/// Service + broker + stats: everything a backend's task closure needs.
+struct EngineCore<S> {
     service: S,
-    config: EngineConfig,
-    queue: Mutex<QueueState>,
-    /// Signalled when a job is pushed or shutdown begins (workers wait).
-    job_ready: Condvar,
-    /// Signalled when a job is popped (blocking submitters wait).
-    space_ready: Condvar,
-    cache: Mutex<LruCache<ResponsePayload>>,
+    broker: Arc<ResultBroker>,
     stats: Arc<AtomicStats>,
 }
 
-impl<S: PatternService> EngineShared<S> {
-    /// Executes one claimed job and publishes its result.
-    fn run_job(&self, job: &JobShared, request: PatternRequest, key: Option<&str>) {
-        let queue_micros = elapsed_micros(job.submitted_at);
+impl<S: PatternService> EngineCore<S> {
+    /// Executes one claimed task and fans the result out to every
+    /// subscriber (the leader plus any coalesced waiters).
+    fn run_task(&self, task: &Arc<ExecTask>) {
+        let Some(request) = task.claim() else {
+            // Every subscriber detached while the task was queued.
+            return;
+        };
         let started = Instant::now();
-        let mut result = self.service.execute(request);
+        // A panicking service must not poison the broker: without the
+        // catch, `complete` would never run, the key would stay
+        // registered, and every future identical submission would
+        // coalesce onto the dead task and hang. Convert the panic into
+        // an error result instead (and keep the worker thread alive).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.service.execute(request)
+        }))
+        .unwrap_or_else(|panic| Err(Error::internal(panic_message(panic.as_ref()))));
         let exec_micros = elapsed_micros(started);
-        match &mut result {
-            Ok(response) => {
-                if let Some(key) = key {
-                    self.cache
-                        .lock()
-                        .expect("cache lock")
-                        .insert(key.to_owned(), response.payload.clone());
+        // The cache copy is deep-cloned here, outside the broker lock;
+        // `complete` only moves the Arc under it.
+        let cache_copy = match (&result, task.is_keyed()) {
+            (Ok(response), true) => Some(Arc::new(response.payload.clone())),
+            _ => None,
+        };
+        let subscribers = self.broker.complete(task, cache_copy);
+        for (job, coalesced) in subscribers {
+            let shared = match &result {
+                Ok(response) => {
+                    // Each handle's timing runs from its own
+                    // submission: `micros` is the handle's real
+                    // submission-to-completion latency, so a waiter
+                    // that attached mid-execution reports zero queue
+                    // wait and only the slice of the shared execution
+                    // it actually overlapped with.
+                    let total = elapsed_micros(job.submitted_at);
+                    let exec_share = exec_micros.min(total);
+                    let queue_micros = total - exec_share;
+                    Ok(PatternResponse {
+                        payload: response.payload.clone(),
+                        timing: if coalesced {
+                            Timing::coalesced(queue_micros, exec_share)
+                        } else {
+                            Timing::queued(queue_micros, exec_share)
+                        },
+                    })
                 }
-                response.timing = Timing::queued(queue_micros, exec_micros);
-                self.stats.completed.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(_) => {
-                self.stats.failed.fetch_add(1, Ordering::Relaxed);
-            }
+                Err(error) => Err(error.clone()),
+            };
+            let ok = shared.is_ok();
+            job.finish_if_pending(shared, || {
+                self.stats.add(if ok {
+                    &self.stats.completed
+                } else {
+                    &self.stats.failed
+                });
+            });
         }
-        job.finish(false, result);
     }
 }
 
@@ -303,21 +366,36 @@ fn elapsed_micros(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
-/// A parallel, caching executor over any [`PatternService`].
+/// Best-effort rendering of a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = panic.downcast_ref::<&str>() {
+        format!("service panicked: {message}")
+    } else if let Some(message) = panic.downcast_ref::<String>() {
+        format!("service panicked: {message}")
+    } else {
+        String::from("service panicked")
+    }
+}
+
+/// A parallel, caching, coalescing executor over any
+/// [`PatternService`].
 ///
-/// See the [module docs](self) for the full story. The engine is
-/// `Sync`: submit from as many threads as you like. Dropping it stops
-/// the workers after their current job and cancels everything still
-/// queued.
+/// See the [module docs](self) for the full story and `docs/ENGINE.md`
+/// for the backend matrix. The engine is `Sync`: submit from as many
+/// threads as you like. Dropping it stops the workers after their
+/// current job and cancels everything still queued.
 pub struct PatternEngine<S: PatternService + Send + Sync + 'static> {
-    shared: Arc<EngineShared<S>>,
-    workers: Vec<JoinHandle<()>>,
+    core: Arc<EngineCore<S>>,
+    backend: Box<dyn ExecBackend>,
+    config: EngineConfig,
+    /// Round-robin routing for unkeyed (uncacheable) requests.
+    route_counter: AtomicU64,
 }
 
 impl<S: PatternService + Send + Sync + 'static> std::fmt::Debug for PatternEngine<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PatternEngine")
-            .field("config", &self.shared.config)
+            .field("config", &self.config)
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
@@ -338,57 +416,67 @@ impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
     /// Returns [`Error::Config`] when the configuration is invalid.
     pub fn with_config(service: S, config: EngineConfig) -> Result<PatternEngine<S>, Error> {
         config.validate()?;
-        let shared = Arc::new(EngineShared {
+        let core = Arc::new(EngineCore {
             service,
-            config,
-            queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                shutdown: false,
-            }),
-            job_ready: Condvar::new(),
-            space_ready: Condvar::new(),
-            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            broker: Arc::new(ResultBroker::new(config.cache_capacity)),
             stats: Arc::new(AtomicStats::default()),
         });
-        let workers = (0..config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("pattern-engine-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn engine worker")
-            })
-            .collect();
-        Ok(PatternEngine { shared, workers })
+        let run: TaskFn = {
+            let core = Arc::clone(&core);
+            Arc::new(move |task| core.run_task(task))
+        };
+        let backend: Box<dyn ExecBackend> = match config.backend {
+            BackendKind::Inline => Box::new(InlineBackend::new(run)),
+            BackendKind::ThreadPool => Box::new(ThreadPoolBackend::new(
+                "pattern-engine",
+                config.workers,
+                config.queue_depth,
+                run,
+            )),
+            BackendKind::Sharded { shards } => Box::new(ShardedBackend::new(
+                shards,
+                config.workers,
+                config.queue_depth,
+                &run,
+            )),
+        };
+        Ok(PatternEngine {
+            core,
+            backend,
+            config,
+            route_counter: AtomicU64::new(0),
+        })
     }
 
     /// The configuration in force.
     #[must_use]
     pub fn config(&self) -> EngineConfig {
-        self.shared.config
+        self.config
     }
 
-    /// A snapshot of the activity counters.
+    /// A snapshot of the activity counters, including the live
+    /// per-queue depths of the active backend.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        self.shared.stats.snapshot()
+        self.core.stats.snapshot(self.backend.queue_depths())
     }
 
     /// The wrapped service.
     #[must_use]
     pub fn service(&self) -> &S {
-        &self.shared.service
+        &self.core.service
     }
 
     /// Submits a request without blocking.
     ///
     /// Cache hits complete immediately (the returned handle is already
-    /// [`JobStatus::Done`]); otherwise the job is enqueued for the
-    /// worker pool.
+    /// [`JobStatus::Done`]), identical in-flight requests coalesce onto
+    /// the existing execution, and anything else is dispatched to the
+    /// backend.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::QueueFull`] when the bounded queue is at
+    /// Returns [`Error::QueueFull`] when the target bounded queue is at
     /// capacity. The request is not enqueued; retry or use
     /// [`PatternEngine::submit_blocking`].
     pub fn submit(&self, request: PatternRequest) -> Result<JobHandle, Error> {
@@ -403,112 +491,113 @@ impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
     }
 
     fn submit_inner(&self, request: PatternRequest, block: bool) -> Result<JobHandle, Error> {
+        let stats = &self.core.stats;
         let key = cache_key(&request);
-        if let Some(key) = &key {
-            let lookup = Instant::now();
-            let hit = self.shared.cache.lock().expect("cache lock").get(key);
-            if let Some(payload) = hit {
-                self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
-                self.shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                self.shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-                return Ok(JobHandle::already_done(Ok(PatternResponse {
-                    payload,
-                    timing: Timing::cache_hit(elapsed_micros(lookup)),
-                })));
+        let route = match &key {
+            Some(key) => {
+                let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                key.hash(&mut hasher);
+                hasher.finish()
             }
-            self.shared
-                .stats
-                .cache_misses
-                .fetch_add(1, Ordering::Relaxed);
-        }
-        let job = Arc::new(JobShared {
-            state: Mutex::new(JobState::Queued),
-            done: Condvar::new(),
-            submitted_at: Instant::now(),
-            stats: Arc::clone(&self.shared.stats),
-        });
+            None => self.route_counter.fetch_add(1, Ordering::Relaxed),
+        };
+        let lookup = Instant::now();
+        // Keyed non-blocking submits dispatch *inside* the admission
+        // lock: a try-push into a bounded queue never blocks and never
+        // re-enters the broker, and doing it there means a QueueFull
+        // rejection can never strand a coalesced waiter — nobody can
+        // attach to a task whose dispatch has not succeeded. Blocking
+        // dispatch must stay outside the lock (waiting for queue space
+        // while holding it would deadlock against worker completions),
+        // and the inline backend executes the task during dispatch (it
+        // would re-enter the broker), but neither can fail.
+        let try_dispatch = |task: Arc<ExecTask>| self.backend.dispatch(task, false);
+        let in_lock_dispatch: Option<&dyn Fn(Arc<ExecTask>) -> Result<(), Error>> =
+            if !block && !matches!(self.config.backend, BackendKind::Inline) {
+                Some(&try_dispatch)
+            } else {
+                None
+            };
+        let dispatched_in_lock = in_lock_dispatch.is_some();
+        match self
+            .core
+            .broker
+            .admit(key, route, request, in_lock_dispatch)
         {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
-            while queue.jobs.len() >= self.shared.config.queue_depth {
-                if !block {
-                    return Err(Error::QueueFull {
-                        depth: self.shared.config.queue_depth,
-                    });
-                }
-                queue = self.shared.space_ready.wait(queue).expect("queue lock");
+            Admission::CacheHit(payload) => {
+                stats.add(&stats.submitted);
+                stats.add(&stats.cache_hits);
+                stats.add(&stats.completed);
+                Ok(JobHandle::done(Ok(PatternResponse {
+                    // Deep clone outside the broker lock.
+                    payload: ResponsePayload::clone(&payload),
+                    timing: Timing::cache_hit(elapsed_micros(lookup)),
+                })))
             }
-            queue.jobs.push_back((Arc::clone(&job), request, key));
+            Admission::Coalesced { task, job } => {
+                stats.add(&stats.submitted);
+                stats.add(&stats.coalesced);
+                Ok(JobHandle {
+                    shared: job,
+                    attachment: Some(self.attachment(task)),
+                })
+            }
+            Admission::Rejected(error) => Err(error),
+            Admission::Lead { task, job } => {
+                let outcome = if dispatched_in_lock && task.is_keyed() {
+                    Ok(())
+                } else {
+                    self.backend.dispatch(Arc::clone(&task), block)
+                };
+                match outcome {
+                    Ok(()) => {
+                        stats.add(&stats.submitted);
+                        if task.is_keyed() {
+                            stats.add(&stats.cache_misses);
+                        }
+                        Ok(JobHandle {
+                            shared: job,
+                            attachment: Some(self.attachment(task)),
+                        })
+                    }
+                    Err(error) => {
+                        // Only reachable for unkeyed tasks, which are
+                        // never registered — reject returns just the
+                        // leader, so nobody else is affected.
+                        let _ = self.core.broker.reject(&task);
+                        Err(error)
+                    }
+                }
+            }
         }
-        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
-        self.shared.job_ready.notify_one();
-        Ok(JobHandle { shared: job })
     }
-}
 
-fn worker_loop<S: PatternService>(shared: &EngineShared<S>) {
-    loop {
-        let (job, request, key) = {
-            let mut queue = shared.queue.lock().expect("queue lock");
-            loop {
-                if let Some(entry) = queue.jobs.pop_front() {
-                    shared.space_ready.notify_one();
-                    break entry;
-                }
-                if queue.shutdown {
-                    return;
-                }
-                queue = shared.job_ready.wait(queue).expect("queue lock");
-            }
-        };
-        // Claim the job; a cancel that already won leaves it Done.
-        let claimed = {
-            let mut state = job.state.lock().expect("job lock");
-            match *state {
-                JobState::Queued => {
-                    *state = JobState::Running;
-                    true
-                }
-                _ => false,
-            }
-        };
-        if !claimed {
-            // Cancelled while queued; already counted by `cancel`.
-            continue;
+    fn attachment(&self, task: Arc<ExecTask>) -> Attachment {
+        Attachment {
+            task,
+            broker: Arc::clone(&self.core.broker),
+            stats: Arc::clone(&self.core.stats),
         }
-        shared.run_job(&job, request, key.as_deref());
     }
 }
 
 impl<S: PatternService + Send + Sync + 'static> Drop for PatternEngine<S> {
     fn drop(&mut self) {
-        let drained = {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
-            queue.shutdown = true;
-            std::mem::take(&mut queue.jobs)
-        };
         // Anything still queued will never run; release its waiters.
-        for (job, _, _) in drained {
-            let mut state = job.state.lock().expect("job lock");
-            if matches!(*state, JobState::Queued) {
-                *state = JobState::Done {
-                    cancelled: true,
-                    result: Some(Err(Error::Cancelled)),
-                };
-                job.done.notify_all();
-                self.shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        for task in self.backend.shutdown() {
+            for (job, _) in self.core.broker.reject(&task) {
+                job.finish_if_pending(Err(Error::Cancelled), || {
+                    self.core.stats.add(&self.core.stats.cancelled);
+                });
             }
-        }
-        self.shared.job_ready.notify_all();
-        self.shared.space_ready.notify_all();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
         }
     }
 }
 
 /// The engine is itself a service: `execute` is submit-and-wait, and
-/// `execute_many` finally runs batches in parallel while preserving
-/// input order (and, thanks to per-request seeds, exact payloads).
+/// `execute_many` runs batches in parallel (on threaded backends)
+/// while preserving input order (and, thanks to per-request seeds,
+/// exact payloads).
 impl<S: PatternService + Send + Sync + 'static> PatternService for PatternEngine<S> {
     fn execute(&self, request: PatternRequest) -> Result<PatternResponse, Error> {
         self.submit_blocking(request).wait()
@@ -526,13 +615,14 @@ impl<S: PatternService + Send + Sync + 'static> PatternService for PatternEngine
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ChatParams, GenerateParams};
+    use crate::{ChatParams, GenerateParams, ResponsePayload};
     use cp_dataset::Style;
+    use std::thread;
     use std::time::Duration;
 
     /// A service slow enough to keep jobs queued while the test pokes
-    /// at them. `Generate.seed` selects behavior: the response echoes
-    /// an empty payload after `delay`.
+    /// at them. `Generate.rows == 0` selects the error path; everything
+    /// else echoes an empty payload after `delay`.
     struct SlowService {
         delay: Duration,
     }
@@ -568,6 +658,7 @@ mod tests {
                 delay: Duration::from_millis(30),
             },
             EngineConfig {
+                backend: BackendKind::ThreadPool,
                 workers,
                 queue_depth,
                 cache_capacity: 0,
@@ -584,6 +675,7 @@ mod tests {
         let err = PatternEngine::with_config(
             service,
             EngineConfig {
+                backend: BackendKind::ThreadPool,
                 workers: 0,
                 queue_depth: 1,
                 cache_capacity: 0,
@@ -591,12 +683,30 @@ mod tests {
         )
         .expect_err("zero workers rejected");
         assert!(matches!(err, Error::Config { .. }));
+        let err = EngineConfig {
+            backend: BackendKind::Sharded { shards: 0 },
+            workers: 2,
+            queue_depth: 1,
+            cache_capacity: 0,
+        }
+        .validate()
+        .expect_err("zero shards rejected");
+        assert!(matches!(err, Error::Config { .. }));
+        let err = EngineConfig {
+            backend: BackendKind::Sharded { shards: 8 },
+            workers: 2,
+            queue_depth: 1,
+            cache_capacity: 0,
+        }
+        .validate()
+        .expect_err("a shard without a worker could never drain");
+        assert!(matches!(err, Error::Config { .. }));
     }
 
     #[test]
     fn submit_reports_queue_full() {
-        // One worker sleeping, depth-1 queue: the third submit must
-        // find the queue occupied.
+        // One worker sleeping, depth-1 queue: distinct-seed submits
+        // must eventually find the queue occupied.
         let engine = slow_engine(1, 1);
         let first = engine.submit_blocking(generate(1));
         let second = engine.submit_blocking(generate(2));
@@ -618,7 +728,31 @@ mod tests {
     }
 
     #[test]
-    fn cancel_works_only_while_queued() {
+    fn queue_full_submit_does_not_disturb_coalescing_state() {
+        // Fill the queue, fail a submit, then verify the same request
+        // can be submitted (blocking) and completes: the rejected
+        // lead's registration was rolled back.
+        let engine = slow_engine(1, 1);
+        let _running = engine.submit_blocking(generate(1));
+        let _queued = engine.submit_blocking(generate(2));
+        let mut rejected_seed = None;
+        for seed in 3..100 {
+            match engine.submit(generate(seed)) {
+                Err(Error::QueueFull { .. }) => {
+                    rejected_seed = Some(seed);
+                    break;
+                }
+                Ok(handle) => drop(handle.wait()),
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        let seed = rejected_seed.expect("queue filled");
+        let retry = engine.submit_blocking(generate(seed));
+        retry.wait().expect("retried request executes");
+    }
+
+    #[test]
+    fn cancel_detaches_a_queued_job() {
         let engine = slow_engine(1, 8);
         let running = engine.submit_blocking(generate(1));
         let queued = engine.submit_blocking(generate(2));
@@ -668,6 +802,7 @@ mod tests {
             response.timing.micros,
             response.timing.queue_micros + response.timing.exec_micros
         );
+        assert!(!response.timing.coalesced, "no identical request in flight");
     }
 
     #[test]
@@ -686,6 +821,134 @@ mod tests {
         assert_eq!(stats.submitted, 2);
         assert_eq!(stats.failed, 1);
         assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn identical_queued_submissions_coalesce() {
+        // One worker busy with seed 1; two identical seed-2 submits
+        // queue behind it and must share one execution.
+        let engine = slow_engine(1, 8);
+        let busy = engine.submit_blocking(generate(1));
+        let leader = engine.submit_blocking(generate(2));
+        let waiter = engine.submit_blocking(generate(2));
+        let a = leader.wait().expect("leader completes");
+        let b = waiter.wait().expect("waiter completes");
+        assert_eq!(a.payload, b.payload);
+        assert!(!a.timing.coalesced, "leader ran the execution");
+        assert!(b.timing.coalesced, "waiter attached to it");
+        busy.wait().expect("busy completes");
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.completed, 3);
+    }
+
+    #[test]
+    fn coalescing_survives_cache_disabled() {
+        // cache_capacity is 0 in slow_engine: coalescing is in-flight
+        // sharing, not cache replay, so it must still work.
+        let engine = slow_engine(1, 8);
+        let _busy = engine.submit_blocking(generate(7));
+        let first = engine.submit_blocking(generate(8));
+        let second = engine.submit_blocking(generate(8));
+        first.wait().expect("completes");
+        second.wait().expect("completes");
+        let stats = engine.stats();
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.cache_hits, 0, "cache is disabled");
+    }
+
+    #[test]
+    fn inline_backend_completes_on_submit() {
+        let engine = PatternEngine::with_config(
+            SlowService {
+                delay: Duration::from_millis(1),
+            },
+            EngineConfig {
+                backend: BackendKind::Inline,
+                workers: 1,
+                queue_depth: 1,
+                cache_capacity: 4,
+            },
+        )
+        .expect("valid config");
+        let handle = engine.submit(generate(1)).expect("inline never overflows");
+        assert_eq!(handle.try_status(), JobStatus::Done);
+        let response = handle.wait().expect("completes");
+        assert!(!response.timing.cached);
+        // Replay is a cache hit even inline.
+        let hit = engine
+            .submit(generate(1))
+            .expect("submits")
+            .wait()
+            .expect("hits");
+        assert!(hit.timing.cached);
+        let stats = engine.stats();
+        assert_eq!(stats.queue_depths.len(), 0, "inline has no queues");
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn sharded_backend_reports_per_shard_depths() {
+        let engine = PatternEngine::with_config(
+            SlowService {
+                delay: Duration::from_millis(5),
+            },
+            EngineConfig {
+                backend: BackendKind::Sharded { shards: 3 },
+                workers: 3,
+                queue_depth: 8,
+                cache_capacity: 0,
+            },
+        )
+        .expect("valid config");
+        assert_eq!(engine.stats().queue_depths, vec![0, 0, 0]);
+        let handles: Vec<JobHandle> = (0..6)
+            .map(|s| engine.submit_blocking(generate(s)))
+            .collect();
+        for handle in handles {
+            handle.wait().expect("completes");
+        }
+        assert_eq!(engine.stats().completed, 6);
+    }
+
+    /// A service that panics on every request.
+    struct PanickingService;
+
+    impl PatternService for PanickingService {
+        fn execute(&self, _request: PatternRequest) -> Result<PatternResponse, Error> {
+            panic!("boom");
+        }
+    }
+
+    #[test]
+    fn service_panic_becomes_internal_error_and_frees_the_key() {
+        let engine = PatternEngine::with_config(
+            PanickingService,
+            EngineConfig {
+                backend: BackendKind::ThreadPool,
+                workers: 1,
+                queue_depth: 8,
+                cache_capacity: 4,
+            },
+        )
+        .expect("valid config");
+        let err = engine
+            .submit_blocking(generate(1))
+            .wait()
+            .expect_err("panicking service reports an error");
+        assert!(matches!(err, Error::Internal { .. }), "{err:?}");
+        assert!(err.to_string().contains("boom"), "{err}");
+        // The key is not poisoned: an identical resubmit executes
+        // again (and fails again) instead of hanging on a dead task.
+        let err = engine
+            .submit_blocking(generate(1))
+            .wait()
+            .expect_err("re-executes, does not hang");
+        assert!(matches!(err, Error::Internal { .. }));
+        let stats = engine.stats();
+        assert_eq!(stats.failed, 2);
+        assert_eq!(stats.coalesced, 0, "nothing attached to a dead task");
     }
 
     #[test]

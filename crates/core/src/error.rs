@@ -49,6 +49,14 @@ pub enum Error {
         /// The configured queue depth that was exhausted.
         depth: usize,
     },
+    /// The service itself failed unexpectedly (it panicked while
+    /// executing a request). The engine converts such panics into this
+    /// error instead of hanging the job's waiters or killing the
+    /// worker thread.
+    Internal {
+        /// What the panic reported.
+        message: String,
+    },
 }
 
 impl Error {
@@ -64,6 +72,14 @@ impl Error {
     #[must_use]
     pub fn invalid_request(message: impl Into<String>) -> Error {
         Error::InvalidRequest {
+            message: message.into(),
+        }
+    }
+
+    /// Unexpected service failure (a caught panic).
+    #[must_use]
+    pub fn internal(message: impl Into<String>) -> Error {
+        Error::Internal {
             message: message.into(),
         }
     }
@@ -98,6 +114,7 @@ impl std::fmt::Display for Error {
             Error::QueueFull { depth } => {
                 write!(f, "engine queue is full ({depth} jobs already pending)")
             }
+            Error::Internal { message } => write!(f, "internal service failure: {message}"),
         }
     }
 }
@@ -112,7 +129,8 @@ impl std::error::Error for Error {
             | Error::InvalidRequest { .. }
             | Error::Drc { .. }
             | Error::Cancelled
-            | Error::QueueFull { .. } => None,
+            | Error::QueueFull { .. }
+            | Error::Internal { .. } => None,
         }
     }
 }
@@ -183,6 +201,9 @@ mod tests {
         let full = Error::QueueFull { depth: 8 };
         assert!(full.to_string().contains("queue is full"));
         assert!(full.to_string().contains('8'));
+        let internal = Error::internal("worker exploded");
+        assert!(internal.to_string().contains("internal service failure"));
+        assert!(internal.to_string().contains("worker exploded"));
     }
 
     #[test]

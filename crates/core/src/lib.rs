@@ -28,11 +28,15 @@
 //! # The engine and the wire
 //!
 //! For batch and server workloads, wrap any service in a
-//! [`PatternEngine`]: a worker-pool executor with a bounded submission
-//! queue ([`PatternEngine::submit`] → [`JobHandle`]), a request-level
-//! LRU result cache, and [`EngineStats`] counters. The [`wire`] module
-//! defines the JSON-lines envelopes the `chatpattern-serve` binary
-//! speaks over stdin/stdout.
+//! [`PatternEngine`]: a job-submission executor
+//! ([`PatternEngine::submit`] → [`JobHandle`]) over a pluggable
+//! execution [`backend`] ([`BackendKind`]: inline, thread pool, or
+//! sharded), with a shared result broker that replays completed
+//! results from a request-level LRU cache and **coalesces** identical
+//! in-flight requests onto one execution, all reported in
+//! [`EngineStats`] counters (see `docs/ENGINE.md`). The [`wire`]
+//! module defines the JSON-lines envelopes the `chatpattern-serve`
+//! binary speaks over stdin/stdout.
 //!
 //! # Example
 //!
@@ -54,6 +58,8 @@
 //! ```
 
 pub mod api;
+pub mod backend;
+mod broker;
 mod cache;
 pub mod engine;
 pub mod error;
@@ -63,6 +69,7 @@ pub use api::{
     ChatOutcome, ChatParams, EvaluateParams, ExtendParams, GenerateParams, LegalizeParams,
     ModifyParams, PatternRequest, PatternResponse, PatternService, ResponsePayload, Timing,
 };
+pub use backend::BackendKind;
 pub use engine::{EngineConfig, EngineStats, JobHandle, JobStatus, PatternEngine};
 pub use error::Error;
 pub use wire::{RequestEnvelope, ResponseEnvelope, WireError, WireOutcome};

@@ -45,6 +45,7 @@ impl From<&Error> for WireError {
             Error::Drc { .. } => "Drc",
             Error::Cancelled => "Cancelled",
             Error::QueueFull { .. } => "QueueFull",
+            Error::Internal { .. } => "Internal",
         };
         WireError {
             kind: kind.to_owned(),
@@ -198,6 +199,7 @@ mod tests {
             (Error::invalid_request("x"), "InvalidRequest"),
             (Error::Cancelled, "Cancelled"),
             (Error::QueueFull { depth: 4 }, "QueueFull"),
+            (Error::internal("x"), "Internal"),
         ];
         for (error, kind) in cases {
             assert_eq!(WireError::from(&error).kind, kind);

@@ -15,7 +15,7 @@
 //!   round-trips;
 //! * [`normalize`] — fixed-size normalization (split the largest interval
 //!   until the matrix is `N × N`, as in adaptive squish datasets);
-//! * [`complexity`] — the `(cx, cy)` scan-line complexity used by the
+//! * [`complexity()`] — the `(cx, cy)` scan-line complexity used by the
 //!   diversity metric;
 //! * [`Region`] — rectangular grid regions (masks for modification,
 //!   failure reporting).

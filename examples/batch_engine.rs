@@ -1,5 +1,5 @@
 //! The job-oriented engine: parallel batches, job handles, the result
-//! cache, and the stats counters.
+//! cache, in-flight request coalescing, and the stats counters.
 //!
 //! ```sh
 //! cargo run --release --example batch_engine
@@ -7,7 +7,7 @@
 
 use chatpattern::dataset::Style;
 use chatpattern::{
-    ChatPattern, EngineConfig, Error, GenerateParams, PatternEngine, PatternRequest,
+    BackendKind, ChatPattern, EngineConfig, Error, GenerateParams, PatternEngine, PatternRequest,
     PatternService, ResponsePayload,
 };
 
@@ -33,10 +33,14 @@ fn main() -> Result<(), Error> {
         .seed(1)
         .build()?;
 
-    // Wrap the system in a 4-worker engine with a small result cache.
+    // Wrap the system in a 4-worker thread-pool engine with a small
+    // result cache. Swap `backend` for `BackendKind::Inline` (serial,
+    // zero threads) or `BackendKind::Sharded { shards: 2 }` (per-shard
+    // queues, key-affine routing) without touching anything else.
     let engine = PatternEngine::with_config(
         system,
         EngineConfig {
+            backend: BackendKind::ThreadPool,
             workers: 4,
             queue_depth: 64,
             cache_capacity: 32,
@@ -80,15 +84,33 @@ fn main() -> Result<(), Error> {
         replay.timing.exec_micros, hit.timing.exec_micros
     );
 
+    // Identical requests submitted while one is still in flight
+    // coalesce: one backend execution, every handle gets the payload.
+    let burst: Vec<_> = (0..4)
+        .map(|_| engine.submit_blocking(generate(999)))
+        .collect();
+    let mut coalesced_replies = 0;
+    for handle in burst {
+        let response = handle.wait()?;
+        coalesced_replies += usize::from(response.timing.coalesced);
+    }
+    println!(
+        "coalescing: 4 identical submits, {} attached to the shared execution",
+        coalesced_replies
+    );
+
     let stats = engine.stats();
     println!(
-        "stats: submitted={} completed={} failed={} cancelled={} hits={} misses={}",
+        "stats: submitted={} completed={} failed={} cancelled={} hits={} misses={} \
+         coalesced={} queue_depths={:?}",
         stats.submitted,
         stats.completed,
         stats.failed,
         stats.cancelled,
         stats.cache_hits,
         stats.cache_misses,
+        stats.coalesced,
+        stats.queue_depths,
     );
     Ok(())
 }

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end wire smoke test: pipe the checked-in JSONL request file
 # through chatpattern-serve and assert that (a) every output line is
-# valid JSON with a non-null id and an Ok/Err outcome, and (b) the set
-# of response ids exactly matches the set of request ids. Run from
-# anywhere; needs jq and a built (or buildable) release binary.
+# valid JSON with a non-null id and an Ok/Err outcome, (b) the set
+# of response ids exactly matches the set of request ids, and (c) a
+# burst of duplicate requests performs exactly one backend execution
+# while still answering every id. Run from anywhere; needs jq and a
+# built (or buildable) release binary.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,3 +34,40 @@ if [ "$WANT" != "$GOT" ]; then
 fi
 
 echo "wire smoke OK: $(echo "$OUT" | wc -l | tr -d ' ') responses, ids all matched"
+
+# (c) Coalescing burst: N identical requests under distinct ids must
+# produce exactly one backend execution (cache_misses=1 for the single
+# key — later duplicates either coalesce onto the in-flight execution
+# or hit the result cache) and exactly N replies, one per id.
+N=6
+BURST=$(for i in $(seq 1 $N); do
+    printf '{"id":"dup%d","request":{"Generate":{"style":"Layer10003","rows":16,"cols":16,"count":2,"seed":424242}}}\n' "$i"
+done)
+BURST_ERR=$(mktemp)
+BURST_OUT=$(echo "$BURST" | "$BIN" --window 16 --training-patterns 8 --diffusion-steps 6 --workers 4 --stats 2> "$BURST_ERR")
+
+REPLIES=$(echo "$BURST_OUT" | jq -r '.id' | sort)
+WANT_IDS=$(echo "$BURST" | jq -r '.id' | sort)
+if [ "$REPLIES" != "$WANT_IDS" ]; then
+    echo "wire smoke FAILED: duplicate burst did not answer every id" >&2
+    diff <(echo "$WANT_IDS") <(echo "$REPLIES") >&2 || true
+    rm -f "$BURST_ERR"
+    exit 1
+fi
+echo "$BURST_OUT" | jq -es 'all(.[]; .outcome | has("Ok"))' > /dev/null \
+    || { echo "wire smoke FAILED: duplicate burst reply errored" >&2; rm -f "$BURST_ERR"; exit 1; }
+
+MISSES=$(grep -o 'cache_misses=[0-9]*' "$BURST_ERR" | cut -d= -f2)
+COALESCED=$(grep -o 'coalesced=[0-9]*' "$BURST_ERR" | cut -d= -f2)
+HITS=$(grep -o 'cache_hits=[0-9]*' "$BURST_ERR" | cut -d= -f2)
+rm -f "$BURST_ERR"
+if [ "$MISSES" != "1" ]; then
+    echo "wire smoke FAILED: $N duplicate requests caused $MISSES executions (want 1)" >&2
+    exit 1
+fi
+if [ $((COALESCED + HITS)) -ne $((N - 1)) ]; then
+    echo "wire smoke FAILED: coalesced=$COALESCED + cache_hits=$HITS != $((N - 1))" >&2
+    exit 1
+fi
+
+echo "wire smoke OK: duplicate burst of $N → 1 execution ($COALESCED coalesced, $HITS cache hits), $N replies"

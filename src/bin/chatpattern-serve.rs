@@ -1,8 +1,9 @@
 //! `chatpattern-serve` — the JSON-lines wire front-end.
 //!
-//! Reads one [`RequestEnvelope`] per stdin line, executes it on a
-//! [`PatternEngine`], and writes one [`ResponseEnvelope`] per stdout
-//! line, echoing the client-chosen `id`. Each accepted job gets a
+//! Reads one [`RequestEnvelope`](chatpattern_core::RequestEnvelope)
+//! per stdin line, executes it on a [`PatternEngine`], and writes one
+//! [`ResponseEnvelope`] per stdout line, echoing the client-chosen
+//! `id`. Each accepted job gets a
 //! completion-writer thread, so responses go out the moment the job
 //! finishes — an interactive client can hold stdin open and still
 //! receive every reply immediately — and may arrive out of submission
@@ -10,19 +11,25 @@
 //! with worked examples in `docs/WIRE_PROTOCOL.md`.
 //!
 //! ```text
-//! chatpattern-serve [--workers N] [--queue-depth N] [--cache-capacity N]
+//! chatpattern-serve [--backend inline|threadpool|sharded] [--shards N]
+//!                   [--workers N] [--queue-depth N] [--cache-capacity N]
 //!                   [--window N] [--diffusion-steps N]
 //!                   [--training-patterns N] [--seed N] [--stats]
 //! ```
 //!
-//! `--stats` prints the engine's [`EngineStats`] counters to stderr at
-//! EOF. Malformed lines produce an error envelope immediately (with the
-//! line's `id` when one is recoverable, `null` otherwise) and never
-//! abort the stream; there is no network stack offline, so framing a
-//! socket around stdin/stdout is left to `socat`-style plumbing.
+//! `--backend` selects the engine's execution strategy (see
+//! `docs/ENGINE.md`); duplicate in-flight requests coalesce onto one
+//! execution regardless of backend, and every client still receives
+//! its own reply under its own id. `--stats` prints the engine's
+//! [`EngineStats`](chatpattern_core::EngineStats) counters to stderr
+//! at EOF. Malformed lines produce
+//! an error envelope immediately (with the line's `id` when one is
+//! recoverable, `null` otherwise) and never abort the stream; there is
+//! no network stack offline, so framing a socket around stdin/stdout
+//! is left to `socat`-style plumbing.
 
 use chatpattern_core::wire::{decode_request_line, ResponseEnvelope};
-use chatpattern_core::{ChatPattern, EngineConfig, JobHandle, PatternEngine};
+use chatpattern_core::{BackendKind, ChatPattern, EngineConfig, JobHandle, PatternEngine};
 use serde_json::Value;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -62,8 +69,15 @@ Each output line: {\"id\": <same>, \"outcome\": {\"Ok\": ...} | {\"Err\": ...}}
 (see docs/WIRE_PROTOCOL.md)
 
 Options:
+  --backend NAME         execution backend: inline, threadpool (default)
+                         or sharded (per-shard queues + workers, jobs
+                         routed by request-key hash; needs
+                         --workers >= shards)
+  --shards N             shard count for --backend sharded
+                         (default min(4, workers))
   --workers N            engine worker threads (default: CPU count)
-  --queue-depth N        bounded submission queue (default 256)
+  --queue-depth N        bounded submission queue, per shard when
+                         sharded (default 256)
   --cache-capacity N     LRU result-cache entries, 0 disables (default 128)
   --window N             model window L (default 64)
   --diffusion-steps N    diffusion chain length K (default 12)
@@ -74,6 +88,7 @@ Options:
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options::default();
+    let mut shards: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         if flag == "--help" || flag == "-h" {
@@ -91,6 +106,21 @@ fn parse_args() -> Result<Options, String> {
                 .map_err(|_| format!("{name} needs an unsigned integer, got {value:?}"))
         };
         match flag.as_str() {
+            "--backend" => {
+                options.engine.backend = match value.as_str() {
+                    "inline" => BackendKind::Inline,
+                    "threadpool" => BackendKind::ThreadPool,
+                    // The shard count is applied after the full parse
+                    // so --shards works in either flag order.
+                    "sharded" => BackendKind::Sharded { shards: 0 },
+                    other => {
+                        return Err(format!(
+                            "--backend must be inline, threadpool or sharded, got {other:?}"
+                        ))
+                    }
+                }
+            }
+            "--shards" => shards = Some(number("--shards")?),
             "--workers" => options.engine.workers = number("--workers")?,
             "--queue-depth" => options.engine.queue_depth = number("--queue-depth")?,
             "--cache-capacity" => options.engine.cache_capacity = number("--cache-capacity")?,
@@ -100,6 +130,20 @@ fn parse_args() -> Result<Options, String> {
             "--seed" => options.seed = number("--seed")? as u64,
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
+    }
+    match (options.engine.backend, shards) {
+        (BackendKind::Sharded { .. }, shards) => {
+            // Default shard count: 4, clamped so the documented
+            // defaults stay valid on small hosts (validation requires
+            // workers >= shards).
+            options.engine.backend = BackendKind::Sharded {
+                shards: shards.unwrap_or_else(|| options.engine.workers.clamp(1, 4)),
+            };
+        }
+        (_, Some(_)) => {
+            return Err("--shards only applies with --backend sharded".to_owned());
+        }
+        _ => {}
     }
     Ok(options)
 }
@@ -220,14 +264,17 @@ fn main() -> ExitCode {
     if options.stats {
         let stats = engine.stats();
         eprintln!(
-            "chatpattern-serve: submitted={} completed={} failed={} cancelled={} \
-             cache_hits={} cache_misses={}",
+            "chatpattern-serve: backend={} submitted={} completed={} failed={} cancelled={} \
+             cache_hits={} cache_misses={} coalesced={} queue_depths={:?}",
+            engine.config().backend.name(),
             stats.submitted,
             stats.completed,
             stats.failed,
             stats.cancelled,
             stats.cache_hits,
             stats.cache_misses,
+            stats.coalesced,
+            stats.queue_depths,
         );
     }
 

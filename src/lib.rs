@@ -11,10 +11,13 @@
 //! legalize / evaluate back-ends — is one typed, serializable
 //! [`PatternRequest`], and every failure is the workspace-wide
 //! [`Error`]. For parallel batches and serving, wrap the system in a
-//! [`PatternEngine`] (worker pool + result cache + job handles) or run
-//! the `chatpattern-serve` binary, which speaks the JSON-lines wire
-//! protocol from `docs/WIRE_PROTOCOL.md` over stdin/stdout. See the
-//! `examples/` directory for runnable scenarios.
+//! [`PatternEngine`] — a job-submission executor with pluggable
+//! backends ([`BackendKind`]: inline / thread pool / sharded), a
+//! request-level result cache, and in-flight request coalescing (see
+//! `docs/ENGINE.md`) — or run the `chatpattern-serve` binary, which
+//! speaks the JSON-lines wire protocol from `docs/WIRE_PROTOCOL.md`
+//! over stdin/stdout. See the `examples/` directory for runnable
+//! scenarios.
 //!
 //! ```
 //! use chatpattern::{ChatPattern, ChatParams, PatternRequest, PatternService, ResponsePayload};
@@ -51,8 +54,8 @@ pub use cp_nn as nn;
 pub use cp_squish as squish;
 
 pub use chatpattern_core::{
-    ChatOutcome, ChatParams, ChatPattern, ChatPatternBuilder, EngineConfig, EngineStats, Error,
-    EvaluateParams, ExtendParams, GenerateParams, JobHandle, JobStatus, LegalizeParams,
-    ModifyParams, PatternEngine, PatternRequest, PatternResponse, PatternService, RequestEnvelope,
-    ResponseEnvelope, ResponsePayload, Timing, WireError, WireOutcome,
+    BackendKind, ChatOutcome, ChatParams, ChatPattern, ChatPatternBuilder, EngineConfig,
+    EngineStats, Error, EvaluateParams, ExtendParams, GenerateParams, JobHandle, JobStatus,
+    LegalizeParams, ModifyParams, PatternEngine, PatternRequest, PatternResponse, PatternService,
+    RequestEnvelope, ResponseEnvelope, ResponsePayload, Timing, WireError, WireOutcome,
 };

@@ -1,14 +1,19 @@
 //! Engine semantics against the real system: parallel execution is
-//! payload-identical to the serial trait default, the result cache
-//! replays payloads with fresh timing, and queued jobs cancel cleanly.
+//! payload-identical to the serial trait default on every backend, the
+//! result cache replays payloads with fresh timing, identical
+//! in-flight requests coalesce onto exactly one execution, and cancel
+//! detaches a single handle without touching a shared execution.
 
 use chatpattern::dataset::Style;
 use chatpattern::extend::ExtensionMethod;
 use chatpattern::squish::Region;
 use chatpattern::{
-    ChatParams, ChatPattern, EngineConfig, Error, EvaluateParams, ExtendParams, GenerateParams,
-    JobStatus, LegalizeParams, ModifyParams, PatternEngine, PatternRequest, PatternService,
+    BackendKind, ChatParams, ChatPattern, EngineConfig, Error, EvaluateParams, ExtendParams,
+    GenerateParams, JobStatus, LegalizeParams, ModifyParams, PatternEngine, PatternRequest,
+    PatternResponse, PatternService,
 };
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 fn small_system() -> ChatPattern {
     ChatPattern::builder()
@@ -97,6 +102,7 @@ fn parallel_execute_many_matches_serial_across_all_kinds() {
     let engine = PatternEngine::with_config(
         system,
         EngineConfig {
+            backend: BackendKind::ThreadPool,
             workers: 4,
             queue_depth: 64,
             cache_capacity: 0,
@@ -129,6 +135,7 @@ fn cache_hit_replays_payload_with_fresh_timing() {
     let engine = PatternEngine::with_config(
         small_system(),
         EngineConfig {
+            backend: BackendKind::ThreadPool,
             workers: 2,
             queue_depth: 16,
             cache_capacity: 8,
@@ -159,6 +166,7 @@ fn unseeded_chat_bypasses_the_cache() {
     let engine = PatternEngine::with_config(
         small_system(),
         EngineConfig {
+            backend: BackendKind::ThreadPool,
             workers: 2,
             queue_depth: 16,
             cache_capacity: 8,
@@ -190,6 +198,7 @@ fn cancelling_a_queued_job_yields_cancelled() {
     let engine = PatternEngine::with_config(
         small_system(),
         EngineConfig {
+            backend: BackendKind::ThreadPool,
             workers: 1,
             queue_depth: 16,
             cache_capacity: 0,
@@ -208,18 +217,210 @@ fn cancelling_a_queued_job_yields_cancelled() {
         std::thread::yield_now();
     }
     let doomed = engine.submit_blocking(generate(2));
-    // `cancel` is atomic: it succeeds iff the job was still queued, so
-    // gating on its return value makes the test race-free even if the
-    // busy job finished absurdly fast.
+    // `cancel` is atomic: it succeeds iff the result has not been
+    // delivered yet, so gating on its return value makes the test
+    // race-free even if both jobs finished absurdly fast.
     if doomed.cancel() {
         assert_eq!(doomed.try_status(), JobStatus::Cancelled);
         assert!(matches!(doomed.wait(), Err(Error::Cancelled)));
         assert!(busy.wait().is_ok(), "running job is unaffected");
         assert_eq!(engine.stats().cancelled, 1);
     } else {
-        // The worker already claimed the doomed job: it runs to
-        // completion instead — no flaky failure.
+        // The doomed job's result already landed: it was delivered
+        // normally instead — no flaky failure.
         assert!(doomed.wait().is_ok());
         assert!(busy.wait().is_ok());
     }
+}
+
+/// A service that counts executions and holds every call at a gate
+/// until the test opens it — the deterministic way to keep identical
+/// requests in flight together so they must coalesce.
+struct GatedService {
+    inner: ChatPattern,
+    calls: AtomicUsize,
+    open: Mutex<bool>,
+    opened: Condvar,
+}
+
+impl GatedService {
+    fn new(inner: ChatPattern) -> GatedService {
+        GatedService {
+            inner,
+            calls: AtomicUsize::new(0),
+            open: Mutex::new(false),
+            opened: Condvar::new(),
+        }
+    }
+
+    fn open(&self) {
+        *self.open.lock().expect("gate lock") = true;
+        self.opened.notify_all();
+    }
+
+    fn calls(&self) -> usize {
+        self.calls.load(Ordering::SeqCst)
+    }
+}
+
+impl PatternService for GatedService {
+    fn execute(&self, request: PatternRequest) -> Result<PatternResponse, Error> {
+        let mut open = self.open.lock().expect("gate lock");
+        while !*open {
+            open = self.opened.wait(open).expect("gate lock");
+        }
+        drop(open);
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        self.inner.execute(request)
+    }
+}
+
+fn gated_engine(
+    backend: BackendKind,
+    cache_capacity: usize,
+) -> (Arc<GatedService>, PatternEngine<Arc<GatedService>>) {
+    let service = Arc::new(GatedService::new(small_system()));
+    let engine = PatternEngine::with_config(
+        Arc::clone(&service),
+        EngineConfig {
+            backend,
+            workers: 2,
+            queue_depth: 64,
+            cache_capacity,
+        },
+    )
+    .expect("valid config");
+    (service, engine)
+}
+
+/// The serial reference payload for `request`, via the inline backend.
+fn inline_reference(request: PatternRequest) -> String {
+    let engine = PatternEngine::with_config(
+        small_system(),
+        EngineConfig {
+            backend: BackendKind::Inline,
+            workers: 1,
+            queue_depth: 1,
+            cache_capacity: 0,
+        },
+    )
+    .expect("valid config");
+    let response = engine
+        .submit(request)
+        .expect("inline never overflows")
+        .wait()
+        .expect("inline executes");
+    serde_json::to_string(&response.payload).expect("serializes")
+}
+
+/// The ISSUE acceptance criterion: N identical concurrent submits
+/// perform exactly one backend execution, `EngineStats.coalesced` is
+/// N-1, and all N payloads are byte-identical to the serial
+/// `InlineBackend` result.
+fn coalescing_acceptance(backend: BackendKind) {
+    const N: usize = 8;
+    let (service, engine) = gated_engine(backend, 8);
+    let request = generate(42);
+    let handles: Vec<_> = (0..N)
+        .map(|_| engine.submit(request.clone()).expect("queue has room"))
+        .collect();
+    service.open();
+    let reference = inline_reference(request);
+    for handle in handles {
+        let response = handle.wait().expect("shared execution succeeds");
+        let payload = serde_json::to_string(&response.payload).expect("serializes");
+        assert_eq!(
+            payload, reference,
+            "payload diverged from the serial result"
+        );
+    }
+    assert_eq!(service.calls(), 1, "exactly one backend execution");
+    let stats = engine.stats();
+    assert_eq!(stats.submitted, N as u64);
+    assert_eq!(stats.coalesced, (N - 1) as u64);
+    assert_eq!(stats.completed, N as u64);
+    assert_eq!(stats.cache_misses, 1, "only the leader executed");
+    assert_eq!(stats.cache_hits, 0, "nothing completed before the burst");
+}
+
+#[test]
+fn identical_concurrent_submits_coalesce_on_the_thread_pool() {
+    coalescing_acceptance(BackendKind::ThreadPool);
+}
+
+#[test]
+fn identical_concurrent_submits_coalesce_on_the_sharded_backend() {
+    coalescing_acceptance(BackendKind::Sharded { shards: 2 });
+}
+
+#[test]
+fn cancelling_a_waiter_detaches_only_that_waiter() {
+    let (service, engine) = gated_engine(BackendKind::ThreadPool, 0);
+    let request = generate(5);
+    let leader = engine.submit(request.clone()).expect("submits");
+    let doomed = engine.submit(request.clone()).expect("coalesces");
+    let survivor = engine.submit(request).expect("coalesces");
+    assert!(doomed.cancel(), "undelivered waiter cancels");
+    assert!(!doomed.cancel(), "second cancel is a no-op");
+    service.open();
+    assert!(matches!(doomed.wait(), Err(Error::Cancelled)));
+    let a = leader.wait().expect("leader still served");
+    let b = survivor.wait().expect("other waiter still served");
+    assert_eq!(a.payload, b.payload);
+    assert_eq!(service.calls(), 1, "the shared execution ran once");
+    let stats = engine.stats();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.coalesced, 2);
+    assert_eq!(stats.completed, 2);
+}
+
+#[test]
+fn cancelling_the_leader_keeps_the_shared_execution_alive() {
+    let (service, engine) = gated_engine(BackendKind::ThreadPool, 0);
+    let request = generate(6);
+    let leader = engine.submit(request.clone()).expect("submits");
+    let waiter = engine.submit(request).expect("coalesces");
+    assert!(leader.cancel(), "leader detaches like any other handle");
+    service.open();
+    assert!(matches!(leader.wait(), Err(Error::Cancelled)));
+    waiter
+        .wait()
+        .expect("shared execution survives the leader's cancel");
+    assert_eq!(service.calls(), 1);
+}
+
+#[test]
+fn sharded_execute_many_matches_serial_across_all_kinds() {
+    let system = small_system();
+    let batch = mixed_batch(&system);
+    let serial: Vec<_> = batch
+        .iter()
+        .cloned()
+        .map(|r| PatternService::execute(&system, r))
+        .collect();
+    let engine = PatternEngine::with_config(
+        system,
+        EngineConfig {
+            backend: BackendKind::Sharded { shards: 2 },
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 0,
+        },
+    )
+    .expect("valid config");
+    let sharded = engine.execute_many(batch);
+    for (i, (s, p)) in serial.iter().zip(&sharded).enumerate() {
+        match (s, p) {
+            (Ok(a), Ok(b)) => {
+                let a = serde_json::to_string(&a.payload).expect("serializes");
+                let b = serde_json::to_string(&b.payload).expect("serializes");
+                assert_eq!(a, b, "request {i} diverged between serial and sharded");
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "request {i} failed differently"),
+            other => panic!("request {i}: serial/sharded outcome mismatch: {other:?}"),
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.queue_depths.len(), 2, "one depth per shard");
+    assert_eq!(stats.submitted, 32);
 }

@@ -2,9 +2,12 @@
 //!
 //! The original version of this file used the `proptest` crate; the
 //! offline build environment has no registry access, so the same
-//! invariants are now exercised with an explicit seeded generator loop:
-//! 64 deterministic random cases per property, with the failing seed in
-//! every assertion message.
+//! invariants are exercised with a tiny in-repo harness instead:
+//! [`shrink::check`] runs 64 deterministic seeded cases per property
+//! and, on failure, **greedily shrinks** the failing input through a
+//! property-specific candidate function before reporting — so a
+//! failure message carries a minimal counterexample (plus its seed),
+//! not whatever 8-rect layout the generator happened to produce.
 
 use chatpattern::drc::{check_pattern, DesignRules};
 use chatpattern::geom::{Layout, Rect};
@@ -14,6 +17,144 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 const CASES: u64 = 64;
+
+/// The shrinking harness: seeded generation plus greedy minimization.
+mod shrink {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::fmt::Debug;
+
+    /// Upper bound on accepted shrink steps, a runaway guard for
+    /// cyclic or non-reducing shrinkers.
+    const MAX_STEPS: usize = 10_000;
+
+    /// Greedily minimizes `failing`: repeatedly replaces it with the
+    /// first shrink candidate that still fails `prop`, until no
+    /// candidate fails (a local minimum) or the step budget runs out.
+    /// The returned case always still fails.
+    pub fn minimize<T>(
+        mut failing: T,
+        shrink: impl Fn(&T) -> Vec<T>,
+        prop: impl Fn(&T) -> Result<(), String>,
+    ) -> T {
+        'steps: for _ in 0..MAX_STEPS {
+            for candidate in shrink(&failing) {
+                if prop(&candidate).is_err() {
+                    failing = candidate;
+                    continue 'steps;
+                }
+            }
+            break;
+        }
+        failing
+    }
+
+    /// Runs `prop` on `cases` inputs drawn from per-case seeded RNG
+    /// streams. On the first failure, shrinks the input to a local
+    /// minimum and panics with the minimal case, its message, and the
+    /// seed that produced the original input.
+    pub fn check<T: Debug>(
+        name: &str,
+        cases: u64,
+        seed_base: u64,
+        generate: impl Fn(&mut ChaCha8Rng) -> T,
+        shrink: impl Fn(&T) -> Vec<T>,
+        prop: impl Fn(&T) -> Result<(), String>,
+    ) {
+        for case in 0..cases {
+            let seed = seed_base + case;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let input = generate(&mut rng);
+            if let Err(first_message) = prop(&input) {
+                let minimal = minimize(input, &shrink, &prop);
+                let message = prop(&minimal).err().unwrap_or(first_message);
+                panic!(
+                    "property {name} failed (seed {seed}): {message}\n\
+                     minimal failing case: {minimal:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Halving-then-decrement candidates for a counter — the standard
+/// integer shrink ladder.
+fn shrink_u32(n: &u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    if *n > 0 {
+        out.push(n / 2);
+        out.push(n - 1);
+    }
+    out.dedup();
+    out
+}
+
+#[test]
+fn harness_minimizes_to_the_boundary() {
+    // Property: n < 10. Failing input 37 must shrink to exactly 10 —
+    // the smallest value that still fails.
+    let prop = |n: &u32| {
+        if *n < 10 {
+            Ok(())
+        } else {
+            Err(format!("{n} is not < 10"))
+        }
+    };
+    assert_eq!(shrink::minimize(37, shrink_u32, prop), 10);
+    // Already-minimal inputs are returned unchanged.
+    assert_eq!(shrink::minimize(10, shrink_u32, prop), 10);
+}
+
+#[test]
+fn harness_survives_non_reducing_shrinkers() {
+    // A shrinker that keeps proposing the same failing value must not
+    // loop forever: the step budget breaks the cycle.
+    let minimal = shrink::minimize(5u32, |n| vec![*n], |_| Err("always fails".into()));
+    assert_eq!(minimal, 5);
+}
+
+#[test]
+fn harness_reports_seed_and_minimal_case() {
+    // Drive `check` against a property that always fails and verify
+    // the panic message carries the shrunken case and the seed.
+    let outcome = std::panic::catch_unwind(|| {
+        shrink::check(
+            "always_fails",
+            1,
+            7,
+            |rng| rng.gen_range(100..200u32),
+            shrink_u32,
+            |n| {
+                if *n < 10 {
+                    Ok(())
+                } else {
+                    Err(format!("{n} is not < 10"))
+                }
+            },
+        );
+    });
+    let payload = outcome.expect_err("failing property must panic");
+    let message = payload
+        .downcast_ref::<String>()
+        .expect("panic carries a String");
+    assert!(message.contains("seed 7"), "message was: {message}");
+    assert!(
+        message.contains("minimal failing case: 10"),
+        "shrunk all the way to the boundary; message was: {message}"
+    );
+}
+
+#[test]
+fn harness_passes_clean_properties() {
+    shrink::check(
+        "tautology",
+        CASES,
+        0,
+        |rng| rng.gen::<bool>(),
+        |_| Vec::new(),
+        |_| Ok(()),
+    );
+}
 
 /// Random small layout: up to 8 snapped rects in a 512 nm frame.
 fn arb_layout(rng: &mut ChaCha8Rng) -> Layout {
@@ -28,92 +169,180 @@ fn arb_layout(rng: &mut ChaCha8Rng) -> Layout {
     layout
 }
 
+/// Layout shrink candidates: drop one rect at a time (a minimal
+/// counterexample usually needs only the interacting pair).
+fn shrink_layout(layout: &Layout) -> Vec<Layout> {
+    (0..layout.len())
+        .map(|skip| {
+            Layout::with_rects(
+                layout.frame(),
+                layout
+                    .rects()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, r)| *r),
+            )
+        })
+        .collect()
+}
+
 /// Random dense-ish 8×8 topology.
 fn arb_topology(rng: &mut ChaCha8Rng) -> Topology {
     let bits: Vec<bool> = (0..64).map(|_| rng.gen::<bool>()).collect();
     Topology::from_fn(8, 8, |r, c| bits[r * 8 + c])
 }
 
+/// Topology shrink candidates: clear one set cell at a time.
+fn shrink_topology(topology: &Topology) -> Vec<Topology> {
+    let (rows, cols) = topology.shape();
+    let mut out = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if topology.get(r, c) {
+                let mut smaller = topology.clone();
+                smaller.set(r, c, false);
+                out.push(smaller);
+            }
+        }
+    }
+    out
+}
+
 #[test]
 fn squish_round_trip_preserves_union_area() {
-    for seed in 0..CASES {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let layout = arb_layout(&mut rng);
-        let squish = SquishPattern::from_layout(&layout);
-        assert_eq!(
-            squish.to_layout().union_area(),
-            layout.union_area(),
-            "seed {seed}"
-        );
-    }
+    shrink::check(
+        "squish_round_trip_preserves_union_area",
+        CASES,
+        0,
+        arb_layout,
+        shrink_layout,
+        |layout| {
+            let squish = SquishPattern::from_layout(layout);
+            let round_tripped = squish.to_layout().union_area();
+            if round_tripped == layout.union_area() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "union area {round_tripped} != {}",
+                    layout.union_area()
+                ))
+            }
+        },
+    );
 }
 
 #[test]
 fn minimized_preserves_area_and_complexity() {
-    for seed in 0..CASES {
-        let mut rng = ChaCha8Rng::seed_from_u64(1000 + seed);
-        let squish = SquishPattern::from_layout(&arb_layout(&mut rng));
-        let min = squish.minimized();
-        assert_eq!(min.drawn_area(), squish.drawn_area(), "seed {seed}");
-        assert_eq!(
-            complexity(min.topology()),
-            complexity(squish.topology()),
-            "seed {seed}"
-        );
-    }
+    shrink::check(
+        "minimized_preserves_area_and_complexity",
+        CASES,
+        1000,
+        arb_layout,
+        shrink_layout,
+        |layout| {
+            let squish = SquishPattern::from_layout(layout);
+            let min = squish.minimized();
+            if min.drawn_area() != squish.drawn_area() {
+                return Err(format!(
+                    "drawn area {} != {}",
+                    min.drawn_area(),
+                    squish.drawn_area()
+                ));
+            }
+            if complexity(min.topology()) != complexity(squish.topology()) {
+                return Err("complexity changed under minimization".into());
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn normalization_preserves_geometry() {
-    for seed in 0..CASES {
-        let mut rng = ChaCha8Rng::seed_from_u64(2000 + seed);
-        let squish = SquishPattern::from_layout(&arb_layout(&mut rng)).minimized();
-        if let Some(normalized) = normalize_to(&squish, 64, 64) {
-            assert_eq!(
-                normalized.physical_width(),
-                squish.physical_width(),
-                "seed {seed}"
-            );
-            assert_eq!(normalized.drawn_area(), squish.drawn_area(), "seed {seed}");
-            assert_eq!(
-                complexity(normalized.topology()),
-                complexity(squish.topology()),
-                "seed {seed}"
-            );
-        }
-    }
+    shrink::check(
+        "normalization_preserves_geometry",
+        CASES,
+        2000,
+        arb_layout,
+        shrink_layout,
+        |layout| {
+            let squish = SquishPattern::from_layout(layout).minimized();
+            let Some(normalized) = normalize_to(&squish, 64, 64) else {
+                return Ok(());
+            };
+            if normalized.physical_width() != squish.physical_width() {
+                return Err("physical width changed".into());
+            }
+            if normalized.drawn_area() != squish.drawn_area() {
+                return Err("drawn area changed".into());
+            }
+            if complexity(normalized.topology()) != complexity(squish.topology()) {
+                return Err("complexity changed".into());
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn legalization_success_implies_drc_clean() {
     let rules = DesignRules::new(20, 20, 400);
     let legalizer = Legalizer::new(rules);
-    for seed in 0..CASES {
-        let mut rng = ChaCha8Rng::seed_from_u64(3000 + seed);
-        let topology = arb_topology(&mut rng);
-        if let Ok(pattern) = legalizer.legalize(&topology, 2000, 2000, &mut rng) {
-            assert!(
-                check_pattern(&pattern, &rules).is_clean(),
-                "seed {seed}: legal output failed independent DRC"
-            );
-            assert_eq!(pattern.physical_width(), 2000, "seed {seed}");
-            assert_eq!(pattern.physical_height(), 2000, "seed {seed}");
-        }
-    }
+    shrink::check(
+        "legalization_success_implies_drc_clean",
+        CASES,
+        3000,
+        |rng| (arb_topology(rng), ChaCha8Rng::seed_from_u64(rng.gen())),
+        |(topology, rng)| {
+            shrink_topology(topology)
+                .into_iter()
+                .map(|t| (t, rng.clone()))
+                .collect()
+        },
+        |(topology, rng)| {
+            let Ok(pattern) = legalizer.legalize(topology, 2000, 2000, &mut rng.clone()) else {
+                return Ok(());
+            };
+            if !check_pattern(&pattern, &rules).is_clean() {
+                return Err("legal output failed independent DRC".into());
+            }
+            if pattern.physical_width() != 2000 || pattern.physical_height() != 2000 {
+                return Err("legalized frame size drifted".into());
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]
 fn legalization_failure_region_is_in_bounds() {
     let rules = DesignRules::new(20, 20, 400);
     let legalizer = Legalizer::new(rules);
-    for seed in 0..CASES {
-        let mut rng = ChaCha8Rng::seed_from_u64(4000 + seed);
-        let topology = arb_topology(&mut rng);
-        // A frame this tight fails often; the region must stay in bounds.
-        if let Err(failure) = legalizer.legalize(&topology, 90, 90, &mut rng) {
-            assert!(failure.region.row1() <= topology.rows(), "seed {seed}");
-            assert!(failure.region.col1() <= topology.cols(), "seed {seed}");
-            assert!(!failure.region.is_empty(), "seed {seed}");
-        }
-    }
+    shrink::check(
+        "legalization_failure_region_is_in_bounds",
+        CASES,
+        4000,
+        |rng| (arb_topology(rng), ChaCha8Rng::seed_from_u64(rng.gen())),
+        |(topology, rng)| {
+            shrink_topology(topology)
+                .into_iter()
+                .map(|t| (t, rng.clone()))
+                .collect()
+        },
+        |(topology, rng)| {
+            // A frame this tight fails often; the region must stay in
+            // bounds.
+            let Err(failure) = legalizer.legalize(topology, 90, 90, &mut rng.clone()) else {
+                return Ok(());
+            };
+            if failure.region.row1() > topology.rows() || failure.region.col1() > topology.cols() {
+                return Err(format!("failure region {} out of bounds", failure.region));
+            }
+            if failure.region.is_empty() {
+                return Err("failure region is empty".into());
+            }
+            Ok(())
+        },
+    );
 }
