@@ -9,7 +9,10 @@
 //!    Advanced part (extension method, drop-allowed, time limitation);
 //! 2. **Task planning and execution** ([`session`], [`policy`]) — a
 //!    ReAct-style Thought/Action/Action-Input/Observation loop over the
-//!    pattern-generation tools;
+//!    pattern-generation tools, resumable across user turns
+//!    ([`AgentSession::turn`]): the working library, the requirement
+//!    context and the transcript persist, so follow-up utterances
+//!    refine the previous turn's results;
 //! 3. **Tool function learning** ([`tools`]) — a registry of JSON-argument
 //!    tools (`topology_gen`, `topology_extension`, `legalize`,
 //!    `topology_modification`, …) whose descriptions are assembled into
@@ -37,6 +40,8 @@ pub mod tools;
 pub use knowledge::KnowledgeBase;
 pub use llm::{AgentAction, AgentStep, LanguageModel, Message, MockLlm, Role};
 pub use policy::ExpertPolicy;
-pub use requirement::{auto_format, try_auto_format, Requirement, RequirementError};
-pub use session::{render_transcript, AgentSession, SessionReport};
+pub use requirement::{
+    auto_format, auto_format_with_context, try_auto_format, Requirement, RequirementError,
+};
+pub use session::{render_transcript, AgentSession, SessionReport, TurnReport};
 pub use tools::{ToolContext, ToolError, ToolRegistry};

@@ -72,6 +72,16 @@ pub struct AgentStep {
 pub trait LanguageModel {
     /// Produces the next step given the transcript so far.
     fn next_step(&mut self, transcript: &[Message]) -> AgentStep;
+
+    /// Notifies the model that a new user turn is about to start.
+    ///
+    /// Called by [`AgentSession::turn`](crate::AgentSession::turn)
+    /// before the new utterance is appended to the transcript, so
+    /// stateful models (planners, state machines) can reset their
+    /// per-turn plan while keeping whatever cross-turn context they
+    /// maintain. The default is a no-op: a purely transcript-driven
+    /// model (or a scripted [`MockLlm`]) needs nothing here.
+    fn begin_turn(&mut self) {}
 }
 
 /// A scripted model that replays a fixed list of steps.

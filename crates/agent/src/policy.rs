@@ -13,7 +13,7 @@
 //! the tool context — the same information boundary a real LLM has.
 
 use crate::llm::{AgentAction, AgentStep, LanguageModel, Message, Role};
-use crate::requirement::{auto_format, Requirement};
+use crate::requirement::{auto_format_with_context, Requirement};
 use cp_extend::ExtensionMethod;
 use serde_json::{json, Value};
 
@@ -60,6 +60,10 @@ pub struct ExpertPolicy {
     pending_failures: Vec<Value>,
     consecutive_empty_batches: usize,
     notes: Vec<String>,
+    /// The previous turn's last requirement — the context short
+    /// follow-up utterances ("now make them denser") inherit
+    /// unmentioned fields from. Survives [`LanguageModel::begin_turn`].
+    carry: Option<Requirement>,
 }
 
 impl Default for ExpertPolicy {
@@ -89,6 +93,7 @@ impl ExpertPolicy {
             pending_failures: Vec::new(),
             consecutive_empty_batches: 0,
             notes: Vec::new(),
+            carry: None,
         }
     }
 
@@ -336,6 +341,23 @@ fn last_user_request(transcript: &[Message]) -> String {
 }
 
 impl LanguageModel for ExpertPolicy {
+    /// Re-arms the state machine for the next user turn by rebuilding
+    /// the policy from its constructor, explicitly carrying over only
+    /// what survives turns: the configuration, the learned model
+    /// `window`, and `carry` — the previous turn's last requirement,
+    /// which the fresh plan inherits unmentioned fields from. Built
+    /// this way, any field added later resets per turn by default
+    /// instead of silently leaking stale state. The knowledge base
+    /// lives in the tool context, so recorded experience persists
+    /// independently of this reset.
+    fn begin_turn(&mut self) {
+        *self = ExpertPolicy {
+            window: self.window,
+            carry: self.carry.take(),
+            ..ExpertPolicy::new(self.batch_size, self.max_repairs)
+        };
+    }
+
     fn next_step(&mut self, transcript: &[Message]) -> AgentStep {
         let obs = last_observation(transcript);
         if obs.get("error").is_some() && self.state != State::Init {
@@ -349,7 +371,8 @@ impl LanguageModel for ExpertPolicy {
         match self.state {
             State::Init => {
                 let request = last_user_request(transcript);
-                self.requirements = auto_format(&request);
+                self.requirements = auto_format_with_context(&request, self.carry.as_ref());
+                self.carry = self.requirements.last().cloned();
                 let rendered: Vec<String> = self
                     .requirements
                     .iter()

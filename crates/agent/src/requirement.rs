@@ -122,6 +122,25 @@ impl Requirement {
 /// ```
 #[must_use]
 pub fn auto_format(request: &str) -> Vec<Requirement> {
+    auto_format_with_context(request, None)
+}
+
+/// [`auto_format`] for a *follow-up* turn in a multi-turn session.
+///
+/// Fields the utterance does not mention inherit from `context` — the
+/// previous turn's requirement — instead of the global defaults, so a
+/// short refinement operates on the previous turn's results:
+///
+/// * "now make them denser" keeps the size, count and frame but shifts
+///   the style to the dense layer;
+/// * "extend the last one to 3x" scales the previous topology size by
+///   the factor while keeping everything else;
+/// * an unqualified "2 more patterns" keeps size, style and frame and
+///   only replaces the count.
+///
+/// With `context = None` this is exactly [`auto_format`].
+#[must_use]
+pub fn auto_format_with_context(request: &str, context: Option<&Requirement>) -> Vec<Requirement> {
     let tokens = tokenize(request);
     let sizes = find_sizes(&tokens);
     let topo_sizes: Vec<(usize, usize)> = sizes
@@ -136,24 +155,52 @@ pub fn auto_format(request: &str) -> Vec<Requirement> {
         .collect();
     let styles = find_styles(&tokens);
     let (count, per_each) = find_count(&tokens);
-    let method = find_method(request);
-    let drop_allowed = find_drop_allowed(&tokens);
-    let time_limit = find_time_limit(&tokens);
+    let method = find_method(request).or_else(|| context.and_then(|c| c.extension_method));
+    let drop_mentioned = tokens
+        .iter()
+        .any(|t| matches!(t, Token::Word(w) if w.starts_with("drop")));
+    let drop_allowed = match context {
+        Some(c) if !drop_mentioned => c.drop_allowed,
+        _ => find_drop_allowed(&tokens),
+    };
+    let time_limit =
+        find_time_limit(&tokens).or_else(|| context.and_then(|c| c.time_limit.clone()));
 
     let topo_sizes = if topo_sizes.is_empty() {
-        vec![(128, 128)]
+        match context {
+            Some(c) => {
+                let (r, cols) = c.topology_size;
+                let factor = find_scale_factor(&tokens).unwrap_or(1);
+                vec![(r * factor, cols * factor)]
+            }
+            None => vec![(128, 128)],
+        }
     } else {
         topo_sizes
     };
     let styles = if styles.is_empty() {
-        vec![Style::Layer10001]
+        match (find_density_shift(&tokens), context) {
+            (Some(style), _) => vec![style],
+            (None, Some(c)) => vec![c.style],
+            (None, None) => vec![Style::Layer10001],
+        }
     } else {
         styles
     };
-    let physical0 = physical.first().copied().unwrap_or((2048, 2048));
+    let physical0 = physical
+        .first()
+        .copied()
+        .or_else(|| context.map(|c| c.physical_size_nm))
+        .unwrap_or((2048, 2048));
 
     let n_subtasks = topo_sizes.len() * styles.len();
-    let total = count.unwrap_or(10 * n_subtasks);
+    // A follow-up without an explicit count repeats the previous
+    // turn's per-task count.
+    let (total, per_each) = match (count, context) {
+        (Some(total), _) => (total, per_each),
+        (None, Some(c)) => (c.count, true),
+        (None, None) => (10 * n_subtasks, per_each),
+    };
     let per_task = if per_each { total } else { total / n_subtasks };
     let remainder = if per_each { 0 } else { total % n_subtasks };
 
@@ -403,6 +450,61 @@ fn find_method(request: &str) -> Option<ExtensionMethod> {
     }
 }
 
+/// A bare scale factor in a follow-up utterance: "3x", "3×", "2 *",
+/// "double", "triple" — a multiplier that is *not* part of an
+/// `N * M` size pair.
+fn find_scale_factor(tokens: &[Token]) -> Option<usize> {
+    for (i, t) in tokens.iter().enumerate() {
+        match t {
+            Token::Word(w) => match w.as_str() {
+                "double" => return Some(2),
+                "triple" => return Some(3),
+                "quadruple" => return Some(4),
+                w if w.len() > 1 && w.ends_with('x') => {
+                    if let Ok(n) = w[..w.len() - 1].parse::<usize>() {
+                        if (2..=64).contains(&n) {
+                            return Some(n);
+                        }
+                    }
+                }
+                _ => {}
+            },
+            // `N *` with no trailing number (a full pair would have
+            // been consumed as a size).
+            Token::Number {
+                value,
+                unit: Unit::None,
+            } if matches!(tokens.get(i + 1), Some(Token::Star))
+                && !matches!(tokens.get(i + 2), Some(Token::Number { .. })) =>
+            {
+                let n = value.round() as usize;
+                if (2..=64).contains(&n) {
+                    return Some(n);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Style shift implied by a density adjective ("denser" → the dense
+/// layer, "sparser" → the sparse layer). Only consulted when no style
+/// is named explicitly.
+fn find_density_shift(tokens: &[Token]) -> Option<Style> {
+    for t in tokens {
+        if let Token::Word(w) = t {
+            if w.starts_with("dense") {
+                return Some(Style::Layer10001);
+            }
+            if w.starts_with("sparse") {
+                return Some(Style::Layer10003);
+            }
+        }
+    }
+    None
+}
+
 fn find_drop_allowed(tokens: &[Token]) -> bool {
     for (i, t) in tokens.iter().enumerate() {
         if matches!(t, Token::Word(w) if w.starts_with("drop")) {
@@ -554,5 +656,85 @@ mod tests {
     fn try_auto_format_accepts_the_figure4_request() {
         let reqs = try_auto_format(FIGURE4).expect("valid request");
         assert_eq!(reqs.len(), 2);
+    }
+
+    fn previous_turn() -> Requirement {
+        Requirement {
+            topology_size: (32, 32),
+            physical_size_nm: (512, 512),
+            style: Style::Layer10003,
+            count: 4,
+            extension_method: None,
+            drop_allowed: false,
+            time_limit: None,
+        }
+    }
+
+    #[test]
+    fn followup_denser_shifts_style_and_keeps_the_rest() {
+        let reqs = auto_format_with_context("Now make them denser.", Some(&previous_turn()));
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].style, Style::Layer10001, "denser = the dense layer");
+        assert_eq!(reqs[0].topology_size, (32, 32));
+        assert_eq!(reqs[0].physical_size_nm, (512, 512));
+        assert_eq!(reqs[0].count, 4);
+        assert!(!reqs[0].drop_allowed, "drop preference carries over");
+    }
+
+    #[test]
+    fn followup_scale_factor_grows_the_previous_size() {
+        for utterance in [
+            "Extend the last ones to 3x.",
+            "Extend the last ones to 3×.",
+            "Triple the topology size.",
+        ] {
+            let reqs = auto_format_with_context(utterance, Some(&previous_turn()));
+            assert_eq!(reqs.len(), 1, "{utterance}");
+            assert_eq!(reqs[0].topology_size, (96, 96), "{utterance}");
+            assert_eq!(reqs[0].style, Style::Layer10003, "style carries over");
+        }
+    }
+
+    #[test]
+    fn followup_count_only_replaces_count() {
+        let reqs = auto_format_with_context("2 more patterns please.", Some(&previous_turn()));
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].count, 2);
+        assert_eq!(reqs[0].topology_size, (32, 32));
+    }
+
+    #[test]
+    fn followup_inherits_time_limit() {
+        let mut prev = previous_turn();
+        prev.time_limit = Some("2 hours".into());
+        let reqs = auto_format_with_context("Now make them denser.", Some(&prev));
+        assert_eq!(reqs[0].time_limit.as_deref(), Some("2 hours"));
+        // An explicit limit in the utterance still wins.
+        let reqs = auto_format_with_context("1 more pattern within 5 minutes.", Some(&prev));
+        assert_eq!(reqs[0].time_limit.as_deref(), Some("5 minutes"));
+    }
+
+    #[test]
+    fn followup_explicit_fields_win_over_context() {
+        let reqs = auto_format_with_context(
+            "Generate 6 patterns, topology size 64*64, style Layer-10001, \
+             physical size 1024nm x 1024nm.",
+            Some(&previous_turn()),
+        );
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].topology_size, (64, 64));
+        assert_eq!(reqs[0].style, Style::Layer10001);
+        assert_eq!(reqs[0].physical_size_nm, (1024, 1024));
+        assert_eq!(reqs[0].count, 6);
+    }
+
+    #[test]
+    fn no_context_matches_auto_format() {
+        for request in [FIGURE4, "Give me some layout patterns please.", "denser"] {
+            assert_eq!(
+                auto_format_with_context(request, None),
+                auto_format(request)
+            );
+        }
     }
 }

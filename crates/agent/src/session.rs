@@ -1,4 +1,16 @@
-//! The agent execution loop: Thought → Action → Observation.
+//! The agent execution loop: Thought → Action → Observation, across
+//! one *or many* user turns.
+//!
+//! An [`AgentSession`] is a resumable dialog: constructing it opens the
+//! session (system prompt, tool context), [`AgentSession::turn`] runs
+//! one ReAct loop over a user utterance and returns a [`TurnReport`],
+//! and [`AgentSession::close`] consumes the session into the final
+//! [`SessionReport`]. The working pattern library, the requirement
+//! state carried by the policy, and the full transcript persist across
+//! turns — a follow-up like "now make them denser" operates on the
+//! previous turn's results instead of starting from scratch.
+//! [`AgentSession::run`] remains as the one-shot convenience
+//! (open → one turn → close) the `Chat` request path uses.
 
 use crate::llm::{AgentAction, LanguageModel, Message, Role};
 use crate::prompt::system_prompt;
@@ -6,18 +18,36 @@ use crate::tools::{ToolContext, ToolRegistry};
 use cp_squish::SquishPattern;
 use serde_json::json;
 
-/// Outcome of a completed agent session.
+/// Outcome of a completed agent session (all turns).
 #[derive(Debug)]
 pub struct SessionReport {
-    /// The agent's final summary.
+    /// The agent's final summary (of the last turn).
     pub summary: String,
-    /// Full ReAct transcript (system prompt, request, steps,
-    /// observations).
+    /// Full ReAct transcript (system prompt, every turn's request,
+    /// steps and observations).
     pub transcript: Vec<Message>,
     /// The delivered pattern library.
     pub library: Vec<SquishPattern>,
-    /// Number of tool calls executed.
+    /// Number of tool calls executed across all turns.
     pub tool_calls: usize,
+    /// Number of user turns processed.
+    pub turns: usize,
+}
+
+/// Outcome of one user turn inside a live session.
+#[derive(Debug)]
+pub struct TurnReport {
+    /// 1-based index of this turn within the session.
+    pub turn: usize,
+    /// The agent's summary of this turn.
+    pub summary: String,
+    /// Transcript slice produced by this turn (the user utterance,
+    /// the agent's steps and the tool observations).
+    pub transcript: Vec<Message>,
+    /// Tool calls executed during this turn.
+    pub tool_calls: usize,
+    /// Library size after this turn (cumulative across turns).
+    pub library_len: usize,
 }
 
 /// Renders a transcript in the paper's
@@ -53,13 +83,25 @@ impl SessionReport {
     }
 }
 
-/// Drives a [`LanguageModel`] against a [`ToolRegistry`] until it
-/// finishes or the step budget runs out.
+impl TurnReport {
+    /// Renders this turn's transcript slice in the paper's format.
+    #[must_use]
+    pub fn render_transcript(&self) -> String {
+        render_transcript(&self.transcript)
+    }
+}
+
+/// Drives a [`LanguageModel`] against a [`ToolRegistry`], one user
+/// turn at a time, until closed.
 pub struct AgentSession<L> {
     llm: L,
     tools: ToolRegistry,
     ctx: ToolContext,
     max_steps: usize,
+    transcript: Vec<Message>,
+    tool_calls: usize,
+    turns: usize,
+    last_summary: String,
 }
 
 impl<L: std::fmt::Debug> std::fmt::Debug for AgentSession<L> {
@@ -67,46 +109,72 @@ impl<L: std::fmt::Debug> std::fmt::Debug for AgentSession<L> {
         f.debug_struct("AgentSession")
             .field("llm", &self.llm)
             .field("max_steps", &self.max_steps)
+            .field("turns", &self.turns)
             .finish_non_exhaustive()
     }
 }
 
 impl<L: LanguageModel> AgentSession<L> {
-    /// Assembles a session (default budget: 4096 steps).
+    /// Opens a session (default budget: 4096 steps per turn). The
+    /// system prompt is rendered once, here, and every later turn
+    /// appends to the same transcript.
     #[must_use]
     pub fn new(llm: L, tools: ToolRegistry, ctx: ToolContext) -> AgentSession<L> {
+        let transcript = vec![Message::new(
+            Role::System,
+            system_prompt(&tools, ctx.knowledge()),
+        )];
         AgentSession {
             llm,
             tools,
             ctx,
             max_steps: 4096,
+            transcript,
+            tool_calls: 0,
+            turns: 0,
+            last_summary: String::new(),
         }
     }
 
-    /// Overrides the step budget.
+    /// Overrides the per-turn step budget.
     #[must_use]
     pub fn with_max_steps(mut self, max_steps: usize) -> AgentSession<L> {
         self.max_steps = max_steps.max(1);
         self
     }
 
-    /// Runs the loop on a natural-language request.
+    /// Number of user turns processed so far.
     #[must_use]
-    pub fn run(mut self, request: &str) -> SessionReport {
-        let mut transcript = vec![
-            Message::new(
-                Role::System,
-                system_prompt(&self.tools, self.ctx.knowledge()),
-            ),
-            Message::new(Role::User, request),
-        ];
+    pub fn turns(&self) -> usize {
+        self.turns
+    }
+
+    /// The pattern library accumulated so far (across turns).
+    #[must_use]
+    pub fn library(&self) -> &[SquishPattern] {
+        self.ctx.library()
+    }
+
+    /// The full transcript so far (system prompt plus every turn).
+    #[must_use]
+    pub fn transcript(&self) -> &[Message] {
+        &self.transcript
+    }
+
+    /// Runs one ReAct loop over `utterance`. The working library,
+    /// the tool store, and the knowledge base all carry over from
+    /// previous turns, so follow-ups refine earlier results.
+    pub fn turn(&mut self, utterance: &str) -> TurnReport {
+        let turn_start = self.transcript.len();
+        self.llm.begin_turn();
+        self.transcript.push(Message::new(Role::User, utterance));
         let mut tool_calls = 0usize;
         let mut summary = String::from("step budget exhausted before the agent finished");
         for _ in 0..self.max_steps {
-            let step = self.llm.next_step(&transcript);
+            let step = self.llm.next_step(&self.transcript);
             match step.action {
                 AgentAction::Finish { summary: s } => {
-                    transcript.push(Message::new(
+                    self.transcript.push(Message::new(
                         Role::Assistant,
                         format!("Thought: {}\nFinal Answer: {s}", step.thought),
                     ));
@@ -114,7 +182,7 @@ impl<L: LanguageModel> AgentSession<L> {
                     break;
                 }
                 AgentAction::ToolCall { name, args } => {
-                    transcript.push(Message::new(
+                    self.transcript.push(Message::new(
                         Role::Assistant,
                         format!(
                             "Thought: {}\nAction: {}\nAction Input: {}",
@@ -129,16 +197,46 @@ impl<L: LanguageModel> AgentSession<L> {
                         .tools
                         .dispatch(&mut self.ctx, &name, &args)
                         .unwrap_or_else(|e| json!({"error": e.message()}));
-                    transcript.push(Message::new(Role::Observation, observation.to_string()));
+                    self.transcript
+                        .push(Message::new(Role::Observation, observation.to_string()));
                 }
             }
         }
+        self.turns += 1;
+        self.tool_calls += tool_calls;
+        self.last_summary.clone_from(&summary);
+        TurnReport {
+            turn: self.turns,
+            summary,
+            transcript: self.transcript[turn_start..].to_vec(),
+            tool_calls,
+            library_len: self.ctx.library().len(),
+        }
+    }
+
+    /// Closes the session, consuming it into the final report.
+    #[must_use]
+    pub fn close(self) -> SessionReport {
+        let summary = if self.turns == 0 {
+            String::from("session closed before any turn")
+        } else {
+            self.last_summary
+        };
         SessionReport {
             summary,
-            transcript,
+            transcript: self.transcript,
             library: self.ctx.into_library(),
-            tool_calls,
+            tool_calls: self.tool_calls,
+            turns: self.turns,
         }
+    }
+
+    /// One-shot convenience: open → one turn → close (the classic
+    /// single-request path behind `PatternRequest::Chat`).
+    #[must_use]
+    pub fn run(mut self, request: &str) -> SessionReport {
+        let _ = self.turn(request);
+        self.close()
     }
 }
 
@@ -177,6 +275,7 @@ mod tests {
         }]);
         let report = AgentSession::new(mock, ToolRegistry::standard(), test_ctx(1)).run("test");
         assert_eq!(report.tool_calls, 1);
+        assert_eq!(report.turns, 1);
         // Transcript: system, user, assistant, observation, final.
         assert!(report.transcript.len() >= 5);
         let rendered = report.render_transcript();
@@ -244,5 +343,75 @@ mod tests {
         assert_eq!(report.library.len(), 4, "summary: {}", report.summary);
         let rendered = report.render_transcript();
         assert!(rendered.contains("# Requirement - subtask 2"));
+    }
+
+    #[test]
+    fn turns_accumulate_library_and_transcript() {
+        let mut session = AgentSession::new(
+            ExpertPolicy::new(4, 2),
+            ToolRegistry::standard(),
+            test_ctx(6),
+        );
+        let first = session.turn(
+            "Generate 2 patterns, topology size 16*16, physical size 2000nm x 2000nm, \
+             style Layer-10001.",
+        );
+        assert_eq!(first.turn, 1);
+        assert_eq!(first.library_len, 2, "summary: {}", first.summary);
+        let second = session.turn("Generate 1 more pattern.");
+        assert_eq!(second.turn, 2);
+        assert_eq!(
+            second.library_len, 3,
+            "the follow-up turn adds to the same library (summary: {})",
+            second.summary
+        );
+        // The per-turn transcript slice starts at this turn's utterance.
+        assert_eq!(second.transcript[0].role, Role::User);
+        let report = session.close();
+        assert_eq!(report.turns, 2);
+        assert_eq!(report.library.len(), 3);
+        assert_eq!(
+            report.summary, second.summary,
+            "close reports the last turn"
+        );
+        // The full transcript contains both user turns in order.
+        let users: Vec<&Message> = report
+            .transcript
+            .iter()
+            .filter(|m| m.role == Role::User)
+            .collect();
+        assert_eq!(users.len(), 2);
+        assert!(users[1].content.contains("1 more"));
+    }
+
+    #[test]
+    fn run_equals_one_turn_then_close() {
+        let request = "Generate 2 patterns, topology size 16*16, physical size 2000nm x 2000nm, \
+             style Layer-10001.";
+        let one_shot = AgentSession::new(
+            ExpertPolicy::new(4, 2),
+            ToolRegistry::standard(),
+            test_ctx(7),
+        )
+        .run(request);
+        let mut session = AgentSession::new(
+            ExpertPolicy::new(4, 2),
+            ToolRegistry::standard(),
+            test_ctx(7),
+        );
+        let _ = session.turn(request);
+        let stepwise = session.close();
+        assert_eq!(one_shot.summary, stepwise.summary);
+        assert_eq!(one_shot.transcript, stepwise.transcript);
+        assert_eq!(one_shot.library, stepwise.library);
+    }
+
+    #[test]
+    fn closing_an_unused_session_is_clean() {
+        let report =
+            AgentSession::new(MockLlm::default(), ToolRegistry::standard(), test_ctx(8)).close();
+        assert_eq!(report.turns, 0);
+        assert!(report.library.is_empty());
+        assert!(report.summary.contains("before any turn"));
     }
 }

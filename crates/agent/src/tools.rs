@@ -152,8 +152,11 @@ impl ToolContext {
     }
 }
 
-/// A callable tool.
-pub trait Tool {
+/// A callable tool. `Send + Sync` is a supertrait because registries
+/// live inside long-lived chat sessions that migrate between engine
+/// worker threads; tools are stateless (all state is in the
+/// [`ToolContext`]), so the bound is free.
+pub trait Tool: Send + Sync {
     /// Registered name (what the agent writes after `Action:`).
     fn name(&self) -> &'static str;
 

@@ -1,18 +1,22 @@
 //! Engine scaling: serial `execute_many` vs. every execution backend
 //! (inline, thread pool at several worker counts, sharded) on a
 //! 32-request Generate batch, plus a duplicate-request burst measuring
-//! the in-flight coalescing hit rate. Prints a table and writes
+//! the in-flight coalescing hit rate and a `session_turns` sweep (N
+//! concurrent chat sessions × M turns each, threadpool vs. sharded
+//! session-affine routing). Prints a table and writes
 //! `BENCH_ENGINE.json` (in the working directory) so the perf
-//! trajectory captures both the backend dimension and coalescing.
+//! trajectory captures the backend dimension, coalescing and the
+//! stateful session workload.
 //!
 //! Scale with the usual `CP_*` variables; `CP_ENGINE_WORKERS` is a
 //! comma-separated list of thread-pool sizes to sweep (default
 //! `2,4,8`) and `CP_ENGINE_SHARDS` the shard counts for the sharded
-//! backend (default `2,4`).
+//! backend (default `2,4`). `CP_ENGINE_SESSIONS` / `CP_ENGINE_TURNS`
+//! shape the session sweep (default `4` × `4`).
 
 use chatpattern_core::{
     BackendKind, ChatPattern, EngineConfig, GenerateParams, JobHandle, PatternEngine,
-    PatternRequest, PatternService,
+    PatternRequest, PatternService, SessionCloseParams, SessionOpenParams, SessionTurnParams,
 };
 use cp_bench::BenchConfig;
 use cp_dataset::Style;
@@ -106,6 +110,67 @@ fn run_coalescing(system: &Arc<ChatPattern>, cfg: &BenchConfig, workers: usize) 
     (millis, engine.stats().coalesced)
 }
 
+/// N concurrent sessions × M turns each through one engine: opens the
+/// sessions, submits every turn (turns on one session serialize on its
+/// session lock; distinct sessions run in parallel — shard-local when
+/// sharded), waits for all, closes. Returns elapsed milliseconds.
+fn run_session_turns(
+    system: &Arc<ChatPattern>,
+    cfg: &BenchConfig,
+    backend: BackendKind,
+    workers: usize,
+    sessions: usize,
+    turns: usize,
+) -> f64 {
+    let engine = engine(system, backend, workers);
+    let utterance = format!(
+        "Generate 1 pattern, topology size {w}*{w}, physical size {f}nm x {f}nm, \
+         style Layer-10001.",
+        w = cfg.window,
+        f = cfg.frame_nm(cfg.window),
+    );
+    // The turn counter lives in the shared system, so measure a delta
+    // (this sweep runs once per backend on one system).
+    let turns_before = system.session_stats().turns;
+    let started = Instant::now();
+    for s in 0..sessions {
+        engine
+            .execute(PatternRequest::SessionOpen(SessionOpenParams {
+                session: format!("bench-{s}"),
+                seed: Some(s as u64),
+            }))
+            .expect("session opens");
+    }
+    let handles: Vec<JobHandle> = (0..turns)
+        .flat_map(|_| 0..sessions)
+        .map(|s| {
+            engine.submit_blocking(PatternRequest::SessionTurn(SessionTurnParams {
+                session: format!("bench-{s}"),
+                utterance: utterance.clone(),
+            }))
+        })
+        .collect();
+    for handle in handles {
+        handle.wait().expect("turn completes");
+    }
+    for s in 0..sessions {
+        engine
+            .execute(PatternRequest::SessionClose(SessionCloseParams {
+                session: format!("bench-{s}"),
+            }))
+            .expect("session closes");
+    }
+    let stats = engine.stats();
+    assert_eq!(
+        (stats.turns - turns_before) as usize,
+        sessions * turns,
+        "every submitted turn executed"
+    );
+    assert_eq!(stats.coalesced, 0, "session turns never coalesce");
+    assert_eq!(stats.cache_hits, 0, "session turns never hit the cache");
+    started.elapsed().as_secs_f64() * 1e3
+}
+
 fn sweep(var: &str, default: &str) -> Vec<usize> {
     std::env::var(var)
         .unwrap_or_else(|_| default.to_owned())
@@ -177,6 +242,43 @@ fn main() {
         hit_rate * 100.0
     );
 
+    // Session sweep: the stateful multi-turn workload, threadpool vs.
+    // session-affine sharded routing.
+    let n_sessions = sweep("CP_ENGINE_SESSIONS", "4")
+        .first()
+        .copied()
+        .unwrap_or(4);
+    let n_turns = sweep("CP_ENGINE_TURNS", "4").first().copied().unwrap_or(4);
+    let session_workers = max_workers.max(n_sessions.min(4));
+    let session_shards = n_sessions.min(session_workers).max(1);
+    let mut session_rows = String::new();
+    for (label, backend, shards) in [
+        ("threadpool", BackendKind::ThreadPool, 0usize),
+        (
+            "sharded",
+            BackendKind::Sharded {
+                shards: session_shards,
+            },
+            session_shards,
+        ),
+    ] {
+        let millis =
+            run_session_turns(&system, &cfg, backend, session_workers, n_sessions, n_turns);
+        #[allow(clippy::cast_precision_loss)]
+        let turns_per_sec = (n_sessions * n_turns) as f64 / (millis / 1e3);
+        println!(
+            "  session_turns {label:<10} {millis:9.1} ms   \
+             {n_sessions} sessions x {n_turns} turns, {turns_per_sec:.1} turns/s"
+        );
+        let _ = write!(
+            session_rows,
+            "{}{{\"backend\":\"{label}\",\"workers\":{session_workers},\"shards\":{shards},\
+             \"sessions\":{n_sessions},\"turns_per_session\":{n_turns},\
+             \"millis\":{millis:.3},\"turns_per_sec\":{turns_per_sec:.3}}}",
+            if session_rows.is_empty() { "" } else { "," }
+        );
+    }
+
     if cpus == 1 {
         println!(
             "\nnote: this host exposes a single CPU, so the threaded numbers measure\n\
@@ -189,7 +291,8 @@ fn main() {
         "{{\"bench\":\"engine_scaling\",\"batch\":{BATCH},\"window\":{},\"steps\":{},\
          \"train\":{},\"cpus\":{cpus},\"serial_millis\":{serial_ms:.3},\"backends\":[{rows}],\
          \"coalescing\":{{\"submitted\":{BATCH},\"unique\":{UNIQUE},\"coalesced\":{coalesced},\
-         \"hit_rate\":{hit_rate:.3},\"millis\":{burst_ms:.3}}}}}\n",
+         \"hit_rate\":{hit_rate:.3},\"millis\":{burst_ms:.3}}},\
+         \"session_turns\":[{session_rows}]}}\n",
         cfg.window, cfg.steps, cfg.train
     );
     std::fs::write("BENCH_ENGINE.json", &json).expect("write BENCH_ENGINE.json");

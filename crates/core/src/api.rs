@@ -36,6 +36,7 @@
 //! # Ok::<(), chatpattern_core::Error>(())
 //! ```
 
+use crate::session::SessionStats;
 use crate::{ChatPattern, Error};
 use cp_dataset::Style;
 use cp_diffusion::Mask;
@@ -124,12 +125,48 @@ pub struct EvaluateParams {
     pub seed: u64,
 }
 
+/// Parameters of opening a stateful multi-turn chat session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionOpenParams {
+    /// Client-chosen session id (non-empty; the correlation key for
+    /// every later turn).
+    pub session: String,
+    /// Session seed (`None` = the system's master seed). Unlike
+    /// one-shot `Chat`, the seed is resolved once at open and echoed
+    /// back, so the whole dialog is replayable.
+    pub seed: Option<u64>,
+}
+
+/// Parameters of one user turn on an open session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionTurnParams {
+    /// The session to resume.
+    pub session: String,
+    /// The user's utterance for this turn. Follow-ups ("now make them
+    /// denser", "extend the last ones to 3x") inherit unmentioned
+    /// requirement fields from the previous turn.
+    pub utterance: String,
+}
+
+/// Parameters of closing a session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionCloseParams {
+    /// The session to close.
+    pub session: String,
+}
+
 /// One request to the ChatPattern system — the single typed entry point
 /// covering the agent path and every direct back-end capability.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum PatternRequest {
     /// Run a full agent session on a natural-language request.
     Chat(ChatParams),
+    /// Open a stateful multi-turn chat session.
+    SessionOpen(SessionOpenParams),
+    /// Run one turn on an open session.
+    SessionTurn(SessionTurnParams),
+    /// Close a session, collecting its final outcome.
+    SessionClose(SessionCloseParams),
     /// Conditional fixed-window generation.
     Generate(GenerateParams),
     /// Free-size extension of an existing topology.
@@ -140,6 +177,21 @@ pub enum PatternRequest {
     Legalize(LegalizeParams),
     /// Table-1-style evaluation of a topology library.
     Evaluate(EvaluateParams),
+}
+
+impl PatternRequest {
+    /// The session id this request addresses, when it is a session
+    /// request. Drives the engine's session-affine shard routing and
+    /// its cache/coalescer exemption.
+    #[must_use]
+    pub fn session_id(&self) -> Option<&str> {
+        match self {
+            PatternRequest::SessionOpen(p) => Some(&p.session),
+            PatternRequest::SessionTurn(p) => Some(&p.session),
+            PatternRequest::SessionClose(p) => Some(&p.session),
+            _ => None,
+        }
+    }
 }
 
 /// Outcome of a [`PatternRequest::Chat`] session.
@@ -158,6 +210,43 @@ pub struct ChatOutcome {
 impl ChatOutcome {
     /// Renders the transcript in the paper's
     /// Thought/Action/Action-Input/Observation format.
+    #[must_use]
+    pub fn render_transcript(&self) -> String {
+        cp_agent::render_transcript(&self.transcript)
+    }
+}
+
+/// Acknowledgement of a [`PatternRequest::SessionOpen`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionInfo {
+    /// The session id, echoed back.
+    pub session: String,
+    /// The resolved session seed (the explicit one, or the system's
+    /// master seed when the request carried `None`).
+    pub seed: u64,
+}
+
+/// Outcome of one [`PatternRequest::SessionTurn`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TurnOutcome {
+    /// The session id, echoed back.
+    pub session: String,
+    /// 1-based index of this turn within the session — strictly
+    /// increasing, so clients can verify turn ordering.
+    pub turn: usize,
+    /// The agent's summary of this turn.
+    pub summary: String,
+    /// Tool calls executed during this turn.
+    pub tool_calls: usize,
+    /// The pattern library after this turn (cumulative across turns).
+    pub library: Vec<SquishPattern>,
+    /// This turn's transcript slice (the utterance, the agent's steps
+    /// and the tool observations — not the whole session).
+    pub transcript: Vec<cp_agent::Message>,
+}
+
+impl TurnOutcome {
+    /// Renders this turn's transcript slice in the paper's format.
     #[must_use]
     pub fn render_transcript(&self) -> String {
         cp_agent::render_transcript(&self.transcript)
@@ -253,6 +342,13 @@ impl Timing {
 pub enum ResponsePayload {
     /// Agent session outcome.
     Chat(ChatOutcome),
+    /// Session opened.
+    SessionOpen(SessionInfo),
+    /// One session turn's outcome.
+    SessionTurn(TurnOutcome),
+    /// The closed session's final outcome (full transcript, final
+    /// library).
+    SessionClose(ChatOutcome),
     /// Generated topologies.
     Generate(Vec<Topology>),
     /// The extended topology.
@@ -293,6 +389,15 @@ pub trait PatternService {
     fn execute_many(&self, requests: Vec<PatternRequest>) -> Vec<Result<PatternResponse, Error>> {
         requests.into_iter().map(|r| self.execute(r)).collect()
     }
+
+    /// Session activity of this service, when it hosts stateful
+    /// sessions ([`ChatPattern`] does; pure computational services
+    /// keep the all-zero default). Wrappers — engines, recorders,
+    /// `Arc` — forward to the wrapped service so the counters surface
+    /// wherever stats are read.
+    fn session_stats(&self) -> SessionStats {
+        SessionStats::default()
+    }
 }
 
 /// Sharing a service behind an [`Arc`](std::sync::Arc) is itself a
@@ -305,6 +410,10 @@ impl<S: PatternService + ?Sized> PatternService for std::sync::Arc<S> {
 
     fn execute_many(&self, requests: Vec<PatternRequest>) -> Vec<Result<PatternResponse, Error>> {
         (**self).execute_many(requests)
+    }
+
+    fn session_stats(&self) -> SessionStats {
+        (**self).session_stats()
     }
 }
 
@@ -323,6 +432,15 @@ impl PatternService for ChatPattern {
                     library: report.library,
                     transcript: report.transcript,
                 })
+            }
+            PatternRequest::SessionOpen(params) => {
+                ResponsePayload::SessionOpen(self.session_open(&params.session, params.seed)?)
+            }
+            PatternRequest::SessionTurn(params) => {
+                ResponsePayload::SessionTurn(self.session_turn(&params.session, &params.utterance)?)
+            }
+            PatternRequest::SessionClose(params) => {
+                ResponsePayload::SessionClose(self.session_close(&params.session)?)
             }
             PatternRequest::Generate(params) => ResponsePayload::Generate(self.generate(
                 params.style,
@@ -386,6 +504,10 @@ impl PatternService for ChatPattern {
                 u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
             ),
         })
+    }
+
+    fn session_stats(&self) -> SessionStats {
+        ChatPattern::session_stats(self)
     }
 }
 
@@ -459,12 +581,78 @@ mod tests {
                 frame_nm: 200,
                 seed: 6,
             }),
+            PatternRequest::SessionOpen(SessionOpenParams {
+                session: "s-1".into(),
+                seed: Some(7),
+            }),
+            PatternRequest::SessionOpen(SessionOpenParams {
+                session: "s-2".into(),
+                seed: None,
+            }),
+            PatternRequest::SessionTurn(SessionTurnParams {
+                session: "s-1".into(),
+                utterance: "now make them denser".into(),
+            }),
+            PatternRequest::SessionClose(SessionCloseParams {
+                session: "s-1".into(),
+            }),
         ];
         for request in requests {
             let text = serde_json::to_string(&request).expect("serializes");
             let back: PatternRequest = serde_json::from_str(&text).expect("parses");
             assert_eq!(back, request);
         }
+    }
+
+    #[test]
+    fn session_requests_flow_through_the_service_trait() {
+        let system = small_system();
+        let opened = system
+            .execute(PatternRequest::SessionOpen(SessionOpenParams {
+                session: "svc".into(),
+                seed: Some(4),
+            }))
+            .expect("opens");
+        assert!(matches!(
+            opened.payload,
+            ResponsePayload::SessionOpen(SessionInfo { ref session, seed: 4 })
+                if session == "svc"
+        ));
+        let turned = system
+            .execute(PatternRequest::SessionTurn(SessionTurnParams {
+                session: "svc".into(),
+                utterance: "Generate 1 pattern, topology size 16*16, physical size \
+                            512nm x 512nm, style Layer-10001."
+                    .into(),
+            }))
+            .expect("turn runs");
+        let ResponsePayload::SessionTurn(turn) = &turned.payload else {
+            panic!("wrong payload {:?}", turned.payload);
+        };
+        assert_eq!(turn.turn, 1);
+        assert_eq!(turn.library.len(), 1, "summary: {}", turn.summary);
+        let closed = system
+            .execute(PatternRequest::SessionClose(SessionCloseParams {
+                session: "svc".into(),
+            }))
+            .expect("closes");
+        let ResponsePayload::SessionClose(outcome) = &closed.payload else {
+            panic!("wrong payload {:?}", closed.payload);
+        };
+        assert_eq!(outcome.library, turn.library);
+        // Turn on the closed id surfaces the typed error through the
+        // trait.
+        let err = system
+            .execute(PatternRequest::SessionTurn(SessionTurnParams {
+                session: "svc".into(),
+                utterance: "more".into(),
+            }))
+            .expect_err("closed session");
+        assert!(matches!(err, Error::SessionNotFound { .. }), "{err:?}");
+        // The payloads of a session round-trip survive JSON.
+        let text = serde_json::to_string(&turned).expect("serializes");
+        let back: PatternResponse = serde_json::from_str(&text).expect("parses");
+        assert_eq!(back, turned);
     }
 
     #[test]

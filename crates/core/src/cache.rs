@@ -4,24 +4,47 @@
 //! the serialized wire form of a request —
 //! `(request-kind, params, seed)` — so two textually identical requests
 //! share one result. Only deterministic requests are cached (every
-//! request kind carries an explicit seed except `Chat { seed: None }`,
-//! which bypasses the cache entirely; see
-//! [`cache_key`](crate::engine::cache_key)).
+//! request kind carries an explicit seed except `Chat { seed: None }`
+//! and the stateful session requests, which bypass the cache entirely;
+//! see [`cache_key`](crate::engine::cache_key)).
 //!
-//! The implementation is a plain `HashMap` plus a recency queue: hits
-//! and inserts are O(queue length) in the worst case, which is fine at
-//! the few-hundred-entry capacities the engine runs with. Capacity 0
-//! disables caching.
+//! The implementation is an intrusive hash-linked list: a `HashMap`
+//! from key to slab index plus a doubly-linked recency list threaded
+//! through the slab nodes, so `get` and `insert` are O(1) — the
+//! earlier `VecDeque` recency scan was O(n) per touch, fine at a few
+//! hundred entries but not at the capacities a long-running server
+//! wants. Capacity 0 disables caching.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
-/// A least-recently-used map from serialized requests to values.
+/// Sentinel for "no neighbour" in the intrusive list.
+const NIL: usize = usize::MAX;
+
+/// One slab node: the entry plus its recency-list links.
+#[derive(Debug)]
+struct Node<V> {
+    key: String,
+    value: V,
+    /// Towards the LRU end (older).
+    prev: usize,
+    /// Towards the MRU end (newer).
+    next: usize,
+}
+
+/// A least-recently-used map from serialized requests to values with
+/// O(1) lookup, insertion and eviction.
 #[derive(Debug)]
 pub(crate) struct LruCache<V> {
     capacity: usize,
-    entries: HashMap<String, V>,
-    /// Keys ordered oldest-first; touched keys move to the back.
-    recency: VecDeque<String>,
+    /// Key → slab index.
+    index: HashMap<String, usize>,
+    /// Slab of nodes; freed slots are recycled through `free`.
+    nodes: Vec<Node<V>>,
+    free: Vec<usize>,
+    /// Oldest entry (evicted first); `NIL` when empty.
+    head: usize,
+    /// Newest entry; `NIL` when empty.
+    tail: usize,
 }
 
 impl<V: Clone> LruCache<V> {
@@ -29,22 +52,26 @@ impl<V: Clone> LruCache<V> {
     pub(crate) fn new(capacity: usize) -> LruCache<V> {
         LruCache {
             capacity,
-            entries: HashMap::new(),
-            recency: VecDeque::new(),
+            index: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
         }
     }
 
     /// Number of live entries.
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// Looks up `key`, marking it most recently used on a hit.
     pub(crate) fn get(&mut self, key: &str) -> Option<V> {
-        let value = self.entries.get(key)?.clone();
-        self.touch(key);
-        Some(value)
+        let slot = *self.index.get(key)?;
+        self.unlink(slot);
+        self.push_tail(slot);
+        Some(self.nodes[slot].value.clone())
     }
 
     /// Inserts (or refreshes) `key`, evicting the least recently used
@@ -53,24 +80,68 @@ impl<V: Clone> LruCache<V> {
         if self.capacity == 0 {
             return;
         }
-        if self.entries.insert(key.clone(), value).is_some() {
-            self.touch(&key);
+        if let Some(&slot) = self.index.get(&key) {
+            self.nodes[slot].value = value;
+            self.unlink(slot);
+            self.push_tail(slot);
             return;
         }
-        self.recency.push_back(key);
-        while self.entries.len() > self.capacity {
-            if let Some(oldest) = self.recency.pop_front() {
-                self.entries.remove(&oldest);
-            }
+        // Evict before inserting so the slab never grows past
+        // capacity (the freed slot is immediately recycled).
+        while self.index.len() >= self.capacity {
+            let oldest = self.head;
+            debug_assert_ne!(oldest, NIL, "non-empty cache has a head");
+            self.unlink(oldest);
+            self.index.remove(&self.nodes[oldest].key);
+            self.free.push(oldest);
         }
+        let node = Node {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.index.insert(key, slot);
+        self.push_tail(slot);
     }
 
-    /// Moves `key` to the most-recently-used position.
-    fn touch(&mut self, key: &str) {
-        if let Some(pos) = self.recency.iter().position(|k| k == key) {
-            let k = self.recency.remove(pos).expect("position is in range");
-            self.recency.push_back(k);
+    /// Detaches `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
         }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = NIL;
+    }
+
+    /// Appends `slot` at the MRU end.
+    fn push_tail(&mut self, slot: usize) {
+        self.nodes[slot].prev = self.tail;
+        self.nodes[slot].next = NIL;
+        if self.tail == NIL {
+            self.head = slot;
+        } else {
+            self.nodes[self.tail].next = slot;
+        }
+        self.tail = slot;
     }
 }
 
@@ -108,5 +179,92 @@ mod tests {
         cache.insert("a".into(), 1);
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.get("a"), None);
+    }
+
+    #[test]
+    fn single_entry_cache_churns_correctly() {
+        let mut cache = LruCache::new(1);
+        for i in 0..100 {
+            cache.insert(format!("k{i}"), i);
+            assert_eq!(cache.len(), 1);
+            assert_eq!(cache.get(&format!("k{i}")), Some(i));
+            if i > 0 {
+                assert_eq!(cache.get(&format!("k{}", i - 1)), None);
+            }
+        }
+    }
+
+    /// A naive reference model: same behavior, O(n) implementation.
+    struct ModelLru {
+        capacity: usize,
+        entries: Vec<(String, i64)>, // oldest-first
+    }
+
+    impl ModelLru {
+        fn get(&mut self, key: &str) -> Option<i64> {
+            let pos = self.entries.iter().position(|(k, _)| k == key)?;
+            let entry = self.entries.remove(pos);
+            let value = entry.1;
+            self.entries.push(entry);
+            Some(value)
+        }
+
+        fn insert(&mut self, key: &str, value: i64) {
+            if self.capacity == 0 {
+                return;
+            }
+            if let Some(pos) = self.entries.iter().position(|(k, _)| k == key) {
+                self.entries.remove(pos);
+            }
+            self.entries.push((key.to_owned(), value));
+            while self.entries.len() > self.capacity {
+                self.entries.remove(0);
+            }
+        }
+    }
+
+    /// The large-capacity behavior test: thousands of mixed get/insert
+    /// operations against the naive model, at a capacity where the old
+    /// O(n) scan would have been painful and any linking bug shows up
+    /// as a divergence.
+    #[test]
+    fn large_capacity_matches_naive_model() {
+        const CAPACITY: usize = 1024;
+        const OPS: u64 = 20_000;
+        let mut cache = LruCache::new(CAPACITY);
+        let mut model = ModelLru {
+            capacity: CAPACITY,
+            entries: Vec::new(),
+        };
+        // Deterministic mixed workload over a key space ~2× capacity,
+        // with a skewed hot set so both hits and misses occur.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        for op in 0..OPS {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let key = format!("k{}", (state >> 33) % (2 * CAPACITY as u64));
+            if op % 3 == 0 {
+                let value = (op % 1009) as i64;
+                cache.insert(key.clone(), value);
+                model.insert(&key, value);
+            } else {
+                assert_eq!(
+                    cache.get(&key),
+                    model.get(&key),
+                    "divergence at op {op} on {key}"
+                );
+            }
+            assert_eq!(cache.len(), model.entries.len());
+            assert!(cache.len() <= CAPACITY, "capacity exceeded");
+        }
+        // Final state: every model entry is retrievable in the cache
+        // and recency order agrees (walk by evicting).
+        for (key, value) in &model.entries {
+            assert!(cache.index.contains_key(key), "missing {key}");
+            assert_eq!(cache.nodes[cache.index[key]].value, *value);
+        }
+        // The slab never grew past capacity: recycled slots bound it.
+        assert!(cache.nodes.len() <= CAPACITY);
     }
 }

@@ -146,6 +146,13 @@ pub struct EngineStats {
     /// instead of starting their own (for keyed submissions,
     /// `cache_hits + cache_misses + coalesced` partitions them).
     pub coalesced: u64,
+    /// Chat sessions currently open in the wrapped service (a gauge;
+    /// zero for services without session support).
+    pub sessions_open: u64,
+    /// Sessions evicted for capacity or expired past their TTL.
+    pub sessions_evicted: u64,
+    /// Session turns executed.
+    pub turns: u64,
     /// Jobs currently waiting in each backend queue, one entry per
     /// queue: empty for [`BackendKind::Inline`], one entry for
     /// [`BackendKind::ThreadPool`], one per shard for
@@ -165,7 +172,11 @@ pub(crate) struct AtomicStats {
 }
 
 impl AtomicStats {
-    fn snapshot(&self, queue_depths: Vec<usize>) -> EngineStats {
+    fn snapshot(
+        &self,
+        queue_depths: Vec<usize>,
+        sessions: crate::session::SessionStats,
+    ) -> EngineStats {
         EngineStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -174,6 +185,9 @@ impl AtomicStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            sessions_open: sessions.open,
+            sessions_evicted: sessions.evicted,
+            turns: sessions.turns,
             queue_depths,
         }
     }
@@ -184,15 +198,36 @@ impl AtomicStats {
 }
 
 /// Cache/coalescing key of a request: its serialized wire form, or
-/// `None` when the request is not deterministic (`Chat` without an
-/// explicit seed resolves to the system's master seed at execution
-/// time, so its outcome is not a pure function of the request value —
-/// such requests bypass both the cache and the coalescer).
+/// `None` when the request must execute privately every time:
+///
+/// * `Chat` without an explicit seed resolves to the system's master
+///   seed at execution time, so its outcome is not a pure function of
+///   the request value;
+/// * session requests (`SessionOpen` / `SessionTurn` /
+///   `SessionClose`) *mutate* session state — two textually identical
+///   turns are different operations (the second operates on the
+///   first's results), so replaying a cached payload or attaching to
+///   an in-flight twin would silently drop a turn.
+///
+/// Such requests bypass both the cache and the coalescer.
 pub(crate) fn cache_key(request: &PatternRequest) -> Option<String> {
     match request {
         PatternRequest::Chat(params) if params.seed.is_none() => None,
+        PatternRequest::SessionOpen(_)
+        | PatternRequest::SessionTurn(_)
+        | PatternRequest::SessionClose(_) => None,
         _ => serde_json::to_string(request).ok(),
     }
+}
+
+/// Stable backend-routing hash for a string (request key or session
+/// id): identical inputs always map to the same value, so a
+/// [`ShardedBackend`] keeps cache-hot keys — and every turn of one
+/// session — shard-local.
+fn stable_route(input: &str) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    input.hash(&mut hasher);
+    hasher.finish()
 }
 
 /// A submitted job: wait for, poll, or cancel it.
@@ -455,10 +490,14 @@ impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
     }
 
     /// A snapshot of the activity counters, including the live
-    /// per-queue depths of the active backend.
+    /// per-queue depths of the active backend and the wrapped
+    /// service's session gauges.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        self.core.stats.snapshot(self.backend.queue_depths())
+        self.core.stats.snapshot(
+            self.backend.queue_depths(),
+            self.core.service.session_stats(),
+        )
     }
 
     /// The wrapped service.
@@ -493,13 +532,15 @@ impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
     fn submit_inner(&self, request: PatternRequest, block: bool) -> Result<JobHandle, Error> {
         let stats = &self.core.stats;
         let key = cache_key(&request);
-        let route = match &key {
-            Some(key) => {
-                let mut hasher = std::collections::hash_map::DefaultHasher::new();
-                key.hash(&mut hasher);
-                hasher.finish()
-            }
-            None => self.route_counter.fetch_add(1, Ordering::Relaxed),
+        // Routing priority: keyed requests go by key hash (cache
+        // affinity), session requests go by *session-id* hash (every
+        // turn of one session lands on the same shard, keeping its
+        // state shard-local and its turn order the shard queue's FIFO
+        // order), and everything else spreads round-robin.
+        let route = match (&key, request.session_id()) {
+            (Some(key), _) => stable_route(key),
+            (None, Some(session)) => stable_route(session),
+            (None, None) => self.route_counter.fetch_add(1, Ordering::Relaxed),
         };
         let lookup = Instant::now();
         // Keyed non-blocking submits dispatch *inside* the admission
@@ -609,6 +650,10 @@ impl<S: PatternService + Send + Sync + 'static> PatternService for PatternEngine
             .map(|request| self.submit_blocking(request))
             .collect();
         handles.into_iter().map(JobHandle::wait).collect()
+    }
+
+    fn session_stats(&self) -> crate::session::SessionStats {
+        self.core.service.session_stats()
     }
 }
 
@@ -952,12 +997,31 @@ mod tests {
     }
 
     #[test]
-    fn cache_key_skips_unseeded_chat() {
+    fn cache_key_skips_unseeded_chat_and_sessions() {
         assert!(cache_key(&PatternRequest::Chat(ChatParams {
             request: "x".into(),
             seed: None,
         }))
         .is_none());
+        // Session requests are stateful: never keyed, but routed by a
+        // stable session-id hash so a session stays shard-local.
+        let open = PatternRequest::SessionOpen(crate::SessionOpenParams {
+            session: "s".into(),
+            seed: Some(1),
+        });
+        let turn = PatternRequest::SessionTurn(crate::SessionTurnParams {
+            session: "s".into(),
+            utterance: "x".into(),
+        });
+        let close = PatternRequest::SessionClose(crate::SessionCloseParams {
+            session: "s".into(),
+        });
+        for request in [&open, &turn, &close] {
+            assert!(cache_key(request).is_none(), "{request:?}");
+            assert_eq!(request.session_id(), Some("s"));
+        }
+        assert_eq!(stable_route("s"), stable_route("s"));
+        assert_ne!(stable_route("s"), stable_route("t"));
         assert!(cache_key(&PatternRequest::Chat(ChatParams {
             request: "x".into(),
             seed: Some(1),

@@ -40,6 +40,16 @@ pub enum Error {
         /// The violations found, in scan order.
         violations: Vec<Violation>,
     },
+    /// A session id could not be resolved to a live session: it was
+    /// never opened, already closed, expired past its TTL, or evicted
+    /// to make room for a newer session. The message says which.
+    SessionNotFound {
+        /// The session id the request named.
+        id: String,
+        /// Why the id is not live (closed / expired / evicted / never
+        /// opened).
+        message: String,
+    },
     /// The job was cancelled while still queued; no work was done.
     Cancelled,
     /// The engine's bounded submission queue was full; the request was
@@ -83,6 +93,15 @@ impl Error {
             message: message.into(),
         }
     }
+
+    /// Session-resolution error.
+    #[must_use]
+    pub fn session_not_found(id: impl Into<String>, message: impl Into<String>) -> Error {
+        Error::SessionNotFound {
+            id: id.into(),
+            message: message.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -110,6 +129,9 @@ impl std::fmt::Display for Error {
                     .filter(|v| v.kind == cp_drc::ViolationKind::Area)
                     .count(),
             ),
+            Error::SessionNotFound { id, message } => {
+                write!(f, "session \"{id}\" not found: {message}")
+            }
             Error::Cancelled => write!(f, "job cancelled before execution"),
             Error::QueueFull { depth } => {
                 write!(f, "engine queue is full ({depth} jobs already pending)")
@@ -128,6 +150,7 @@ impl std::error::Error for Error {
             Error::Config { .. }
             | Error::InvalidRequest { .. }
             | Error::Drc { .. }
+            | Error::SessionNotFound { .. }
             | Error::Cancelled
             | Error::QueueFull { .. }
             | Error::Internal { .. } => None,
@@ -204,6 +227,9 @@ mod tests {
         let internal = Error::internal("worker exploded");
         assert!(internal.to_string().contains("internal service failure"));
         assert!(internal.to_string().contains("worker exploded"));
+        let session = Error::session_not_found("u-42", "evicted to make room");
+        assert!(session.to_string().contains("u-42"));
+        assert!(session.to_string().contains("evicted"));
     }
 
     #[test]

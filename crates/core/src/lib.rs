@@ -63,15 +63,18 @@ mod broker;
 mod cache;
 pub mod engine;
 pub mod error;
+pub mod session;
 pub mod wire;
 
 pub use api::{
     ChatOutcome, ChatParams, EvaluateParams, ExtendParams, GenerateParams, LegalizeParams,
-    ModifyParams, PatternRequest, PatternResponse, PatternService, ResponsePayload, Timing,
+    ModifyParams, PatternRequest, PatternResponse, PatternService, ResponsePayload,
+    SessionCloseParams, SessionInfo, SessionOpenParams, SessionTurnParams, Timing, TurnOutcome,
 };
 pub use backend::BackendKind;
 pub use engine::{EngineConfig, EngineStats, JobHandle, JobStatus, PatternEngine};
 pub use error::Error;
+pub use session::{SessionConfig, SessionStats, SessionStore};
 pub use wire::{RequestEnvelope, ResponseEnvelope, WireError, WireOutcome};
 
 use cp_agent::{
@@ -88,6 +91,7 @@ use cp_squish::{SquishPattern, Topology};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Builder for a [`ChatPattern`] system.
 ///
@@ -106,6 +110,7 @@ pub struct ChatPatternBuilder {
     seed: u64,
     rules: DesignRules,
     styles: Vec<Style>,
+    sessions: SessionConfig,
 }
 
 impl Default for ChatPatternBuilder {
@@ -117,6 +122,7 @@ impl Default for ChatPatternBuilder {
             seed: 0,
             rules: DesignRules::reference(),
             styles: Style::ALL.to_vec(),
+            sessions: SessionConfig::default(),
         }
     }
 }
@@ -167,6 +173,23 @@ impl ChatPatternBuilder {
         self
     }
 
+    /// Maximum simultaneously open chat sessions (default 64). Opening
+    /// one more evicts the least-recently-used session.
+    #[must_use]
+    pub fn max_sessions(mut self, max_sessions: usize) -> ChatPatternBuilder {
+        self.sessions.capacity = max_sessions;
+        self
+    }
+
+    /// Idle lifetime of a chat session (default 15 minutes). Sessions
+    /// untouched for longer expire lazily on the next session
+    /// operation.
+    #[must_use]
+    pub fn session_ttl(mut self, ttl: Duration) -> ChatPatternBuilder {
+        self.sessions.ttl = ttl;
+        self
+    }
+
     /// Checks the configuration without building.
     ///
     /// # Errors
@@ -190,6 +213,7 @@ impl ChatPatternBuilder {
         if self.styles.is_empty() {
             return Err(Error::config("at least one style is required"));
         }
+        self.sessions.validate()?;
         Ok(())
     }
 
@@ -245,6 +269,7 @@ impl ChatPatternBuilder {
             knowledge: KnowledgeBase::new(),
             patch_nm,
             seed: self.seed,
+            sessions: SessionStore::new(self.sessions),
         })
     }
 }
@@ -279,6 +304,94 @@ impl PatternSampler for SharedSampler {
     }
 }
 
+/// One live multi-turn chat dialog: a resumable
+/// [`AgentSession`] plus its identity. Normally managed by the
+/// system's [`SessionStore`] via [`ChatPattern::session_open`] /
+/// [`ChatPattern::session_turn`] / [`ChatPattern::session_close`];
+/// exposed so in-process callers (tests, examples, embedders) can
+/// drive a session directly.
+pub struct ChatSession {
+    id: String,
+    seed: u64,
+    inner: AgentSession<ExpertPolicy>,
+}
+
+impl std::fmt::Debug for ChatSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChatSession")
+            .field("id", &self.id)
+            .field("seed", &self.seed)
+            .field("turns", &self.inner.turns())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChatSession {
+    /// The session id.
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The resolved session seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Turns processed so far.
+    #[must_use]
+    pub fn turns(&self) -> usize {
+        self.inner.turns()
+    }
+
+    /// The pattern library accumulated so far.
+    #[must_use]
+    pub fn library(&self) -> &[SquishPattern] {
+        self.inner.library()
+    }
+
+    /// Runs one user turn. The first turn must parse into requirement
+    /// lists (like [`ChatPattern::chat`]); follow-up turns inherit
+    /// unmentioned fields from the previous turn's requirement, so
+    /// short refinements ("now make them denser") are valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Requirement`] when the utterance is unusable.
+    pub fn turn(&mut self, utterance: &str) -> Result<TurnOutcome, Error> {
+        if self.inner.turns() == 0 {
+            try_auto_format(utterance)?;
+        } else if utterance.trim().is_empty() {
+            return Err(Error::Requirement(cp_agent::RequirementError::new(
+                "the turn utterance is empty; describe the refinement",
+            )));
+        }
+        let report = self.inner.turn(utterance);
+        Ok(TurnOutcome {
+            session: self.id.clone(),
+            turn: report.turn,
+            summary: report.summary,
+            tool_calls: report.tool_calls,
+            library: self.inner.library().to_vec(),
+            transcript: report.transcript,
+        })
+    }
+
+    /// Consumes the session into its final outcome (full transcript,
+    /// cumulative library, last summary).
+    #[must_use]
+    pub fn into_outcome(self) -> ChatOutcome {
+        let report = self.inner.close();
+        ChatOutcome {
+            summary: report.summary,
+            tool_calls: report.tool_calls,
+            library: report.library,
+            transcript: report.transcript,
+        }
+    }
+}
+
 /// The assembled ChatPattern system.
 ///
 /// Obtain one through [`ChatPattern::builder`]; drive it through the
@@ -292,6 +405,7 @@ pub struct ChatPattern {
     knowledge: KnowledgeBase,
     patch_nm: i64,
     seed: u64,
+    sessions: SessionStore<ChatSession>,
 }
 
 impl std::fmt::Debug for ChatPattern {
@@ -372,14 +486,67 @@ impl ChatPattern {
         // Validate the request up front so callers get a typed error
         // instead of an agent transcript that went nowhere.
         try_auto_format(request)?;
+        Ok(self.new_agent_session(seed).run(request))
+    }
+
+    fn new_agent_session(&self, seed: u64) -> AgentSession<ExpertPolicy> {
         let ctx = ToolContext::new(
             Box::new(SharedSampler(Arc::clone(&self.model))),
             self.legalizer.clone(),
             self.knowledge.clone(),
             seed,
         );
-        let policy = ExpertPolicy::default();
-        Ok(AgentSession::new(policy, ToolRegistry::standard(), ctx).run(request))
+        AgentSession::new(ExpertPolicy::default(), ToolRegistry::standard(), ctx)
+    }
+
+    /// Opens a stateful multi-turn chat session in the system's
+    /// session store under the client-chosen `id`. The store is
+    /// bounded (TTL + LRU eviction, see [`SessionStore`]); opening at
+    /// capacity evicts the least-recently-used session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRequest`] when `id` is empty or already
+    /// names a live session.
+    pub fn session_open(&self, id: &str, seed: Option<u64>) -> Result<SessionInfo, Error> {
+        let seed = seed.unwrap_or(self.seed);
+        self.sessions.open(id, || ChatSession {
+            id: id.to_owned(),
+            seed,
+            inner: self.new_agent_session(seed),
+        })?;
+        Ok(SessionInfo {
+            session: id.to_owned(),
+            seed,
+        })
+    }
+
+    /// Runs one user turn on the open session `id`. Turns on one
+    /// session serialize; turns on distinct sessions run in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SessionNotFound`] when `id` is not live
+    /// (never opened, closed, expired, or evicted) and
+    /// [`Error::Requirement`] when the utterance is unusable.
+    pub fn session_turn(&self, id: &str, utterance: &str) -> Result<TurnOutcome, Error> {
+        self.sessions.turn(id, |session| session.turn(utterance))
+    }
+
+    /// Closes session `id`, returning the dialog's final outcome
+    /// (full transcript, cumulative library, last summary).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SessionNotFound`] when `id` is not live.
+    pub fn session_close(&self, id: &str) -> Result<ChatOutcome, Error> {
+        Ok(self.sessions.close(id)?.into_outcome())
+    }
+
+    /// Session activity counters (open / evicted / turns).
+    #[must_use]
+    pub fn session_stats(&self) -> SessionStats {
+        self.sessions.stats()
     }
 
     /// Direct API: conditional generation of `count` topologies.
@@ -834,6 +1001,79 @@ mod tests {
             .modify(&known, &mask, Style::Layer10001, 1)
             .expect_err("shape mismatch must fail");
         assert!(matches!(err, Error::InvalidRequest { .. }));
+    }
+
+    #[test]
+    fn session_lifecycle_round_trips() {
+        let system = small_system();
+        let info = system.session_open("s1", Some(9)).expect("opens");
+        assert_eq!(info.seed, 9);
+        let t1 = system
+            .session_turn(
+                "s1",
+                "Generate 2 patterns, topology size 16*16, physical size 512nm x 512nm, \
+                 style Layer-10001.",
+            )
+            .expect("turn 1 runs");
+        assert_eq!(t1.turn, 1);
+        assert_eq!(t1.library.len(), 2, "summary: {}", t1.summary);
+        // A follow-up with only a count inherits size/style/frame and
+        // grows the same library.
+        let t2 = system
+            .session_turn("s1", "1 more pattern.")
+            .expect("turn 2 runs");
+        assert_eq!(t2.turn, 2);
+        assert_eq!(t2.library.len(), 3, "summary: {}", t2.summary);
+        assert_eq!(t2.library[..2], t1.library[..], "earlier patterns kept");
+        let outcome = system.session_close("s1").expect("closes");
+        assert_eq!(outcome.library.len(), 3);
+        assert_eq!(outcome.tool_calls, t1.tool_calls + t2.tool_calls);
+        let err = system
+            .session_turn("s1", "anything")
+            .expect_err("closed sessions are gone");
+        assert!(matches!(err, Error::SessionNotFound { .. }), "{err:?}");
+        let stats = system.session_stats();
+        assert_eq!((stats.open, stats.evicted, stats.turns), (0, 0, 2));
+    }
+
+    #[test]
+    fn first_session_turn_matches_one_shot_chat() {
+        let request = "Generate 2 patterns, topology size 16*16, physical size 512nm x 512nm, \
+                       style Layer-10003.";
+        let system = small_system();
+        let chat = system.chat_with_seed(request, 11).expect("chats");
+        system.session_open("s", Some(11)).expect("opens");
+        let turn = system.session_turn("s", request).expect("turn runs");
+        assert_eq!(turn.library, chat.library, "same seed, same first turn");
+        assert_eq!(turn.summary, chat.summary);
+        let _ = system.session_close("s").expect("closes");
+    }
+
+    #[test]
+    fn session_capacity_evicts_lru_with_typed_error() {
+        let system = ChatPattern::builder()
+            .window(16)
+            .training_patterns(8)
+            .diffusion_steps(6)
+            .max_sessions(1)
+            .build()
+            .expect("valid configuration");
+        system.session_open("old", Some(1)).expect("opens");
+        system
+            .session_open("new", Some(2))
+            .expect("opens, evicting old");
+        let err = system
+            .session_turn("old", "Generate 1 pattern.")
+            .expect_err("evicted session is gone");
+        assert!(matches!(err, Error::SessionNotFound { .. }), "{err:?}");
+        let stats = system.session_stats();
+        assert_eq!((stats.open, stats.evicted), (1, 1));
+    }
+
+    #[test]
+    fn builder_rejects_zero_session_capacity() {
+        let err = ChatPattern::builder().max_sessions(0).validate();
+        assert!(matches!(err, Err(Error::Config { .. })), "{err:?}");
     }
 
     #[test]

@@ -1,0 +1,599 @@
+//! The session store: bounded, TTL'd, per-session-locked state for
+//! multi-turn dialogs.
+//!
+//! A [`SessionStore`] maps client-chosen string ids to live session
+//! values (the concrete value is [`ChatSession`](crate::ChatSession)
+//! in production; the store is generic so invariants can be tested
+//! with cheap stand-ins). It enforces three properties the rest of the
+//! stack relies on:
+//!
+//! * **Bounded capacity with TTL + LRU eviction.** The store never
+//!   holds more than `capacity` sessions. Opening a new session first
+//!   drops every session idle past its TTL, then — if still full —
+//!   evicts the least-recently-used session. Evicted and expired ids
+//!   are gone for good: a later turn on them reports a typed
+//!   [`Error::SessionNotFound`], never a panic, and reopening the id
+//!   starts a brand-new session.
+//! * **Per-session serialization.** Each session value sits behind its
+//!   own lock, taken only *after* the store map lock is released —
+//!   concurrent turns on one session serialize while turns on distinct
+//!   sessions run in parallel.
+//! * **Eviction never races a running turn into unsafety.** Eviction
+//!   flags the slot and unlinks it from the map; a turn already
+//!   executing finishes normally (it owns an `Arc` of the slot), and a
+//!   turn that was *waiting* for the slot observes the flag once it
+//!   acquires the lock and reports the typed error.
+//!
+//! The engine layer keeps session requests out of the result cache and
+//! the in-flight coalescer entirely (they mutate state, so two
+//! identical turns are *different* requests) and routes them by
+//! session-id hash so one session's turns stay shard-local — see
+//! `docs/SESSIONS.md`.
+
+use crate::Error;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Capacity and lifetime knobs of a [`SessionStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Maximum number of simultaneously open sessions (≥ 1). Opening
+    /// one more evicts the least-recently-used session.
+    pub capacity: usize,
+    /// Idle lifetime: a session untouched for longer than this is
+    /// expired (lazily, on the next store operation).
+    pub ttl: Duration,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            capacity: 64,
+            ttl: Duration::from_secs(900),
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Checks the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when `capacity` is zero.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.capacity == 0 {
+            return Err(Error::config(
+                "session store needs capacity for at least 1 session (got 0)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A snapshot of session activity, surfaced through
+/// [`EngineStats`](crate::EngineStats) and the `chatpattern-serve`
+/// `--stats` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Sessions currently open (a gauge, not a counter).
+    pub open: u64,
+    /// Sessions evicted for capacity or expired past their TTL since
+    /// construction.
+    pub evicted: u64,
+    /// Turns executed since construction (successful or not).
+    pub turns: u64,
+}
+
+/// One live session: the value behind its own lock, plus the eviction
+/// flag a racing turn checks after acquiring it.
+struct Slot<T> {
+    /// Set (under the store lock) when the session is evicted or
+    /// expired while references to the slot may still be live.
+    evicted: AtomicBool,
+    /// `None` once closed. Guarded by this per-session mutex — holding
+    /// it is what serializes turns on one session.
+    value: Mutex<Option<T>>,
+}
+
+struct Entry<T> {
+    slot: Arc<Slot<T>>,
+    /// Wall-clock recency, for TTL expiry.
+    last_used: Instant,
+    /// Logical recency (a store-wide monotonic counter), for LRU victim
+    /// selection — unlike `Instant`, never ties, so eviction order is
+    /// deterministic.
+    touched: u64,
+}
+
+/// Bounded map from session ids to live session values with TTL + LRU
+/// eviction and per-session locking. See the [module docs](self).
+pub struct SessionStore<T> {
+    config: SessionConfig,
+    state: Mutex<HashMap<String, Entry<T>>>,
+    clock: AtomicU64,
+    evicted: AtomicU64,
+    turns: AtomicU64,
+}
+
+impl<T> std::fmt::Debug for SessionStore<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionStore")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> SessionStore<T> {
+    /// Creates an empty store. The configuration is taken as-is;
+    /// validate it first where it comes from user input
+    /// ([`SessionConfig::validate`]).
+    #[must_use]
+    pub fn new(config: SessionConfig) -> SessionStore<T> {
+        SessionStore {
+            config,
+            state: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            turns: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> SessionConfig {
+        self.config
+    }
+
+    /// Sessions currently open.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("session store lock").len()
+    }
+
+    /// Whether no session is open.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Activity snapshot.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            open: self.len() as u64,
+            evicted: self.evicted.load(Ordering::Relaxed),
+            turns: self.turns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every session idle past the TTL. Called lazily by every
+    /// store operation; callers never need to invoke it, but a serving
+    /// loop may want to on a timer.
+    pub fn purge_expired(&self) {
+        let mut state = self.state.lock().expect("session store lock");
+        Self::purge_locked(&mut state, &self.evicted, self.config.ttl);
+    }
+
+    fn purge_locked(state: &mut HashMap<String, Entry<T>>, evicted: &AtomicU64, ttl: Duration) {
+        let now = Instant::now();
+        state.retain(|_, entry| {
+            let live = now.saturating_duration_since(entry.last_used) <= ttl;
+            if !live {
+                entry.slot.evicted.store(true, Ordering::Release);
+                evicted.fetch_add(1, Ordering::Relaxed);
+            }
+            live
+        });
+    }
+
+    /// Opens a session under `id`, constructing its value with `make`.
+    ///
+    /// Expired sessions are purged first; if the store is still at
+    /// capacity, the least-recently-used session is evicted (counted
+    /// in [`SessionStats::evicted`]). `make` runs *before* the store
+    /// lock is taken, so an expensive construction (a full agent
+    /// session) never stalls turns on other sessions; the freshly made
+    /// value is discarded if the id turns out to be taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRequest`] when `id` is empty or already
+    /// names a live session.
+    pub fn open(&self, id: &str, make: impl FnOnce() -> T) -> Result<(), Error> {
+        if id.is_empty() {
+            return Err(Error::invalid_request("session id must not be empty"));
+        }
+        let value = make();
+        let mut state = self.state.lock().expect("session store lock");
+        Self::purge_locked(&mut state, &self.evicted, self.config.ttl);
+        if state.contains_key(id) {
+            return Err(Error::invalid_request(format!(
+                "session \"{id}\" is already open; close it first or pick another id"
+            )));
+        }
+        while state.len() >= self.config.capacity.max(1) {
+            // LRU victim: the entry idle the longest (by logical
+            // clock, so the choice is deterministic).
+            let victim = state
+                .iter()
+                .min_by_key(|(_, entry)| entry.touched)
+                .map(|(key, _)| key.clone())
+                .expect("a non-empty map has a minimum");
+            if let Some(entry) = state.remove(&victim) {
+                entry.slot.evicted.store(true, Ordering::Release);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        state.insert(
+            id.to_owned(),
+            Entry {
+                slot: Arc::new(Slot {
+                    evicted: AtomicBool::new(false),
+                    value: Mutex::new(Some(value)),
+                }),
+                last_used: Instant::now(),
+                touched: self.clock.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+        Ok(())
+    }
+
+    /// Runs one turn on session `id`: resolves the slot under the
+    /// store lock (refreshing its recency), releases the store lock,
+    /// then serializes on the session's own lock and hands the value
+    /// to `f`. Turns on distinct sessions never contend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SessionNotFound`] when `id` is unknown,
+    /// expired, closed, or was evicted while this turn waited for the
+    /// session lock; [`Error::Internal`] when an earlier turn panicked
+    /// mid-execution and left the session state unreliable; and
+    /// whatever `f` reports.
+    pub fn turn<R>(
+        &self,
+        id: &str,
+        f: impl FnOnce(&mut T) -> Result<R, Error>,
+    ) -> Result<R, Error> {
+        let slot = {
+            let mut state = self.state.lock().expect("session store lock");
+            Self::purge_locked(&mut state, &self.evicted, self.config.ttl);
+            let entry = state.get_mut(id).ok_or_else(|| {
+                Error::session_not_found(id, "no live session has this id (open one first)")
+            })?;
+            entry.last_used = Instant::now();
+            entry.touched = self.clock.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(&entry.slot)
+        };
+        // The store lock is released: turns on other sessions proceed.
+        // A poisoned session lock means a previous turn panicked with
+        // the value in an unknown state — report it as a typed error
+        // and evict the session rather than poisoning every later turn.
+        let Ok(mut value) = slot.value.lock() else {
+            self.discard(id, &slot);
+            return Err(Error::internal(format!(
+                "session \"{id}\" was lost: an earlier turn panicked mid-execution"
+            )));
+        };
+        if slot.evicted.load(Ordering::Acquire) {
+            return Err(Error::session_not_found(
+                id,
+                "the session was evicted (capacity or TTL) before this turn ran",
+            ));
+        }
+        let session = value.as_mut().ok_or_else(|| {
+            Error::session_not_found(id, "the session was closed before this turn ran")
+        })?;
+        let outcome = f(session);
+        self.turns.fetch_add(1, Ordering::Relaxed);
+        outcome
+    }
+
+    /// Closes session `id` and returns its final value. Waits for a
+    /// turn in progress (close serializes behind it like any turn).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SessionNotFound`] when `id` is unknown,
+    /// expired, evicted, or already closed, and [`Error::Internal`]
+    /// when a turn panicked mid-execution — like [`SessionStore::turn`],
+    /// close refuses to hand out the half-mutated value a panicking
+    /// turn left behind.
+    pub fn close(&self, id: &str) -> Result<T, Error> {
+        let slot = {
+            let mut state = self.state.lock().expect("session store lock");
+            Self::purge_locked(&mut state, &self.evicted, self.config.ttl);
+            state
+                .remove(id)
+                .ok_or_else(|| {
+                    Error::session_not_found(id, "no live session has this id (open one first)")
+                })?
+                .slot
+        };
+        let Ok(mut value) = slot.value.lock() else {
+            // The entry is already unlinked; dropping the slot discards
+            // the corrupt value.
+            return Err(Error::internal(format!(
+                "session \"{id}\" was lost: an earlier turn panicked mid-execution"
+            )));
+        };
+        value.take().ok_or_else(|| {
+            Error::session_not_found(id, "the session was already closed or evicted")
+        })
+    }
+
+    /// Unlinks `id` if it still points at `slot` (the poisoned-lock
+    /// recovery path).
+    fn discard(&self, id: &str, slot: &Arc<Slot<T>>) {
+        let mut state = self.state.lock().expect("session store lock");
+        if let Some(entry) = state.get(id) {
+            if Arc::ptr_eq(&entry.slot, slot) {
+                slot.evicted.store(true, Ordering::Release);
+                state.remove(id);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    fn store(capacity: usize, ttl_secs: u64) -> SessionStore<Vec<u64>> {
+        SessionStore::new(SessionConfig {
+            capacity,
+            ttl: Duration::from_secs(ttl_secs),
+        })
+    }
+
+    #[test]
+    fn open_turn_close_round_trips() {
+        let store = store(4, 3600);
+        store.open("a", Vec::new).expect("opens");
+        let len = store
+            .turn("a", |v| {
+                v.push(7);
+                Ok(v.len())
+            })
+            .expect("turn runs");
+        assert_eq!(len, 1);
+        let final_value = store.close("a").expect("closes");
+        assert_eq!(final_value, vec![7]);
+        assert!(matches!(
+            store.turn("a", |_| Ok(())),
+            Err(Error::SessionNotFound { .. })
+        ));
+        let stats = store.stats();
+        assert_eq!((stats.open, stats.evicted, stats.turns), (0, 0, 1));
+    }
+
+    #[test]
+    fn duplicate_and_empty_ids_are_rejected() {
+        let store = store(4, 3600);
+        store.open("a", Vec::new).expect("opens");
+        assert!(matches!(
+            store.open("a", Vec::new),
+            Err(Error::InvalidRequest { .. })
+        ));
+        assert!(matches!(
+            store.open("", Vec::new),
+            Err(Error::InvalidRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn capacity_evicts_the_least_recently_used() {
+        let store = store(2, 3600);
+        store.open("a", Vec::new).expect("opens");
+        store.open("b", Vec::new).expect("opens");
+        // Touch "a" so "b" becomes the LRU victim.
+        store.turn("a", |_| Ok(())).expect("touch");
+        store.open("c", Vec::new).expect("opens, evicting b");
+        assert_eq!(store.len(), 2);
+        assert!(matches!(
+            store.turn("b", |_| Ok(())),
+            Err(Error::SessionNotFound { .. })
+        ));
+        store.turn("a", |_| Ok(())).expect("a survived");
+        store.turn("c", |_| Ok(())).expect("c is live");
+        assert_eq!(store.stats().evicted, 1);
+        // The evicted id can be reopened as a fresh session.
+        store.open("b", || vec![99]).expect("reopens");
+        let v = store.turn("b", |v| Ok(v.clone())).expect("fresh state");
+        assert_eq!(v, vec![99]);
+    }
+
+    #[test]
+    fn zero_ttl_expires_immediately() {
+        let store = store(4, 0);
+        store.open("a", Vec::new).expect("opens");
+        thread::sleep(Duration::from_millis(2));
+        assert!(matches!(
+            store.turn("a", |_| Ok(())),
+            Err(Error::SessionNotFound { .. })
+        ));
+        assert_eq!(store.stats().evicted, 1);
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn eviction_mid_turn_is_a_typed_error_not_a_panic() {
+        let store = Arc::new(store(1, 3600));
+        store.open("a", Vec::new).expect("opens");
+        // A turn that holds the session lock while the main thread
+        // evicts it by opening a new session.
+        let in_turn = Arc::new(AtomicBool::new(false));
+        let store2 = Arc::clone(&store);
+        let flag = Arc::clone(&in_turn);
+        let long_turn = thread::spawn(move || {
+            store2.turn("a", |v| {
+                flag.store(true, Ordering::SeqCst);
+                thread::sleep(Duration::from_millis(50));
+                v.push(1);
+                Ok(v.len())
+            })
+        });
+        while !in_turn.load(Ordering::SeqCst) {
+            thread::yield_now();
+        }
+        // Capacity 1: this evicts "a" while its turn is running.
+        store.open("b", Vec::new).expect("opens, evicting a");
+        // The running turn completes cleanly — it owned the slot.
+        assert_eq!(long_turn.join().expect("no panic").expect("turn ran"), 1);
+        // The next turn on the evicted id is a typed error.
+        match store.turn("a", |_| Ok(())) {
+            Err(Error::SessionNotFound { id, .. }) => assert_eq!(id, "a"),
+            other => panic!("expected SessionNotFound, got {other:?}"),
+        }
+        assert_eq!(store.stats().evicted, 1);
+    }
+
+    #[test]
+    fn concurrent_turns_on_one_session_serialize() {
+        let store = Arc::new(store(2, 3600));
+        store.open("a", Vec::new).expect("opens");
+        let mut threads = Vec::new();
+        for t in 0..4u64 {
+            let store = Arc::clone(&store);
+            threads.push(thread::spawn(move || {
+                for i in 0..25u64 {
+                    store
+                        .turn("a", |v| {
+                            // Non-atomic read-modify-write: only mutual
+                            // exclusion keeps the count exact.
+                            let n = v.len() as u64;
+                            v.push(t * 100 + i);
+                            v.push(n);
+                            Ok(())
+                        })
+                        .expect("turn runs");
+                }
+            }));
+        }
+        for t in threads {
+            t.join().expect("no panic");
+        }
+        let v = store.close("a").expect("closes");
+        assert_eq!(v.len(), 200, "no interleaved lost updates");
+        // Every even index recorded the length it observed — strictly
+        // increasing iff turns were serialized.
+        for (i, chunk) in v.chunks(2).enumerate() {
+            assert_eq!(chunk[1], (i as u64) * 2);
+        }
+        assert_eq!(store.stats().turns, 100);
+    }
+
+    #[test]
+    fn panicking_turn_does_not_poison_the_store() {
+        let store = Arc::new(store(2, 3600));
+        store.open("a", Vec::new).expect("opens");
+        let store2 = Arc::clone(&store);
+        let _ = thread::spawn(move || {
+            store2.turn("a", |_| -> Result<(), Error> { panic!("turn exploded") })
+        })
+        .join()
+        .expect_err("the panic propagates to its own thread");
+        // The session is discarded with a typed error, and the store
+        // keeps working.
+        let err = store.turn("a", |_| Ok(())).expect_err("session lost");
+        assert!(
+            matches!(err, Error::Internal { .. } | Error::SessionNotFound { .. }),
+            "{err:?}"
+        );
+        store.open("b", Vec::new).expect("store still functional");
+        store.turn("b", |_| Ok(())).expect("turn runs");
+    }
+
+    #[test]
+    fn close_after_panicking_turn_refuses_the_corrupt_value() {
+        let store = Arc::new(store(2, 3600));
+        store.open("a", || vec![1]).expect("opens");
+        let store2 = Arc::clone(&store);
+        let _ = thread::spawn(move || {
+            store2.turn("a", |_| -> Result<(), Error> { panic!("turn exploded") })
+        })
+        .join()
+        .expect_err("the panic propagates to its own thread");
+        // Close must not resurrect the half-mutated value as a
+        // successful outcome.
+        let err = store.close("a").expect_err("corrupt session not returned");
+        assert!(
+            matches!(err, Error::Internal { .. } | Error::SessionNotFound { .. }),
+            "{err:?}"
+        );
+        // Either way the id is free again.
+        store
+            .open("a", Vec::new)
+            .expect("id reusable after the loss");
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_capacity() {
+        let err = SessionConfig {
+            capacity: 0,
+            ttl: Duration::from_secs(1),
+        }
+        .validate()
+        .expect_err("zero capacity rejected");
+        assert!(matches!(err, Error::Config { .. }));
+        assert!(SessionConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn distinct_sessions_do_not_block_each_other() {
+        let store = Arc::new(store(2, 3600));
+        store.open("slow", Vec::new).expect("opens");
+        store.open("fast", Vec::new).expect("opens");
+        let gate = Arc::new(AtomicBool::new(false));
+        let store2 = Arc::clone(&store);
+        let gate2 = Arc::clone(&gate);
+        let slow = thread::spawn(move || {
+            store2.turn("slow", |_| {
+                // Hold the slow session's lock until the fast turn ran.
+                let mut spins = 0usize;
+                while !gate2.load(Ordering::SeqCst) {
+                    thread::yield_now();
+                    spins += 1;
+                    assert!(spins < 100_000_000, "fast session was blocked");
+                }
+                Ok(())
+            })
+        });
+        // This turn must complete while "slow" still holds its lock.
+        store.turn("fast", |_| Ok(())).expect("fast turn runs");
+        gate.store(true, Ordering::SeqCst);
+        slow.join().expect("no panic").expect("slow turn runs");
+    }
+
+    /// Counts drops so eviction-vs-Arc lifetimes are visible.
+    struct DropCounter(Arc<AtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn evicted_sessions_are_dropped() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let store: SessionStore<DropCounter> = SessionStore::new(SessionConfig {
+            capacity: 1,
+            ttl: Duration::from_secs(3600),
+        });
+        store
+            .open("a", || DropCounter(Arc::clone(&drops)))
+            .expect("opens");
+        store
+            .open("b", || DropCounter(Arc::clone(&drops)))
+            .expect("opens, evicting a");
+        assert_eq!(drops.load(Ordering::SeqCst), 1, "evicted value dropped");
+        drop(store.close("b").expect("closes"));
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+}

@@ -43,6 +43,7 @@ impl From<&Error> for WireError {
             Error::Tool(_) => "Tool",
             Error::Legalize(_) => "Legalize",
             Error::Drc { .. } => "Drc",
+            Error::SessionNotFound { .. } => "SessionNotFound",
             Error::Cancelled => "Cancelled",
             Error::QueueFull { .. } => "QueueFull",
             Error::Internal { .. } => "Internal",
@@ -197,6 +198,7 @@ mod tests {
         let cases: Vec<(Error, &str)> = vec![
             (Error::config("x"), "Config"),
             (Error::invalid_request("x"), "InvalidRequest"),
+            (Error::session_not_found("s", "closed"), "SessionNotFound"),
             (Error::Cancelled, "Cancelled"),
             (Error::QueueFull { depth: 4 }, "QueueFull"),
             (Error::internal("x"), "Internal"),

@@ -8,8 +8,11 @@ use rand::RngCore;
 /// conditional generation and masked modification.
 ///
 /// [`DiffusionModel`] implements this for any denoiser back-end; tests
-/// use lightweight fakes.
-pub trait PatternSampler {
+/// use lightweight fakes. `Send + Sync` is a supertrait because samplers
+/// are held inside long-lived chat sessions that migrate between engine
+/// worker threads; every implementation in this workspace is plain data
+/// (or an `Arc` of it), so the bound is free.
+pub trait PatternSampler: Send + Sync {
     /// Native window size `L` (the model's training resolution).
     fn window(&self) -> usize;
 
@@ -32,7 +35,7 @@ pub trait PatternSampler {
     ) -> Topology;
 }
 
-impl<D: Denoiser> PatternSampler for DiffusionModel<D> {
+impl<D: Denoiser + Send + Sync> PatternSampler for DiffusionModel<D> {
     fn window(&self) -> usize {
         self.native_size()
     }

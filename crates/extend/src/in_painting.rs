@@ -168,10 +168,10 @@ mod tests {
     #[test]
     fn in_paint_call_count_matches_formula() {
         use crate::in_painting_samples;
-        use std::cell::Cell;
+        use std::sync::atomic::{AtomicUsize, Ordering};
         struct Counting<'a, S> {
             inner: &'a S,
-            calls: &'a Cell<usize>,
+            calls: &'a AtomicUsize,
         }
         impl<S: PatternSampler> PatternSampler for Counting<'_, S> {
             fn window(&self) -> usize {
@@ -184,7 +184,7 @@ mod tests {
                 c: Option<u32>,
                 rng: &mut dyn RngCore,
             ) -> Topology {
-                self.calls.set(self.calls.get() + 1);
+                self.calls.fetch_add(1, Ordering::Relaxed);
                 self.inner.generate(rows, cols, c, rng)
             }
             fn modify(
@@ -194,12 +194,12 @@ mod tests {
                 c: Option<u32>,
                 rng: &mut dyn RngCore,
             ) -> Topology {
-                self.calls.set(self.calls.get() + 1);
+                self.calls.fetch_add(1, Ordering::Relaxed);
                 self.inner.modify(known, mask, c, rng)
             }
         }
         let model = striped_model();
-        let calls = Cell::new(0);
+        let calls = AtomicUsize::new(0);
         let counting = Counting {
             inner: &model,
             calls: &calls,
@@ -207,7 +207,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let _ = in_paint(&counting, None, 32, 32, Some(0), &mut rng);
         // (2·2−1)² = 9 model calls: 4 tiles + 4 seams + 1 corner.
-        assert_eq!(calls.get(), in_painting_samples(32, 32, 16));
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            in_painting_samples(32, 32, 16)
+        );
     }
 
     #[test]

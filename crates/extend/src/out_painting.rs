@@ -117,10 +117,10 @@ mod tests {
     fn out_paint_matches_sample_count_formula() {
         use crate::out_painting_samples;
         // Count via a wrapper sampler that tallies modify calls.
-        use std::cell::Cell;
+        use std::sync::atomic::{AtomicUsize, Ordering};
         struct Counting<'a, S> {
             inner: &'a S,
-            calls: &'a Cell<usize>,
+            calls: &'a AtomicUsize,
         }
         impl<S: PatternSampler> PatternSampler for Counting<'_, S> {
             fn window(&self) -> usize {
@@ -142,12 +142,12 @@ mod tests {
                 c: Option<u32>,
                 rng: &mut dyn RngCore,
             ) -> Topology {
-                self.calls.set(self.calls.get() + 1);
+                self.calls.fetch_add(1, Ordering::Relaxed);
                 self.inner.modify(known, mask, c, rng)
             }
         }
         let model = striped_model();
-        let calls = Cell::new(0);
+        let calls = AtomicUsize::new(0);
         let counting = Counting {
             inner: &model,
             calls: &calls,
@@ -157,7 +157,10 @@ mod tests {
         let _ = out_paint(&counting, &seed, 32, 32, 8, Some(0), &mut rng);
         // N_out = (⌈16/8⌉+1)² = 9, minus the seed window which needs no
         // regeneration.
-        assert_eq!(calls.get(), out_painting_samples(32, 32, 16, 8) - 1);
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            out_painting_samples(32, 32, 16, 8) - 1
+        );
     }
 
     #[test]

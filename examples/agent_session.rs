@@ -1,11 +1,20 @@
-//! A full agent session with the ReAct transcript printed — the Figure 4
-//! pipeline including requirement auto-formatting and tool execution,
-//! served as one `PatternRequest::Chat`.
+//! A stateful multi-turn agent session through the service API — the
+//! Figure 4 pipeline run interactively, with natural-language
+//! follow-ups refining the previous turn's results.
+//!
+//! This example used to be the *one-shot* `PatternRequest::Chat` demo;
+//! that path still exists (a `Chat` request is exactly one session
+//! turn), but the session envelopes are the interactive surface now:
+//! `SessionOpen` pins the seed, each `SessionTurn` operates on the
+//! accumulated library and requirement context, and `SessionClose`
+//! returns the full dialog outcome. For the scripted protocol-level
+//! view driven by `MockLlm`, see `examples/chat_session.rs`.
 //!
 //! Run with `cargo run --release --example agent_session`.
 
 use chatpattern::{
-    ChatParams, ChatPattern, Error, PatternRequest, PatternService, ResponsePayload,
+    ChatPattern, Error, PatternRequest, PatternService, ResponsePayload, SessionCloseParams,
+    SessionOpenParams, SessionTurnParams,
 };
 
 fn main() -> Result<(), Error> {
@@ -15,22 +24,56 @@ fn main() -> Result<(), Error> {
         .diffusion_steps(8)
         .seed(2)
         .build()?;
-    let response = system.execute(PatternRequest::Chat(ChatParams {
-        request: "Generate a layout pattern library, there are 4 layout patterns in total. \
-                  The physical size fixed as 512nm * 512nm. The topology size should be \
-                  chosen from 16*16 and 32*32. They should be in style of 'Layer-10001'."
-            .into(),
-        seed: None,
+
+    let opened = system.execute(PatternRequest::SessionOpen(SessionOpenParams {
+        session: "demo".into(),
+        seed: Some(2),
     }))?;
-    let ResponsePayload::Chat(outcome) = response.payload else {
-        unreachable!("Chat requests produce Chat payloads");
+    let ResponsePayload::SessionOpen(info) = opened.payload else {
+        unreachable!("SessionOpen requests produce SessionOpen payloads");
     };
-    println!("{}", outcome.render_transcript());
     println!(
-        "=> {} patterns delivered with {} tool calls in {} µs",
+        "session {:?} opened with seed {}\n",
+        info.session, info.seed
+    );
+
+    for utterance in [
+        // Turn 1: a full requirement, like the old one-shot request.
+        "Generate 2 layout patterns, topology size 16*16, physical size 512nm * 512nm, \
+         in style of 'Layer-10003'.",
+        // Turn 2: only the style shifts; size, count and frame carry
+        // over from turn 1.
+        "Now make them denser.",
+        // Turn 3: scale the previous topology size, keep the rest.
+        "Extend the next ones to 2x, physical size 1024nm * 1024nm.",
+    ] {
+        let response = system.execute(PatternRequest::SessionTurn(SessionTurnParams {
+            session: "demo".into(),
+            utterance: utterance.into(),
+        }))?;
+        let ResponsePayload::SessionTurn(turn) = response.payload else {
+            unreachable!("SessionTurn requests produce SessionTurn payloads");
+        };
+        println!(
+            "-- turn {} [{} µs]: {}\n   library: {} patterns",
+            turn.turn,
+            response.timing.micros,
+            turn.summary,
+            turn.library.len()
+        );
+    }
+
+    let closed = system.execute(PatternRequest::SessionClose(SessionCloseParams {
+        session: "demo".into(),
+    }))?;
+    let ResponsePayload::SessionClose(outcome) = closed.payload else {
+        unreachable!("SessionClose requests produce SessionClose payloads");
+    };
+    println!("\n{}", outcome.render_transcript());
+    println!(
+        "=> {} patterns delivered with {} tool calls across the dialog",
         outcome.library.len(),
         outcome.tool_calls,
-        response.timing.micros,
     );
     Ok(())
 }

@@ -1,0 +1,110 @@
+//! A scripted 3-turn chat session — generate → densify → extend —
+//! driving the resumable agent core directly with [`MockLlm`].
+//!
+//! This is the protocol-level view of multi-turn dialog: one
+//! [`AgentSession`] is opened once, each `turn` runs a ReAct loop over
+//! the *same* tool context (so the pattern store, the library and the
+//! knowledge base persist), and `close` collects the final report.
+//! The scripted model makes the tool ids deterministic; for the same
+//! flow driven by natural language through the service API (follow-ups
+//! like "now make them denser"), see `examples/agent_session.rs` and
+//! `docs/SESSIONS.md`.
+//!
+//! Run with `cargo run --release --example chat_session`.
+
+use chatpattern::agent::{
+    AgentAction, AgentSession, AgentStep, KnowledgeBase, MockLlm, ToolContext, ToolRegistry,
+};
+use chatpattern::diffusion::{DiffusionModel, MrfDenoiser, NoiseSchedule};
+use chatpattern::drc::DesignRules;
+use chatpattern::legalize::Legalizer;
+use chatpattern::squish::Topology;
+use serde_json::json;
+
+fn call(name: &str, args: serde_json::Value) -> AgentStep {
+    AgentStep {
+        thought: format!("scripted call to {name}"),
+        action: AgentAction::ToolCall {
+            name: name.to_owned(),
+            args,
+        },
+    }
+}
+
+fn finish(summary: &str) -> AgentStep {
+    AgentStep {
+        thought: "turn objective reached".to_owned(),
+        action: AgentAction::Finish {
+            summary: summary.to_owned(),
+        },
+    }
+}
+
+fn main() {
+    // A small trained back-end, same scale as the test fixtures.
+    let data: Vec<Topology> = (0..6)
+        .map(|i| Topology::from_fn(16, 16, move |_, c| (c + i) % 8 < 4))
+        .collect();
+    let denoiser = MrfDenoiser::fit(&[(0, &data), (1, &data)], 1.0);
+    let model = DiffusionModel::new(NoiseSchedule::scaled_default(8), denoiser, 16);
+    let ctx = ToolContext::new(
+        Box::new(model),
+        Legalizer::new(DesignRules::new(20, 20, 400)),
+        KnowledgeBase::new(),
+        42,
+    );
+
+    // One flat script; the cursor carries across turns, so each turn
+    // consumes its slice and ends on a Finish. Pattern ids are
+    // deterministic (1, 2, 3, …) because the store is fresh.
+    let script = vec![
+        // Turn 1 — generate two base patterns.
+        call("topology_gen", json!({"count": 2, "style": "Layer-10001"})),
+        call("legalize", json!({"ids": [1, 2], "physical": [2000, 2000]})),
+        call("save_library", json!({"ids": [1, 2]})),
+        finish("Delivered 2 base 16x16 patterns."),
+        // Turn 2 — densify: regenerate a fresh pattern's core region
+        // in the dense style and add it to the same library.
+        call("topology_gen", json!({"count": 1, "style": "Layer-10001"})),
+        call(
+            "topology_modification",
+            json!({"id": 3, "upper": 4, "left": 4, "bottom": 12, "right": 12,
+                   "style": "Layer-10001", "seed": 7}),
+        ),
+        call("legalize", json!({"ids": [3], "physical": [2000, 2000]})),
+        call("save_library", json!({"ids": [3]})),
+        finish("Densified the 8x8 core of a new pattern and saved it."),
+        // Turn 3 — extend: out-paint a fresh pattern to 32x32.
+        call("topology_gen", json!({"count": 1, "style": "Layer-10001"})),
+        call(
+            "topology_extension",
+            json!({"ids": [4], "target": [32, 32], "method": "Out"}),
+        ),
+        call("legalize", json!({"ids": [4], "physical": [4000, 4000]})),
+        call("save_library", json!({"ids": [4]})),
+        finish("Extended a pattern to 32x32 and saved it."),
+    ];
+
+    let mut session = AgentSession::new(MockLlm::new(script), ToolRegistry::standard(), ctx);
+    for utterance in [
+        "Generate 2 patterns, topology size 16*16, physical size 2000nm x 2000nm, \
+         style Layer-10001.",
+        "Now make them denser.",
+        "Extend the last one to 2x.",
+    ] {
+        let report = session.turn(utterance);
+        println!(
+            "-- turn {} ({} tool calls, library now {}): {}",
+            report.turn, report.tool_calls, report.library_len, report.summary
+        );
+    }
+
+    let report = session.close();
+    println!("\n{}", report.render_transcript());
+    println!(
+        "=> session closed after {} turns: {} patterns, {} tool calls in total",
+        report.turns,
+        report.library.len(),
+        report.tool_calls
+    );
+}

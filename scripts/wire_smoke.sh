@@ -71,3 +71,62 @@ if [ $((COALESCED + HITS)) -ne $((N - 1)) ]; then
 fi
 
 echo "wire smoke OK: duplicate burst of $N → 1 execution ($COALESCED coalesced, $HITS cache hits), $N replies"
+
+# (d) Session round-trip: open, two turns, close, then a turn on the
+# closed id asserting the typed error envelope. Driven interactively
+# over fifos — one request in flight at a time, the documented way to
+# order session turns on the async wire (docs/SESSIONS.md).
+SESS_DIR=$(mktemp -d)
+mkfifo "$SESS_DIR/in" "$SESS_DIR/out"
+"$BIN" --window 16 --training-patterns 8 --diffusion-steps 6 --workers 2 \
+    --backend sharded --shards 2 --max-sessions 4 --session-ttl-secs 600 --stats \
+    < "$SESS_DIR/in" > "$SESS_DIR/out" 2> "$SESS_DIR/err" &
+SERVE_PID=$!
+exec 3> "$SESS_DIR/in" 4< "$SESS_DIR/out"
+
+session_exchange() {
+    printf '%s\n' "$1" >&3
+    # Bounded read: a hung serve binary must fail this step with a
+    # diagnostic, not stall CI until the job-level timeout.
+    if ! IFS= read -t 120 -r SESSION_REPLY <&4; then
+        SESSION_REPLY="(no reply within 120s)"
+        session_fail "no reply to: $1"
+    fi
+}
+
+session_fail() {
+    echo "wire smoke FAILED: $1" >&2
+    echo "reply was: $SESSION_REPLY" >&2
+    exec 3>&- 4<&- || true
+    kill "$SERVE_PID" 2> /dev/null || true
+    rm -rf "$SESS_DIR"
+    exit 1
+}
+
+session_exchange '{"id":"s-open","request":{"SessionOpen":{"session":"smoke","seed":7}}}'
+echo "$SESSION_REPLY" | jq -e '.outcome | has("Ok")' > /dev/null \
+    || session_fail "session open errored"
+session_exchange '{"id":"s-t1","request":{"SessionTurn":{"session":"smoke","utterance":"Generate 2 patterns, topology size 16*16, physical size 512nm x 512nm, style Layer-10001."}}}'
+echo "$SESSION_REPLY" | jq -e '.outcome.Ok.payload.SessionTurn.turn == 1' > /dev/null \
+    || session_fail "first turn did not report turn 1"
+session_exchange '{"id":"s-t2","request":{"SessionTurn":{"session":"smoke","utterance":"Now make them denser."}}}'
+echo "$SESSION_REPLY" | jq -e '.outcome.Ok.payload.SessionTurn.turn == 2' > /dev/null \
+    || session_fail "follow-up turn did not report turn 2"
+session_exchange '{"id":"s-close","request":{"SessionClose":{"session":"smoke"}}}'
+echo "$SESSION_REPLY" | jq -e '.outcome.Ok.payload | has("SessionClose")' > /dev/null \
+    || session_fail "session close errored"
+session_exchange '{"id":"s-late","request":{"SessionTurn":{"session":"smoke","utterance":"one more"}}}'
+echo "$SESSION_REPLY" | jq -e '.outcome.Err.kind == "SessionNotFound"' > /dev/null \
+    || session_fail "turn on a closed session must yield the SessionNotFound envelope"
+
+exec 3>&- 4<&-
+wait "$SERVE_PID" || { echo "wire smoke FAILED: serve exited non-zero" >&2; rm -rf "$SESS_DIR"; exit 1; }
+TURNS=$(grep -o 'turns=[0-9]*' "$SESS_DIR/err" | cut -d= -f2)
+OPEN=$(grep -o 'sessions_open=[0-9]*' "$SESS_DIR/err" | cut -d= -f2)
+rm -rf "$SESS_DIR"
+if [ "$TURNS" != "2" ] || [ "$OPEN" != "0" ]; then
+    echo "wire smoke FAILED: session stats turns=$TURNS sessions_open=$OPEN (want 2 and 0)" >&2
+    exit 1
+fi
+
+echo "wire smoke OK: session round-trip (open, 2 turns, close, typed error on closed id)"

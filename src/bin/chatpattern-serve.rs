@@ -13,6 +13,7 @@
 //! ```text
 //! chatpattern-serve [--backend inline|threadpool|sharded] [--shards N]
 //!                   [--workers N] [--queue-depth N] [--cache-capacity N]
+//!                   [--max-sessions N] [--session-ttl-secs N]
 //!                   [--window N] [--diffusion-steps N]
 //!                   [--training-patterns N] [--seed N] [--stats]
 //! ```
@@ -20,7 +21,13 @@
 //! `--backend` selects the engine's execution strategy (see
 //! `docs/ENGINE.md`); duplicate in-flight requests coalesce onto one
 //! execution regardless of backend, and every client still receives
-//! its own reply under its own id. `--stats` prints the engine's
+//! its own reply under its own id. Stateful multi-turn sessions
+//! (`SessionOpen` / `SessionTurn` / `SessionClose` envelopes, see
+//! `docs/SESSIONS.md`) are bounded by `--max-sessions` and
+//! `--session-ttl-secs`; session requests are never cached or
+//! coalesced, and a client that wants deterministic turn ordering
+//! should pipeline them (wait for each turn's reply before sending the
+//! next). `--stats` prints the engine's
 //! [`EngineStats`](chatpattern_core::EngineStats) counters to stderr
 //! at EOF. Malformed lines produce
 //! an error envelope immediately (with the line's `id` when one is
@@ -43,6 +50,8 @@ struct Options {
     diffusion_steps: usize,
     training_patterns: usize,
     seed: u64,
+    max_sessions: usize,
+    session_ttl_secs: u64,
     stats: bool,
 }
 
@@ -56,6 +65,8 @@ impl Default for Options {
             diffusion_steps: 12,
             training_patterns: 64,
             seed: 0,
+            max_sessions: 64,
+            session_ttl_secs: 900,
             stats: false,
         }
     }
@@ -79,6 +90,9 @@ Options:
   --queue-depth N        bounded submission queue, per shard when
                          sharded (default 256)
   --cache-capacity N     LRU result-cache entries, 0 disables (default 128)
+  --max-sessions N       open chat sessions held at once; opening more
+                         evicts the least-recently-used (default 64)
+  --session-ttl-secs N   idle seconds before a session expires (default 900)
   --window N             model window L (default 64)
   --diffusion-steps N    diffusion chain length K (default 12)
   --training-patterns N  training patterns per style (default 64)
@@ -124,6 +138,8 @@ fn parse_args() -> Result<Options, String> {
             "--workers" => options.engine.workers = number("--workers")?,
             "--queue-depth" => options.engine.queue_depth = number("--queue-depth")?,
             "--cache-capacity" => options.engine.cache_capacity = number("--cache-capacity")?,
+            "--max-sessions" => options.max_sessions = number("--max-sessions")?,
+            "--session-ttl-secs" => options.session_ttl_secs = number("--session-ttl-secs")? as u64,
             "--window" => options.window = number("--window")?,
             "--diffusion-steps" => options.diffusion_steps = number("--diffusion-steps")?,
             "--training-patterns" => options.training_patterns = number("--training-patterns")?,
@@ -201,6 +217,8 @@ fn main() -> ExitCode {
         .diffusion_steps(options.diffusion_steps)
         .training_patterns(options.training_patterns)
         .seed(options.seed)
+        .max_sessions(options.max_sessions)
+        .session_ttl(std::time::Duration::from_secs(options.session_ttl_secs))
         .build()
     {
         Ok(system) => system,
@@ -265,7 +283,8 @@ fn main() -> ExitCode {
         let stats = engine.stats();
         eprintln!(
             "chatpattern-serve: backend={} submitted={} completed={} failed={} cancelled={} \
-             cache_hits={} cache_misses={} coalesced={} queue_depths={:?}",
+             cache_hits={} cache_misses={} coalesced={} sessions_open={} sessions_evicted={} \
+             turns={} queue_depths={:?}",
             engine.config().backend.name(),
             stats.submitted,
             stats.completed,
@@ -274,6 +293,9 @@ fn main() -> ExitCode {
             stats.cache_hits,
             stats.cache_misses,
             stats.coalesced,
+            stats.sessions_open,
+            stats.sessions_evicted,
+            stats.turns,
             stats.queue_depths,
         );
     }

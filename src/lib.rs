@@ -16,8 +16,11 @@
 //! request-level result cache, and in-flight request coalescing (see
 //! `docs/ENGINE.md`) — or run the `chatpattern-serve` binary, which
 //! speaks the JSON-lines wire protocol from `docs/WIRE_PROTOCOL.md`
-//! over stdin/stdout. See the `examples/` directory for runnable
-//! scenarios.
+//! over stdin/stdout. Interactive refinement runs through stateful
+//! multi-turn sessions (`SessionOpen` / `SessionTurn` /
+//! `SessionClose`, bounded by a TTL + LRU [`SessionStore`]; see
+//! `docs/SESSIONS.md`): follow-up turns operate on the previous turn's
+//! results. See the `examples/` directory for runnable scenarios.
 //!
 //! ```
 //! use chatpattern::{ChatPattern, ChatParams, PatternRequest, PatternService, ResponsePayload};
@@ -54,8 +57,10 @@ pub use cp_nn as nn;
 pub use cp_squish as squish;
 
 pub use chatpattern_core::{
-    BackendKind, ChatOutcome, ChatParams, ChatPattern, ChatPatternBuilder, EngineConfig,
-    EngineStats, Error, EvaluateParams, ExtendParams, GenerateParams, JobHandle, JobStatus,
-    LegalizeParams, ModifyParams, PatternEngine, PatternRequest, PatternResponse, PatternService,
-    RequestEnvelope, ResponseEnvelope, ResponsePayload, Timing, WireError, WireOutcome,
+    BackendKind, ChatOutcome, ChatParams, ChatPattern, ChatPatternBuilder, ChatSession,
+    EngineConfig, EngineStats, Error, EvaluateParams, ExtendParams, GenerateParams, JobHandle,
+    JobStatus, LegalizeParams, ModifyParams, PatternEngine, PatternRequest, PatternResponse,
+    PatternService, RequestEnvelope, ResponseEnvelope, ResponsePayload, SessionCloseParams,
+    SessionConfig, SessionInfo, SessionOpenParams, SessionStats, SessionStore, SessionTurnParams,
+    Timing, TurnOutcome, WireError, WireOutcome,
 };

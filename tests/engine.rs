@@ -10,8 +10,10 @@ use chatpattern::squish::Region;
 use chatpattern::{
     BackendKind, ChatParams, ChatPattern, EngineConfig, Error, EvaluateParams, ExtendParams,
     GenerateParams, JobStatus, LegalizeParams, ModifyParams, PatternEngine, PatternRequest,
-    PatternResponse, PatternService,
+    PatternResponse, PatternService, ResponsePayload, SessionOpenParams, SessionStats,
+    SessionTurnParams, TurnOutcome,
 };
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -387,6 +389,219 @@ fn cancelling_the_leader_keeps_the_shared_execution_alive() {
         .wait()
         .expect("shared execution survives the leader's cancel");
     assert_eq!(service.calls(), 1);
+}
+
+fn open_session(engine: &impl PatternService, id: &str, seed: u64) {
+    let response = engine
+        .execute(PatternRequest::SessionOpen(SessionOpenParams {
+            session: id.into(),
+            seed: Some(seed),
+        }))
+        .expect("session opens");
+    assert!(matches!(response.payload, ResponsePayload::SessionOpen(_)));
+}
+
+fn turn_request(id: &str) -> PatternRequest {
+    PatternRequest::SessionTurn(SessionTurnParams {
+        session: id.into(),
+        utterance: "Generate 1 pattern, topology size 16*16, physical size 512nm x 512nm, \
+                    style Layer-10001."
+            .into(),
+    })
+}
+
+fn unwrap_turn(response: PatternResponse) -> TurnOutcome {
+    match response.payload {
+        ResponsePayload::SessionTurn(turn) => turn,
+        other => panic!("expected a SessionTurn payload, got {other:?}"),
+    }
+}
+
+/// The ISSUE acceptance criterion: session turns are stateful, so they
+/// are never cached and never coalesced — a duplicate turn re-executes
+/// (the turn counter advances) and leaves `cache_hits`/`coalesced`
+/// untouched.
+#[test]
+fn session_turns_are_never_cached_or_coalesced() {
+    let engine = PatternEngine::with_config(
+        small_system(),
+        EngineConfig {
+            backend: BackendKind::ThreadPool,
+            workers: 2,
+            queue_depth: 32,
+            cache_capacity: 8,
+        },
+    )
+    .expect("valid config");
+    open_session(&engine, "nc", 1);
+    let before = engine.stats();
+
+    // Sequential duplicates: the second identical turn must execute,
+    // not replay.
+    let t1 = unwrap_turn(engine.execute(turn_request("nc")).expect("turn 1"));
+    let t2 = unwrap_turn(engine.execute(turn_request("nc")).expect("turn 2"));
+    assert_eq!((t1.turn, t2.turn), (1, 2), "both turns executed");
+    assert_eq!(t2.library.len(), 2, "the duplicate added a pattern");
+
+    // Concurrent duplicates: both execute (serialized by the session
+    // lock), neither attaches to the other.
+    let a = engine.submit(turn_request("nc")).expect("submits");
+    let b = engine.submit(turn_request("nc")).expect("submits");
+    let ra = a.wait().expect("turn completes");
+    let rb = b.wait().expect("turn completes");
+    assert!(!ra.timing.cached && !ra.timing.coalesced);
+    assert!(!rb.timing.cached && !rb.timing.coalesced);
+    let turns: BTreeSet<usize> = [unwrap_turn(ra).turn, unwrap_turn(rb).turn].into();
+    assert_eq!(turns, BTreeSet::from([3, 4]), "four distinct executions");
+
+    let stats = engine.stats();
+    assert_eq!(stats.cache_hits, before.cache_hits, "no cache hit");
+    assert_eq!(stats.coalesced, before.coalesced, "no coalescing");
+    assert_eq!(stats.cache_misses, before.cache_misses, "never keyed");
+    assert_eq!(stats.turns, 4);
+    assert_eq!(stats.sessions_open, 1);
+}
+
+/// Forwards to a real system while recording which worker thread ran
+/// each session turn — how the tests observe shard affinity.
+struct RecordingService {
+    inner: ChatPattern,
+    turns_seen: Mutex<Vec<(String, String)>>,
+}
+
+impl PatternService for RecordingService {
+    fn execute(&self, request: PatternRequest) -> Result<PatternResponse, Error> {
+        if let PatternRequest::SessionTurn(params) = &request {
+            let thread = std::thread::current()
+                .name()
+                .unwrap_or("unnamed")
+                .to_owned();
+            self.turns_seen
+                .lock()
+                .expect("log lock")
+                .push((params.session.clone(), thread));
+        }
+        self.inner.execute(request)
+    }
+
+    fn session_stats(&self) -> SessionStats {
+        self.inner.session_stats()
+    }
+}
+
+/// The ISSUE acceptance criterion: on the sharded backend, concurrent
+/// turns on one session serialize in submission order, K distinct
+/// sessions make progress in parallel (they spread over several
+/// shards), and all of a session's turns execute on the same shard.
+#[test]
+fn sharded_session_turns_are_shard_affine_and_ordered() {
+    const SESSIONS: usize = 6;
+    const TURNS: usize = 3;
+    let service = Arc::new(RecordingService {
+        inner: small_system(),
+        turns_seen: Mutex::new(Vec::new()),
+    });
+    // 4 shards × 1 worker each: every shard drains its queue FIFO, so
+    // shard affinity implies per-session submission order.
+    let engine = PatternEngine::with_config(
+        Arc::clone(&service),
+        EngineConfig {
+            backend: BackendKind::Sharded { shards: 4 },
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 8,
+        },
+    )
+    .expect("valid config");
+    let ids: Vec<String> = (0..SESSIONS).map(|s| format!("aff-{s}")).collect();
+    for (s, id) in ids.iter().enumerate() {
+        open_session(&engine, id, s as u64);
+    }
+    // Interleave submissions round-robin: turn j of every session is
+    // in flight before turn j+1 of any session is submitted.
+    let mut handles: Vec<(usize, chatpattern::JobHandle)> = Vec::new();
+    for _ in 0..TURNS {
+        for (s, id) in ids.iter().enumerate() {
+            handles.push((s, engine.submit(turn_request(id)).expect("queue has room")));
+        }
+    }
+    // Per session, results arrive with strictly increasing turn
+    // indices in submission order.
+    let mut next_turn = [1usize; SESSIONS];
+    for (s, handle) in handles {
+        let turn = unwrap_turn(handle.wait().expect("turn completes"));
+        assert_eq!(
+            turn.turn, next_turn[s],
+            "session {s}: turns must serialize in submission order"
+        );
+        next_turn[s] += 1;
+    }
+    // Affinity: all of a session's turns ran on one shard worker, and
+    // the sessions collectively used more than one shard.
+    let log = service.turns_seen.lock().expect("log lock");
+    let mut by_session: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (session, thread) in log.iter() {
+        by_session.entry(session).or_default().insert(thread);
+    }
+    assert_eq!(by_session.len(), SESSIONS);
+    let mut shards_used: BTreeSet<&str> = BTreeSet::new();
+    for (session, threads) in &by_session {
+        assert_eq!(
+            threads.len(),
+            1,
+            "session {session} executed on several workers: {threads:?}"
+        );
+        shards_used.extend(threads.iter());
+    }
+    assert!(
+        shards_used.len() >= 2,
+        "{SESSIONS} sessions all hashed onto one shard: {shards_used:?}"
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.turns as usize, SESSIONS * TURNS);
+    assert_eq!(stats.sessions_open as usize, SESSIONS);
+    assert_eq!(stats.coalesced, 0, "session turns never coalesce");
+    assert_eq!(stats.cache_hits, 0, "session turns never hit the cache");
+}
+
+/// The ISSUE acceptance criterion: evicting a session yields a clean
+/// typed error for later turns — no panic, no poisoned lock — and the
+/// engine stats surface the eviction.
+#[test]
+fn evicted_session_turn_is_a_typed_error_through_the_engine() {
+    let system = ChatPattern::builder()
+        .window(16)
+        .training_patterns(8)
+        .diffusion_steps(6)
+        .seed(3)
+        .max_sessions(1)
+        .build()
+        .expect("valid configuration");
+    let engine = PatternEngine::with_config(
+        system,
+        EngineConfig {
+            backend: BackendKind::Sharded { shards: 2 },
+            workers: 2,
+            queue_depth: 16,
+            cache_capacity: 0,
+        },
+    )
+    .expect("valid config");
+    open_session(&engine, "victim", 1);
+    unwrap_turn(engine.execute(turn_request("victim")).expect("turn runs"));
+    // Capacity 1: this open evicts "victim".
+    open_session(&engine, "usurper", 2);
+    let err = engine
+        .execute(turn_request("victim"))
+        .expect_err("evicted session is gone");
+    assert!(matches!(err, Error::SessionNotFound { .. }), "{err:?}");
+    // The store is not poisoned: the survivor keeps working.
+    let turn = unwrap_turn(engine.execute(turn_request("usurper")).expect("turn runs"));
+    assert_eq!(turn.turn, 1);
+    let stats = engine.stats();
+    assert_eq!(stats.sessions_open, 1);
+    assert_eq!(stats.sessions_evicted, 1);
+    assert_eq!(stats.failed, 1, "the dead turn failed cleanly");
 }
 
 #[test]

@@ -13,8 +13,10 @@ use chatpattern::drc::{check_pattern, DesignRules};
 use chatpattern::geom::{Layout, Rect};
 use chatpattern::legalize::Legalizer;
 use chatpattern::squish::{complexity, normalize_to, SquishPattern, Topology};
+use chatpattern::{Error, SessionConfig, SessionStore};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
 
 const CASES: u64 = 64;
 
@@ -344,5 +346,189 @@ fn legalization_failure_region_is_in_bounds() {
             }
             Ok(())
         },
+    );
+}
+
+// ---------------------------------------------------------------------
+// SessionStore invariants
+// ---------------------------------------------------------------------
+
+/// One step of a random session-store workload over a small id space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionOp {
+    Open(u8),
+    Turn(u8),
+    Close(u8),
+}
+
+const SESSION_IDS: u8 = 6;
+const SESSION_CAPACITY: usize = 3;
+
+fn arb_session_ops(rng: &mut ChaCha8Rng) -> Vec<SessionOp> {
+    let len = rng.gen_range(1..40usize);
+    (0..len)
+        .map(|_| {
+            let id = rng.gen_range(0..SESSION_IDS);
+            match rng.gen_range(0..10u32) {
+                0..=2 => SessionOp::Open(id),
+                3..=7 => SessionOp::Turn(id),
+                _ => SessionOp::Close(id),
+            }
+        })
+        .collect()
+}
+
+/// Shrink candidates: drop one op at a time (a minimal counterexample
+/// is usually a short open/evict/turn dance).
+fn shrink_session_ops(ops: &[SessionOp]) -> Vec<Vec<SessionOp>> {
+    (0..ops.len())
+        .map(|skip| {
+            ops.iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, op)| *op)
+                .collect()
+        })
+        .collect()
+}
+
+/// A naive reference model of the store: open ids with their value
+/// history, in logical-recency order (front = LRU victim).
+struct SessionModel {
+    capacity: usize,
+    entries: Vec<(u8, Vec<u64>)>,
+}
+
+impl SessionModel {
+    fn position(&self, id: u8) -> Option<usize> {
+        self.entries.iter().position(|(k, _)| *k == id)
+    }
+
+    fn touch(&mut self, pos: usize) {
+        let entry = self.entries.remove(pos);
+        self.entries.push(entry);
+    }
+}
+
+/// Replays `ops` against a real store and the model in lockstep. Any
+/// divergence — wrong Ok/Err outcome, resurrected state after an
+/// eviction, out-of-order or lost turn, capacity overrun — fails the
+/// property with the op index.
+fn check_session_ops(ops: &[SessionOp]) -> Result<(), String> {
+    let store: SessionStore<Vec<u64>> = SessionStore::new(SessionConfig {
+        capacity: SESSION_CAPACITY,
+        ttl: Duration::from_secs(3600),
+    });
+    let mut model = SessionModel {
+        capacity: SESSION_CAPACITY,
+        entries: Vec::new(),
+    };
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            SessionOp::Open(id) => {
+                let outcome = store.open(&id.to_string(), Vec::new);
+                match model.position(id) {
+                    Some(_) => {
+                        if !matches!(outcome, Err(Error::InvalidRequest { .. })) {
+                            return Err(format!(
+                                "op {step}: reopening live session {id} gave {outcome:?}"
+                            ));
+                        }
+                    }
+                    None => {
+                        if outcome.is_err() {
+                            return Err(format!("op {step}: open({id}) failed: {outcome:?}"));
+                        }
+                        while model.entries.len() >= model.capacity {
+                            model.entries.remove(0);
+                        }
+                        // A reopened id must start fresh — evicted or
+                        // closed state never resurrects.
+                        model.entries.push((id, Vec::new()));
+                    }
+                }
+            }
+            SessionOp::Turn(id) => {
+                let outcome = store.turn(&id.to_string(), |v| {
+                    v.push(step as u64);
+                    Ok(v.clone())
+                });
+                match model.position(id) {
+                    Some(pos) => {
+                        model.touch(pos);
+                        let last = model.entries.last_mut().expect("just touched");
+                        last.1.push(step as u64);
+                        match outcome {
+                            Ok(seen) if seen == last.1 => {}
+                            other => {
+                                return Err(format!(
+                                    "op {step}: turn({id}) saw {other:?}, model has {:?} \
+                                     (lost, reordered or resurrected turns)",
+                                    last.1
+                                ))
+                            }
+                        }
+                    }
+                    None => {
+                        if !matches!(outcome, Err(Error::SessionNotFound { .. })) {
+                            return Err(format!(
+                                "op {step}: turn on dead session {id} gave {outcome:?} \
+                                 instead of SessionNotFound"
+                            ));
+                        }
+                    }
+                }
+            }
+            SessionOp::Close(id) => {
+                let outcome = store.close(&id.to_string());
+                match model.position(id) {
+                    Some(pos) => {
+                        let (_, expect) = model.entries.remove(pos);
+                        match outcome {
+                            Ok(value) if value == expect => {}
+                            other => {
+                                return Err(format!(
+                                    "op {step}: close({id}) returned {other:?}, model \
+                                     has {expect:?}"
+                                ))
+                            }
+                        }
+                    }
+                    None => {
+                        if !matches!(outcome, Err(Error::SessionNotFound { .. })) {
+                            return Err(format!(
+                                "op {step}: close on dead session {id} gave {outcome:?}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if store.len() > SESSION_CAPACITY {
+            return Err(format!(
+                "op {step}: store holds {} sessions, capacity is {SESSION_CAPACITY}",
+                store.len()
+            ));
+        }
+        if store.len() != model.entries.len() {
+            return Err(format!(
+                "op {step}: store has {} sessions, model has {}",
+                store.len(),
+                model.entries.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn session_store_interleavings_respect_capacity_order_and_eviction() {
+    shrink::check(
+        "session_store_interleavings_respect_capacity_order_and_eviction",
+        CASES,
+        5000,
+        arb_session_ops,
+        |ops| shrink_session_ops(ops),
+        |ops| check_session_ops(ops),
     );
 }

@@ -5,10 +5,10 @@
 //! deliberately invalid request (`r9`, a zero-row Generate) comes back
 //! as an `Err` outcome instead of killing the stream.
 
-use chatpattern::{ResponseEnvelope, WireOutcome};
+use chatpattern::{ChatPattern, ResponseEnvelope, ResponsePayload, WireOutcome};
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
-use std::process::{Command, Stdio};
+use std::io::{BufRead, BufReader, Lines, Write};
+use std::process::{ChildStdin, ChildStdout, Command, Stdio};
 use std::sync::mpsc;
 use std::time::Duration;
 
@@ -70,6 +70,123 @@ fn serve_answers_while_stdin_stays_open() {
     drop(stdin);
     reader.join().expect("reader finishes");
     assert!(child.wait().expect("serve exits").success());
+}
+
+/// A strict request-then-response client over the child's pipes.
+struct InteractiveClient {
+    stdin: ChildStdin,
+    lines: Lines<BufReader<ChildStdout>>,
+}
+
+impl InteractiveClient {
+    fn exchange(&mut self, line: &str) -> ResponseEnvelope {
+        writeln!(self.stdin, "{line}").expect("request written");
+        self.stdin.flush().expect("request flushed");
+        let reply = self
+            .lines
+            .next()
+            .expect("a reply line arrives")
+            .expect("reply reads");
+        serde_json::from_str(&reply).unwrap_or_else(|e| panic!("unparsable reply {reply:?}: {e}"))
+    }
+}
+
+/// The ISSUE acceptance criterion — determinism across transports: a
+/// scripted multi-turn session driven through `chatpattern-serve` wire
+/// envelopes produces a final outcome byte-identical to the same turns
+/// run in-process through the system's `SessionStore` directly.
+#[test]
+fn scripted_session_via_wire_matches_in_process_session_store() {
+    const TURNS: [&str; 3] = [
+        "Generate 2 patterns, topology size 16*16, physical size 512nm x 512nm, \
+         style Layer-10003.",
+        "Now make them denser.",
+        "1 more pattern.",
+    ];
+    const SEED: u64 = 5;
+
+    // Wire transport: open → three turns → close, strictly pipelined
+    // (each turn waits for the previous reply, the documented way to
+    // order turns over the async wire).
+    let mut child = Command::new(env!("CARGO_BIN_EXE_chatpattern-serve"))
+        .args([
+            "--window",
+            "16",
+            "--training-patterns",
+            "8",
+            "--diffusion-steps",
+            "6",
+            "--workers",
+            "2",
+            "--backend",
+            "sharded",
+            "--shards",
+            "2",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve binary starts");
+    let mut client = InteractiveClient {
+        stdin: child.stdin.take().expect("stdin piped"),
+        lines: BufReader::new(child.stdout.take().expect("stdout piped")).lines(),
+    };
+
+    let opened = client.exchange(&format!(
+        r#"{{"id":"o","request":{{"SessionOpen":{{"session":"det","seed":{SEED}}}}}}}"#
+    ));
+    assert!(matches!(opened.outcome, WireOutcome::Ok(_)), "{opened:?}");
+    for (i, utterance) in TURNS.iter().enumerate() {
+        let reply = client.exchange(&format!(
+            r#"{{"id":"t{i}","request":{{"SessionTurn":{{"session":"det","utterance":"{utterance}"}}}}}}"#
+        ));
+        let WireOutcome::Ok(response) = reply.outcome else {
+            panic!("turn {i} failed: {reply:?}");
+        };
+        let ResponsePayload::SessionTurn(turn) = response.payload else {
+            panic!("turn {i}: wrong payload");
+        };
+        assert_eq!(turn.turn, i + 1, "wire turns arrive in pipeline order");
+    }
+    let closed = client.exchange(r#"{"id":"c","request":{"SessionClose":{"session":"det"}}}"#);
+    let WireOutcome::Ok(response) = closed.outcome else {
+        panic!("close failed: {closed:?}");
+    };
+    let wire_payload = serde_json::to_string(&response.payload).expect("serializes");
+
+    // A turn on the closed id reports the typed error envelope.
+    let late = client.exchange(
+        r#"{"id":"late","request":{"SessionTurn":{"session":"det","utterance":"more"}}}"#,
+    );
+    match late.outcome {
+        WireOutcome::Err(error) => assert_eq!(error.kind, "SessionNotFound"),
+        WireOutcome::Ok(_) => panic!("turn on a closed session must fail"),
+    }
+    drop(client);
+    assert!(child.wait().expect("serve exits").success());
+
+    // In-process transport: the same turns through the SessionStore
+    // directly, on an identically configured system.
+    let system = ChatPattern::builder()
+        .window(16)
+        .training_patterns(8)
+        .diffusion_steps(6)
+        .build()
+        .expect("valid configuration");
+    system.session_open("det", Some(SEED)).expect("opens");
+    for (i, utterance) in TURNS.iter().enumerate() {
+        let turn = system.session_turn("det", utterance).expect("turn runs");
+        assert_eq!(turn.turn, i + 1);
+    }
+    let outcome = system.session_close("det").expect("closes");
+    let local_payload =
+        serde_json::to_string(&ResponsePayload::SessionClose(outcome)).expect("serializes");
+
+    assert_eq!(
+        wire_payload, local_payload,
+        "the final session outcome must be byte-identical across transports"
+    );
 }
 
 #[test]
