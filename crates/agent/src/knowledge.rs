@@ -48,7 +48,7 @@ impl MethodStats {
 }
 
 /// The agent's documents-and-experience store.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct KnowledgeBase {
     stats: HashMap<(u32, String), MethodStats>,
     experiences: Vec<String>,

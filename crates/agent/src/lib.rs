@@ -39,9 +39,11 @@ pub mod tools;
 
 pub use knowledge::KnowledgeBase;
 pub use llm::{AgentAction, AgentStep, LanguageModel, Message, MockLlm, Role};
-pub use policy::ExpertPolicy;
+pub use policy::{ExpertPolicy, PolicySnapshot};
 pub use requirement::{
     auto_format, auto_format_with_context, try_auto_format, Requirement, RequirementError,
 };
-pub use session::{render_transcript, AgentSession, SessionReport, TurnReport};
-pub use tools::{ToolContext, ToolError, ToolRegistry};
+pub use session::{
+    render_transcript, AgentSession, AgentSnapshot, SessionReport, SnapshotError, TurnReport,
+};
+pub use tools::{ContextSnapshot, ToolContext, ToolError, ToolRegistry};

@@ -15,6 +15,7 @@
 use crate::llm::{AgentAction, AgentStep, LanguageModel, Message, Role};
 use crate::requirement::{auto_format_with_context, Requirement};
 use cp_extend::ExtensionMethod;
+use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
 
 /// A legalization failure the policy still has to deal with.
@@ -102,6 +103,33 @@ impl ExpertPolicy {
     #[must_use]
     pub fn requirements(&self) -> &[Requirement] {
         &self.requirements
+    }
+
+    /// Captures the state that survives turns: the configuration, the
+    /// learned model `window`, and the carried requirement. Everything
+    /// else is per-turn plan state that [`LanguageModel::begin_turn`]
+    /// rebuilds anyway, so a snapshot taken *between* turns restores to
+    /// a policy whose next turn is byte-identical to the uninterrupted
+    /// run.
+    #[must_use]
+    pub fn snapshot(&self) -> PolicySnapshot {
+        PolicySnapshot {
+            batch_size: self.batch_size,
+            max_repairs: self.max_repairs,
+            window: self.window,
+            carry: self.carry.clone(),
+        }
+    }
+
+    /// Rebuilds a policy from a [`PolicySnapshot`] (the between-turns
+    /// counterpart of [`ExpertPolicy::snapshot`]).
+    #[must_use]
+    pub fn from_snapshot(snapshot: PolicySnapshot) -> ExpertPolicy {
+        ExpertPolicy {
+            window: snapshot.window,
+            carry: snapshot.carry,
+            ..ExpertPolicy::new(snapshot.batch_size, snapshot.max_repairs)
+        }
     }
 
     fn requirement(&self) -> &Requirement {
@@ -319,6 +347,22 @@ impl ExpertPolicy {
         }
         None
     }
+}
+
+/// The cross-turn state of an [`ExpertPolicy`], serializable for
+/// session snapshots (see [`ExpertPolicy::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicySnapshot {
+    /// Topologies processed per generation round.
+    pub batch_size: usize,
+    /// Repair attempts per failed topology.
+    pub max_repairs: u64,
+    /// The model window learned from tool observations (0 = not yet
+    /// observed).
+    pub window: usize,
+    /// The previous turn's last requirement — the context short
+    /// follow-up utterances inherit unmentioned fields from.
+    pub carry: Option<Requirement>,
 }
 
 /// Latest observation in the transcript, parsed as JSON.

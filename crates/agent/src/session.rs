@@ -13,10 +13,46 @@
 //! (open → one turn → close) the `Chat` request path uses.
 
 use crate::llm::{AgentAction, LanguageModel, Message, Role};
+use crate::policy::{ExpertPolicy, PolicySnapshot};
 use crate::prompt::system_prompt;
-use crate::tools::{ToolContext, ToolRegistry};
+use crate::tools::{ContextSnapshot, ToolContext, ToolRegistry};
+use cp_diffusion::PatternSampler;
+use cp_legalize::Legalizer;
 use cp_squish::SquishPattern;
+use serde::{Deserialize, Serialize};
 use serde_json::json;
+
+/// Why a session snapshot could not be restored (corrupt or
+/// incompatible serialized state). Reported as a typed error, never a
+/// panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    message: String,
+}
+
+impl SnapshotError {
+    /// Creates an error with a message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> SnapshotError {
+        SnapshotError {
+            message: message.into(),
+        }
+    }
+
+    /// The error message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot restore failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 /// Outcome of a completed agent session (all turns).
 #[derive(Debug)]
@@ -240,6 +276,81 @@ impl<L: LanguageModel> AgentSession<L> {
     }
 }
 
+/// The serializable between-turns state of an
+/// [`AgentSession<ExpertPolicy>`]: the full transcript and counters,
+/// the policy's cross-turn state, and the tool context's mutable state
+/// (store, library, knowledge, RNG position). Dependencies — the
+/// sampler, the legalizer, the tool registry — are re-injected on
+/// [`AgentSession::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgentSnapshot {
+    /// The full transcript (system prompt plus every turn).
+    pub transcript: Vec<Message>,
+    /// Tool calls executed across all turns so far.
+    pub tool_calls: usize,
+    /// User turns processed so far.
+    pub turns: usize,
+    /// The last turn's summary.
+    pub last_summary: String,
+    /// Per-turn step budget.
+    pub max_steps: usize,
+    /// The expert policy's cross-turn state.
+    pub policy: PolicySnapshot,
+    /// The tool context's mutable state.
+    pub context: ContextSnapshot,
+}
+
+impl AgentSession<ExpertPolicy> {
+    /// Captures the session's complete between-turns state. Taking a
+    /// snapshot does not disturb the session: follow-up turns on the
+    /// original and on a [`AgentSession::restore`]d copy produce
+    /// byte-identical transcripts and libraries.
+    ///
+    /// Snapshots are defined *between* turns (the mid-turn plan state
+    /// of the policy is rebuilt by
+    /// [`LanguageModel::begin_turn`] at the next turn either way).
+    #[must_use]
+    pub fn snapshot(&self) -> AgentSnapshot {
+        AgentSnapshot {
+            transcript: self.transcript.clone(),
+            tool_calls: self.tool_calls,
+            turns: self.turns,
+            last_summary: self.last_summary.clone(),
+            max_steps: self.max_steps,
+            policy: self.llm.snapshot(),
+            context: self.ctx.snapshot(),
+        }
+    }
+
+    /// Rebuilds a session from an [`AgentSnapshot`] plus freshly
+    /// injected dependencies. The system prompt is *not* re-rendered —
+    /// the snapshot's transcript already carries it, so the restored
+    /// transcript is byte-identical to the original.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] when the snapshot's RNG state is
+    /// corrupt.
+    pub fn restore(
+        snapshot: AgentSnapshot,
+        tools: ToolRegistry,
+        sampler: Box<dyn PatternSampler>,
+        legalizer: Legalizer,
+    ) -> Result<AgentSession<ExpertPolicy>, SnapshotError> {
+        let ctx = ToolContext::restore(snapshot.context, sampler, legalizer)?;
+        Ok(AgentSession {
+            llm: ExpertPolicy::from_snapshot(snapshot.policy),
+            tools,
+            ctx,
+            max_steps: snapshot.max_steps.max(1),
+            transcript: snapshot.transcript,
+            tool_calls: snapshot.tool_calls,
+            turns: snapshot.turns,
+            last_summary: snapshot.last_summary,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,18 +361,21 @@ mod tests {
     use cp_legalize::Legalizer;
     use cp_squish::Topology;
 
-    fn test_ctx(seed: u64) -> ToolContext {
+    fn test_deps() -> (Box<dyn cp_diffusion::PatternSampler>, Legalizer) {
         let data: Vec<Topology> = (0..6)
             .map(|i| Topology::from_fn(16, 16, move |_, c| (c + i) % 8 < 4))
             .collect();
         let denoiser = MrfDenoiser::fit(&[(0, &data), (1, &data)], 1.0);
         let model = DiffusionModel::new(NoiseSchedule::scaled_default(8), denoiser, 16);
-        ToolContext::new(
+        (
             Box::new(model),
             Legalizer::new(DesignRules::new(20, 20, 400)),
-            KnowledgeBase::new(),
-            seed,
         )
+    }
+
+    fn test_ctx(seed: u64) -> ToolContext {
+        let (sampler, legalizer) = test_deps();
+        ToolContext::new(sampler, legalizer, KnowledgeBase::new(), seed)
     }
 
     #[test]
@@ -404,6 +518,61 @@ mod tests {
         assert_eq!(one_shot.summary, stepwise.summary);
         assert_eq!(one_shot.transcript, stepwise.transcript);
         assert_eq!(one_shot.library, stepwise.library);
+    }
+
+    #[test]
+    fn restored_session_turns_match_the_uninterrupted_run() {
+        let request = "Generate 2 patterns, topology size 16*16, physical size 2000nm x 2000nm, \
+                       style Layer-10001.";
+        let follow_up = "1 more pattern.";
+        // Uninterrupted: two turns straight through.
+        let mut uninterrupted = AgentSession::new(
+            ExpertPolicy::new(4, 2),
+            ToolRegistry::standard(),
+            test_ctx(9),
+        );
+        let _ = uninterrupted.turn(request);
+        let _ = uninterrupted.turn(follow_up);
+        // Interrupted: one turn, snapshot, restore with fresh deps
+        // (simulated crash), then the follow-up on the restored copy.
+        let mut original = AgentSession::new(
+            ExpertPolicy::new(4, 2),
+            ToolRegistry::standard(),
+            test_ctx(9),
+        );
+        let _ = original.turn(request);
+        let snapshot = original.snapshot();
+        // The snapshot itself survives JSON (the persistence format).
+        let text = serde_json::to_string(&snapshot).expect("serializes");
+        let snapshot: AgentSnapshot = serde_json::from_str(&text).expect("parses");
+        drop(original);
+        let (sampler, legalizer) = test_deps();
+        let mut restored =
+            AgentSession::restore(snapshot, ToolRegistry::standard(), sampler, legalizer)
+                .expect("restores");
+        let _ = restored.turn(follow_up);
+        let a = uninterrupted.close();
+        let b = restored.close();
+        assert_eq!(a.transcript, b.transcript, "transcripts diverged");
+        assert_eq!(a.library, b.library, "libraries diverged");
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.tool_calls, b.tool_calls);
+        assert_eq!(a.turns, b.turns);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_typed_error() {
+        let session = AgentSession::new(
+            ExpertPolicy::new(4, 2),
+            ToolRegistry::standard(),
+            test_ctx(10),
+        );
+        let mut snapshot = session.snapshot();
+        snapshot.context.rng.truncate(3);
+        let (sampler, legalizer) = test_deps();
+        let err = AgentSession::restore(snapshot, ToolRegistry::standard(), sampler, legalizer)
+            .expect_err("corrupt RNG state must be rejected");
+        assert!(err.message().contains("corrupt RNG state"), "{err}");
     }
 
     #[test]

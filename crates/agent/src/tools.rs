@@ -5,6 +5,7 @@
 //! token budget. Tools operate on a pattern *store* keyed by integer ids
 //! and exchange only JSON metadata: ids, sizes, styles, failure regions.
 
+use crate::session::SnapshotError;
 use crate::KnowledgeBase;
 use cp_dataset::Style;
 use cp_diffusion::{Mask, PatternSampler};
@@ -13,6 +14,7 @@ use cp_legalize::Legalizer;
 use cp_squish::{Region, SquishPattern, Topology};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
 use std::collections::HashMap;
 
@@ -48,7 +50,7 @@ impl std::error::Error for ToolError {}
 
 /// A stored working topology with its style and (optional) legalized
 /// geometry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StoredPattern {
     /// The working topology.
     pub topology: Topology,
@@ -150,6 +152,79 @@ impl ToolContext {
         self.store.insert(id, pattern);
         id
     }
+
+    /// Captures every piece of mutable tool state — the working store,
+    /// the library, the knowledge base, the RNG position and the id
+    /// counter — as a serializable [`ContextSnapshot`]. The sampler and
+    /// legalizer are *dependencies*, not state: they are re-injected by
+    /// [`ToolContext::restore`], so a snapshot stays small and a
+    /// restored context behaves byte-identically on the same back-end.
+    #[must_use]
+    pub fn snapshot(&self) -> ContextSnapshot {
+        let mut store: Vec<(u64, StoredPattern)> = self
+            .store
+            .iter()
+            .map(|(id, pattern)| (*id, pattern.clone()))
+            .collect();
+        // Sorted entries make the serialized form deterministic (the
+        // map's iteration order is not).
+        store.sort_by_key(|(id, _)| *id);
+        ContextSnapshot {
+            store,
+            library: self.library.clone(),
+            knowledge: self.knowledge.clone(),
+            rng: self.rng.state_words(),
+            next_id: self.next_id,
+        }
+    }
+
+    /// Rebuilds a context from a [`ContextSnapshot`] plus freshly
+    /// injected dependencies (the generative sampler and the
+    /// legalizer).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] when the RNG state words are
+    /// corrupt (wrong count or out-of-range cursor).
+    pub fn restore(
+        snapshot: ContextSnapshot,
+        sampler: Box<dyn PatternSampler>,
+        legalizer: Legalizer,
+    ) -> Result<ToolContext, SnapshotError> {
+        let rng = ChaCha8Rng::from_state_words(&snapshot.rng).ok_or_else(|| {
+            SnapshotError::new(format!(
+                "corrupt RNG state: {} words (want {})",
+                snapshot.rng.len(),
+                rand_chacha::STATE_WORDS
+            ))
+        })?;
+        Ok(ToolContext {
+            sampler,
+            legalizer,
+            store: snapshot.store.into_iter().collect(),
+            library: snapshot.library,
+            knowledge: snapshot.knowledge,
+            rng,
+            next_id: snapshot.next_id,
+        })
+    }
+}
+
+/// The serializable mutable state of a [`ToolContext`] (see
+/// [`ToolContext::snapshot`]). Store entries are sorted by id so the
+/// serialized form is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContextSnapshot {
+    /// The working pattern store as sorted `(id, pattern)` entries.
+    pub store: Vec<(u64, StoredPattern)>,
+    /// The delivered library so far.
+    pub library: Vec<SquishPattern>,
+    /// The documents-and-experience store.
+    pub knowledge: KnowledgeBase,
+    /// The RNG state words ([`ChaCha8Rng::state_words`]).
+    pub rng: Vec<u32>,
+    /// The next working-pattern id to hand out.
+    pub next_id: u64,
 }
 
 /// A callable tool. `Send + Sync` is a supertrait because registries

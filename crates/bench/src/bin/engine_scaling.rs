@@ -1,12 +1,15 @@
 //! Engine scaling: serial `execute_many` vs. every execution backend
 //! (inline, thread pool at several worker counts, sharded) on a
 //! 32-request Generate batch, plus a duplicate-request burst measuring
-//! the in-flight coalescing hit rate and a `session_turns` sweep (N
+//! the in-flight coalescing hit rate, a `session_turns` sweep (N
 //! concurrent chat sessions × M turns each, threadpool vs. sharded
-//! session-affine routing). Prints a table and writes
-//! `BENCH_ENGINE.json` (in the working directory) so the perf
-//! trajectory captures the backend dimension, coalescing and the
-//! stateful session workload.
+//! session-affine routing), and a `session_spill_rehydrate` sweep (N
+//! sessions over a smaller store capacity with an in-memory
+//! durability layer, so every turn pays a spill + rehydrate — the
+//! steady-state cost of durable over-capacity operation). Prints a
+//! table and writes `BENCH_ENGINE.json` (in the working directory) so
+//! the perf trajectory captures the backend dimension, coalescing and
+//! the stateful session workloads.
 //!
 //! Scale with the usual `CP_*` variables; `CP_ENGINE_WORKERS` is a
 //! comma-separated list of thread-pool sizes to sweep (default
@@ -171,6 +174,77 @@ fn run_session_turns(
     started.elapsed().as_secs_f64() * 1e3
 }
 
+/// N sessions over a capacity-limited durable store, M rounds of
+/// round-robin turns: with `sessions > capacity` every turn rehydrates
+/// a spilled session (and spills another), so the measured time is the
+/// steady-state spill+rehydrate overhead. Returns
+/// `(millis, spilled, restored)`.
+fn run_session_spill(
+    cfg: &BenchConfig,
+    capacity: usize,
+    sessions: usize,
+    turns: usize,
+    workers: usize,
+) -> (f64, u64, u64) {
+    // A dedicated system: the spill sweep needs its own (small)
+    // session capacity and an in-memory durability layer.
+    let system = Arc::new(
+        ChatPattern::builder()
+            .window(cfg.window)
+            .training_patterns(cfg.train)
+            .diffusion_steps(cfg.steps)
+            .seed(cfg.seed)
+            .max_sessions(capacity)
+            .session_spill_memory()
+            .build()
+            .expect("valid spill-sweep configuration"),
+    );
+    let engine = engine(&system, BackendKind::ThreadPool, workers);
+    let utterance = format!(
+        "Generate 1 pattern, topology size {w}*{w}, physical size {f}nm x {f}nm, \
+         style Layer-10001.",
+        w = cfg.window,
+        f = cfg.frame_nm(cfg.window),
+    );
+    let started = Instant::now();
+    for s in 0..sessions {
+        engine
+            .execute(PatternRequest::SessionOpen(SessionOpenParams {
+                session: format!("spill-{s}"),
+                seed: Some(s as u64),
+            }))
+            .expect("session opens");
+    }
+    for _ in 0..turns {
+        for s in 0..sessions {
+            engine
+                .execute(PatternRequest::SessionTurn(SessionTurnParams {
+                    session: format!("spill-{s}"),
+                    utterance: utterance.clone(),
+                }))
+                .expect("turn on a (possibly spilled) session succeeds");
+        }
+    }
+    for s in 0..sessions {
+        engine
+            .execute(PatternRequest::SessionClose(SessionCloseParams {
+                session: format!("spill-{s}"),
+            }))
+            .expect("session closes");
+    }
+    let millis = started.elapsed().as_secs_f64() * 1e3;
+    let stats = engine.stats();
+    assert_eq!(
+        stats.sessions_evicted, 0,
+        "durability must spill, never destroy"
+    );
+    assert!(
+        stats.sessions_spilled > 0 && stats.sessions_restored > 0,
+        "an over-capacity sweep must exercise spill + rehydrate"
+    );
+    (millis, stats.sessions_spilled, stats.sessions_restored)
+}
+
 fn sweep(var: &str, default: &str) -> Vec<usize> {
     std::env::var(var)
         .unwrap_or_else(|_| default.to_owned())
@@ -279,6 +353,26 @@ fn main() {
         );
     }
 
+    // Spill/rehydrate sweep: twice the sessions, half the capacity —
+    // every round-robin turn lands on a spilled session, so the delta
+    // vs. `session_turns` is the durability overhead itself.
+    let spill_sessions = (n_sessions * 2).max(4);
+    let spill_capacity = (spill_sessions / 2).max(1);
+    let (spill_ms, spilled, restored) = run_session_spill(
+        &cfg,
+        spill_capacity,
+        spill_sessions,
+        n_turns,
+        session_workers,
+    );
+    #[allow(clippy::cast_precision_loss)]
+    let spill_turns_per_sec = (spill_sessions * n_turns) as f64 / (spill_ms / 1e3);
+    println!(
+        "  session_spill_rehydrate   {spill_ms:9.1} ms   \
+         {spill_sessions} sessions over capacity {spill_capacity}, {n_turns} turns each, \
+         {spill_turns_per_sec:.1} turns/s ({spilled} spilled, {restored} restored)"
+    );
+
     if cpus == 1 {
         println!(
             "\nnote: this host exposes a single CPU, so the threaded numbers measure\n\
@@ -292,7 +386,11 @@ fn main() {
          \"train\":{},\"cpus\":{cpus},\"serial_millis\":{serial_ms:.3},\"backends\":[{rows}],\
          \"coalescing\":{{\"submitted\":{BATCH},\"unique\":{UNIQUE},\"coalesced\":{coalesced},\
          \"hit_rate\":{hit_rate:.3},\"millis\":{burst_ms:.3}}},\
-         \"session_turns\":[{session_rows}]}}\n",
+         \"session_turns\":[{session_rows}],\
+         \"session_spill_rehydrate\":{{\"sessions\":{spill_sessions},\
+         \"capacity\":{spill_capacity},\"turns_per_session\":{n_turns},\
+         \"workers\":{session_workers},\"spilled\":{spilled},\"restored\":{restored},\
+         \"millis\":{spill_ms:.3},\"turns_per_sec\":{spill_turns_per_sec:.3}}}}}\n",
         cfg.window, cfg.steps, cfg.train
     );
     std::fs::write("BENCH_ENGINE.json", &json).expect("write BENCH_ENGINE.json");

@@ -155,6 +155,25 @@ pub struct SessionCloseParams {
     pub session: String,
 }
 
+/// Parameters of exporting a session snapshot. The session stays
+/// live — a snapshot is a non-destructive export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshotParams {
+    /// The session to snapshot.
+    pub session: String,
+}
+
+/// Parameters of importing a session snapshot (the other half of
+/// cross-process handoff: export via `SessionSnapshot` from one serve
+/// process, import via `SessionRestore` into another).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionRestoreParams {
+    /// The snapshot to restore; its embedded id becomes the live
+    /// session id (rejected when that id is already live here).
+    /// Boxed: a snapshot dwarfs every other request variant.
+    pub snapshot: Box<crate::SessionSnapshot>,
+}
+
 /// One request to the ChatPattern system — the single typed entry point
 /// covering the agent path and every direct back-end capability.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -167,6 +186,12 @@ pub enum PatternRequest {
     SessionTurn(SessionTurnParams),
     /// Close a session, collecting its final outcome.
     SessionClose(SessionCloseParams),
+    /// Export a live session as a serializable snapshot (the session
+    /// stays open).
+    SessionSnapshot(SessionSnapshotParams),
+    /// Import a session snapshot, making it live under its embedded
+    /// id (cross-process handoff).
+    SessionRestore(SessionRestoreParams),
     /// Conditional fixed-window generation.
     Generate(GenerateParams),
     /// Free-size extension of an existing topology.
@@ -189,6 +214,8 @@ impl PatternRequest {
             PatternRequest::SessionOpen(p) => Some(&p.session),
             PatternRequest::SessionTurn(p) => Some(&p.session),
             PatternRequest::SessionClose(p) => Some(&p.session),
+            PatternRequest::SessionSnapshot(p) => Some(&p.session),
+            PatternRequest::SessionRestore(p) => Some(&p.snapshot.session),
             _ => None,
         }
     }
@@ -349,6 +376,12 @@ pub enum ResponsePayload {
     /// The closed session's final outcome (full transcript, final
     /// library).
     SessionClose(ChatOutcome),
+    /// The exported session snapshot (boxed: it dwarfs every other
+    /// payload variant).
+    SessionSnapshot(Box<crate::SessionSnapshot>),
+    /// The restored session's identity (id + seed), like a
+    /// `SessionOpen` acknowledgement.
+    SessionRestore(SessionInfo),
     /// Generated topologies.
     Generate(Vec<Topology>),
     /// The extended topology.
@@ -441,6 +474,12 @@ impl PatternService for ChatPattern {
             }
             PatternRequest::SessionClose(params) => {
                 ResponsePayload::SessionClose(self.session_close(&params.session)?)
+            }
+            PatternRequest::SessionSnapshot(params) => {
+                ResponsePayload::SessionSnapshot(Box::new(self.session_snapshot(&params.session)?))
+            }
+            PatternRequest::SessionRestore(params) => {
+                ResponsePayload::SessionRestore(self.session_restore(*params.snapshot)?)
             }
             PatternRequest::Generate(params) => ResponsePayload::Generate(self.generate(
                 params.style,
@@ -653,6 +692,64 @@ mod tests {
         let text = serde_json::to_string(&turned).expect("serializes");
         let back: PatternResponse = serde_json::from_str(&text).expect("parses");
         assert_eq!(back, turned);
+    }
+
+    #[test]
+    fn snapshot_and_restore_flow_through_the_service_trait() {
+        let system = small_system();
+        system.session_open("h", Some(6)).expect("opens");
+        let _ = system
+            .session_turn(
+                "h",
+                "Generate 1 pattern, topology size 16*16, physical size 512nm x 512nm, \
+                 style Layer-10003.",
+            )
+            .expect("turn runs");
+        let exported = system
+            .execute(PatternRequest::SessionSnapshot(SessionSnapshotParams {
+                session: "h".into(),
+            }))
+            .expect("exports");
+        let ResponsePayload::SessionSnapshot(snapshot) = exported.payload else {
+            panic!("wrong payload {:?}", exported.payload);
+        };
+        // The whole request (snapshot embedded) survives the wire JSON.
+        let request = PatternRequest::SessionRestore(SessionRestoreParams {
+            snapshot: snapshot.clone(),
+        });
+        let text = serde_json::to_string(&request).expect("serializes");
+        let back: PatternRequest = serde_json::from_str(&text).expect("parses");
+        assert_eq!(back, request);
+        assert_eq!(request.session_id(), Some("h"));
+        assert_eq!(
+            PatternRequest::SessionSnapshot(SessionSnapshotParams {
+                session: "h".into()
+            })
+            .session_id(),
+            Some("h")
+        );
+        // Close the donor, then import the snapshot through the trait.
+        let _ = system
+            .execute(PatternRequest::SessionClose(SessionCloseParams {
+                session: "h".into(),
+            }))
+            .expect("closes");
+        let restored = system.execute(back).expect("restores");
+        let ResponsePayload::SessionRestore(info) = restored.payload else {
+            panic!("wrong payload {:?}", restored.payload);
+        };
+        assert_eq!(info.session, "h");
+        assert_eq!(info.seed, 6);
+        let turned = system
+            .execute(PatternRequest::SessionTurn(SessionTurnParams {
+                session: "h".into(),
+                utterance: "1 more pattern.".into(),
+            }))
+            .expect("restored session serves turns");
+        let ResponsePayload::SessionTurn(turn) = turned.payload else {
+            panic!("wrong payload {:?}", turned.payload);
+        };
+        assert_eq!(turn.turn, 2);
     }
 
     #[test]

@@ -149,8 +149,14 @@ pub struct EngineStats {
     /// Chat sessions currently open in the wrapped service (a gauge;
     /// zero for services without session support).
     pub sessions_open: u64,
-    /// Sessions evicted for capacity or expired past their TTL.
+    /// Sessions destroyed: expired past their TTL, or evicted for
+    /// capacity with no persist layer attached.
     pub sessions_evicted: u64,
+    /// Sessions spilled to the persist layer on capacity eviction
+    /// (instead of being destroyed).
+    pub sessions_spilled: u64,
+    /// Spilled sessions rehydrated by a later turn, snapshot or close.
+    pub sessions_restored: u64,
     /// Session turns executed.
     pub turns: u64,
     /// Jobs currently waiting in each backend queue, one entry per
@@ -187,6 +193,8 @@ impl AtomicStats {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             sessions_open: sessions.open,
             sessions_evicted: sessions.evicted,
+            sessions_spilled: sessions.spilled,
+            sessions_restored: sessions.restored,
             turns: sessions.turns,
             queue_depths,
         }
@@ -215,7 +223,9 @@ pub(crate) fn cache_key(request: &PatternRequest) -> Option<String> {
         PatternRequest::Chat(params) if params.seed.is_none() => None,
         PatternRequest::SessionOpen(_)
         | PatternRequest::SessionTurn(_)
-        | PatternRequest::SessionClose(_) => None,
+        | PatternRequest::SessionClose(_)
+        | PatternRequest::SessionSnapshot(_)
+        | PatternRequest::SessionRestore(_) => None,
         _ => serde_json::to_string(request).ok(),
     }
 }

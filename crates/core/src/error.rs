@@ -50,6 +50,14 @@ pub enum Error {
         /// opened).
         message: String,
     },
+    /// The session durability layer failed: a spill could not be
+    /// written, or a spilled/snapshotted session could not be decoded.
+    /// The failing session stays live (a spill failure never silently
+    /// drops it) and the store keeps working.
+    SessionPersist {
+        /// What went wrong in the persist layer.
+        message: String,
+    },
     /// The job was cancelled while still queued; no work was done.
     Cancelled,
     /// The engine's bounded submission queue was full; the request was
@@ -102,6 +110,14 @@ impl Error {
             message: message.into(),
         }
     }
+
+    /// Session-durability error (spill write or snapshot decode).
+    #[must_use]
+    pub fn session_persist(message: impl Into<String>) -> Error {
+        Error::SessionPersist {
+            message: message.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -132,6 +148,9 @@ impl std::fmt::Display for Error {
             Error::SessionNotFound { id, message } => {
                 write!(f, "session \"{id}\" not found: {message}")
             }
+            Error::SessionPersist { message } => {
+                write!(f, "session persistence failed: {message}")
+            }
             Error::Cancelled => write!(f, "job cancelled before execution"),
             Error::QueueFull { depth } => {
                 write!(f, "engine queue is full ({depth} jobs already pending)")
@@ -151,6 +170,7 @@ impl std::error::Error for Error {
             | Error::InvalidRequest { .. }
             | Error::Drc { .. }
             | Error::SessionNotFound { .. }
+            | Error::SessionPersist { .. }
             | Error::Cancelled
             | Error::QueueFull { .. }
             | Error::Internal { .. } => None,
@@ -161,6 +181,12 @@ impl std::error::Error for Error {
 impl From<ToolError> for Error {
     fn from(e: ToolError) -> Error {
         Error::Tool(e)
+    }
+}
+
+impl From<cp_agent::SnapshotError> for Error {
+    fn from(e: cp_agent::SnapshotError) -> Error {
+        Error::session_persist(e.to_string())
     }
 }
 
@@ -230,6 +256,9 @@ mod tests {
         let session = Error::session_not_found("u-42", "evicted to make room");
         assert!(session.to_string().contains("u-42"));
         assert!(session.to_string().contains("evicted"));
+        let persist = Error::session_persist("disk full");
+        assert!(persist.to_string().contains("session persistence failed"));
+        assert!(persist.to_string().contains("disk full"));
     }
 
     #[test]

@@ -69,17 +69,20 @@ pub mod wire;
 pub use api::{
     ChatOutcome, ChatParams, EvaluateParams, ExtendParams, GenerateParams, LegalizeParams,
     ModifyParams, PatternRequest, PatternResponse, PatternService, ResponsePayload,
-    SessionCloseParams, SessionInfo, SessionOpenParams, SessionTurnParams, Timing, TurnOutcome,
+    SessionCloseParams, SessionInfo, SessionOpenParams, SessionRestoreParams,
+    SessionSnapshotParams, SessionTurnParams, Timing, TurnOutcome,
 };
 pub use backend::BackendKind;
 pub use engine::{EngineConfig, EngineStats, JobHandle, JobStatus, PatternEngine};
 pub use error::Error;
-pub use session::{SessionConfig, SessionStats, SessionStore};
+pub use session::{
+    JsonDirPersist, MemoryPersist, SessionConfig, SessionPersist, SessionStats, SessionStore,
+};
 pub use wire::{RequestEnvelope, ResponseEnvelope, WireError, WireOutcome};
 
 use cp_agent::{
-    try_auto_format, AgentSession, ExpertPolicy, KnowledgeBase, SessionReport, ToolContext,
-    ToolRegistry,
+    try_auto_format, AgentSession, AgentSnapshot, ExpertPolicy, KnowledgeBase, SessionReport,
+    ToolContext, ToolRegistry,
 };
 use cp_dataset::{Dataset, DatasetBuilder, Style};
 use cp_diffusion::{DiffusionModel, Mask, MrfDenoiser, NoiseSchedule, PatternSampler};
@@ -90,6 +93,8 @@ use cp_metrics::LibraryStats;
 use cp_squish::{SquishPattern, Topology};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -111,6 +116,21 @@ pub struct ChatPatternBuilder {
     rules: DesignRules,
     styles: Vec<Style>,
     sessions: SessionConfig,
+    durability: SessionDurability,
+}
+
+/// Where evicted chat sessions go (see
+/// [`ChatPatternBuilder::session_spill_memory`] /
+/// [`ChatPatternBuilder::session_dir`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SessionDurability {
+    /// Eviction destroys (the pre-durability behavior).
+    None,
+    /// Eviction spills to process memory.
+    Memory,
+    /// Eviction spills to one JSON file per session under this
+    /// directory; spilled sessions survive a process restart.
+    Dir(PathBuf),
 }
 
 impl Default for ChatPatternBuilder {
@@ -123,6 +143,7 @@ impl Default for ChatPatternBuilder {
             rules: DesignRules::reference(),
             styles: Style::ALL.to_vec(),
             sessions: SessionConfig::default(),
+            durability: SessionDurability::None,
         }
     }
 }
@@ -183,10 +204,33 @@ impl ChatPatternBuilder {
 
     /// Idle lifetime of a chat session (default 15 minutes). Sessions
     /// untouched for longer expire lazily on the next session
-    /// operation.
+    /// operation. The same TTL bounds *spilled* sessions in the
+    /// durability layer.
     #[must_use]
     pub fn session_ttl(mut self, ttl: Duration) -> ChatPatternBuilder {
         self.sessions.ttl = ttl;
+        self
+    }
+
+    /// Spills evicted sessions to process memory instead of destroying
+    /// them: an over-capacity store keeps serving turns on *every*
+    /// opened session (eviction rehydrates transparently) until the
+    /// TTL really runs out.
+    #[must_use]
+    pub fn session_spill_memory(mut self) -> ChatPatternBuilder {
+        self.durability = SessionDurability::Memory;
+        self
+    }
+
+    /// Spills evicted sessions to one JSON file per session under
+    /// `dir` (`chatpattern-serve --session-dir`). Like
+    /// [`ChatPatternBuilder::session_spill_memory`], plus spilled
+    /// sessions survive a process restart: a new system built over the
+    /// same directory (and an equivalent model configuration)
+    /// rehydrates them on first touch.
+    #[must_use]
+    pub fn session_dir(mut self, dir: impl Into<PathBuf>) -> ChatPatternBuilder {
+        self.durability = SessionDurability::Dir(dir.into());
         self
     }
 
@@ -261,15 +305,56 @@ impl ChatPatternBuilder {
             denoiser,
             self.window,
         );
+        let model = Arc::new(model);
+        let legalizer = Legalizer::new(self.rules);
+        let sessions = match self.durability {
+            SessionDurability::None => SessionStore::new(self.sessions),
+            SessionDurability::Memory => SessionStore::with_persist(
+                self.sessions,
+                Arc::new(MemoryPersist::new(self.sessions.ttl)),
+            ),
+            SessionDurability::Dir(dir) => {
+                // The decode closure re-injects the trained sampler and
+                // the legalizer — the snapshot carries only session
+                // state, so spilled files stay small and a restart with
+                // an equivalent model configuration rehydrates them.
+                let decode_model = Arc::clone(&model);
+                let decode_legalizer = legalizer.clone();
+                SessionStore::with_persist(
+                    self.sessions,
+                    Arc::new(JsonDirPersist::new(
+                        dir,
+                        self.sessions.ttl,
+                        |session: &ChatSession| {
+                            serde_json::to_string(&session.snapshot())
+                                .map_err(|e| Error::session_persist(e.to_string()))
+                        },
+                        move |text| {
+                            let snapshot: SessionSnapshot =
+                                serde_json::from_str(text).map_err(|e| {
+                                    Error::session_persist(format!(
+                                        "corrupt spilled session file: {e}"
+                                    ))
+                                })?;
+                            ChatSession::restore(
+                                snapshot,
+                                Box::new(SharedSampler(Arc::clone(&decode_model))),
+                                decode_legalizer.clone(),
+                            )
+                        },
+                    )?),
+                )
+            }
+        };
         Ok(ChatPattern {
-            model: Arc::new(model),
-            legalizer: Legalizer::new(self.rules),
+            model,
+            legalizer,
             rules: self.rules,
             datasets,
             knowledge: KnowledgeBase::new(),
             patch_nm,
             seed: self.seed,
-            sessions: SessionStore::new(self.sessions),
+            sessions,
         })
     }
 }
@@ -390,6 +475,83 @@ impl ChatSession {
             transcript: report.transcript,
         }
     }
+
+    /// Exports the session's complete between-turns state as a
+    /// serializable [`SessionSnapshot`]. Non-destructive: the session
+    /// keeps running, and follow-up turns on a
+    /// [`ChatSession::restore`]d copy are byte-identical to turns on
+    /// the original.
+    #[must_use]
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            format: SESSION_SNAPSHOT_FORMAT,
+            session: self.id.clone(),
+            seed: self.seed,
+            agent: self.inner.snapshot(),
+        }
+    }
+
+    /// Rebuilds a session from a [`SessionSnapshot`] plus freshly
+    /// injected dependencies (the trained sampler and the legalizer —
+    /// snapshots carry state, not models). In-process callers restore
+    /// through [`ChatPattern::session_restore`], which injects the
+    /// system's own back-end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SessionPersist`] for an unknown snapshot
+    /// format or corrupt state, and [`Error::InvalidRequest`] for an
+    /// empty session id.
+    pub fn restore(
+        snapshot: SessionSnapshot,
+        sampler: Box<dyn cp_diffusion::PatternSampler>,
+        legalizer: Legalizer,
+    ) -> Result<ChatSession, Error> {
+        if snapshot.format != SESSION_SNAPSHOT_FORMAT {
+            return Err(Error::session_persist(format!(
+                "unknown session snapshot format {} (this build reads format \
+                 {SESSION_SNAPSHOT_FORMAT})",
+                snapshot.format
+            )));
+        }
+        if snapshot.session.is_empty() {
+            return Err(Error::invalid_request(
+                "session snapshot carries an empty session id",
+            ));
+        }
+        let inner =
+            AgentSession::restore(snapshot.agent, ToolRegistry::standard(), sampler, legalizer)?;
+        Ok(ChatSession {
+            id: snapshot.session,
+            seed: snapshot.seed,
+            inner,
+        })
+    }
+}
+
+/// Version tag of the serialized session snapshot layout. Bump it when
+/// [`SessionSnapshot`] (or anything nested in it) changes shape;
+/// [`ChatSession::restore`] rejects snapshots from other formats with
+/// a typed error instead of misreading them.
+pub const SESSION_SNAPSHOT_FORMAT: u32 = 1;
+
+/// The complete serializable state of one [`ChatSession`] between
+/// turns: identity (id + resolved seed) plus the agent's transcript,
+/// policy carry-over, working store, library, knowledge and RNG
+/// position. JSON round-trippable — this is both the spill format of
+/// [`JsonDirPersist`] and the wire payload of
+/// `PatternRequest::{SessionSnapshot, SessionRestore}` (cross-process
+/// handoff; see `docs/SESSIONS.md`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// Snapshot layout version ([`SESSION_SNAPSHOT_FORMAT`]).
+    pub format: u32,
+    /// The session id.
+    pub session: String,
+    /// The session seed resolved at open.
+    pub seed: u64,
+    /// The agent's between-turns state.
+    pub agent: AgentSnapshot,
 }
 
 /// The assembled ChatPattern system.
@@ -543,7 +705,48 @@ impl ChatPattern {
         Ok(self.sessions.close(id)?.into_outcome())
     }
 
-    /// Session activity counters (open / evicted / turns).
+    /// Exports a live (or spilled) session as a serializable
+    /// [`SessionSnapshot`] without disturbing it: the session stays
+    /// open, and its follow-up turns are unaffected by the export.
+    /// Import the snapshot into another system — or another
+    /// `chatpattern-serve` process, via `PatternRequest::SessionRestore`
+    /// — with [`ChatPattern::session_restore`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SessionNotFound`] when `id` is not live.
+    pub fn session_snapshot(&self, id: &str) -> Result<SessionSnapshot, Error> {
+        self.sessions.inspect(id, |session| Ok(session.snapshot()))
+    }
+
+    /// Imports a [`SessionSnapshot`], making the session live under
+    /// its embedded id with this system's back-end injected. The
+    /// restored session's follow-up turns are byte-identical to the
+    /// donor session's, provided both systems were built with an
+    /// equivalent model configuration (same window, training set,
+    /// diffusion steps and rules).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SessionPersist`] for a corrupt or
+    /// wrong-format snapshot and [`Error::InvalidRequest`] when the
+    /// snapshot's id already names a live session here.
+    pub fn session_restore(&self, snapshot: SessionSnapshot) -> Result<SessionInfo, Error> {
+        let session = ChatSession::restore(
+            snapshot,
+            Box::new(SharedSampler(Arc::clone(&self.model))),
+            self.legalizer.clone(),
+        )?;
+        let info = SessionInfo {
+            session: session.id().to_owned(),
+            seed: session.seed(),
+        };
+        self.sessions.open(&info.session, move || session)?;
+        Ok(info)
+    }
+
+    /// Session activity counters (open / evicted / spilled / restored
+    /// / turns).
     #[must_use]
     pub fn session_stats(&self) -> SessionStats {
         self.sessions.stats()
@@ -1068,6 +1271,111 @@ mod tests {
         assert!(matches!(err, Error::SessionNotFound { .. }), "{err:?}");
         let stats = system.session_stats();
         assert_eq!((stats.open, stats.evicted), (1, 1));
+    }
+
+    #[test]
+    fn session_spill_memory_keeps_over_capacity_sessions_alive() {
+        let system = ChatPattern::builder()
+            .window(16)
+            .training_patterns(8)
+            .diffusion_steps(6)
+            .max_sessions(1)
+            .session_spill_memory()
+            .build()
+            .expect("valid configuration");
+        system.session_open("old", Some(1)).expect("opens");
+        system
+            .session_open("new", Some(2))
+            .expect("opens, spilling old");
+        // The evicted id still serves turns: it rehydrates from the
+        // spill (and spills "new" to make room).
+        let turn = system
+            .session_turn(
+                "old",
+                "Generate 1 pattern, topology size 16*16, physical size 512nm x 512nm, \
+                 style Layer-10001.",
+            )
+            .expect("spilled session rehydrates");
+        assert_eq!(turn.library.len(), 1, "summary: {}", turn.summary);
+        let turn = system
+            .session_turn(
+                "new",
+                "Generate 1 pattern, topology size 16*16, physical size 512nm x 512nm, \
+                 style Layer-10003.",
+            )
+            .expect("the other session rehydrates too");
+        assert_eq!(turn.turn, 1);
+        let stats = system.session_stats();
+        assert_eq!(stats.evicted, 0, "nothing destroyed");
+        assert_eq!(stats.spilled, 3);
+        assert_eq!(stats.restored, 2);
+        // Close both; closed ids stay closed.
+        let _ = system.session_close("old").expect("closes");
+        let _ = system.session_close("new").expect("closes");
+        assert!(matches!(
+            system.session_turn("old", "more"),
+            Err(Error::SessionNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn session_snapshot_exports_without_disturbing_the_session() {
+        let system = small_system();
+        system.session_open("s", Some(4)).expect("opens");
+        let t1 = system
+            .session_turn(
+                "s",
+                "Generate 1 pattern, topology size 16*16, physical size 512nm x 512nm, \
+                 style Layer-10001.",
+            )
+            .expect("turn runs");
+        let snapshot = system.session_snapshot("s").expect("exports");
+        assert_eq!(snapshot.format, SESSION_SNAPSHOT_FORMAT);
+        assert_eq!(snapshot.session, "s");
+        assert_eq!(snapshot.seed, 4);
+        assert_eq!(snapshot.agent.turns, 1);
+        // The export did not count as a turn or close the session.
+        assert_eq!(system.session_stats().turns, 1);
+        let t2 = system.session_turn("s", "1 more pattern.").expect("runs");
+        assert_eq!(t2.turn, 2);
+        assert_eq!(t2.library[..1], t1.library[..]);
+        // Restoring over the live id is rejected.
+        let err = system
+            .session_restore(system.session_snapshot("s").expect("exports"))
+            .expect_err("id is live");
+        assert!(matches!(err, Error::InvalidRequest { .. }), "{err:?}");
+        // A wrong-format snapshot is a typed persist error.
+        let mut bad = system.session_snapshot("s").expect("exports");
+        bad.format = 999;
+        let err = system.session_restore(bad).expect_err("unknown format");
+        assert!(matches!(err, Error::SessionPersist { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn session_restore_resumes_a_closed_donor_session() {
+        let system = small_system();
+        system.session_open("donor", Some(7)).expect("opens");
+        let t1 = system
+            .session_turn(
+                "donor",
+                "Generate 2 patterns, topology size 16*16, physical size 512nm x 512nm, \
+                 style Layer-10003.",
+            )
+            .expect("turn runs");
+        let snapshot = system.session_snapshot("donor").expect("exports");
+        let _ = system.session_close("donor").expect("closes");
+        // The snapshot survives JSON (the handoff wire format).
+        let text = serde_json::to_string(&snapshot).expect("serializes");
+        let snapshot: SessionSnapshot = serde_json::from_str(&text).expect("parses");
+        let info = system.session_restore(snapshot).expect("restores");
+        assert_eq!(info.session, "donor");
+        assert_eq!(info.seed, 7);
+        let t2 = system
+            .session_turn("donor", "1 more pattern.")
+            .expect("restored session continues");
+        assert_eq!(t2.turn, 2, "turn numbering continues from the snapshot");
+        assert_eq!(t2.library.len(), 3);
+        assert_eq!(t2.library[..2], t1.library[..]);
     }
 
     #[test]

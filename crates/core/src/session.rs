@@ -10,10 +10,21 @@
 //! * **Bounded capacity with TTL + LRU eviction.** The store never
 //!   holds more than `capacity` sessions. Opening a new session first
 //!   drops every session idle past its TTL, then — if still full —
-//!   evicts the least-recently-used session. Evicted and expired ids
-//!   are gone for good: a later turn on them reports a typed
-//!   [`Error::SessionNotFound`], never a panic, and reopening the id
-//!   starts a brand-new session.
+//!   evicts the least-recently-used session. Without a persist layer,
+//!   evicted and expired ids are gone for good: a later turn on them
+//!   reports a typed [`Error::SessionNotFound`], never a panic, and
+//!   reopening the id starts a brand-new session.
+//! * **Durability (spill/rehydrate).** With a [`SessionPersist`] layer
+//!   attached ([`SessionStore::with_persist`]), capacity eviction
+//!   *spills* the victim to the persist layer instead of destroying
+//!   it, and a later turn / snapshot / close on the spilled id
+//!   transparently *rehydrates* it — the session keeps working until
+//!   its TTL really runs out. [`MemoryPersist`] keeps spilled sessions
+//!   in process memory; [`JsonDirPersist`] writes one JSON file per
+//!   session (`chatpattern-serve --session-dir`), which additionally
+//!   survives a process restart. A persist-layer write failure
+//!   surfaces as the typed [`Error::SessionPersist`] and the victim
+//!   stays live — never a panic, never a silent drop.
 //! * **Per-session serialization.** Each session value sits behind its
 //!   own lock, taken only *after* the store map lock is released —
 //!   concurrent turns on one session serialize while turns on distinct
@@ -22,7 +33,8 @@
 //!   flags the slot and unlinks it from the map; a turn already
 //!   executing finishes normally (it owns an `Arc` of the slot), and a
 //!   turn that was *waiting* for the slot observes the flag once it
-//!   acquires the lock and reports the typed error.
+//!   acquires the lock, re-resolves the id, and — with a persist
+//!   layer — rehydrates the spilled session instead of failing.
 //!
 //! The engine layer keeps session requests out of the result cache and
 //! the in-flight coalescer entirely (they mutate state, so two
@@ -32,9 +44,10 @@
 
 use crate::Error;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Capacity and lifetime knobs of a [`SessionStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,11 +92,325 @@ impl SessionConfig {
 pub struct SessionStats {
     /// Sessions currently open (a gauge, not a counter).
     pub open: u64,
-    /// Sessions evicted for capacity or expired past their TTL since
-    /// construction.
+    /// Sessions destroyed: expired past their TTL, or evicted for
+    /// capacity with no persist layer to spill to.
     pub evicted: u64,
+    /// Sessions spilled to the persist layer on capacity eviction.
+    pub spilled: u64,
+    /// Spilled sessions rehydrated from the persist layer (by a turn,
+    /// a snapshot, or a close).
+    pub restored: u64,
     /// Turns executed since construction (successful or not).
     pub turns: u64,
+}
+
+/// The session durability layer a [`SessionStore`] spills to on
+/// capacity eviction and rehydrates from on the next access.
+///
+/// The store calls the I/O-heavy operations ([`SessionPersist::spill`],
+/// [`SessionPersist::take`]) with its map lock *released* — the
+/// affected session is frozen via its own slot lock instead, so slow
+/// persist I/O never stalls turns on other sessions. Only the cheap
+/// [`SessionPersist::contains`] probe runs under the map lock.
+/// Implementations must never call back into the store.
+/// [`MemoryPersist`] and [`JsonDirPersist`] are the in-repo
+/// implementations.
+pub trait SessionPersist<T>: Send + Sync {
+    /// Writes `value` under `id`. On failure the value is handed back
+    /// with the error so the caller can keep the session live — a
+    /// failing persist layer must never silently drop a session.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value and an [`Error::SessionPersist`] describing
+    /// the write failure.
+    fn spill(&self, id: &str, value: T) -> Result<(), (T, Error)>;
+
+    /// Removes and returns the session spilled under `id`; `Ok(None)`
+    /// when nothing (live) is spilled there — absent or expired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SessionPersist`] when a spilled session exists
+    /// but cannot be read back (I/O or decode failure).
+    fn take(&self, id: &str) -> Result<Option<T>, Error>;
+
+    /// Whether a live (non-expired) spilled session exists under `id`.
+    fn contains(&self, id: &str) -> bool;
+
+    /// Ids of live spilled sessions, in unspecified order.
+    fn ids(&self) -> Vec<String>;
+}
+
+/// In-memory [`SessionPersist`]: spilled sessions survive eviction but
+/// not the process. The zero-dependency default for tests, benches and
+/// embedders that only need eviction to stop destroying state.
+pub struct MemoryPersist<T> {
+    ttl: Duration,
+    slots: Mutex<HashMap<String, (Instant, T)>>,
+}
+
+impl<T> std::fmt::Debug for MemoryPersist<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryPersist")
+            .field("ttl", &self.ttl)
+            .field("spilled", &self.slots.lock().map(|s| s.len()).unwrap_or(0))
+            .finish()
+    }
+}
+
+impl<T> MemoryPersist<T> {
+    /// Creates an empty layer whose spilled sessions expire after
+    /// `ttl` (matching the store's idle TTL).
+    #[must_use]
+    pub fn new(ttl: Duration) -> MemoryPersist<T> {
+        MemoryPersist {
+            ttl,
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<T: Send> SessionPersist<T> for MemoryPersist<T> {
+    fn spill(&self, id: &str, value: T) -> Result<(), (T, Error)> {
+        let mut slots = self.slots.lock().expect("memory persist lock");
+        slots.insert(id.to_owned(), (Instant::now(), value));
+        Ok(())
+    }
+
+    fn take(&self, id: &str) -> Result<Option<T>, Error> {
+        let mut slots = self.slots.lock().expect("memory persist lock");
+        Ok(slots
+            .remove(id)
+            .and_then(|(spilled_at, value)| (spilled_at.elapsed() <= self.ttl).then_some(value)))
+    }
+
+    fn contains(&self, id: &str) -> bool {
+        let mut slots = self.slots.lock().expect("memory persist lock");
+        match slots.get(id) {
+            Some((spilled_at, _)) if spilled_at.elapsed() <= self.ttl => true,
+            Some(_) => {
+                slots.remove(id);
+                false
+            }
+            None => false,
+        }
+    }
+
+    fn ids(&self) -> Vec<String> {
+        let slots = self.slots.lock().expect("memory persist lock");
+        slots
+            .iter()
+            .filter(|(_, (spilled_at, _))| spilled_at.elapsed() <= self.ttl)
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+}
+
+/// Filename suffix of every spilled-session file.
+const SPILL_SUFFIX: &str = ".session.json";
+
+/// Escapes a session id into a filesystem-safe filename stem:
+/// alphanumerics, `_` and `-` pass through, every other byte becomes
+/// `%XX`. Reversible via [`decode_id`].
+fn encode_id(id: &str) -> String {
+    let mut out = String::with_capacity(id.len());
+    for byte in id.bytes() {
+        match byte {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'-' => out.push(byte as char),
+            other => {
+                out.push('%');
+                out.push_str(&format!("{other:02X}"));
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_id`]; `None` on malformed input.
+fn decode_id(stem: &str) -> Option<String> {
+    let mut bytes = Vec::with_capacity(stem.len());
+    let mut chars = stem.bytes();
+    while let Some(byte) = chars.next() {
+        if byte == b'%' {
+            let hi = chars.next()?;
+            let lo = chars.next()?;
+            let hex = [hi, lo];
+            let hex = std::str::from_utf8(&hex).ok()?;
+            bytes.push(u8::from_str_radix(hex, 16).ok()?);
+        } else {
+            bytes.push(byte);
+        }
+    }
+    String::from_utf8(bytes).ok()
+}
+
+/// JSON-file [`SessionPersist`]: one `<escaped-id>.session.json` per
+/// spilled session under a directory, so spilled sessions survive a
+/// process restart (`chatpattern-serve --session-dir`). Spill writes
+/// go through a temp file + rename, so a crash mid-spill never leaves
+/// a half-written session file under the spill name. Expiry uses the
+/// file's modification time against the configured TTL.
+///
+/// The layer is generic: `encode`/`decode` close over whatever
+/// dependencies reconstruction needs (for `ChatSession`, the trained
+/// sampler and the legalizer — see
+/// [`ChatPatternBuilder::session_dir`](crate::ChatPatternBuilder::session_dir)).
+pub struct JsonDirPersist<T> {
+    dir: PathBuf,
+    ttl: Duration,
+    encode: PersistEncode<T>,
+    decode: PersistDecode<T>,
+}
+
+/// Serializer of a [`JsonDirPersist`]: renders a session value as the
+/// JSON text of one spill file.
+pub type PersistEncode<T> = Box<dyn Fn(&T) -> Result<String, Error> + Send + Sync>;
+
+/// Deserializer of a [`JsonDirPersist`]: rebuilds a session value from
+/// one spill file's JSON text, re-injecting whatever dependencies the
+/// closure captured.
+pub type PersistDecode<T> = Box<dyn Fn(&str) -> Result<T, Error> + Send + Sync>;
+
+impl<T> std::fmt::Debug for JsonDirPersist<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonDirPersist")
+            .field("dir", &self.dir)
+            .field("ttl", &self.ttl)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> JsonDirPersist<T> {
+    /// Creates the layer, creating `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SessionPersist`] when the directory cannot be
+    /// created.
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        ttl: Duration,
+        encode: impl Fn(&T) -> Result<String, Error> + Send + Sync + 'static,
+        decode: impl Fn(&str) -> Result<T, Error> + Send + Sync + 'static,
+    ) -> Result<JsonDirPersist<T>, Error> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            Error::session_persist(format!("cannot create session dir {}: {e}", dir.display()))
+        })?;
+        Ok(JsonDirPersist {
+            dir,
+            ttl,
+            encode: Box::new(encode),
+            decode: Box::new(decode),
+        })
+    }
+
+    /// The directory spilled sessions live in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{}{SPILL_SUFFIX}", encode_id(id)))
+    }
+
+    /// Whether the file at `path` is younger than the TTL. Unreadable
+    /// metadata counts as expired.
+    fn is_live(&self, path: &Path) -> bool {
+        std::fs::metadata(path)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| SystemTime::now().duration_since(mtime).ok())
+            .is_some_and(|age| age <= self.ttl)
+    }
+}
+
+impl<T: Send> SessionPersist<T> for JsonDirPersist<T> {
+    fn spill(&self, id: &str, value: T) -> Result<(), (T, Error)> {
+        let text = match (self.encode)(&value) {
+            Ok(text) => text,
+            Err(error) => return Err((value, error)),
+        };
+        let path = self.path(id);
+        let tmp = path.with_extension("tmp");
+        let written =
+            std::fs::write(&tmp, text.as_bytes()).and_then(|()| std::fs::rename(&tmp, &path));
+        match written {
+            Ok(()) => Ok(()),
+            Err(error) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err((
+                    value,
+                    Error::session_persist(format!(
+                        "cannot spill session \"{id}\" to {}: {error}",
+                        path.display()
+                    )),
+                ))
+            }
+        }
+    }
+
+    fn take(&self, id: &str) -> Result<Option<T>, Error> {
+        let path = self.path(id);
+        if !path.exists() {
+            return Ok(None);
+        }
+        if !self.is_live(&path) {
+            let _ = std::fs::remove_file(&path);
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            Error::session_persist(format!(
+                "cannot read spilled session \"{id}\" from {}: {e}",
+                path.display()
+            ))
+        })?;
+        let value = match (self.decode)(&text) {
+            Ok(value) => value,
+            Err(error) => {
+                // An undecodable spill file (corrupt, or written by an
+                // incompatible snapshot format) must not brick its id
+                // until TTL: quarantine it aside — preserved for
+                // forensics, invisible to `contains` — so the error
+                // surfaces once and the id frees up for a fresh open.
+                let _ = std::fs::rename(&path, path.with_extension("corrupt"));
+                return Err(error);
+            }
+        };
+        let _ = std::fs::remove_file(&path);
+        Ok(Some(value))
+    }
+
+    fn contains(&self, id: &str) -> bool {
+        let path = self.path(id);
+        if !path.exists() {
+            return false;
+        }
+        if !self.is_live(&path) {
+            let _ = std::fs::remove_file(&path);
+            return false;
+        }
+        true
+    }
+
+    fn ids(&self) -> Vec<String> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        entries
+            .filter_map(Result::ok)
+            .filter_map(|entry| {
+                let name = entry.file_name().into_string().ok()?;
+                let stem = name.strip_suffix(SPILL_SUFFIX)?;
+                if !self.is_live(&entry.path()) {
+                    return None;
+                }
+                decode_id(stem)
+            })
+            .collect()
+    }
 }
 
 /// One live session: the value behind its own lock, plus the eviction
@@ -108,12 +435,16 @@ struct Entry<T> {
 }
 
 /// Bounded map from session ids to live session values with TTL + LRU
-/// eviction and per-session locking. See the [module docs](self).
+/// eviction, per-session locking, and optional spill-on-evict
+/// durability. See the [module docs](self).
 pub struct SessionStore<T> {
     config: SessionConfig,
     state: Mutex<HashMap<String, Entry<T>>>,
+    persist: Option<Arc<dyn SessionPersist<T>>>,
     clock: AtomicU64,
     evicted: AtomicU64,
+    spilled: AtomicU64,
+    restored: AtomicU64,
     turns: AtomicU64,
 }
 
@@ -135,9 +466,26 @@ impl<T> SessionStore<T> {
         SessionStore {
             config,
             state: Mutex::new(HashMap::new()),
+            persist: None,
             clock: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
+            spilled: AtomicU64::new(0),
+            restored: AtomicU64::new(0),
             turns: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates an empty store with a durability layer: capacity
+    /// eviction spills to `persist` instead of destroying, and
+    /// accessing a spilled id transparently rehydrates it.
+    #[must_use]
+    pub fn with_persist(
+        config: SessionConfig,
+        persist: Arc<dyn SessionPersist<T>>,
+    ) -> SessionStore<T> {
+        SessionStore {
+            persist: Some(persist),
+            ..SessionStore::new(config)
         }
     }
 
@@ -145,6 +493,12 @@ impl<T> SessionStore<T> {
     #[must_use]
     pub fn config(&self) -> SessionConfig {
         self.config
+    }
+
+    /// The attached persist layer, if any.
+    #[must_use]
+    pub fn persist(&self) -> Option<&Arc<dyn SessionPersist<T>>> {
+        self.persist.as_ref()
     }
 
     /// Sessions currently open.
@@ -165,6 +519,8 @@ impl<T> SessionStore<T> {
         SessionStats {
             open: self.len() as u64,
             evicted: self.evicted.load(Ordering::Relaxed),
+            spilled: self.spilled.load(Ordering::Relaxed),
+            restored: self.restored.load(Ordering::Relaxed),
             turns: self.turns.load(Ordering::Relaxed),
         }
     }
@@ -189,34 +545,96 @@ impl<T> SessionStore<T> {
         });
     }
 
-    /// Opens a session under `id`, constructing its value with `make`.
+    /// Brings the store below capacity so one insertion fits. With a
+    /// persist layer the least-recently-used *idle* session is spilled
+    /// (a session mid-turn is skipped — its slot cannot be drained
+    /// without blocking); without one, or when every session is
+    /// mid-turn, the LRU victim is destroyed (the pre-durability
+    /// behavior).
     ///
-    /// Expired sessions are purged first; if the store is still at
-    /// capacity, the least-recently-used session is evicted (counted
-    /// in [`SessionStats::evicted`]). `make` runs *before* the store
-    /// lock is taken, so an expensive construction (a full agent
-    /// session) never stalls turns on other sessions; the freshly made
-    /// value is discarded if the id turns out to be taken.
+    /// Locks the store map itself, and **releases it around the spill
+    /// write**: the victim stays in the map with its slot lock held
+    /// while its snapshot is encoded and written, so turns on other
+    /// sessions never wait behind persist I/O, a turn on the victim
+    /// blocks on the slot (then rehydrates), and an open of the
+    /// victim's id is still "already open". Only after the write lands
+    /// is the victim unlinked — the id is resolvable at every instant.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidRequest`] when `id` is empty or already
-    /// names a live session.
-    pub fn open(&self, id: &str, make: impl FnOnce() -> T) -> Result<(), Error> {
-        if id.is_empty() {
-            return Err(Error::invalid_request("session id must not be empty"));
-        }
-        let value = make();
-        let mut state = self.state.lock().expect("session store lock");
-        Self::purge_locked(&mut state, &self.evicted, self.config.ttl);
-        if state.contains_key(id) {
-            return Err(Error::invalid_request(format!(
-                "session \"{id}\" is already open; close it first or pick another id"
-            )));
-        }
-        while state.len() >= self.config.capacity.max(1) {
-            // LRU victim: the entry idle the longest (by logical
-            // clock, so the choice is deterministic).
+    /// Returns [`Error::SessionPersist`] when the spill write fails;
+    /// the victim's value is put back and stays live.
+    fn make_room(&self) -> Result<(), Error> {
+        let capacity = self.config.capacity.max(1);
+        loop {
+            let mut state = self.state.lock().expect("session store lock");
+            if state.len() < capacity {
+                return Ok(());
+            }
+            // LRU-ordered spill candidates (skipping sessions whose
+            // slot lock is busy — they are mid-turn).
+            let victim_key = self.persist.as_ref().and_then(|_| {
+                let mut order: Vec<(u64, &String)> = state
+                    .iter()
+                    .map(|(key, entry)| (entry.touched, key))
+                    .collect();
+                order.sort();
+                order
+                    .into_iter()
+                    .find(|(_, key)| {
+                        state
+                            .get(*key)
+                            .is_some_and(|entry| entry.slot.value.try_lock().is_ok())
+                    })
+                    .map(|(_, key)| key.clone())
+            });
+            if let Some(key) = victim_key {
+                let slot = Arc::clone(&state.get(&key).expect("victim is in the map").slot);
+                // Re-acquire after the probe above released it; a turn
+                // thread beating us to it just means this victim is no
+                // longer idle — retry the whole round.
+                let Ok(mut guard) = slot.value.try_lock() else {
+                    continue;
+                };
+                let Some(value) = guard.take() else {
+                    // Defensive: a value-less slot inside the map is
+                    // stale state; dropping the entry frees the slot.
+                    drop(guard);
+                    state.remove(&key);
+                    continue;
+                };
+                // The slot lock (held) is what freezes the victim;
+                // the map lock can go while the snapshot is written.
+                drop(state);
+                let persist = self.persist.as_ref().expect("victim implies persist");
+                match persist.spill(&key, value) {
+                    Ok(()) => {
+                        // Flag, then unlink under the map lock, then
+                        // release the slot: a waiter wakes to the
+                        // evicted flag, re-resolves, and rehydrates
+                        // from the spill that is already durable.
+                        slot.evicted.store(true, Ordering::Release);
+                        let mut state = self.state.lock().expect("session store lock");
+                        if let Some(entry) = state.get(&key) {
+                            if Arc::ptr_eq(&entry.slot, &slot) {
+                                state.remove(&key);
+                            }
+                        }
+                        self.spilled.fetch_add(1, Ordering::Relaxed);
+                        drop(guard);
+                        continue;
+                    }
+                    Err((value, error)) => {
+                        // The victim stays live (its entry never left
+                        // the map): hand the value back and surface
+                        // the typed error.
+                        *guard = Some(value);
+                        return Err(error);
+                    }
+                }
+            }
+            // Destructive LRU eviction: the entry idle the longest (by
+            // logical clock, so the choice is deterministic).
             let victim = state
                 .iter()
                 .min_by_key(|(_, entry)| entry.touched)
@@ -227,102 +645,297 @@ impl<T> SessionStore<T> {
                 self.evicted.fetch_add(1, Ordering::Relaxed);
             }
         }
-        state.insert(
-            id.to_owned(),
-            Entry {
-                slot: Arc::new(Slot {
-                    evicted: AtomicBool::new(false),
-                    value: Mutex::new(Some(value)),
-                }),
-                last_used: Instant::now(),
-                touched: self.clock.fetch_add(1, Ordering::Relaxed),
-            },
-        );
-        Ok(())
+    }
+
+    /// Opens a session under `id`, constructing its value with `make`.
+    ///
+    /// Expired sessions are purged first; if the store is still at
+    /// capacity, the least-recently-used session is spilled to the
+    /// persist layer when one is attached ([`SessionStats::spilled`])
+    /// or destroyed otherwise ([`SessionStats::evicted`]). `make` runs
+    /// *before* the store lock is taken, so an expensive construction
+    /// (a full agent session) never stalls turns on other sessions;
+    /// the freshly made value is discarded if the id turns out to be
+    /// taken.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRequest`] when `id` is empty or already
+    /// names a live session (in memory *or* spilled — a spilled
+    /// session is still live until its TTL), and
+    /// [`Error::SessionPersist`] when making room required a spill
+    /// that failed.
+    pub fn open(&self, id: &str, make: impl FnOnce() -> T) -> Result<(), Error> {
+        if id.is_empty() {
+            return Err(Error::invalid_request("session id must not be empty"));
+        }
+        let mut value = Some(make());
+        loop {
+            {
+                let mut state = self.state.lock().expect("session store lock");
+                Self::purge_locked(&mut state, &self.evicted, self.config.ttl);
+                if state.contains_key(id) {
+                    return Err(Error::invalid_request(format!(
+                        "session \"{id}\" is already open; close it first or pick another id"
+                    )));
+                }
+                if let Some(persist) = &self.persist {
+                    // A cheap existence probe (no I/O beyond a stat),
+                    // safe under the map lock.
+                    if persist.contains(id) {
+                        return Err(Error::invalid_request(format!(
+                            "session \"{id}\" is spilled but still live; run a turn to \
+                             rehydrate it or close it first"
+                        )));
+                    }
+                }
+                if state.len() < self.config.capacity.max(1) {
+                    state.insert(
+                        id.to_owned(),
+                        Entry {
+                            slot: Arc::new(Slot {
+                                evicted: AtomicBool::new(false),
+                                value: Mutex::new(value.take()),
+                            }),
+                            last_used: Instant::now(),
+                            touched: self.clock.fetch_add(1, Ordering::Relaxed),
+                        },
+                    );
+                    return Ok(());
+                }
+            }
+            // At capacity: free a slot with the map lock released
+            // (make_room does the spill I/O off-lock), then re-check
+            // everything — the world may have moved.
+            self.make_room()?;
+        }
+    }
+
+    /// Resolves `id` to its slot under the store lock, refreshing its
+    /// recency. A map miss with a persist layer attached rehydrates
+    /// the spilled session: the id is *reserved* with an empty slot
+    /// whose lock this thread holds while the spill file is read and
+    /// decoded with the map lock released — concurrent accesses find
+    /// the reservation and wait on the slot (per-session
+    /// serialization), while other sessions proceed untouched.
+    fn resolve(&self, id: &str) -> Result<Arc<Slot<T>>, Error> {
+        loop {
+            let mut state = self.state.lock().expect("session store lock");
+            Self::purge_locked(&mut state, &self.evicted, self.config.ttl);
+            if let Some(entry) = state.get_mut(id) {
+                entry.last_used = Instant::now();
+                entry.touched = self.clock.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.slot));
+            }
+            let not_found =
+                || Error::session_not_found(id, "no live session has this id (open one first)");
+            let Some(persist) = &self.persist else {
+                return Err(not_found());
+            };
+            if !persist.contains(id) {
+                return Err(not_found());
+            }
+            if state.len() >= self.config.capacity.max(1) {
+                // Free a slot off-lock, then re-run the whole
+                // resolution (another thread may have rehydrated the
+                // id meanwhile).
+                drop(state);
+                self.make_room()?;
+                continue;
+            }
+            // Reserve the id: an empty slot, locked by this thread
+            // *before* it becomes visible in the map.
+            let slot = Arc::new(Slot {
+                evicted: AtomicBool::new(false),
+                value: Mutex::new(None),
+            });
+            let mut guard = slot.value.lock().expect("freshly created lock");
+            state.insert(
+                id.to_owned(),
+                Entry {
+                    slot: Arc::clone(&slot),
+                    last_used: Instant::now(),
+                    touched: self.clock.fetch_add(1, Ordering::Relaxed),
+                },
+            );
+            drop(state);
+            // Read + decode with the map lock released.
+            let rehydrated = persist.take(id);
+            let outcome = match rehydrated {
+                Ok(Some(value)) => {
+                    *guard = Some(value);
+                    self.restored.fetch_add(1, Ordering::Relaxed);
+                    drop(guard);
+                    return Ok(slot);
+                }
+                Ok(None) => Err(Error::session_not_found(
+                    id,
+                    "the spilled session expired before this access ran",
+                )),
+                Err(error) => Err(error),
+            };
+            // Rehydration failed: withdraw the reservation. Waiters
+            // blocked on the slot wake to the evicted flag, re-resolve
+            // and get the error themselves.
+            slot.evicted.store(true, Ordering::Release);
+            let mut state = self.state.lock().expect("session store lock");
+            if let Some(entry) = state.get(id) {
+                if Arc::ptr_eq(&entry.slot, &slot) {
+                    state.remove(id);
+                }
+            }
+            drop(state);
+            drop(guard);
+            return outcome;
+        }
+    }
+
+    /// Shared body of [`SessionStore::turn`] and
+    /// [`SessionStore::inspect`]: resolve (rehydrating if spilled),
+    /// serialize on the session lock, run `f`. A slot that was evicted
+    /// while this access waited for its lock is re-resolved — with a
+    /// persist layer the spilled session rehydrates instead of
+    /// failing.
+    fn access<R>(
+        &self,
+        id: &str,
+        count_turn: bool,
+        f: impl FnOnce(&mut T) -> Result<R, Error>,
+    ) -> Result<R, Error> {
+        let mut f = Some(f);
+        // Bounded retries: each round trips only when the session was
+        // evicted between resolve and lock acquisition, which needs a
+        // concurrent open storm to happen repeatedly.
+        for _ in 0..4 {
+            let slot = self.resolve(id)?;
+            // The store lock is released: turns on other sessions
+            // proceed. A poisoned session lock means a previous turn
+            // panicked with the value in an unknown state — report it
+            // as a typed error and evict the session rather than
+            // poisoning every later turn.
+            let Ok(mut value) = slot.value.lock() else {
+                self.discard(id, &slot);
+                return Err(Error::internal(format!(
+                    "session \"{id}\" was lost: an earlier turn panicked mid-execution"
+                )));
+            };
+            if slot.evicted.load(Ordering::Acquire) {
+                continue;
+            }
+            let session = value.as_mut().ok_or_else(|| {
+                Error::session_not_found(id, "the session was closed before this turn ran")
+            })?;
+            let outcome = (f.take().expect("f is called at most once"))(session);
+            if count_turn {
+                self.turns.fetch_add(1, Ordering::Relaxed);
+            }
+            return outcome;
+        }
+        Err(Error::session_not_found(
+            id,
+            "the session was evicted (capacity or TTL) before this turn ran",
+        ))
     }
 
     /// Runs one turn on session `id`: resolves the slot under the
-    /// store lock (refreshing its recency), releases the store lock,
-    /// then serializes on the session's own lock and hands the value
-    /// to `f`. Turns on distinct sessions never contend.
+    /// store lock (refreshing its recency, rehydrating a spilled
+    /// session), releases the store lock, then serializes on the
+    /// session's own lock and hands the value to `f`. Turns on
+    /// distinct sessions never contend.
     ///
     /// # Errors
     ///
     /// Returns [`Error::SessionNotFound`] when `id` is unknown,
-    /// expired, closed, or was evicted while this turn waited for the
-    /// session lock; [`Error::Internal`] when an earlier turn panicked
-    /// mid-execution and left the session state unreliable; and
-    /// whatever `f` reports.
+    /// expired, closed, or was destroyed while this turn waited for
+    /// the session lock; [`Error::SessionPersist`] when rehydration or
+    /// a spill it forced failed; [`Error::Internal`] when an earlier
+    /// turn panicked mid-execution and left the session state
+    /// unreliable; and whatever `f` reports.
     pub fn turn<R>(
         &self,
         id: &str,
         f: impl FnOnce(&mut T) -> Result<R, Error>,
     ) -> Result<R, Error> {
-        let slot = {
-            let mut state = self.state.lock().expect("session store lock");
-            Self::purge_locked(&mut state, &self.evicted, self.config.ttl);
-            let entry = state.get_mut(id).ok_or_else(|| {
-                Error::session_not_found(id, "no live session has this id (open one first)")
-            })?;
-            entry.last_used = Instant::now();
-            entry.touched = self.clock.fetch_add(1, Ordering::Relaxed);
-            Arc::clone(&entry.slot)
-        };
-        // The store lock is released: turns on other sessions proceed.
-        // A poisoned session lock means a previous turn panicked with
-        // the value in an unknown state — report it as a typed error
-        // and evict the session rather than poisoning every later turn.
-        let Ok(mut value) = slot.value.lock() else {
-            self.discard(id, &slot);
-            return Err(Error::internal(format!(
-                "session \"{id}\" was lost: an earlier turn panicked mid-execution"
-            )));
-        };
-        if slot.evicted.load(Ordering::Acquire) {
-            return Err(Error::session_not_found(
-                id,
-                "the session was evicted (capacity or TTL) before this turn ran",
-            ));
-        }
-        let session = value.as_mut().ok_or_else(|| {
-            Error::session_not_found(id, "the session was closed before this turn ran")
-        })?;
-        let outcome = f(session);
-        self.turns.fetch_add(1, Ordering::Relaxed);
-        outcome
+        self.access(id, true, f)
+    }
+
+    /// Read-style access to session `id` — same resolution,
+    /// rehydration and locking as [`SessionStore::turn`], but not
+    /// counted in [`SessionStats::turns`]. Snapshot export uses this.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SessionStore::turn`].
+    pub fn inspect<R>(
+        &self,
+        id: &str,
+        f: impl FnOnce(&mut T) -> Result<R, Error>,
+    ) -> Result<R, Error> {
+        self.access(id, false, f)
     }
 
     /// Closes session `id` and returns its final value. Waits for a
-    /// turn in progress (close serializes behind it like any turn).
+    /// turn in progress (close serializes behind it like any turn). A
+    /// *spilled* session closes too: its value is taken straight from
+    /// the persist layer (counted in [`SessionStats::restored`]), and
+    /// a closed id never resurrects — the spill entry is consumed.
     ///
     /// # Errors
     ///
     /// Returns [`Error::SessionNotFound`] when `id` is unknown,
-    /// expired, evicted, or already closed, and [`Error::Internal`]
-    /// when a turn panicked mid-execution — like [`SessionStore::turn`],
-    /// close refuses to hand out the half-mutated value a panicking
-    /// turn left behind.
+    /// expired, destroyed, or already closed;
+    /// [`Error::SessionPersist`] when a spilled value cannot be read
+    /// back; and [`Error::Internal`] when a turn panicked
+    /// mid-execution — like [`SessionStore::turn`], close refuses to
+    /// hand out the half-mutated value a panicking turn left behind.
     pub fn close(&self, id: &str) -> Result<T, Error> {
-        let slot = {
-            let mut state = self.state.lock().expect("session store lock");
-            Self::purge_locked(&mut state, &self.evicted, self.config.ttl);
-            state
-                .remove(id)
-                .ok_or_else(|| {
-                    Error::session_not_found(id, "no live session has this id (open one first)")
-                })?
-                .slot
-        };
-        let Ok(mut value) = slot.value.lock() else {
-            // The entry is already unlinked; dropping the slot discards
-            // the corrupt value.
-            return Err(Error::internal(format!(
-                "session \"{id}\" was lost: an earlier turn panicked mid-execution"
-            )));
-        };
-        value.take().ok_or_else(|| {
-            Error::session_not_found(id, "the session was already closed or evicted")
-        })
+        // Bounded retries, like `access`: a round trips only when the
+        // session was spilled (rehydrate and try again) or evicted
+        // between unlink attempts.
+        for _ in 0..4 {
+            let slot = {
+                let mut state = self.state.lock().expect("session store lock");
+                Self::purge_locked(&mut state, &self.evicted, self.config.ttl);
+                match state.remove(id) {
+                    Some(entry) => entry.slot,
+                    None => {
+                        if self.persist.is_none() {
+                            return Err(Error::session_not_found(
+                                id,
+                                "no live session has this id (open one first)",
+                            ));
+                        }
+                        // A spilled session can still be closed:
+                        // rehydrate it through the shared reservation
+                        // path (persist I/O happens off the map lock),
+                        // then loop — the next round finds it live.
+                        drop(state);
+                        let _ = self.resolve(id)?;
+                        continue;
+                    }
+                }
+            };
+            let Ok(mut value) = slot.value.lock() else {
+                // The entry is already unlinked; dropping the slot
+                // discards the corrupt value.
+                return Err(Error::internal(format!(
+                    "session \"{id}\" was lost: an earlier turn panicked mid-execution"
+                )));
+            };
+            if slot.evicted.load(Ordering::Acquire) {
+                // Spilled between our unlink and lock acquisition (the
+                // spiller held the slot): the value is in the persist
+                // layer now — go take it.
+                continue;
+            }
+            return value.take().ok_or_else(|| {
+                Error::session_not_found(id, "the session was already closed or evicted")
+            });
+        }
+        Err(Error::session_not_found(
+            id,
+            "the session was evicted (capacity or TTL) before this close ran",
+        ))
     }
 
     /// Unlinks `id` if it still points at `slot` (the poisoned-lock
@@ -577,6 +1190,351 @@ mod tests {
         fn drop(&mut self) {
             self.0.fetch_add(1, Ordering::SeqCst);
         }
+    }
+
+    fn spill_store(capacity: usize, ttl_secs: u64) -> SessionStore<Vec<u64>> {
+        let ttl = Duration::from_secs(ttl_secs);
+        SessionStore::with_persist(
+            SessionConfig { capacity, ttl },
+            Arc::new(MemoryPersist::new(ttl)),
+        )
+    }
+
+    #[test]
+    fn eviction_with_a_persist_layer_spills_instead_of_deleting() {
+        let store = spill_store(1, 3600);
+        store.open("a", || vec![1]).expect("opens");
+        store.open("b", || vec![2]).expect("opens, spilling a");
+        // "a" was spilled, not destroyed: a turn rehydrates it with
+        // its value intact (and spills "b" to make room).
+        let value = store.turn("a", |v| Ok(v.clone())).expect("rehydrates");
+        assert_eq!(value, vec![1]);
+        let value = store.turn("b", |v| Ok(v.clone())).expect("rehydrates");
+        assert_eq!(value, vec![2]);
+        let stats = store.stats();
+        assert_eq!(stats.evicted, 0, "nothing was destroyed");
+        assert_eq!(stats.spilled, 3, "a, then b, then a again");
+        assert_eq!(stats.restored, 2);
+        assert_eq!(stats.open, 1);
+    }
+
+    #[test]
+    fn spilled_sessions_close_with_their_value() {
+        let store = spill_store(1, 3600);
+        store.open("a", || vec![7]).expect("opens");
+        store.open("b", Vec::new).expect("opens, spilling a");
+        assert_eq!(store.close("a").expect("closes from spill"), vec![7]);
+        // Closed is closed: the id does not resurrect.
+        assert!(matches!(
+            store.turn("a", |_| Ok(())),
+            Err(Error::SessionNotFound { .. })
+        ));
+        // And it is free to reopen as a fresh session.
+        store.open("a", Vec::new).expect("reopens fresh");
+        assert_eq!(store.stats().restored, 1);
+    }
+
+    #[test]
+    fn reopening_a_spilled_id_is_rejected_like_a_live_one() {
+        let store = spill_store(1, 3600);
+        store.open("a", Vec::new).expect("opens");
+        store.open("b", Vec::new).expect("opens, spilling a");
+        let err = store.open("a", Vec::new).expect_err("a is still live");
+        assert!(matches!(err, Error::InvalidRequest { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn spilled_sessions_expire_at_ttl() {
+        let store = spill_store(1, 0);
+        store.open("a", Vec::new).expect("opens");
+        // Zero TTL: "a" expires in the live map before the next open
+        // even runs, so this is destruction, not spilling.
+        thread::sleep(Duration::from_millis(2));
+        assert!(matches!(
+            store.turn("a", |_| Ok(())),
+            Err(Error::SessionNotFound { .. })
+        ));
+        assert_eq!(store.stats().evicted, 1);
+        assert_eq!(store.stats().spilled, 0);
+    }
+
+    #[test]
+    fn spilled_entries_expire_in_the_persist_layer() {
+        // Store TTL is long, persist TTL is zero: the spill succeeds
+        // but the spilled entry is expired by the time it is touched.
+        let store: SessionStore<Vec<u64>> = SessionStore::with_persist(
+            SessionConfig {
+                capacity: 1,
+                ttl: Duration::from_secs(3600),
+            },
+            Arc::new(MemoryPersist::new(Duration::ZERO)),
+        );
+        store.open("a", Vec::new).expect("opens");
+        store.open("b", Vec::new).expect("opens, spilling a");
+        assert_eq!(store.stats().spilled, 1);
+        thread::sleep(Duration::from_millis(2));
+        assert!(matches!(
+            store.turn("a", |_| Ok(())),
+            Err(Error::SessionNotFound { .. })
+        ));
+        assert_eq!(store.stats().restored, 0);
+    }
+
+    /// A persist layer whose writes always fail.
+    struct FailingPersist;
+
+    impl SessionPersist<Vec<u64>> for FailingPersist {
+        fn spill(&self, id: &str, value: Vec<u64>) -> Result<(), (Vec<u64>, Error)> {
+            Err((
+                value,
+                Error::session_persist(format!("disk full writing \"{id}\"")),
+            ))
+        }
+
+        fn take(&self, _id: &str) -> Result<Option<Vec<u64>>, Error> {
+            Ok(None)
+        }
+
+        fn contains(&self, _id: &str) -> bool {
+            false
+        }
+
+        fn ids(&self) -> Vec<String> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn spill_write_failure_is_a_typed_error_and_keeps_the_victim_live() {
+        let store: SessionStore<Vec<u64>> = SessionStore::with_persist(
+            SessionConfig {
+                capacity: 1,
+                ttl: Duration::from_secs(3600),
+            },
+            Arc::new(FailingPersist),
+        );
+        store.open("a", || vec![5]).expect("opens");
+        // The open that would spill "a" fails with the typed error…
+        let err = store.open("b", Vec::new).expect_err("spill write fails");
+        assert!(matches!(err, Error::SessionPersist { .. }), "{err:?}");
+        assert!(err.to_string().contains("disk full"), "{err}");
+        // …and "a" is neither dropped nor corrupted.
+        let value = store.turn("a", |v| Ok(v.clone())).expect("a is live");
+        assert_eq!(value, vec![5]);
+        let stats = store.stats();
+        assert_eq!(
+            (stats.open, stats.evicted, stats.spilled, stats.restored),
+            (1, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn spill_and_restore_counters_are_exact_over_a_sweep() {
+        // Capacity 2, six sessions, one turn each: every open beyond
+        // capacity spills one LRU victim, every turn on a spilled id
+        // restores it and spills another. All deterministic.
+        let store = spill_store(2, 3600);
+        for i in 0..6u64 {
+            store
+                .open(&format!("s{i}"), move || vec![i])
+                .expect("opens");
+        }
+        // Opens: s2..s5 each spilled the then-LRU → 4 spills.
+        assert_eq!(store.stats().spilled, 4);
+        for i in 0..6u64 {
+            let value = store
+                .turn(&format!("s{i}"), |v| Ok(v.clone()))
+                .expect("every session still serves turns");
+            assert_eq!(value, vec![i], "session s{i} kept its state");
+        }
+        let stats = store.stats();
+        // Turns: s0..s3 were spilled at sweep start; each turn
+        // restored one and spilled one; s4 and s5 were spilled by the
+        // first two restores, so their turns restored them too.
+        assert_eq!(stats.restored, 6);
+        assert_eq!(stats.spilled, 4 + 6);
+        assert_eq!(stats.evicted, 0, "durability means nothing is destroyed");
+        assert_eq!(stats.turns, 6);
+        assert_eq!(stats.open, 2);
+    }
+
+    #[test]
+    fn inspect_does_not_count_as_a_turn() {
+        let store = spill_store(2, 3600);
+        store.open("a", || vec![9]).expect("opens");
+        let seen = store.inspect("a", |v| Ok(v.clone())).expect("inspects");
+        assert_eq!(seen, vec![9]);
+        assert_eq!(store.stats().turns, 0);
+        store.turn("a", |_| Ok(())).expect("turn runs");
+        assert_eq!(store.stats().turns, 1);
+    }
+
+    #[test]
+    fn json_dir_persist_round_trips_and_survives_a_new_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "cp-session-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .as_nanos()
+        ));
+        let ttl = Duration::from_secs(3600);
+        let persist = |dir: &std::path::Path| -> Arc<dyn SessionPersist<Vec<u64>>> {
+            Arc::new(
+                JsonDirPersist::new(
+                    dir,
+                    ttl,
+                    |v: &Vec<u64>| {
+                        serde_json::to_string(v).map_err(|e| Error::session_persist(e.to_string()))
+                    },
+                    |text| {
+                        serde_json::from_str(text)
+                            .map_err(|e| Error::session_persist(e.to_string()))
+                    },
+                )
+                .expect("dir created"),
+            )
+        };
+        {
+            let store: SessionStore<Vec<u64>> =
+                SessionStore::with_persist(SessionConfig { capacity: 1, ttl }, persist(&dir));
+            store.open("weird id/♥", || vec![1, 2, 3]).expect("opens");
+            store.open("other", Vec::new).expect("opens, spilling");
+            assert_eq!(store.stats().spilled, 1);
+            assert_eq!(
+                store.persist().expect("attached").ids(),
+                vec![String::from("weird id/♥")],
+                "ids round-trip through filename escaping"
+            );
+        }
+        // A brand-new store over the same directory — the restart
+        // story — rehydrates the spilled session.
+        let store: SessionStore<Vec<u64>> =
+            SessionStore::with_persist(SessionConfig { capacity: 4, ttl }, persist(&dir));
+        let value = store
+            .turn("weird id/♥", |v| Ok(v.clone()))
+            .expect("rehydrates across store instances");
+        assert_eq!(value, vec![1, 2, 3]);
+        assert_eq!(store.stats().restored, 1);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn corrupt_spill_file_errors_once_then_frees_the_id() {
+        let dir = std::env::temp_dir().join(format!(
+            "cp-session-corrupt-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .as_nanos()
+        ));
+        let ttl = Duration::from_secs(3600);
+        let persist: Arc<dyn SessionPersist<Vec<u64>>> = Arc::new(
+            JsonDirPersist::new(
+                &dir,
+                ttl,
+                |v: &Vec<u64>| {
+                    serde_json::to_string(v).map_err(|e| Error::session_persist(e.to_string()))
+                },
+                |text| {
+                    serde_json::from_str(text).map_err(|e| Error::session_persist(e.to_string()))
+                },
+            )
+            .expect("dir created"),
+        );
+        // A spill file that cannot decode (wrong shape / old format).
+        std::fs::write(dir.join("bad.session.json"), "{not json").expect("written");
+        let store: SessionStore<Vec<u64>> =
+            SessionStore::with_persist(SessionConfig { capacity: 4, ttl }, persist);
+        // First touch surfaces the typed error…
+        let err = store
+            .turn("bad", |_| Ok(()))
+            .expect_err("corrupt spill file must error");
+        assert!(matches!(err, Error::SessionPersist { .. }), "{err:?}");
+        // …and quarantines the file: the id is NOT bricked until TTL —
+        // it can be reopened fresh immediately.
+        store
+            .open("bad", || vec![1])
+            .expect("quarantine frees the id for a fresh open");
+        let value = store.turn("bad", |v| Ok(v.clone())).expect("fresh session");
+        assert_eq!(value, vec![1]);
+        // The corrupt bytes were preserved for forensics, off to the
+        // side where `contains`/`ids` no longer see them.
+        assert!(dir.join("bad.session.corrupt").exists());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    /// A persist layer whose spill blocks until released, so tests can
+    /// observe what the store lets happen *during* spill I/O.
+    struct GatedPersist {
+        in_spill: Arc<AtomicBool>,
+        release: Arc<AtomicBool>,
+        inner: MemoryPersist<Vec<u64>>,
+    }
+
+    impl SessionPersist<Vec<u64>> for GatedPersist {
+        fn spill(&self, id: &str, value: Vec<u64>) -> Result<(), (Vec<u64>, Error)> {
+            self.in_spill.store(true, Ordering::SeqCst);
+            let mut spins = 0usize;
+            while !self.release.load(Ordering::SeqCst) {
+                thread::yield_now();
+                spins += 1;
+                assert!(spins < 100_000_000, "spill gate never released");
+            }
+            self.inner.spill(id, value)
+        }
+
+        fn take(&self, id: &str) -> Result<Option<Vec<u64>>, Error> {
+            self.inner.take(id)
+        }
+
+        fn contains(&self, id: &str) -> bool {
+            self.inner.contains(id)
+        }
+
+        fn ids(&self) -> Vec<String> {
+            self.inner.ids()
+        }
+    }
+
+    #[test]
+    fn spill_io_does_not_block_turns_on_other_sessions() {
+        let ttl = Duration::from_secs(3600);
+        let in_spill = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let store: Arc<SessionStore<Vec<u64>>> = Arc::new(SessionStore::with_persist(
+            SessionConfig { capacity: 2, ttl },
+            Arc::new(GatedPersist {
+                in_spill: Arc::clone(&in_spill),
+                release: Arc::clone(&release),
+                inner: MemoryPersist::new(ttl),
+            }),
+        ));
+        store.open("victim", || vec![1]).expect("opens");
+        store.open("bystander", Vec::new).expect("opens");
+        // Make "victim" the LRU, then trigger a spill that blocks in
+        // the gated persist layer.
+        store.turn("bystander", |_| Ok(())).expect("touch");
+        let store2 = Arc::clone(&store);
+        let opener = thread::spawn(move || store2.open("new", Vec::new));
+        while !in_spill.load(Ordering::SeqCst) {
+            thread::yield_now();
+        }
+        // The spill write is in flight. Turns on *other* sessions must
+        // proceed — the store map lock is not held across persist I/O.
+        store
+            .turn("bystander", |v| {
+                v.push(7);
+                Ok(())
+            })
+            .expect("bystander turn runs during the spill write");
+        release.store(true, Ordering::SeqCst);
+        opener.join().expect("no panic").expect("open completes");
+        // And the spilled victim rehydrates with its state intact.
+        let value = store.turn("victim", |v| Ok(v.clone())).expect("rehydrates");
+        assert_eq!(value, vec![1]);
     }
 
     #[test]

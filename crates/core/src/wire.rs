@@ -44,6 +44,7 @@ impl From<&Error> for WireError {
             Error::Legalize(_) => "Legalize",
             Error::Drc { .. } => "Drc",
             Error::SessionNotFound { .. } => "SessionNotFound",
+            Error::SessionPersist { .. } => "SessionPersist",
             Error::Cancelled => "Cancelled",
             Error::QueueFull { .. } => "QueueFull",
             Error::Internal { .. } => "Internal",
@@ -199,6 +200,7 @@ mod tests {
             (Error::config("x"), "Config"),
             (Error::invalid_request("x"), "InvalidRequest"),
             (Error::session_not_found("s", "closed"), "SessionNotFound"),
+            (Error::session_persist("disk full"), "SessionPersist"),
             (Error::Cancelled, "Cancelled"),
             (Error::QueueFull { depth: 4 }, "QueueFull"),
             (Error::internal("x"), "Internal"),

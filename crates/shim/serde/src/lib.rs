@@ -76,6 +76,12 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
@@ -256,6 +262,12 @@ impl Deserialize for String {
             .as_str()
             .map(str::to_owned)
             .ok_or_else(|| Error::custom(format!("expected string, found {value}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Box<T>, Error> {
+        T::from_value(value).map(Box::new)
     }
 }
 

@@ -1,0 +1,80 @@
+//! Durable sessions: snapshot a live multi-turn dialog, "crash" the
+//! system that hosted it, and hand the conversation off to a fresh
+//! system — the in-process version of the `chatpattern-serve`
+//! cross-process handoff (`SessionSnapshot` / `SessionRestore` wire
+//! requests, `docs/SESSIONS.md`).
+//!
+//! The restored session's follow-up turn is byte-identical to the same
+//! turn on the uninterrupted session: the snapshot carries the
+//! transcript, the working library, the carried requirement context
+//! and the RNG position, so "1 more pattern." means exactly the same
+//! thing after the handoff.
+//!
+//! Run with `cargo run --release --example session_handoff`.
+
+use chatpattern::{ChatPattern, ChatPatternBuilder, Error};
+
+fn build() -> Result<ChatPattern, Error> {
+    // Both systems must be built equivalently: snapshots carry session
+    // state, not the trained model.
+    ChatPatternBuilder::default()
+        .window(16)
+        .training_patterns(8)
+        .diffusion_steps(6)
+        .seed(1)
+        .build()
+}
+
+fn main() -> Result<(), Error> {
+    let first_turn = "Generate 2 patterns, topology size 16*16, physical size 512nm x 512nm, \
+                      style Layer-10001.";
+    let follow_up = "1 more pattern.";
+
+    // A reference run that is never interrupted.
+    let reference = build()?;
+    reference.session_open("demo", Some(42))?;
+    reference.session_turn("demo", first_turn)?;
+    let uninterrupted = reference.session_turn("demo", follow_up)?;
+
+    // The same dialog, interrupted after turn 1.
+    let donor = build()?;
+    donor.session_open("demo", Some(42))?;
+    let turn1 = donor.session_turn("demo", first_turn)?;
+    println!(
+        "turn 1 on the donor system: {} patterns ({})",
+        turn1.library.len(),
+        turn1.summary
+    );
+
+    // Export while the session is live, then lose the donor system —
+    // a serve-process crash, a deploy, an eviction to cold storage.
+    let snapshot = donor.session_snapshot("demo")?;
+    let wire_form =
+        serde_json::to_string(&snapshot).map_err(|e| Error::session_persist(e.to_string()))?;
+    drop(donor);
+    println!(
+        "snapshot exported: format v{}, {} bytes on the wire",
+        snapshot.format,
+        wire_form.len()
+    );
+
+    // A brand-new system picks the conversation up mid-dialog.
+    let successor = build()?;
+    let info = successor.session_restore(snapshot)?;
+    println!("restored session \"{}\" (seed {})", info.session, info.seed);
+    let resumed = successor.session_turn("demo", follow_up)?;
+    println!(
+        "turn {} on the successor: {} patterns ({})",
+        resumed.turn,
+        resumed.library.len(),
+        resumed.summary
+    );
+
+    assert_eq!(
+        resumed.library, uninterrupted.library,
+        "the handoff must not change the dialog's outcome"
+    );
+    assert_eq!(resumed.transcript, uninterrupted.transcript);
+    println!("handoff verified: follow-up turn is byte-identical to the uninterrupted run");
+    Ok(())
+}

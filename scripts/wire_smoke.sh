@@ -2,10 +2,15 @@
 # End-to-end wire smoke test: pipe the checked-in JSONL request file
 # through chatpattern-serve and assert that (a) every output line is
 # valid JSON with a non-null id and an Ok/Err outcome, (b) the set
-# of response ids exactly matches the set of request ids, and (c) a
+# of response ids exactly matches the set of request ids, (c) a
 # burst of duplicate requests performs exactly one backend execution
-# while still answering every id. Run from anywhere; needs jq and a
-# built (or buildable) release binary.
+# while still answering every id, (d) an interactive session
+# round-trips (open, turns, close, typed error on the closed id),
+# (e) with --session-dir capacity eviction spills and rehydrates
+# (while a *closed* id stays SessionNotFound), and (f) a session
+# snapshot exported from one serve process restores into another and
+# the conversation continues (cross-process handoff). Run from
+# anywhere; needs jq and a built (or buildable) release binary.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -130,3 +135,100 @@ if [ "$TURNS" != "2" ] || [ "$OPEN" != "0" ]; then
 fi
 
 echo "wire smoke OK: session round-trip (open, 2 turns, close, typed error on closed id)"
+
+# (e) Durability: with --session-dir, capacity eviction *spills* —
+# a turn on the evicted id rehydrates and succeeds — while an
+# explicitly *closed* id stays a SessionNotFound envelope. The two
+# cases were previously conflated; they pin different behaviors.
+SESS_DIR=$(mktemp -d)
+mkfifo "$SESS_DIR/in" "$SESS_DIR/out"
+"$BIN" --window 16 --training-patterns 8 --diffusion-steps 6 --workers 2 \
+    --max-sessions 1 --session-ttl-secs 600 --session-dir "$SESS_DIR/spill" --stats \
+    < "$SESS_DIR/in" > "$SESS_DIR/out" 2> "$SESS_DIR/err" &
+SERVE_PID=$!
+exec 3> "$SESS_DIR/in" 4< "$SESS_DIR/out"
+
+session_exchange '{"id":"d-open1","request":{"SessionOpen":{"session":"first","seed":7}}}'
+echo "$SESSION_REPLY" | jq -e '.outcome | has("Ok")' > /dev/null \
+    || session_fail "durable open errored"
+session_exchange '{"id":"d-t1","request":{"SessionTurn":{"session":"first","utterance":"Generate 1 pattern, topology size 16*16, physical size 512nm x 512nm, style Layer-10001."}}}'
+echo "$SESSION_REPLY" | jq -e '.outcome.Ok.payload.SessionTurn.turn == 1' > /dev/null \
+    || session_fail "durable first turn failed"
+# Capacity 1: this open evicts "first" — which must spill, not die.
+session_exchange '{"id":"d-open2","request":{"SessionOpen":{"session":"second","seed":8}}}'
+echo "$SESSION_REPLY" | jq -e '.outcome | has("Ok")' > /dev/null \
+    || session_fail "second open errored"
+session_exchange '{"id":"d-t2","request":{"SessionTurn":{"session":"first","utterance":"1 more pattern."}}}'
+echo "$SESSION_REPLY" | jq -e '.outcome.Ok.payload.SessionTurn.turn == 2' > /dev/null \
+    || session_fail "turn on the spilled (evicted) id must rehydrate and report turn 2"
+session_exchange '{"id":"d-close","request":{"SessionClose":{"session":"first"}}}'
+echo "$SESSION_REPLY" | jq -e '.outcome.Ok.payload | has("SessionClose")' > /dev/null \
+    || session_fail "close of the rehydrated session errored"
+session_exchange '{"id":"d-late","request":{"SessionTurn":{"session":"first","utterance":"more"}}}'
+echo "$SESSION_REPLY" | jq -e '.outcome.Err.kind == "SessionNotFound"' > /dev/null \
+    || session_fail "turn on an explicitly closed id must stay SessionNotFound"
+session_exchange '{"id":"d-close2","request":{"SessionClose":{"session":"second"}}}'
+echo "$SESSION_REPLY" | jq -e '.outcome.Ok.payload | has("SessionClose")' > /dev/null \
+    || session_fail "close of the second session errored"
+
+exec 3>&- 4<&-
+wait "$SERVE_PID" || { echo "wire smoke FAILED: durable serve exited non-zero" >&2; rm -rf "$SESS_DIR"; exit 1; }
+EVICTED=$(grep -o 'sessions_evicted=[0-9]*' "$SESS_DIR/err" | cut -d= -f2)
+SPILLED=$(grep -o 'sessions_spilled=[0-9]*' "$SESS_DIR/err" | cut -d= -f2)
+RESTORED=$(grep -o 'sessions_restored=[0-9]*' "$SESS_DIR/err" | cut -d= -f2)
+rm -rf "$SESS_DIR"
+if [ "$EVICTED" != "0" ] || [ "$SPILLED" = "0" ] || [ "$RESTORED" = "0" ]; then
+    echo "wire smoke FAILED: durable stats evicted=$EVICTED spilled=$SPILLED restored=$RESTORED (want 0, >0, >0)" >&2
+    exit 1
+fi
+
+echo "wire smoke OK: spill-on-evict rehydrates (spilled=$SPILLED restored=$RESTORED), closed id stays SessionNotFound"
+
+# (f) Two-process handoff: snapshot a live session out of serve A,
+# kill A (simulated crash), restore the snapshot into serve B and
+# continue the conversation there.
+SESS_DIR=$(mktemp -d)
+mkfifo "$SESS_DIR/in" "$SESS_DIR/out"
+"$BIN" --window 16 --training-patterns 8 --diffusion-steps 6 --workers 2 --seed 3 \
+    < "$SESS_DIR/in" > "$SESS_DIR/out" 2> /dev/null &
+SERVE_PID=$!
+exec 3> "$SESS_DIR/in" 4< "$SESS_DIR/out"
+
+session_exchange '{"id":"h-open","request":{"SessionOpen":{"session":"hand","seed":7}}}'
+echo "$SESSION_REPLY" | jq -e '.outcome | has("Ok")' > /dev/null \
+    || session_fail "handoff open errored"
+session_exchange '{"id":"h-t1","request":{"SessionTurn":{"session":"hand","utterance":"Generate 2 patterns, topology size 16*16, physical size 512nm x 512nm, style Layer-10003."}}}'
+echo "$SESSION_REPLY" | jq -e '.outcome.Ok.payload.SessionTurn.turn == 1' > /dev/null \
+    || session_fail "handoff first turn failed"
+session_exchange '{"id":"h-snap","request":{"SessionSnapshot":{"session":"hand"}}}'
+SNAPSHOT=$(echo "$SESSION_REPLY" | jq -ce '.outcome.Ok.payload.SessionSnapshot') \
+    || session_fail "snapshot export errored"
+exec 3>&- 4<&-
+kill -9 "$SERVE_PID" 2> /dev/null || true
+wait "$SERVE_PID" 2> /dev/null || true
+
+# Serve B: same model configuration (snapshots carry session state,
+# not the trained model), fresh process.
+mkfifo "$SESS_DIR/in2" "$SESS_DIR/out2"
+"$BIN" --window 16 --training-patterns 8 --diffusion-steps 6 --workers 2 --seed 3 \
+    < "$SESS_DIR/in2" > "$SESS_DIR/out2" 2> /dev/null &
+SERVE_PID=$!
+exec 3> "$SESS_DIR/in2" 4< "$SESS_DIR/out2"
+
+session_exchange "$(jq -cn --argjson snap "$SNAPSHOT" '{id:"h-restore",request:{SessionRestore:{snapshot:$snap}}}')"
+echo "$SESSION_REPLY" | jq -e '.outcome.Ok.payload.SessionRestore.session == "hand"' > /dev/null \
+    || session_fail "snapshot restore into serve B errored"
+session_exchange '{"id":"h-t2","request":{"SessionTurn":{"session":"hand","utterance":"1 more pattern."}}}'
+echo "$SESSION_REPLY" | jq -e '.outcome.Ok.payload.SessionTurn.turn == 2' > /dev/null \
+    || session_fail "restored session must continue at turn 2 in serve B"
+echo "$SESSION_REPLY" | jq -e '.outcome.Ok.payload.SessionTurn.library | length == 3' > /dev/null \
+    || session_fail "restored session must keep the donor's library (2 + 1 patterns)"
+session_exchange '{"id":"h-close","request":{"SessionClose":{"session":"hand"}}}'
+echo "$SESSION_REPLY" | jq -e '.outcome.Ok.payload | has("SessionClose")' > /dev/null \
+    || session_fail "handoff close errored"
+
+exec 3>&- 4<&-
+wait "$SERVE_PID" || { echo "wire smoke FAILED: serve B exited non-zero" >&2; rm -rf "$SESS_DIR"; exit 1; }
+rm -rf "$SESS_DIR"
+
+echo "wire smoke OK: two-process handoff (snapshot from A, crash, restore into B, conversation continues)"

@@ -14,6 +14,7 @@
 //! chatpattern-serve [--backend inline|threadpool|sharded] [--shards N]
 //!                   [--workers N] [--queue-depth N] [--cache-capacity N]
 //!                   [--max-sessions N] [--session-ttl-secs N]
+//!                   [--session-dir PATH]
 //!                   [--window N] [--diffusion-steps N]
 //!                   [--training-patterns N] [--seed N] [--stats]
 //! ```
@@ -27,7 +28,13 @@
 //! `--session-ttl-secs`; session requests are never cached or
 //! coalesced, and a client that wants deterministic turn ordering
 //! should pipeline them (wait for each turn's reply before sending the
-//! next). `--stats` prints the engine's
+//! next). With `--session-dir`, capacity eviction *spills* sessions to
+//! disk instead of destroying them — a turn on a spilled id rehydrates
+//! it transparently, and spilled sessions survive a restart over the
+//! same directory — while the `SessionSnapshot` / `SessionRestore`
+//! request kinds export a live session from one serve process and
+//! import it into another (cross-process handoff, no shared directory
+//! needed). `--stats` prints the engine's
 //! [`EngineStats`](chatpattern_core::EngineStats) counters to stderr
 //! at EOF. Malformed lines produce
 //! an error envelope immediately (with the line's `id` when one is
@@ -52,6 +59,7 @@ struct Options {
     seed: u64,
     max_sessions: usize,
     session_ttl_secs: u64,
+    session_dir: Option<String>,
     stats: bool,
 }
 
@@ -67,6 +75,7 @@ impl Default for Options {
             seed: 0,
             max_sessions: 64,
             session_ttl_secs: 900,
+            session_dir: None,
             stats: false,
         }
     }
@@ -92,7 +101,17 @@ Options:
   --cache-capacity N     LRU result-cache entries, 0 disables (default 128)
   --max-sessions N       open chat sessions held at once; opening more
                          evicts the least-recently-used (default 64)
-  --session-ttl-secs N   idle seconds before a session expires (default 900)
+  --session-ttl-secs N   idle seconds before a session expires (default 900;
+                         also bounds spilled sessions in --session-dir)
+  --session-dir PATH     spill evicted sessions to one JSON file per
+                         session under PATH instead of destroying them;
+                         a turn on a spilled id rehydrates it
+                         transparently, and spilled sessions survive a
+                         serve restart over the same PATH (default: off
+                         — eviction destroys). Cross-process handoff
+                         without a shared directory uses the
+                         SessionSnapshot / SessionRestore request kinds
+                         (docs/SESSIONS.md)
   --window N             model window L (default 64)
   --diffusion-steps N    diffusion chain length K (default 12)
   --training-patterns N  training patterns per style (default 64)
@@ -140,6 +159,7 @@ fn parse_args() -> Result<Options, String> {
             "--cache-capacity" => options.engine.cache_capacity = number("--cache-capacity")?,
             "--max-sessions" => options.max_sessions = number("--max-sessions")?,
             "--session-ttl-secs" => options.session_ttl_secs = number("--session-ttl-secs")? as u64,
+            "--session-dir" => options.session_dir = Some(value.clone()),
             "--window" => options.window = number("--window")?,
             "--diffusion-steps" => options.diffusion_steps = number("--diffusion-steps")?,
             "--training-patterns" => options.training_patterns = number("--training-patterns")?,
@@ -212,15 +232,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let system = match ChatPattern::builder()
+    let mut builder = ChatPattern::builder()
         .window(options.window)
         .diffusion_steps(options.diffusion_steps)
         .training_patterns(options.training_patterns)
         .seed(options.seed)
         .max_sessions(options.max_sessions)
-        .session_ttl(std::time::Duration::from_secs(options.session_ttl_secs))
-        .build()
-    {
+        .session_ttl(std::time::Duration::from_secs(options.session_ttl_secs));
+    if let Some(dir) = &options.session_dir {
+        builder = builder.session_dir(dir);
+    }
+    let system = match builder.build() {
         Ok(system) => system,
         Err(error) => {
             eprintln!("chatpattern-serve: {error}");
@@ -284,7 +306,7 @@ fn main() -> ExitCode {
         eprintln!(
             "chatpattern-serve: backend={} submitted={} completed={} failed={} cancelled={} \
              cache_hits={} cache_misses={} coalesced={} sessions_open={} sessions_evicted={} \
-             turns={} queue_depths={:?}",
+             sessions_spilled={} sessions_restored={} turns={} queue_depths={:?}",
             engine.config().backend.name(),
             stats.submitted,
             stats.completed,
@@ -295,6 +317,8 @@ fn main() -> ExitCode {
             stats.coalesced,
             stats.sessions_open,
             stats.sessions_evicted,
+            stats.sessions_spilled,
+            stats.sessions_restored,
             stats.turns,
             stats.queue_depths,
         );

@@ -59,8 +59,10 @@ pub use cp_squish as squish;
 pub use chatpattern_core::{
     BackendKind, ChatOutcome, ChatParams, ChatPattern, ChatPatternBuilder, ChatSession,
     EngineConfig, EngineStats, Error, EvaluateParams, ExtendParams, GenerateParams, JobHandle,
-    JobStatus, LegalizeParams, ModifyParams, PatternEngine, PatternRequest, PatternResponse,
-    PatternService, RequestEnvelope, ResponseEnvelope, ResponsePayload, SessionCloseParams,
-    SessionConfig, SessionInfo, SessionOpenParams, SessionStats, SessionStore, SessionTurnParams,
-    Timing, TurnOutcome, WireError, WireOutcome,
+    JobStatus, JsonDirPersist, LegalizeParams, MemoryPersist, ModifyParams, PatternEngine,
+    PatternRequest, PatternResponse, PatternService, RequestEnvelope, ResponseEnvelope,
+    ResponsePayload, SessionCloseParams, SessionConfig, SessionInfo, SessionOpenParams,
+    SessionPersist, SessionRestoreParams, SessionSnapshot, SessionSnapshotParams, SessionStats,
+    SessionStore, SessionTurnParams, Timing, TurnOutcome, WireError, WireOutcome,
+    SESSION_SNAPSHOT_FORMAT,
 };

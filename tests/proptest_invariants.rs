@@ -13,9 +13,10 @@ use chatpattern::drc::{check_pattern, DesignRules};
 use chatpattern::geom::{Layout, Rect};
 use chatpattern::legalize::Legalizer;
 use chatpattern::squish::{complexity, normalize_to, SquishPattern, Topology};
-use chatpattern::{Error, SessionConfig, SessionStore};
+use chatpattern::{ChatPattern, Error, MemoryPersist, SessionConfig, SessionStore};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 use std::time::Duration;
 
 const CASES: u64 = 64;
@@ -530,5 +531,344 @@ fn session_store_interleavings_respect_capacity_order_and_eviction() {
         arb_session_ops,
         |ops| shrink_session_ops(ops),
         |ops| check_session_ops(ops),
+    );
+}
+
+// ---------------------------------------------------------------------
+// Spill/rehydrate invariants (durable store vs. naive model)
+// ---------------------------------------------------------------------
+
+/// Naive model of a store with a persist layer: live entries in
+/// logical-recency order (front = LRU victim) plus a spilled map.
+/// Closed ids land in neither — they never resurrect.
+struct SpillModel {
+    capacity: usize,
+    live: Vec<(u8, Vec<u64>)>,
+    spilled: Vec<(u8, Vec<u64>)>,
+    spill_count: u64,
+    restore_count: u64,
+}
+
+impl SpillModel {
+    fn live_position(&self, id: u8) -> Option<usize> {
+        self.live.iter().position(|(k, _)| *k == id)
+    }
+
+    fn spilled_position(&self, id: u8) -> Option<usize> {
+        self.spilled.iter().position(|(k, _)| *k == id)
+    }
+
+    /// Mirrors `SessionStore::make_room`: spill LRU live entries until
+    /// one slot is free.
+    fn make_room(&mut self) {
+        while self.live.len() >= self.capacity {
+            let victim = self.live.remove(0);
+            self.spilled.push(victim);
+            self.spill_count += 1;
+        }
+    }
+}
+
+/// Replays `ops` against a durable (MemoryPersist) store and the spill
+/// model in lockstep. Divergence — a `SessionNotFound` on a spilled id
+/// before TTL, a resurrected closed id, lost turns across a
+/// spill/rehydrate cycle, wrong counters — fails the property.
+fn check_spill_ops(ops: &[SessionOp]) -> Result<(), String> {
+    let ttl = Duration::from_secs(3600);
+    let store: SessionStore<Vec<u64>> = SessionStore::with_persist(
+        SessionConfig {
+            capacity: SESSION_CAPACITY,
+            ttl,
+        },
+        Arc::new(MemoryPersist::new(ttl)),
+    );
+    let mut model = SpillModel {
+        capacity: SESSION_CAPACITY,
+        live: Vec::new(),
+        spilled: Vec::new(),
+        spill_count: 0,
+        restore_count: 0,
+    };
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            SessionOp::Open(id) => {
+                let outcome = store.open(&id.to_string(), Vec::new);
+                if model.live_position(id).is_some() || model.spilled_position(id).is_some() {
+                    // Live *or* spilled: the id is taken (a spilled
+                    // session is still alive until TTL).
+                    if !matches!(outcome, Err(Error::InvalidRequest { .. })) {
+                        return Err(format!(
+                            "op {step}: reopening live/spilled session {id} gave {outcome:?}"
+                        ));
+                    }
+                } else {
+                    if outcome.is_err() {
+                        return Err(format!("op {step}: open({id}) failed: {outcome:?}"));
+                    }
+                    model.make_room();
+                    model.live.push((id, Vec::new()));
+                }
+            }
+            SessionOp::Turn(id) => {
+                let outcome = store.turn(&id.to_string(), |v| {
+                    v.push(step as u64);
+                    Ok(v.clone())
+                });
+                let entry = match model.live_position(id) {
+                    Some(pos) => {
+                        let entry = model.live.remove(pos);
+                        model.live.push(entry);
+                        model.live.last_mut().expect("just pushed")
+                    }
+                    None => match model.spilled_position(id) {
+                        Some(pos) => {
+                            // Rehydrate: free a live slot first (may
+                            // spill another session), then promote.
+                            let entry = model.spilled.remove(pos);
+                            model.make_room();
+                            model.restore_count += 1;
+                            model.live.push(entry);
+                            model.live.last_mut().expect("just pushed")
+                        }
+                        None => {
+                            if !matches!(outcome, Err(Error::SessionNotFound { .. })) {
+                                return Err(format!(
+                                    "op {step}: turn on dead session {id} gave {outcome:?} \
+                                     instead of SessionNotFound"
+                                ));
+                            }
+                            continue;
+                        }
+                    },
+                };
+                entry.1.push(step as u64);
+                match outcome {
+                    Ok(seen) if seen == entry.1 => {}
+                    other => {
+                        return Err(format!(
+                            "op {step}: turn({id}) saw {other:?}, model has {:?} (turns \
+                             lost across a spill/rehydrate cycle?)",
+                            entry.1
+                        ))
+                    }
+                }
+            }
+            SessionOp::Close(id) => {
+                let outcome = store.close(&id.to_string());
+                let expect = match model.live_position(id) {
+                    Some(pos) => Some(model.live.remove(pos).1),
+                    None => match model.spilled_position(id) {
+                        Some(pos) => {
+                            // Close of a spilled id rehydrates through
+                            // the live map: at capacity that spills
+                            // the LRU victim first.
+                            let entry = model.spilled.remove(pos);
+                            model.make_room();
+                            model.restore_count += 1;
+                            Some(entry.1)
+                        }
+                        None => None,
+                    },
+                };
+                match (outcome, expect) {
+                    (Ok(value), Some(expected)) if value == expected => {}
+                    (Err(Error::SessionNotFound { .. }), None) => {}
+                    (outcome, expect) => {
+                        return Err(format!(
+                            "op {step}: close({id}) returned {outcome:?}, model expected \
+                             {expect:?} (closed sessions must never resurrect)"
+                        ))
+                    }
+                }
+            }
+        }
+        let stats = store.stats();
+        if store.len() > SESSION_CAPACITY {
+            return Err(format!(
+                "op {step}: store holds {} sessions, capacity is {SESSION_CAPACITY}",
+                store.len()
+            ));
+        }
+        if store.len() != model.live.len() {
+            return Err(format!(
+                "op {step}: store has {} live sessions, model has {}",
+                store.len(),
+                model.live.len()
+            ));
+        }
+        if stats.evicted != 0 {
+            return Err(format!(
+                "op {step}: a durable store destroyed {} session(s)",
+                stats.evicted
+            ));
+        }
+        if (stats.spilled, stats.restored) != (model.spill_count, model.restore_count) {
+            return Err(format!(
+                "op {step}: counters (spilled {}, restored {}) diverged from the model \
+                 (spilled {}, restored {})",
+                stats.spilled, stats.restored, model.spill_count, model.restore_count
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn durable_session_store_spills_and_rehydrates_like_the_model() {
+    shrink::check(
+        "durable_session_store_spills_and_rehydrates_like_the_model",
+        CASES,
+        6000,
+        arb_session_ops,
+        |ops| shrink_session_ops(ops),
+        |ops| check_spill_ops(ops),
+    );
+}
+
+// ---------------------------------------------------------------------
+// Snapshot/restore round-trip (random turn scripts on real sessions)
+// ---------------------------------------------------------------------
+
+/// The utterance pool for random turn scripts. Index 0 is a full
+/// requirement (a session's first turn must parse); the rest exercise
+/// the context-inheriting follow-up grammar.
+const SCRIPT_UTTERANCES: [&str; 4] = [
+    "Generate 2 patterns, topology size 16*16, physical size 512nm x 512nm, style Layer-10001.",
+    "Now make them denser.",
+    "1 more pattern.",
+    "Generate 1 pattern, topology size 16*16, physical size 512nm x 512nm, style Layer-10003.",
+];
+
+/// A random script: 1–4 turns (first always the full requirement) and
+/// a snapshot point strictly inside `0..=turns`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SnapshotCase {
+    turns: Vec<usize>,
+    cut: usize,
+}
+
+fn arb_snapshot_case(rng: &mut ChaCha8Rng) -> SnapshotCase {
+    let len = rng.gen_range(1..=4usize);
+    let mut turns = vec![0usize];
+    for _ in 1..len {
+        turns.push(rng.gen_range(0..SCRIPT_UTTERANCES.len()));
+    }
+    let cut = rng.gen_range(0..=turns.len());
+    SnapshotCase { turns, cut }
+}
+
+/// Shrink: drop a non-first turn, or move the cut earlier.
+fn shrink_snapshot_case(case: &SnapshotCase) -> Vec<SnapshotCase> {
+    let mut out = Vec::new();
+    for skip in 1..case.turns.len() {
+        let turns: Vec<usize> = case
+            .turns
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, t)| *t)
+            .collect();
+        out.push(SnapshotCase {
+            cut: case.cut.min(turns.len()),
+            turns,
+        });
+    }
+    if case.cut > 0 {
+        out.push(SnapshotCase {
+            turns: case.turns.clone(),
+            cut: case.cut - 1,
+        });
+    }
+    out
+}
+
+/// Runs one case: the script uninterrupted on system A vs. snapshot at
+/// `cut` → restore into system B → remaining turns. The final close
+/// outcomes must serialize identically.
+fn check_snapshot_case(
+    donor: &ChatPattern,
+    successor: &ChatPattern,
+    tag: usize,
+    case: &SnapshotCase,
+) -> Result<(), String> {
+    let seed = 40 + tag as u64;
+    let whole_id = format!("ref-{tag}");
+    let cut_id = format!("cut-{tag}");
+    donor
+        .session_open(&whole_id, Some(seed))
+        .map_err(|e| format!("open reference: {e}"))?;
+    for (i, &t) in case.turns.iter().enumerate() {
+        donor
+            .session_turn(&whole_id, SCRIPT_UTTERANCES[t])
+            .map_err(|e| format!("reference turn {i}: {e}"))?;
+    }
+    let reference = donor
+        .session_close(&whole_id)
+        .map_err(|e| format!("close reference: {e}"))?;
+
+    donor
+        .session_open(&cut_id, Some(seed))
+        .map_err(|e| format!("open donor: {e}"))?;
+    for (i, &t) in case.turns[..case.cut].iter().enumerate() {
+        donor
+            .session_turn(&cut_id, SCRIPT_UTTERANCES[t])
+            .map_err(|e| format!("donor turn {i}: {e}"))?;
+    }
+    let snapshot = donor
+        .session_snapshot(&cut_id)
+        .map_err(|e| format!("snapshot: {e}"))?;
+    let _ = donor
+        .session_close(&cut_id)
+        .map_err(|e| format!("close donor: {e}"))?;
+    successor
+        .session_restore(snapshot)
+        .map_err(|e| format!("restore: {e}"))?;
+    for (i, &t) in case.turns[case.cut..].iter().enumerate() {
+        successor
+            .session_turn(&cut_id, SCRIPT_UTTERANCES[t])
+            .map_err(|e| format!("restored turn {i}: {e}"))?;
+    }
+    let restored = successor
+        .session_close(&cut_id)
+        .map_err(|e| format!("close restored: {e}"))?;
+
+    let reference = serde_json::to_string(&reference).map_err(|e| e.to_string())?;
+    let restored = serde_json::to_string(&restored).map_err(|e| e.to_string())?;
+    if reference != restored {
+        return Err(String::from(
+            "snapshot → restore → remaining turns diverged from the uninterrupted run",
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn snapshot_restore_round_trip_matches_uninterrupted_runs() {
+    // Real agent turns are orders of magnitude slower than store ops,
+    // so this property runs fewer, richer cases. Both systems are
+    // built once, equivalently (snapshots carry state, not models);
+    // every case gets fresh session ids.
+    let build = || {
+        ChatPattern::builder()
+            .window(16)
+            .training_patterns(8)
+            .diffusion_steps(6)
+            .seed(3)
+            .build()
+            .expect("valid configuration")
+    };
+    let donor = build();
+    let successor = build();
+    let tag = std::cell::Cell::new(0usize);
+    shrink::check(
+        "snapshot_restore_round_trip_matches_uninterrupted_runs",
+        6,
+        7000,
+        arb_snapshot_case,
+        shrink_snapshot_case,
+        |case| {
+            tag.set(tag.get() + 1);
+            check_snapshot_case(&donor, &successor, tag.get(), case)
+        },
     );
 }

@@ -1,0 +1,435 @@
+//! Crash-recovery acceptance suite for durable sessions (ISSUE 5).
+//!
+//! Pins the tentpole guarantees end to end:
+//!
+//! * **Snapshot/restore equivalence** — open a session, run two turns,
+//!   snapshot, *drop the engine* (simulated crash), restore into a
+//!   fresh engine, run a context-inheriting follow-up turn: the final
+//!   library (and full transcript) is byte-identical to the same three
+//!   turns run uninterrupted. Asserted in-process through
+//!   `PatternEngine` and across two real `chatpattern-serve` processes
+//!   through the `SessionSnapshot` / `SessionRestore` wire envelopes.
+//! * **Spill/rehydrate** — an over-capacity store with `--session-dir`
+//!   serves turns on every opened session (eviction spills, access
+//!   rehydrates) with zero `SessionNotFound` errors before TTL.
+//! * **Restart recovery** — sessions spilled to `--session-dir`
+//!   survive a `kill`ed serve process: a new process over the same
+//!   directory resumes them mid-dialog, while sessions that were only
+//!   live in the crashed process's memory are gone.
+
+use chatpattern::{
+    BackendKind, ChatPattern, EngineConfig, Error, PatternEngine, PatternRequest, PatternService,
+    RequestEnvelope, ResponseEnvelope, ResponsePayload, SessionCloseParams, SessionOpenParams,
+    SessionRestoreParams, SessionSnapshot, SessionSnapshotParams, SessionTurnParams, WireOutcome,
+};
+use std::io::{BufRead, BufReader, Lines, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+const TURNS: [&str; 3] = [
+    "Generate 2 patterns, topology size 16*16, physical size 512nm x 512nm, style Layer-10003.",
+    "Now make them denser.",
+    "1 more pattern.",
+];
+const SEED: u64 = 9;
+
+fn build_system() -> ChatPattern {
+    ChatPattern::builder()
+        .window(16)
+        .training_patterns(8)
+        .diffusion_steps(6)
+        .seed(3)
+        .build()
+        .expect("valid configuration")
+}
+
+/// The reference: all three turns on one uninterrupted session, the
+/// final outcome serialized the way it crosses the wire.
+fn uninterrupted_close_payload(id: &str) -> String {
+    let system = build_system();
+    system.session_open(id, Some(SEED)).expect("opens");
+    for (i, utterance) in TURNS.iter().enumerate() {
+        let turn = system.session_turn(id, utterance).expect("turn runs");
+        assert_eq!(turn.turn, i + 1);
+    }
+    let outcome = system.session_close(id).expect("closes");
+    serde_json::to_string(&ResponsePayload::SessionClose(outcome)).expect("serializes")
+}
+
+fn engine(system: ChatPattern) -> PatternEngine<ChatPattern> {
+    PatternEngine::with_config(
+        system,
+        EngineConfig {
+            backend: BackendKind::ThreadPool,
+            workers: 2,
+            queue_depth: 16,
+            cache_capacity: 16,
+        },
+    )
+    .expect("valid engine config")
+}
+
+#[test]
+fn in_process_crash_recovery_is_byte_identical() {
+    // Engine A hosts the first two turns, exports a snapshot, and is
+    // dropped — the simulated crash takes its whole system with it.
+    let engine_a = engine(build_system());
+    engine_a
+        .execute(PatternRequest::SessionOpen(SessionOpenParams {
+            session: "crash".into(),
+            seed: Some(SEED),
+        }))
+        .expect("opens");
+    for utterance in &TURNS[..2] {
+        engine_a
+            .execute(PatternRequest::SessionTurn(SessionTurnParams {
+                session: "crash".into(),
+                utterance: (*utterance).to_owned(),
+            }))
+            .expect("turn runs");
+    }
+    let exported = engine_a
+        .execute(PatternRequest::SessionSnapshot(SessionSnapshotParams {
+            session: "crash".into(),
+        }))
+        .expect("exports");
+    let ResponsePayload::SessionSnapshot(snapshot) = exported.payload else {
+        panic!("wrong payload {:?}", exported.payload);
+    };
+    drop(engine_a);
+
+    // The snapshot round-trips through its JSON persistence form.
+    let text = serde_json::to_string(&snapshot).expect("serializes");
+    let snapshot: SessionSnapshot = serde_json::from_str(&text).expect("parses");
+
+    // Engine B — a fresh engine over a fresh (equivalently built)
+    // system — resumes the dialog with the context-inheriting turn.
+    let engine_b = engine(build_system());
+    engine_b
+        .execute(PatternRequest::SessionRestore(SessionRestoreParams {
+            snapshot: Box::new(snapshot),
+        }))
+        .expect("restores");
+    let resumed = engine_b
+        .execute(PatternRequest::SessionTurn(SessionTurnParams {
+            session: "crash".into(),
+            utterance: TURNS[2].to_owned(),
+        }))
+        .expect("restored session serves the follow-up turn");
+    let ResponsePayload::SessionTurn(turn) = resumed.payload else {
+        panic!("wrong payload {:?}", resumed.payload);
+    };
+    assert_eq!(turn.turn, 3, "turn numbering continues across the crash");
+    let closed = engine_b
+        .execute(PatternRequest::SessionClose(SessionCloseParams {
+            session: "crash".into(),
+        }))
+        .expect("closes");
+    let recovered = serde_json::to_string(&closed.payload).expect("serializes");
+
+    assert_eq!(
+        recovered,
+        uninterrupted_close_payload("crash"),
+        "snapshot → crash → restore must be byte-identical to the uninterrupted run"
+    );
+}
+
+/// A strict request-then-response client over a serve child's pipes.
+struct ServeClient {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    lines: Lines<BufReader<ChildStdout>>,
+}
+
+impl ServeClient {
+    fn spawn(extra_args: &[&str]) -> ServeClient {
+        // The builder seed must match `build_system` — snapshots carry
+        // session state, not the trained model, so equivalence across
+        // processes requires equivalently trained back-ends.
+        let mut args = vec![
+            "--window",
+            "16",
+            "--training-patterns",
+            "8",
+            "--diffusion-steps",
+            "6",
+            "--workers",
+            "2",
+            "--seed",
+            "3",
+        ];
+        args.extend_from_slice(extra_args);
+        let mut child = Command::new(env!("CARGO_BIN_EXE_chatpattern-serve"))
+            .args(&args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("serve binary starts");
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = child.stdout.take().expect("stdout piped");
+        ServeClient {
+            child,
+            stdin: Some(stdin),
+            lines: BufReader::new(stdout).lines(),
+        }
+    }
+
+    fn exchange(&mut self, id: &str, request: PatternRequest) -> ResponseEnvelope {
+        let envelope = RequestEnvelope {
+            id: serde_json::to_value(&id),
+            request,
+        };
+        let line = serde_json::to_string(&envelope).expect("serializes");
+        let stdin = self.stdin.as_mut().expect("stdin open");
+        writeln!(stdin, "{line}").expect("request written");
+        stdin.flush().expect("request flushed");
+        let reply = self
+            .lines
+            .next()
+            .expect("a reply line arrives")
+            .expect("reply reads");
+        serde_json::from_str(&reply).unwrap_or_else(|e| panic!("unparsable reply {reply:?}: {e}"))
+    }
+
+    fn expect_ok(&mut self, id: &str, request: PatternRequest) -> ResponsePayload {
+        let reply = self.exchange(id, request);
+        match reply.outcome {
+            WireOutcome::Ok(response) => response.payload,
+            WireOutcome::Err(error) => panic!("request {id} failed: {error:?}"),
+        }
+    }
+
+    /// Simulated crash: SIGKILL, no flushing, no goodbyes.
+    fn kill(mut self) {
+        self.child.kill().expect("kill serve");
+        let _ = self.child.wait();
+    }
+
+    /// Graceful shutdown (EOF on stdin, zero exit).
+    fn shutdown(mut self) {
+        drop(self.stdin.take());
+        assert!(self.child.wait().expect("serve exits").success());
+    }
+}
+
+#[test]
+fn wire_handoff_across_two_serve_processes_is_byte_identical() {
+    // Process A: open, two turns, export the snapshot — then crash.
+    let mut serve_a = ServeClient::spawn(&[]);
+    serve_a.expect_ok(
+        "o",
+        PatternRequest::SessionOpen(SessionOpenParams {
+            session: "hand".into(),
+            seed: Some(SEED),
+        }),
+    );
+    for (i, utterance) in TURNS[..2].iter().enumerate() {
+        let payload = serve_a.expect_ok(
+            &format!("t{i}"),
+            PatternRequest::SessionTurn(SessionTurnParams {
+                session: "hand".into(),
+                utterance: (*utterance).to_owned(),
+            }),
+        );
+        let ResponsePayload::SessionTurn(turn) = payload else {
+            panic!("wrong payload");
+        };
+        assert_eq!(turn.turn, i + 1);
+    }
+    let ResponsePayload::SessionSnapshot(snapshot) = serve_a.expect_ok(
+        "snap",
+        PatternRequest::SessionSnapshot(SessionSnapshotParams {
+            session: "hand".into(),
+        }),
+    ) else {
+        panic!("wrong payload");
+    };
+    serve_a.kill();
+
+    // Process B: import, continue the conversation, close.
+    let mut serve_b = ServeClient::spawn(&[]);
+    let ResponsePayload::SessionRestore(info) = serve_b.expect_ok(
+        "restore",
+        PatternRequest::SessionRestore(SessionRestoreParams { snapshot }),
+    ) else {
+        panic!("wrong payload");
+    };
+    assert_eq!(info.session, "hand");
+    assert_eq!(info.seed, SEED);
+    let ResponsePayload::SessionTurn(turn) = serve_b.expect_ok(
+        "t2",
+        PatternRequest::SessionTurn(SessionTurnParams {
+            session: "hand".into(),
+            utterance: TURNS[2].to_owned(),
+        }),
+    ) else {
+        panic!("wrong payload");
+    };
+    assert_eq!(turn.turn, 3, "turn numbering continues across processes");
+    let closed = serve_b.expect_ok(
+        "c",
+        PatternRequest::SessionClose(SessionCloseParams {
+            session: "hand".into(),
+        }),
+    );
+    let recovered = serde_json::to_string(&closed).expect("serializes");
+    serve_b.shutdown();
+
+    assert_eq!(
+        recovered,
+        uninterrupted_close_payload("hand"),
+        "the two-process handoff must be byte-identical to the uninterrupted run"
+    );
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cp-durability-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn over_capacity_session_dir_store_never_reports_not_found() {
+    let dir = temp_dir("sweep");
+    let system = ChatPattern::builder()
+        .window(16)
+        .training_patterns(8)
+        .diffusion_steps(6)
+        .seed(3)
+        .max_sessions(2)
+        .session_dir(&dir)
+        .build()
+        .expect("valid configuration");
+    const SESSIONS: usize = 5;
+    for s in 0..SESSIONS {
+        system
+            .session_open(&format!("sweep-{s}"), Some(s as u64))
+            .expect("opens");
+    }
+    // Two rounds of turns over every session: each touch of a spilled
+    // id must rehydrate, never error.
+    for round in 0..2 {
+        for s in 0..SESSIONS {
+            let id = format!("sweep-{s}");
+            let utterance = if round == 0 {
+                "Generate 1 pattern, topology size 16*16, physical size 512nm x 512nm, \
+                 style Layer-10001."
+                    .to_owned()
+            } else {
+                "1 more pattern.".to_owned()
+            };
+            let turn = system
+                .session_turn(&id, &utterance)
+                .unwrap_or_else(|e| panic!("round {round}, session {id}: unexpected error {e:?}"));
+            assert_eq!(turn.turn, round + 1);
+            assert_eq!(
+                turn.library.len(),
+                round + 1,
+                "session {id} kept its library across spills (summary: {})",
+                turn.summary
+            );
+        }
+    }
+    for s in 0..SESSIONS {
+        let outcome = system
+            .session_close(&format!("sweep-{s}"))
+            .expect("every session closes cleanly");
+        assert_eq!(outcome.library.len(), 2);
+    }
+    let stats = system.session_stats();
+    assert_eq!(stats.evicted, 0, "durability means nothing was destroyed");
+    assert!(stats.spilled >= 3, "the sweep exercised spilling");
+    assert_eq!(stats.open, 0);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn killed_serve_process_leaves_spilled_sessions_recoverable() {
+    let dir = temp_dir("restart");
+    let dir_arg = dir.to_str().expect("utf-8 temp path");
+    // Process A, capacity 1: opening "b" spills "a" to disk; "b" then
+    // lives only in memory.
+    let mut serve_a = ServeClient::spawn(&["--max-sessions", "1", "--session-dir", dir_arg]);
+    serve_a.expect_ok(
+        "o1",
+        PatternRequest::SessionOpen(SessionOpenParams {
+            session: "a".into(),
+            seed: Some(5),
+        }),
+    );
+    let ResponsePayload::SessionTurn(turn) = serve_a.expect_ok(
+        "t1",
+        PatternRequest::SessionTurn(SessionTurnParams {
+            session: "a".into(),
+            utterance: TURNS[0].to_owned(),
+        }),
+    ) else {
+        panic!("wrong payload");
+    };
+    assert_eq!(turn.turn, 1);
+    serve_a.expect_ok(
+        "o2",
+        PatternRequest::SessionOpen(SessionOpenParams {
+            session: "b".into(),
+            seed: Some(6),
+        }),
+    );
+    serve_a.kill();
+
+    // Process B over the same directory: the spilled session resumes
+    // mid-dialog; the one that was only in memory died with A.
+    let mut serve_b = ServeClient::spawn(&["--max-sessions", "1", "--session-dir", dir_arg]);
+    let ResponsePayload::SessionTurn(turn) = serve_b.expect_ok(
+        "t2",
+        PatternRequest::SessionTurn(SessionTurnParams {
+            session: "a".into(),
+            utterance: "1 more pattern.".into(),
+        }),
+    ) else {
+        panic!("wrong payload");
+    };
+    assert_eq!(turn.turn, 2, "the restarted process resumed mid-dialog");
+    assert_eq!(turn.library.len(), 3, "library carried across the restart");
+    let reply = serve_b.exchange(
+        "dead",
+        PatternRequest::SessionTurn(SessionTurnParams {
+            session: "b".into(),
+            utterance: "anything".into(),
+        }),
+    );
+    match reply.outcome {
+        WireOutcome::Err(error) => assert_eq!(
+            error.kind, "SessionNotFound",
+            "a session that was only in the crashed process's memory is gone"
+        ),
+        WireOutcome::Ok(_) => panic!("session b cannot have survived the crash"),
+    }
+    serve_b.shutdown();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn snapshot_restore_errors_are_typed() {
+    let system = build_system();
+    // Snapshot of an unknown id.
+    let err = system
+        .session_snapshot("ghost")
+        .expect_err("unknown id cannot be exported");
+    assert!(matches!(err, Error::SessionNotFound { .. }), "{err:?}");
+    // Restore of a tampered snapshot.
+    system.session_open("t", Some(1)).expect("opens");
+    let mut snapshot = system.session_snapshot("t").expect("exports");
+    let _ = system.session_close("t").expect("closes");
+    snapshot.agent.context.rng.truncate(2);
+    let err = system
+        .session_restore(snapshot)
+        .expect_err("corrupt RNG state must be rejected");
+    assert!(matches!(err, Error::SessionPersist { .. }), "{err:?}");
+}
