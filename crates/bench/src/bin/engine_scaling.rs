@@ -6,16 +6,23 @@
 //! session-affine routing), and a `session_spill_rehydrate` sweep (N
 //! sessions over a smaller store capacity with an in-memory
 //! durability layer, so every turn pays a spill + rehydrate — the
-//! steady-state cost of durable over-capacity operation). Prints a
-//! table and writes `BENCH_ENGINE.json` (in the working directory) so
-//! the perf trajectory captures the backend dimension, coalescing and
-//! the stateful session workloads.
+//! steady-state cost of durable over-capacity operation), a
+//! `tcp_round_trip` sweep (the same Generate batch through an
+//! in-process `cp_net` NDJSON-over-TCP loopback server, pipelined and
+//! strictly sequential — the transport tax relative to the in-process
+//! backends above), and a `router_fanout` sweep (the batch through a
+//! real spawned `chatpattern-router` fleet at several worker counts;
+//! skipped with a note when the release binaries are not built).
+//! Prints a table and writes `BENCH_ENGINE.json` (in the working
+//! directory) so the perf trajectory captures the backend dimension,
+//! coalescing, the stateful session workloads and the network path.
 //!
 //! Scale with the usual `CP_*` variables; `CP_ENGINE_WORKERS` is a
 //! comma-separated list of thread-pool sizes to sweep (default
 //! `2,4,8`) and `CP_ENGINE_SHARDS` the shard counts for the sharded
 //! backend (default `2,4`). `CP_ENGINE_SESSIONS` / `CP_ENGINE_TURNS`
-//! shape the session sweep (default `4` × `4`).
+//! shape the session sweep (default `4` × `4`);
+//! `CP_ROUTER_WORKERS` the router fleet sizes (default `1,2`).
 
 use chatpattern_core::{
     BackendKind, ChatPattern, EngineConfig, GenerateParams, JobHandle, PatternEngine,
@@ -245,6 +252,168 @@ fn run_session_spill(
     (millis, stats.sessions_spilled, stats.sessions_restored)
 }
 
+/// The Generate batch through an in-process TCP loopback
+/// (`NdjsonServer` + `EngineHandler`): pipelined (all requests in
+/// flight, then collect) and strictly sequential (one call at a
+/// time). Returns `(pipelined_millis, sequential_millis)`.
+fn run_tcp_round_trip(system: &Arc<ChatPattern>, cfg: &BenchConfig, workers: usize) -> (f64, f64) {
+    use chatpattern_core::wire::{RequestEnvelope, WireOutcome};
+    use cp_net::{ClientConfig, EngineHandler, NdjsonClient, NdjsonServer};
+
+    let engine = Arc::new(engine(system, BackendKind::ThreadPool, workers));
+    let server = NdjsonServer::bind("127.0.0.1:0", 4).expect("loopback bind");
+    let addr = server.local_addr().to_string();
+    let handle = server.spawn(Arc::new(EngineHandler::new(engine)));
+
+    let mut client = NdjsonClient::connect(&addr, ClientConfig::default()).expect("loopback dial");
+    // Pipelined: write every envelope, then drain every reply (ids
+    // correlate; order is not asserted — that is the protocol).
+    let started = Instant::now();
+    for (i, request) in batch(cfg).into_iter().enumerate() {
+        client
+            .send(&RequestEnvelope {
+                id: serde_json::to_value(&(i as u64)),
+                request,
+            })
+            .expect("request sent");
+    }
+    for _ in 0..BATCH {
+        let reply = client.recv().expect("reply received");
+        assert!(
+            matches!(reply.outcome, WireOutcome::Ok(_)),
+            "pipelined TCP request failed"
+        );
+    }
+    let pipelined_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Sequential: a strict request→response loop, the per-call
+    // latency floor including serialization both ways.
+    let started = Instant::now();
+    for (i, request) in batch(cfg).into_iter().enumerate() {
+        let reply = client
+            .call(&RequestEnvelope {
+                id: serde_json::to_value(&(i as u64)),
+                request,
+            })
+            .expect("call round-trips");
+        assert!(
+            matches!(reply.outcome, WireOutcome::Ok(_)),
+            "sequential TCP request failed"
+        );
+    }
+    let sequential_ms = started.elapsed().as_secs_f64() * 1e3;
+    drop(client);
+    handle.shutdown();
+    (pipelined_ms, sequential_ms)
+}
+
+/// Locates a workspace binary next to this bench executable (they
+/// share a target directory) so the router sweep can run real
+/// processes; `None` skips the sweep gracefully.
+fn sibling_binary(name: &str) -> Option<std::path::PathBuf> {
+    if let Ok(path) = std::env::var(format!(
+        "CHATPATTERN_{}_BIN",
+        name.replace('-', "_").to_uppercase()
+    )) {
+        let path = std::path::PathBuf::from(path);
+        return path.is_file().then_some(path);
+    }
+    let path = std::env::current_exe().ok()?.with_file_name(name);
+    path.is_file().then_some(path)
+}
+
+/// The Generate batch pipelined through a real spawned router fleet
+/// (`workers` serve processes). Measures only the request phase —
+/// worker spawn + model training happen before the clock starts.
+/// Returns the elapsed milliseconds, or an error string to report.
+fn run_router_fanout(cfg: &BenchConfig, workers: usize) -> Result<f64, String> {
+    use chatpattern_core::wire::{RequestEnvelope, WireOutcome};
+    use cp_net::{ClientConfig, NdjsonClient};
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+
+    let router = sibling_binary("chatpattern-router").ok_or("chatpattern-router not built")?;
+    let serve = sibling_binary("chatpattern-serve").ok_or("chatpattern-serve not built")?;
+    let mut command = Command::new(router);
+    command.args([
+        "--listen",
+        "127.0.0.1:0",
+        "--workers",
+        &workers.to_string(),
+        "--serve-bin",
+    ]);
+    command.arg(serve);
+    for arg in [
+        "--window",
+        &cfg.window.to_string(),
+        "--training-patterns",
+        &cfg.train.to_string(),
+        "--diffusion-steps",
+        &cfg.steps.to_string(),
+        "--workers",
+        "2",
+        "--seed",
+        &cfg.seed.to_string(),
+    ] {
+        command.args(["--serve-arg", arg]);
+    }
+    let mut child = command
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("router spawn failed: {e}"))?;
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(addr) = line.strip_prefix("chatpattern-router: listening on ") {
+                    break addr.trim().to_owned();
+                }
+            }
+            _ => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err("router exited before announcing its address".to_owned());
+            }
+        }
+    };
+    std::thread::spawn(move || for _ in lines.by_ref() {});
+
+    let result = (|| {
+        let mut client = NdjsonClient::connect(&addr, ClientConfig::default())
+            .map_err(|e| format!("router dial failed: {e}"))?;
+        let started = Instant::now();
+        for (i, request) in batch(cfg).into_iter().enumerate() {
+            client
+                .send(&RequestEnvelope {
+                    id: serde_json::to_value(&(i as u64)),
+                    request,
+                })
+                .map_err(|e| format!("router send failed: {e}"))?;
+        }
+        for _ in 0..BATCH {
+            let reply = client
+                .recv()
+                .map_err(|e| format!("router recv failed: {e}"))?;
+            if !matches!(reply.outcome, WireOutcome::Ok(_)) {
+                return Err("router request errored".to_owned());
+            }
+        }
+        let millis = started.elapsed().as_secs_f64() * 1e3;
+        // Graceful teardown takes the spawned workers down too.
+        let _ = client.send_line(r#"{"id":"bench-bye","control":"Shutdown"}"#);
+        let _ = client.recv_line();
+        Ok(millis)
+    })();
+    if result.is_err() {
+        let _ = child.kill();
+    }
+    let _ = child.wait();
+    result
+}
+
 fn sweep(var: &str, default: &str) -> Vec<usize> {
     std::env::var(var)
         .unwrap_or_else(|_| default.to_owned())
@@ -373,6 +542,44 @@ fn main() {
          {spill_turns_per_sec:.1} turns/s ({spilled} spilled, {restored} restored)"
     );
 
+    // TCP loopback: same batch, same engine backend, plus the wire.
+    let (tcp_pipelined_ms, tcp_sequential_ms) = run_tcp_round_trip(&system, &cfg, max_workers);
+    #[allow(clippy::cast_precision_loss)]
+    let tcp_pipelined_rps = BATCH as f64 / (tcp_pipelined_ms / 1e3);
+    #[allow(clippy::cast_precision_loss)]
+    let tcp_sequential_rps = BATCH as f64 / (tcp_sequential_ms / 1e3);
+    println!(
+        "  tcp_round_trip pipelined  {tcp_pipelined_ms:9.1} ms   {tcp_pipelined_rps:.1} req/s"
+    );
+    println!(
+        "  tcp_round_trip sequential {tcp_sequential_ms:9.1} ms   {tcp_sequential_rps:.1} req/s"
+    );
+
+    // Router fan-out: real processes; skipped when the binaries are
+    // not in this target directory.
+    let mut router_rows = String::new();
+    for &fleet in &sweep("CP_ROUTER_WORKERS", "1,2") {
+        match run_router_fanout(&cfg, fleet) {
+            Ok(millis) => {
+                #[allow(clippy::cast_precision_loss)]
+                let rps = BATCH as f64 / (millis / 1e3);
+                println!(
+                    "  router_fanout {fleet} worker(s) {millis:8.1} ms   {rps:.1} req/s \
+                     (spawned fleet)"
+                );
+                let _ = write!(
+                    router_rows,
+                    "{}{{\"workers\":{fleet},\"millis\":{millis:.3},\
+                     \"requests_per_sec\":{rps:.3}}}",
+                    if router_rows.is_empty() { "" } else { "," }
+                );
+            }
+            Err(reason) => {
+                println!("  router_fanout {fleet} worker(s)   skipped: {reason}");
+            }
+        }
+    }
+
     if cpus == 1 {
         println!(
             "\nnote: this host exposes a single CPU, so the threaded numbers measure\n\
@@ -390,7 +597,13 @@ fn main() {
          \"session_spill_rehydrate\":{{\"sessions\":{spill_sessions},\
          \"capacity\":{spill_capacity},\"turns_per_session\":{n_turns},\
          \"workers\":{session_workers},\"spilled\":{spilled},\"restored\":{restored},\
-         \"millis\":{spill_ms:.3},\"turns_per_sec\":{spill_turns_per_sec:.3}}}}}\n",
+         \"millis\":{spill_ms:.3},\"turns_per_sec\":{spill_turns_per_sec:.3}}},\
+         \"tcp_round_trip\":{{\"requests\":{BATCH},\"workers\":{max_workers},\
+         \"pipelined_millis\":{tcp_pipelined_ms:.3},\
+         \"pipelined_requests_per_sec\":{tcp_pipelined_rps:.3},\
+         \"sequential_millis\":{tcp_sequential_ms:.3},\
+         \"sequential_requests_per_sec\":{tcp_sequential_rps:.3}}},\
+         \"router_fanout\":[{router_rows}]}}\n",
         cfg.window, cfg.steps, cfg.train
     );
     std::fs::write("BENCH_ENGINE.json", &json).expect("write BENCH_ENGINE.json");

@@ -37,7 +37,7 @@
 //! ```
 
 use crate::session::SessionStats;
-use crate::{ChatPattern, Error};
+use crate::{ChatPattern, EngineStats, Error};
 use cp_dataset::Style;
 use cp_diffusion::Mask;
 use cp_extend::ExtensionMethod;
@@ -202,6 +202,13 @@ pub enum PatternRequest {
     Legalize(LegalizeParams),
     /// Table-1-style evaluation of a topology library.
     Evaluate(EvaluateParams),
+    /// Read the serving-side activity counters
+    /// ([`EngineStats`]) — answered inline by a
+    /// [`PatternEngine`](crate::PatternEngine) without queueing, so
+    /// counters are queryable over the wire mid-stream instead of
+    /// only at EOF. Against a bare [`ChatPattern`] it reports the
+    /// session gauges with every engine counter zero.
+    Stats,
 }
 
 impl PatternRequest {
@@ -392,6 +399,9 @@ pub enum ResponsePayload {
     Legalize(SquishPattern),
     /// Library statistics.
     Evaluate(LibraryStats),
+    /// The serving-side activity counters at the moment the
+    /// [`PatternRequest::Stats`] request was answered.
+    Stats(EngineStats),
 }
 
 /// A served request: payload plus timing metadata.
@@ -536,6 +546,9 @@ impl PatternService for ChatPattern {
                     params.seed,
                 )?)
             }
+            PatternRequest::Stats => {
+                ResponsePayload::Stats(EngineStats::from_sessions(self.session_stats()))
+            }
         };
         Ok(PatternResponse {
             payload,
@@ -635,6 +648,7 @@ mod tests {
             PatternRequest::SessionClose(SessionCloseParams {
                 session: "s-1".into(),
             }),
+            PatternRequest::Stats,
         ];
         for request in requests {
             let text = serde_json::to_string(&request).expect("serializes");

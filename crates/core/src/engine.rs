@@ -37,7 +37,7 @@ use crate::backend::{
 };
 use crate::broker::{Admission, ExecTask, JobShared, ResultBroker, TaskPhase};
 use crate::{Error, PatternRequest, PatternResponse, PatternService, ResponsePayload, Timing};
-use std::hash::{Hash, Hasher};
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -126,7 +126,11 @@ pub enum JobStatus {
 }
 
 /// Counters describing engine activity since construction.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Serializable: a [`PatternRequest::Stats`] request returns this
+/// struct over the wire, and the `chatpattern-router` merges one per
+/// worker into a fleet view with [`EngineStats::merge`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Jobs accepted by `submit`/`submit_blocking` (cache hits and
     /// coalesced waiters included).
@@ -164,6 +168,44 @@ pub struct EngineStats {
     /// [`BackendKind::ThreadPool`], one per shard for
     /// [`BackendKind::Sharded`].
     pub queue_depths: Vec<usize>,
+}
+
+impl EngineStats {
+    /// Stats for a bare service that hosts sessions but no engine
+    /// (every engine counter zero, the session gauges filled in) —
+    /// what a direct [`PatternRequest::Stats`] against a
+    /// [`ChatPattern`](crate::ChatPattern) reports.
+    #[must_use]
+    pub fn from_sessions(sessions: crate::session::SessionStats) -> EngineStats {
+        EngineStats {
+            sessions_open: sessions.open,
+            sessions_evicted: sessions.evicted,
+            sessions_spilled: sessions.spilled,
+            sessions_restored: sessions.restored,
+            turns: sessions.turns,
+            ..EngineStats::default()
+        }
+    }
+
+    /// Folds another snapshot into this one: counters add, and
+    /// `queue_depths` concatenates (one entry per queue across the
+    /// whole fleet). This is how the router builds its fleet view out
+    /// of per-worker snapshots.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.cancelled += other.cancelled;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.coalesced += other.coalesced;
+        self.sessions_open += other.sessions_open;
+        self.sessions_evicted += other.sessions_evicted;
+        self.sessions_spilled += other.sessions_spilled;
+        self.sessions_restored += other.sessions_restored;
+        self.turns += other.turns;
+        self.queue_depths.extend_from_slice(&other.queue_depths);
+    }
 }
 
 #[derive(Default)]
@@ -205,39 +247,21 @@ impl AtomicStats {
     }
 }
 
-/// Cache/coalescing key of a request: its serialized wire form, or
-/// `None` when the request must execute privately every time:
-///
-/// * `Chat` without an explicit seed resolves to the system's master
-///   seed at execution time, so its outcome is not a pure function of
-///   the request value;
-/// * session requests (`SessionOpen` / `SessionTurn` /
-///   `SessionClose`) *mutate* session state — two textually identical
-///   turns are different operations (the second operates on the
-///   first's results), so replaying a cached payload or attaching to
-///   an in-flight twin would silently drop a turn.
-///
-/// Such requests bypass both the cache and the coalescer.
+/// Cache/coalescing key of a request — a thin alias for
+/// [`crate::routing::request_key`], the single source of truth shared
+/// with the multi-process router.
 pub(crate) fn cache_key(request: &PatternRequest) -> Option<String> {
-    match request {
-        PatternRequest::Chat(params) if params.seed.is_none() => None,
-        PatternRequest::SessionOpen(_)
-        | PatternRequest::SessionTurn(_)
-        | PatternRequest::SessionClose(_)
-        | PatternRequest::SessionSnapshot(_)
-        | PatternRequest::SessionRestore(_) => None,
-        _ => serde_json::to_string(request).ok(),
-    }
+    crate::routing::request_key(request)
 }
 
 /// Stable backend-routing hash for a string (request key or session
 /// id): identical inputs always map to the same value, so a
 /// [`ShardedBackend`] keeps cache-hot keys — and every turn of one
-/// session — shard-local.
+/// session — shard-local. Delegates to
+/// [`crate::routing::route_hash`] so in-process shards and the
+/// `chatpattern-router` fleet agree on placement.
 fn stable_route(input: &str) -> u64 {
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
-    input.hash(&mut hasher);
-    hasher.finish()
+    crate::routing::route_hash(input)
 }
 
 /// A submitted job: wait for, poll, or cancel it.
@@ -540,6 +564,19 @@ impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
     }
 
     fn submit_inner(&self, request: PatternRequest, block: bool) -> Result<JobHandle, Error> {
+        // Stats is answered inline from the live counters — it never
+        // queues behind real work (a stats poll during a drain must
+        // not wait for a diffusion job) and is exempt from the
+        // counters themselves, so polling does not perturb what it
+        // measures.
+        if matches!(request, PatternRequest::Stats) {
+            let started = Instant::now();
+            let snapshot = self.stats();
+            return Ok(JobHandle::done(Ok(PatternResponse {
+                payload: ResponsePayload::Stats(snapshot),
+                timing: Timing::direct(elapsed_micros(started)),
+            })));
+        }
         let stats = &self.core.stats;
         let key = cache_key(&request);
         // Routing priority: keyed requests go by key hash (cache

@@ -63,6 +63,7 @@ mod broker;
 mod cache;
 pub mod engine;
 pub mod error;
+pub mod routing;
 pub mod session;
 pub mod wire;
 

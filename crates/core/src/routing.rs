@@ -1,0 +1,138 @@
+//! Request routing — the single source of truth for "which shard /
+//! worker does this request belong to".
+//!
+//! Two layers consume these helpers and must agree byte-for-byte:
+//!
+//! * the in-process [`ShardedBackend`](crate::BackendKind::Sharded),
+//!   which routes every submitted job to one of its shard queues, and
+//! * the multi-process `chatpattern-router` binary, which shards client
+//!   requests across a fleet of `chatpattern-serve` workers.
+//!
+//! Both route by the same rule: keyed requests go by
+//! [`request_key`] hash (cache-hot keys stay local), session requests
+//! go by session-id hash (every turn of one session lands on the same
+//! shard/worker), and everything else is free to spread round-robin
+//! ([`request_route`] returns `None`).
+//!
+//! [`route_hash`] is a hand-rolled **FNV-1a 64** — deliberately *not*
+//! [`std::collections::hash_map::DefaultHasher`], whose algorithm is
+//! explicitly unspecified and may change between Rust releases. Shard
+//! assignment must stay stable across builds so that a router and its
+//! workers compiled at different times, or a persisted routing table,
+//! never disagree; the unit test below pins exact hash values to make
+//! any algorithm drift a loud test failure.
+
+use crate::PatternRequest;
+
+/// Stable routing hash (FNV-1a, 64-bit) for a request key or session
+/// id. Identical inputs always map to the same value, on every
+/// platform and every compiler release.
+#[must_use]
+pub fn route_hash(input: &str) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET_BASIS;
+    for byte in input.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Cache/coalescing key of a request: its serialized wire form, or
+/// `None` when the request must execute privately every time:
+///
+/// * `Chat` without an explicit seed resolves to the system's master
+///   seed at execution time, so its outcome is not a pure function of
+///   the request value;
+/// * session requests (`SessionOpen` / `SessionTurn` / `SessionClose`
+///   / `SessionSnapshot` / `SessionRestore`) *mutate* session state —
+///   two textually identical turns are different operations (the
+///   second operates on the first's results), so replaying a cached
+///   payload or attaching to an in-flight twin would silently drop a
+///   turn;
+/// * `Stats` reads live counters — caching a snapshot would serve
+///   stale numbers forever.
+///
+/// Such requests bypass both the cache and the coalescer.
+#[must_use]
+pub fn request_key(request: &PatternRequest) -> Option<String> {
+    match request {
+        PatternRequest::Chat(params) if params.seed.is_none() => None,
+        PatternRequest::SessionOpen(_)
+        | PatternRequest::SessionTurn(_)
+        | PatternRequest::SessionClose(_)
+        | PatternRequest::SessionSnapshot(_)
+        | PatternRequest::SessionRestore(_)
+        | PatternRequest::Stats => None,
+        _ => serde_json::to_string(request).ok(),
+    }
+}
+
+/// The preferred route of a request, or `None` when any shard/worker
+/// serves it equally well (the caller should spread such requests
+/// round-robin). This is the exact priority order the engine's
+/// `submit` uses: key hash first (cache affinity), then session-id
+/// hash (session affinity), then nothing.
+#[must_use]
+pub fn request_route(request: &PatternRequest) -> Option<u64> {
+    if let Some(key) = request_key(request) {
+        return Some(route_hash(&key));
+    }
+    request.session_id().map(route_hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChatParams, SessionTurnParams};
+
+    /// The load-bearing test: these values are the published contract
+    /// between in-process shards, the router and any persisted routing
+    /// state. If this test fails, the hash algorithm changed — do NOT
+    /// update the constants; fix the hash.
+    #[test]
+    fn route_hash_is_pinned_fnv1a() {
+        assert_eq!(route_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(route_hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(route_hash("session-7"), 0x1688_535d_cf49_0e1b);
+        assert_eq!(route_hash("det"), 0xca9a_2c18_f462_0362);
+        assert_eq!(route_hash("chatpattern"), 0x6605_c78e_e5c8_7533);
+    }
+
+    #[test]
+    fn route_hash_is_deterministic_and_spreads() {
+        assert_eq!(route_hash("s"), route_hash("s"));
+        assert_ne!(route_hash("s"), route_hash("t"));
+        // A quick sanity check that low bits vary (shard index uses
+        // `hash % shards`).
+        let buckets: std::collections::HashSet<u64> = (0..32)
+            .map(|i| route_hash(&format!("key-{i}")) % 4)
+            .collect();
+        assert!(buckets.len() > 1, "all keys landed on one shard");
+    }
+
+    #[test]
+    fn request_route_prefers_key_then_session() {
+        let keyed = PatternRequest::Chat(ChatParams {
+            request: "two patterns".into(),
+            seed: Some(1),
+        });
+        let key = request_key(&keyed).expect("seeded chat has a key");
+        assert_eq!(request_route(&keyed), Some(route_hash(&key)));
+
+        let session = PatternRequest::SessionTurn(SessionTurnParams {
+            session: "det".into(),
+            utterance: "denser".into(),
+        });
+        assert_eq!(request_key(&session), None);
+        assert_eq!(request_route(&session), Some(route_hash("det")));
+
+        let unkeyed = PatternRequest::Chat(ChatParams {
+            request: "two patterns".into(),
+            seed: None,
+        });
+        assert_eq!(request_route(&unkeyed), None);
+        assert_eq!(request_route(&PatternRequest::Stats), None);
+    }
+}

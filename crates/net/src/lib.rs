@@ -1,0 +1,55 @@
+//! # cp_net — NDJSON-over-TCP transport for the ChatPattern wire
+//! protocol
+//!
+//! The wire protocol (`docs/WIRE_PROTOCOL.md`) is transport-agnostic:
+//! one JSON request envelope per line in, one response envelope per
+//! line out, `id` as the only correlation key. This crate is the TCP
+//! carrier for it — deliberately std-only and blocking (the offline
+//! build has no async runtime): a thread-per-connection
+//! [`NdjsonServer`] with a bounded accept pool, a [`LineSink`] that
+//! treats a vanished peer (`EPIPE` and friends) as a clean close
+//! instead of an error, a reconnecting [`NdjsonClient`], and an
+//! [`EngineHandler`] that plugs a
+//! [`PatternEngine`](chatpattern_core::PatternEngine) straight into
+//! either transport. `chatpattern-serve --listen` and the
+//! `chatpattern-router` fleet front-end are both built from these
+//! parts.
+//!
+//! ```
+//! use chatpattern_core::wire::RequestEnvelope;
+//! use chatpattern_core::{ChatPattern, EngineConfig, PatternEngine, PatternRequest};
+//! use cp_net::{ClientConfig, EngineHandler, NdjsonClient, NdjsonServer};
+//! use std::sync::Arc;
+//!
+//! let system = ChatPattern::builder()
+//!     .window(16)
+//!     .training_patterns(8)
+//!     .diffusion_steps(6)
+//!     .build()?;
+//! let engine = Arc::new(PatternEngine::with_config(system, EngineConfig::default())?);
+//! let server = NdjsonServer::bind("127.0.0.1:0", 4).expect("binds");
+//! let addr = server.local_addr();
+//! let handle = server.spawn(Arc::new(EngineHandler::new(engine)));
+//!
+//! let mut client = NdjsonClient::connect(&addr.to_string(), ClientConfig::default())
+//!     .expect("connects");
+//! let reply = client
+//!     .call(&RequestEnvelope {
+//!         id: serde_json::to_value(&1u64),
+//!         request: PatternRequest::Stats,
+//!     })
+//!     .expect("stats round-trips");
+//! assert_eq!(reply.id.as_u64(), Some(1));
+//! handle.shutdown();
+//! # Ok::<(), chatpattern_core::Error>(())
+//! ```
+
+mod client;
+mod handler;
+mod server;
+mod sink;
+
+pub use client::{connect_with_backoff, ClientConfig, NdjsonClient, NdjsonReceiver, NdjsonSender};
+pub use handler::EngineHandler;
+pub use server::{ConnectionHandler, NdjsonServer, ServerHandle, DEFAULT_MAX_CONNECTIONS};
+pub use sink::{is_disconnect, LineSink};

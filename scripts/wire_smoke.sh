@@ -9,8 +9,12 @@
 # (e) with --session-dir capacity eviction spills and rehydrates
 # (while a *closed* id stays SessionNotFound), and (f) a session
 # snapshot exported from one serve process restores into another and
-# the conversation continues (cross-process handoff). Run from
-# anywhere; needs jq and a built (or buildable) release binary.
+# the conversation continues (cross-process handoff), (g) the TCP
+# transport (`--listen`) answers the same fixture payload-identical to
+# stdio and flushes --stats on client disconnect, and (h) a 2-worker
+# router fleet routes a session, survives draining its host worker
+# (live rebalance), and aggregates fleet stats. Run from anywhere;
+# needs jq and built (or buildable) release binaries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -232,3 +236,164 @@ wait "$SERVE_PID" || { echo "wire smoke FAILED: serve B exited non-zero" >&2; rm
 rm -rf "$SESS_DIR"
 
 echo "wire smoke OK: two-process handoff (snapshot from A, crash, restore into B, conversation continues)"
+
+# (g) TCP transport equivalence: the same fixture served over
+# --listen must be payload-identical (timing stripped; out-of-order
+# completion allowed, so sort by id) to a stdio run with the same
+# flags, and --stats must flush to stderr when the client disconnects.
+SESS_DIR=$(mktemp -d)
+FLAGS=(--window 16 --training-patterns 8 --diffusion-steps 6 --workers 4 --seed 3)
+N_REQ=$(wc -l < "$IN" | tr -d ' ')
+
+normalize() {
+    jq -cS 'del(.outcome.Ok.timing)' | sort
+}
+
+"$BIN" "${FLAGS[@]}" --stats --listen 127.0.0.1:0 2> "$SESS_DIR/err" &
+TCP_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^chatpattern-serve: listening on //p' "$SESS_DIR/err" | head -n 1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "wire smoke FAILED: serve --listen never announced its address" >&2
+    kill "$TCP_PID" 2> /dev/null || true
+    rm -rf "$SESS_DIR"
+    exit 1
+fi
+
+exec 5<> "/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+cat "$IN" >&5
+TCP_OUT=""
+for _ in $(seq 1 "$N_REQ"); do
+    if ! IFS= read -t 120 -r LINE <&5; then
+        echo "wire smoke FAILED: TCP serve did not answer all $N_REQ requests" >&2
+        kill "$TCP_PID" 2> /dev/null || true
+        rm -rf "$SESS_DIR"
+        exit 1
+    fi
+    TCP_OUT+="$LINE"$'\n'
+done
+exec 5<&- 5>&-
+
+STDIO_OUT=$("$BIN" "${FLAGS[@]}" < "$IN" 2> /dev/null)
+if ! diff <(printf '%s' "$TCP_OUT" | normalize) <(echo "$STDIO_OUT" | normalize); then
+    echo "wire smoke FAILED: TCP and stdio transports disagree on the same fixture" >&2
+    kill "$TCP_PID" 2> /dev/null || true
+    rm -rf "$SESS_DIR"
+    exit 1
+fi
+
+# The disconnect above must flush a stats line (satellite: EPIPE /
+# broken pipe is a clean close that still reports).
+STATS_SEEN=""
+for _ in $(seq 1 100); do
+    if grep -q 'submitted=' "$SESS_DIR/err"; then
+        STATS_SEEN=yes
+        break
+    fi
+    sleep 0.1
+done
+kill "$TCP_PID" 2> /dev/null || true
+wait "$TCP_PID" 2> /dev/null || true
+rm -rf "$SESS_DIR"
+if [ -z "$STATS_SEEN" ]; then
+    echo "wire smoke FAILED: --stats did not flush on client disconnect" >&2
+    exit 1
+fi
+
+echo "wire smoke OK: TCP transport payload-identical to stdio ($N_REQ responses), stats flushed on disconnect"
+
+# (h) Router fleet: 2 spawned workers behind one address. A session is
+# pinned to one worker by the stable routing hash; draining that
+# worker live-migrates it (snapshot → restore → re-route) and the
+# conversation continues with zero SessionNotFound. The fleet Stats
+# view aggregates both workers.
+ROUTER=${CHATPATTERN_ROUTER:-target/release/chatpattern-router}
+if [ ! -x "$ROUTER" ]; then
+    cargo build --release --bin chatpattern-router
+fi
+
+SESS_DIR=$(mktemp -d)
+"$ROUTER" --listen 127.0.0.1:0 --workers 2 --serve-bin "$BIN" \
+    --serve-arg --window --serve-arg 16 \
+    --serve-arg --training-patterns --serve-arg 8 \
+    --serve-arg --diffusion-steps --serve-arg 6 \
+    --serve-arg --workers --serve-arg 2 \
+    --serve-arg --seed --serve-arg 3 \
+    2> "$SESS_DIR/err" &
+ROUTER_PID=$!
+ADDR=""
+for _ in $(seq 1 300); do
+    ADDR=$(sed -n 's/^chatpattern-router: listening on //p' "$SESS_DIR/err" | head -n 1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "wire smoke FAILED: router never announced its address" >&2
+    cat "$SESS_DIR/err" >&2 || true
+    kill "$ROUTER_PID" 2> /dev/null || true
+    rm -rf "$SESS_DIR"
+    exit 1
+fi
+
+exec 6<> "/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+
+router_exchange() {
+    printf '%s\n' "$1" >&6
+    if ! IFS= read -t 120 -r ROUTER_REPLY <&6; then
+        ROUTER_REPLY="(no reply within 120s)"
+        router_fail "no reply to: $1"
+    fi
+}
+
+router_fail() {
+    echo "wire smoke FAILED: $1" >&2
+    echo "reply was: $ROUTER_REPLY" >&2
+    echo "--- router stderr ---" >&2
+    cat "$SESS_DIR/err" >&2 || true
+    exec 6<&- 6>&- || true
+    kill "$ROUTER_PID" 2> /dev/null || true
+    rm -rf "$SESS_DIR"
+    exit 1
+}
+
+router_exchange '{"id":"f-open","request":{"SessionOpen":{"session":"fleet-smoke","seed":7}}}'
+echo "$ROUTER_REPLY" | jq -e '.outcome | has("Ok")' > /dev/null \
+    || router_fail "fleet session open errored"
+router_exchange '{"id":"f-t1","request":{"SessionTurn":{"session":"fleet-smoke","utterance":"Generate 2 patterns, topology size 16*16, physical size 512nm x 512nm, style Layer-10001."}}}'
+echo "$ROUTER_REPLY" | jq -e '.outcome.Ok.payload.SessionTurn.turn == 1' > /dev/null \
+    || router_fail "fleet first turn did not report turn 1"
+
+router_exchange '{"id":"f-fleet","control":"Fleet"}'
+HOST_WORKER=$(echo "$ROUTER_REPLY" \
+    | jq -e '[.control.Fleet.workers[] | select(.sessions == 1)][0].index') \
+    || router_fail "fleet view did not show the session pinned to one worker"
+
+router_exchange "{\"id\":\"f-drain\",\"control\":{\"Drain\":{\"worker\":$HOST_WORKER}}}"
+echo "$ROUTER_REPLY" | jq -e '.control.Drained.moved == 1' > /dev/null \
+    || router_fail "draining worker $HOST_WORKER did not move the session"
+
+router_exchange '{"id":"f-t2","request":{"SessionTurn":{"session":"fleet-smoke","utterance":"1 more pattern."}}}'
+echo "$ROUTER_REPLY" | jq -e '.outcome.Ok.payload.SessionTurn.turn == 2' > /dev/null \
+    || router_fail "the migrated session must continue at turn 2 (zero SessionNotFound)"
+router_exchange '{"id":"f-close","request":{"SessionClose":{"session":"fleet-smoke"}}}'
+echo "$ROUTER_REPLY" | jq -e '.outcome.Ok.payload | has("SessionClose")' > /dev/null \
+    || router_fail "fleet session close errored"
+
+router_exchange '{"id":"f-stats","request":"Stats"}'
+echo "$ROUTER_REPLY" | jq -e '.outcome.Ok.payload.Stats.turns == 2' > /dev/null \
+    || router_fail "fleet Stats must aggregate both workers (want turns=2)"
+echo "$ROUTER_REPLY" | jq -e '.outcome.Ok.payload.Stats.queue_depths | length == 2' > /dev/null \
+    || router_fail "fleet Stats must report one queue per worker"
+
+router_exchange '{"id":"f-bye","control":"Shutdown"}'
+echo "$ROUTER_REPLY" | jq -e '.control == "ShuttingDown"' > /dev/null \
+    || router_fail "router shutdown control errored"
+exec 6<&- 6>&-
+wait "$ROUTER_PID" || { echo "wire smoke FAILED: router exited non-zero" >&2; rm -rf "$SESS_DIR"; exit 1; }
+rm -rf "$SESS_DIR"
+
+echo "wire smoke OK: router fleet (pin, drain, live migration, aggregated stats, shutdown)"

@@ -1,0 +1,926 @@
+//! `chatpattern-router` — the multi-process shard front-end.
+//!
+//! Accepts NDJSON wire-protocol connections (`cp_net`) and fans every
+//! request out across a fleet of `chatpattern-serve --listen` workers
+//! — spawned as children, or attached by address — sharding by the
+//! exact same request-key / session-id hash as the in-process
+//! [`ShardedBackend`](chatpattern_core::BackendKind::Sharded)
+//! (`chatpattern_core::routing`, the single source of truth), so
+//! cache-hot keys and every turn of one session stay worker-local. A
+//! `Stats` request is answered with the *fleet* view: one
+//! [`EngineStats`] merged across all workers.
+//!
+//! The headline capability is **live session rebalancing**: draining
+//! a worker issues `SessionSnapshot` on the source, `SessionRestore`
+//! on the target, re-routes the session id and closes the source copy
+//! — mid-conversation, with the continued turns byte-identical to a
+//! never-moved session (PR 5's snapshot determinism guarantee).
+//! Worker death is survived the same way sessions survive a serve
+//! restart: the child is respawned over its per-worker
+//! `--session-dir`, and spilled sessions rehydrate on their next
+//! turn.
+//!
+//! Router-only *control* lines share the connection with wire
+//! envelopes (`{"id":…,"control":…}` instead of `"request"`; see
+//! `docs/ROUTER.md`):
+//!
+//! ```text
+//! {"id":1,"control":"Fleet"}                 per-worker + merged stats
+//! {"id":2,"control":{"Drain":{"worker":0}}}  move its sessions, stop routing to it
+//! {"id":3,"control":"Shutdown"}              kill spawned workers and exit
+//! ```
+
+use chatpattern_core::routing::route_hash;
+use chatpattern_core::wire::{decode_request_line, ResponseEnvelope};
+use chatpattern_core::{
+    EngineStats, Error, PatternRequest, PatternResponse, RequestEnvelope, ResponsePayload,
+    SessionCloseParams, SessionRestoreParams, SessionSnapshotParams, Timing, WireOutcome,
+};
+use cp_net::{connect_with_backoff, ClientConfig, ConnectionHandler, LineSink, NdjsonServer};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::{HashMap, HashSet};
+use std::io::BufRead;
+use std::net::TcpStream;
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+chatpattern-router: shard a chatpattern-serve fleet behind one address
+
+Clients speak the normal wire protocol (docs/WIRE_PROTOCOL.md); every
+request is routed to one worker by the same request-key/session-id
+hash the in-process sharded backend uses, Stats requests return the
+merged fleet view, and control lines ({\"id\":..,\"control\":..}, see
+docs/ROUTER.md) expose Fleet / Drain / Shutdown.
+
+Options:
+  --listen ADDR          address to accept clients on (required; port 0
+                         for OS-assigned, announced on stderr as
+                         'listening on HOST:PORT')
+  --workers N            spawn N chatpattern-serve children (default 2)
+  --worker ADDR          attach to an already-running serve --listen
+                         worker instead of spawning (repeatable;
+                         overrides --workers)
+  --serve-bin PATH       serve binary to spawn (default: the
+                         chatpattern-serve next to this executable)
+  --serve-arg ARG        extra argument forwarded to every spawned
+                         worker (repeatable; model + engine flags)
+  --session-dir PATH     give worker i the spill directory
+                         PATH/worker-i — this is what lets a respawned
+                         worker rehydrate its sessions after a crash
+  --max-connections N    concurrently served client connections
+                         (default 64)
+  --help                 this text";
+
+struct Options {
+    listen: String,
+    workers: usize,
+    attach: Vec<String>,
+    serve_bin: Option<String>,
+    serve_args: Vec<String>,
+    session_dir: Option<String>,
+    max_connections: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        listen: String::new(),
+        workers: 2,
+        attach: Vec::new(),
+        serve_bin: None,
+        serve_args: Vec::new(),
+        session_dir: None,
+        max_connections: cp_net::DEFAULT_MAX_CONNECTIONS,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let number = |name: &str| {
+            value
+                .parse::<usize>()
+                .map_err(|_| format!("{name} needs an unsigned integer, got {value:?}"))
+        };
+        match flag.as_str() {
+            "--listen" => options.listen = value.clone(),
+            "--workers" => options.workers = number("--workers")?,
+            "--worker" => options.attach.push(value.clone()),
+            "--serve-bin" => options.serve_bin = Some(value.clone()),
+            "--serve-arg" => options.serve_args.push(value.clone()),
+            "--session-dir" => options.session_dir = Some(value.clone()),
+            "--max-connections" => options.max_connections = number("--max-connections")?,
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if options.listen.is_empty() {
+        return Err("--listen ADDR is required".to_owned());
+    }
+    if options.attach.is_empty() && options.workers == 0 {
+        return Err("--workers must be at least 1".to_owned());
+    }
+    Ok(options)
+}
+
+// ---------------------------------------------------------------- control
+
+/// A router-only control line: `{"id":…,"control":…}`.
+#[derive(Deserialize)]
+struct ControlEnvelope {
+    id: Value,
+    control: RouterControl,
+}
+
+#[derive(Serialize, Deserialize)]
+enum RouterControl {
+    /// Report every worker (address, pid, stats) plus the merged
+    /// fleet stats.
+    Fleet,
+    /// Move every session off this worker and stop routing to it.
+    Drain { worker: usize },
+    /// Kill spawned workers and exit the router.
+    Shutdown,
+}
+
+#[derive(Serialize)]
+struct ControlReply {
+    id: Value,
+    control: ControlOutcome,
+}
+
+#[derive(Serialize)]
+enum ControlOutcome {
+    Fleet(FleetView),
+    Drained { worker: usize, moved: usize },
+    ShuttingDown,
+    Error { message: String },
+}
+
+#[derive(Serialize)]
+struct FleetView {
+    workers: Vec<WorkerView>,
+    fleet: EngineStats,
+}
+
+#[derive(Serialize)]
+struct WorkerView {
+    index: usize,
+    addr: Option<String>,
+    pid: Option<u32>,
+    draining: bool,
+    sessions: usize,
+    stats: Option<EngineStats>,
+}
+
+// ---------------------------------------------------------------- workers
+
+/// How to (re)create a spawned worker.
+struct SpawnSpec {
+    bin: String,
+    args: Vec<String>,
+}
+
+/// What a reply to a forwarded line is for.
+enum Pending {
+    /// A client request: deliver under its original id; when this was
+    /// a successful `SessionClose`, also forget the routing entry.
+    Client {
+        id: Value,
+        sink: Arc<LineSink>,
+        closes_session: Option<String>,
+    },
+    /// A router-internal call (stats, snapshot/restore during drain).
+    Internal(Arc<ReplySlot>),
+}
+
+/// Rendezvous for a synchronous internal call.
+struct ReplySlot {
+    reply: Mutex<Option<ResponseEnvelope>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<ReplySlot> {
+        Arc::new(ReplySlot {
+            reply: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, envelope: ResponseEnvelope) {
+        *self.reply.lock().expect("slot lock") = Some(envelope);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self, timeout: Duration) -> Option<ResponseEnvelope> {
+        let mut reply = self.reply.lock().expect("slot lock");
+        let deadline = Instant::now() + timeout;
+        while reply.is_none() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (next, timed_out) = self.ready.wait_timeout(reply, left).expect("slot wait");
+            reply = next;
+            if timed_out.timed_out() && reply.is_none() {
+                return None;
+            }
+        }
+        reply.take()
+    }
+}
+
+/// The live half of a worker: present while connected.
+struct WorkerLink {
+    addr: String,
+    child: Option<Child>,
+    /// Write half of the worker connection (reads happen on the
+    /// dedicated reader thread).
+    stream: TcpStream,
+}
+
+struct Worker {
+    index: usize,
+    spawn: Option<SpawnSpec>,
+    /// Attach-mode address (fixed); spawn mode learns the address
+    /// from the child's announcement line each (re)spawn.
+    attach_addr: Option<String>,
+    link: Mutex<Option<WorkerLink>>,
+    pending: Mutex<HashMap<u64, Pending>>,
+    draining: AtomicBool,
+    /// Bumped per (re)connect so a stale reader thread can tell it no
+    /// longer owns the link.
+    generation: AtomicU64,
+}
+
+// ----------------------------------------------------------------- router
+
+struct Router {
+    workers: Vec<Worker>,
+    /// session id → worker index currently hosting it.
+    sessions: Mutex<HashMap<String, usize>>,
+    /// Sessions mid-rebalance: requests for them wait until the move
+    /// completes, so a turn can never slip in between snapshot and
+    /// restore (which would fork the session's history).
+    moving: Mutex<HashSet<String>>,
+    moved: Condvar,
+    next_internal: AtomicU64,
+    round_robin: AtomicU64,
+    connect: ClientConfig,
+}
+
+const INTERNAL_CALL_TIMEOUT: Duration = Duration::from_secs(300);
+
+impl Router {
+    /// Non-draining worker indices — the routing domain.
+    fn live_workers(&self) -> Vec<usize> {
+        self.workers
+            .iter()
+            .filter(|w| !w.draining.load(Ordering::Relaxed))
+            .map(|w| w.index)
+            .collect()
+    }
+
+    /// Picks the worker for a request: pinned session placement
+    /// first, then key/session hash over the live workers, then
+    /// round-robin. Blocks while the addressed session is
+    /// mid-rebalance.
+    fn route(&self, request: &PatternRequest) -> Result<usize, Error> {
+        let live = self.live_workers();
+        if live.is_empty() {
+            return Err(Error::internal("no live workers to route to"));
+        }
+        if let Some(sid) = request.session_id() {
+            let mut moving = self.moving.lock().expect("moving lock");
+            while moving.contains(sid) {
+                moving = self.moved.wait(moving).expect("moving wait");
+            }
+            let mut sessions = self.sessions.lock().expect("session lock");
+            if let Some(worker) = sessions.get(sid) {
+                return Ok(*worker);
+            }
+            let worker = live[(route_hash(sid) % live.len() as u64) as usize];
+            // Only requests that create the session pin it; a turn on
+            // an unknown id is the worker's SessionNotFound to report.
+            if matches!(
+                request,
+                PatternRequest::SessionOpen(_) | PatternRequest::SessionRestore(_)
+            ) {
+                sessions.insert(sid.to_owned(), worker);
+            }
+            return Ok(worker);
+        }
+        match chatpattern_core::routing::request_route(request) {
+            Some(hash) => Ok(live[(hash % live.len() as u64) as usize]),
+            None => {
+                let next = self.round_robin.fetch_add(1, Ordering::Relaxed);
+                Ok(live[(next % live.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+/// Ensures the worker has a live connection, (re)spawning and
+/// (re)connecting with backoff as needed. Returns the error message
+/// when the worker cannot be revived.
+fn ensure_connected(router: &Arc<Router>, index: usize) -> Result<(), String> {
+    let worker = &router.workers[index];
+    let mut link = worker.link.lock().expect("link lock");
+    // A spawned child that exited invalidates the link even if the
+    // socket has not reported the death yet.
+    if let Some(live) = link.as_mut() {
+        let child_exited = live
+            .child
+            .as_mut()
+            .is_some_and(|c| c.try_wait().ok().flatten().is_some());
+        if child_exited {
+            // We (not the reader) discovered the death: take over the
+            // teardown so entries from the dead connection fail now
+            // instead of lingering. The generation bump below tells
+            // the stale reader to stand down.
+            *link = None;
+            fail_pending(worker, &format!("worker {index} exited"));
+        } else {
+            return Ok(());
+        }
+    }
+
+    let (addr, child) = match (&worker.spawn, &worker.attach_addr) {
+        (Some(spec), _) => spawn_worker(spec, index)?,
+        (None, Some(addr)) => (addr.clone(), None),
+        (None, None) => unreachable!("a worker is spawned or attached"),
+    };
+    let stream = connect_with_backoff(addr.as_str(), &router.connect)
+        .map_err(|e| format!("worker {index}: cannot connect to {addr}: {e}"))?;
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| format!("worker {index}: clone failed: {e}"))?;
+    let generation = worker.generation.fetch_add(1, Ordering::Relaxed) + 1;
+    *link = Some(WorkerLink {
+        addr,
+        child,
+        stream,
+    });
+    drop(link);
+
+    let router = Arc::clone(router);
+    std::thread::spawn(move || read_worker(&router, index, generation, read_half));
+    Ok(())
+}
+
+/// Spawns one serve child and parses its announcement line for the
+/// bound address.
+fn spawn_worker(spec: &SpawnSpec, index: usize) -> Result<(String, Option<Child>), String> {
+    let mut child = Command::new(&spec.bin)
+        .args(&spec.args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("worker {index}: cannot spawn {}: {e}", spec.bin))?;
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut lines = std::io::BufReader::new(stderr).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(addr) = line.strip_prefix("chatpattern-serve: listening on ") {
+                    break addr.trim().to_owned();
+                }
+                eprintln!("[worker {index}] {line}");
+            }
+            Some(Err(_)) | None => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(format!(
+                    "worker {index}: exited before announcing its address"
+                ));
+            }
+        }
+    };
+    // Keep draining the child's stderr (prefixed) so its pipe never
+    // fills up and its diagnostics stay visible.
+    std::thread::spawn(move || {
+        for line in lines.map_while(Result::ok) {
+            eprintln!("[worker {index}] {line}");
+        }
+    });
+    eprintln!("chatpattern-router: worker {index} up at {addr}");
+    Ok((addr, Some(child)))
+}
+
+/// The per-worker reader: pumps response lines back to whoever is
+/// waiting on them; on connection loss, fails every pending entry and
+/// releases the link (the next forward revives the worker).
+fn read_worker(router: &Arc<Router>, index: usize, generation: u64, stream: TcpStream) {
+    let worker = &router.workers[index];
+    let mut reader = std::io::BufReader::new(stream).lines();
+    while let Some(Ok(line)) = reader.next() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(envelope) = serde_json::from_str::<ResponseEnvelope>(&line) else {
+            eprintln!("chatpattern-router: worker {index} sent an unparsable line");
+            continue;
+        };
+        let Some(internal) = envelope.id.as_u64() else {
+            continue;
+        };
+        let entry = worker
+            .pending
+            .lock()
+            .expect("pending lock")
+            .remove(&internal);
+        match entry {
+            Some(Pending::Client {
+                id,
+                sink,
+                closes_session,
+            }) => {
+                if let (Some(sid), WireOutcome::Ok(_)) = (&closes_session, &envelope.outcome) {
+                    router.sessions.lock().expect("session lock").remove(sid);
+                }
+                let reply = ResponseEnvelope {
+                    id,
+                    outcome: envelope.outcome,
+                };
+                sink.send_line(&reply.to_line());
+            }
+            Some(Pending::Internal(slot)) => slot.fill(envelope),
+            None => {}
+        }
+    }
+
+    // Only the reader that still owns the link tears it down (and
+    // fails the in-flight entries): a reconnect bumps the generation,
+    // and a stale reader must not touch entries registered for the
+    // fresh connection. Both the check and the teardown happen under
+    // the link lock, which `ensure_connected` also holds while it
+    // bumps the generation.
+    {
+        let mut link = worker.link.lock().expect("link lock");
+        if worker.generation.load(Ordering::Relaxed) != generation {
+            return;
+        }
+        if let Some(mut dead) = link.take() {
+            if let Some(child) = dead.child.as_mut() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+        fail_pending(worker, &format!("worker {index} connection lost"));
+    }
+}
+
+/// Fails every in-flight entry of a worker whose connection is gone.
+/// Callers must own the teardown (hold the link lock as the current
+/// generation's reader, or as `ensure_connected` discovering a dead
+/// child).
+fn fail_pending(worker: &Worker, reason: &str) {
+    let orphans: Vec<Pending> = {
+        let mut pending = worker.pending.lock().expect("pending lock");
+        pending.drain().map(|(_, entry)| entry).collect()
+    };
+    if orphans.is_empty() {
+        return;
+    }
+    eprintln!(
+        "chatpattern-router: {reason}, failing {} in-flight request(s)",
+        orphans.len()
+    );
+    let error = Error::internal(reason.to_owned());
+    for entry in orphans {
+        match entry {
+            Pending::Client { id, sink, .. } => {
+                sink.send_line(&ResponseEnvelope::error(id, &error).to_line());
+            }
+            Pending::Internal(slot) => {
+                slot.fill(ResponseEnvelope::error(Value::Null, &error));
+            }
+        }
+    }
+}
+
+/// Forwards one request line to a worker, reviving it first when its
+/// link is down. Registration happens before the send so the reader
+/// can never race the reply past us.
+fn forward(router: &Arc<Router>, index: usize, request: &PatternRequest, entry: Pending) {
+    let internal = router.next_internal.fetch_add(1, Ordering::Relaxed);
+    let line = serde_json::to_string(&RequestEnvelope {
+        id: serde_json::to_value(&internal),
+        request: request.clone(),
+    })
+    .expect("requests serialize");
+    let worker = &router.workers[index];
+
+    let mut entry = Some(entry);
+    for _attempt in 0..2 {
+        if let Err(message) = ensure_connected(router, index) {
+            eprintln!("chatpattern-router: {message}");
+            continue;
+        }
+        worker
+            .pending
+            .lock()
+            .expect("pending lock")
+            .insert(internal, entry.take().expect("entry available"));
+        let sent = {
+            let mut link = worker.link.lock().expect("link lock");
+            match link.as_mut() {
+                Some(live) => {
+                    use std::io::Write;
+                    let mut framed = line.clone();
+                    framed.push('\n');
+                    live.stream.write_all(framed.as_bytes()).is_ok()
+                }
+                None => false,
+            }
+        };
+        if sent {
+            return;
+        }
+        // Reclaim the entry (when the reader has not already failed
+        // it) and retry on a fresh connection.
+        match worker
+            .pending
+            .lock()
+            .expect("pending lock")
+            .remove(&internal)
+        {
+            Some(reclaimed) => entry = Some(reclaimed),
+            None => return,
+        }
+    }
+
+    let error = Error::internal(format!("worker {index} unavailable"));
+    match entry.take().expect("entry still ours") {
+        Pending::Client { id, sink, .. } => {
+            sink.send_line(&ResponseEnvelope::error(id, &error).to_line());
+        }
+        Pending::Internal(slot) => slot.fill(ResponseEnvelope::error(Value::Null, &error)),
+    }
+}
+
+/// A synchronous router-internal request to one worker.
+fn call_worker(
+    router: &Arc<Router>,
+    index: usize,
+    request: &PatternRequest,
+) -> Result<ResponseEnvelope, String> {
+    let slot = ReplySlot::new();
+    forward(router, index, request, Pending::Internal(Arc::clone(&slot)));
+    slot.wait(INTERNAL_CALL_TIMEOUT)
+        .ok_or_else(|| format!("worker {index}: internal call timed out"))
+}
+
+// ------------------------------------------------------------- rebalancing
+
+/// Moves one session from `source` to a hash-chosen live target:
+/// snapshot → restore → re-route → close the source copy.
+fn move_session(router: &Arc<Router>, sid: &str, source: usize) -> Result<Option<usize>, String> {
+    let targets = router.live_workers();
+    if targets.is_empty() {
+        return Err("no live workers left to move sessions to".to_owned());
+    }
+    let target = targets[(route_hash(sid) % targets.len() as u64) as usize];
+
+    let snapshot = call_worker(
+        router,
+        source,
+        &PatternRequest::SessionSnapshot(SessionSnapshotParams {
+            session: sid.to_owned(),
+        }),
+    )?;
+    let snapshot = match snapshot.outcome {
+        WireOutcome::Ok(response) => match response.payload {
+            ResponsePayload::SessionSnapshot(snapshot) => snapshot,
+            other => return Err(format!("snapshot of {sid} returned {other:?}")),
+        },
+        WireOutcome::Err(error) if error.kind == "SessionNotFound" => {
+            // Expired (or closed concurrently): nothing to move.
+            router.sessions.lock().expect("session lock").remove(sid);
+            return Ok(None);
+        }
+        WireOutcome::Err(error) => {
+            return Err(format!("snapshot of {sid} failed: {}", error.message))
+        }
+    };
+
+    let restored = call_worker(
+        router,
+        target,
+        &PatternRequest::SessionRestore(SessionRestoreParams { snapshot }),
+    )?;
+    if let WireOutcome::Err(error) = restored.outcome {
+        return Err(format!(
+            "restore of {sid} on worker {target} failed: {}",
+            error.message
+        ));
+    }
+    router
+        .sessions
+        .lock()
+        .expect("session lock")
+        .insert(sid.to_owned(), target);
+    // Free the source copy; the session's one true home is now the
+    // target, so the close outcome is deliberately discarded.
+    let _ = call_worker(
+        router,
+        source,
+        &PatternRequest::SessionClose(SessionCloseParams {
+            session: sid.to_owned(),
+        }),
+    );
+    Ok(Some(target))
+}
+
+/// Drains a worker: mark it out of the routing domain, then move each
+/// of its sessions. Requests addressed to a mid-move session wait on
+/// the `moving` set instead of racing the handoff.
+fn drain_worker(router: &Arc<Router>, index: usize) -> Result<usize, String> {
+    if index >= router.workers.len() {
+        return Err(format!("no worker {index}"));
+    }
+    router.workers[index]
+        .draining
+        .store(true, Ordering::Relaxed);
+    if router.live_workers().is_empty() {
+        router.workers[index]
+            .draining
+            .store(false, Ordering::Relaxed);
+        return Err("cannot drain the last live worker".to_owned());
+    }
+    let resident: Vec<String> = {
+        let sessions = router.sessions.lock().expect("session lock");
+        sessions
+            .iter()
+            .filter(|(_, w)| **w == index)
+            .map(|(sid, _)| sid.clone())
+            .collect()
+    };
+    {
+        let mut moving = router.moving.lock().expect("moving lock");
+        for sid in &resident {
+            moving.insert(sid.clone());
+        }
+    }
+    let mut moved = 0;
+    let mut first_error = None;
+    for sid in &resident {
+        match move_session(router, sid, index) {
+            Ok(Some(target)) => {
+                moved += 1;
+                eprintln!("chatpattern-router: moved session {sid} {index} -> {target}");
+            }
+            Ok(None) => {}
+            Err(message) => {
+                eprintln!("chatpattern-router: drain of {sid} failed: {message}");
+                first_error.get_or_insert(message);
+            }
+        }
+        let mut moving = router.moving.lock().expect("moving lock");
+        moving.remove(sid);
+        drop(moving);
+        router.moved.notify_all();
+    }
+    match first_error {
+        None => Ok(moved),
+        Some(message) => Err(message),
+    }
+}
+
+// -------------------------------------------------------- client frontend
+
+struct RouterHandler {
+    router: Arc<Router>,
+}
+
+impl RouterHandler {
+    /// Fan-out `Stats` and merge: the fleet view, answered by the
+    /// router itself under normal wire framing.
+    fn fleet_stats(&self) -> (EngineStats, Vec<Option<EngineStats>>) {
+        let started = Instant::now();
+        let mut merged = EngineStats::default();
+        let mut per_worker = Vec::with_capacity(self.router.workers.len());
+        for worker in &self.router.workers {
+            let stats = call_worker(&self.router, worker.index, &PatternRequest::Stats)
+                .ok()
+                .and_then(|reply| match reply.outcome {
+                    WireOutcome::Ok(response) => match response.payload {
+                        ResponsePayload::Stats(stats) => Some(stats),
+                        _ => None,
+                    },
+                    WireOutcome::Err(_) => None,
+                });
+            if let Some(stats) = &stats {
+                merged.merge(stats);
+            }
+            per_worker.push(stats);
+        }
+        let _ = started;
+        (merged, per_worker)
+    }
+
+    fn handle_control(&self, envelope: ControlEnvelope, sink: &Arc<LineSink>) {
+        let outcome = match envelope.control {
+            RouterControl::Fleet => {
+                let (fleet, per_worker) = self.fleet_stats();
+                let sessions = self.router.sessions.lock().expect("session lock");
+                let workers = self
+                    .router
+                    .workers
+                    .iter()
+                    .zip(per_worker)
+                    .map(|(worker, stats)| {
+                        let link = worker.link.lock().expect("link lock");
+                        WorkerView {
+                            index: worker.index,
+                            addr: link.as_ref().map(|l| l.addr.clone()),
+                            pid: link.as_ref().and_then(|l| l.child.as_ref().map(Child::id)),
+                            draining: worker.draining.load(Ordering::Relaxed),
+                            sessions: sessions.values().filter(|w| **w == worker.index).count(),
+                            stats,
+                        }
+                    })
+                    .collect();
+                ControlOutcome::Fleet(FleetView { workers, fleet })
+            }
+            RouterControl::Drain { worker } => match drain_worker(&self.router, worker) {
+                Ok(moved) => ControlOutcome::Drained { worker, moved },
+                Err(message) => ControlOutcome::Error { message },
+            },
+            RouterControl::Shutdown => ControlOutcome::ShuttingDown,
+        };
+        let shutting_down = matches!(outcome, ControlOutcome::ShuttingDown);
+        let reply = ControlReply {
+            id: envelope.id,
+            control: outcome,
+        };
+        sink.send_line(&serde_json::to_string(&reply).expect("control replies serialize"));
+        if shutting_down {
+            for worker in &self.router.workers {
+                if let Some(mut link) = worker.link.lock().expect("link lock").take() {
+                    if let Some(child) = link.child.as_mut() {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                }
+            }
+            eprintln!("chatpattern-router: shutting down");
+            std::process::exit(0);
+        }
+    }
+}
+
+impl ConnectionHandler for RouterHandler {
+    fn on_line(&self, line: &str, sink: &Arc<LineSink>) {
+        if let Ok(control) = serde_json::from_str::<ControlEnvelope>(line) {
+            self.handle_control(control, sink);
+            return;
+        }
+        match decode_request_line(line) {
+            Ok(envelope) => {
+                if matches!(envelope.request, PatternRequest::Stats) {
+                    let started = Instant::now();
+                    let (fleet, _) = self.fleet_stats();
+                    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    let reply = ResponseEnvelope::ok(
+                        envelope.id,
+                        PatternResponse {
+                            payload: ResponsePayload::Stats(fleet),
+                            timing: Timing::direct(micros),
+                        },
+                    );
+                    sink.send_line(&reply.to_line());
+                    return;
+                }
+                let closes_session = match &envelope.request {
+                    PatternRequest::SessionClose(params) => Some(params.session.clone()),
+                    _ => None,
+                };
+                match self.router.route(&envelope.request) {
+                    Ok(worker) => forward(
+                        &self.router,
+                        worker,
+                        &envelope.request,
+                        Pending::Client {
+                            id: envelope.id,
+                            sink: Arc::clone(sink),
+                            closes_session,
+                        },
+                    ),
+                    Err(error) => {
+                        sink.send_line(&ResponseEnvelope::error(envelope.id, &error).to_line());
+                    }
+                }
+            }
+            Err((id, error)) => {
+                sink.send_line(&ResponseEnvelope::error(id, &error).to_line());
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------- main
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("chatpattern-router: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let workers: Vec<Worker> = if options.attach.is_empty() {
+        let bin = options.serve_bin.clone().unwrap_or_else(|| {
+            std::env::current_exe()
+                .ok()
+                .and_then(|exe| {
+                    exe.parent()
+                        .map(|dir| dir.join("chatpattern-serve").to_string_lossy().into_owned())
+                })
+                .unwrap_or_else(|| "chatpattern-serve".to_owned())
+        });
+        (0..options.workers)
+            .map(|index| {
+                let mut args = vec!["--listen".to_owned(), "127.0.0.1:0".to_owned()];
+                args.extend(options.serve_args.iter().cloned());
+                if let Some(base) = &options.session_dir {
+                    args.push("--session-dir".to_owned());
+                    args.push(format!("{base}/worker-{index}"));
+                }
+                Worker {
+                    index,
+                    spawn: Some(SpawnSpec {
+                        bin: bin.clone(),
+                        args,
+                    }),
+                    attach_addr: None,
+                    link: Mutex::new(None),
+                    pending: Mutex::new(HashMap::new()),
+                    draining: AtomicBool::new(false),
+                    generation: AtomicU64::new(0),
+                }
+            })
+            .collect()
+    } else {
+        options
+            .attach
+            .iter()
+            .enumerate()
+            .map(|(index, addr)| Worker {
+                index,
+                spawn: None,
+                attach_addr: Some(addr.clone()),
+                link: Mutex::new(None),
+                pending: Mutex::new(HashMap::new()),
+                draining: AtomicBool::new(false),
+                generation: AtomicU64::new(0),
+            })
+            .collect()
+    };
+
+    let router = Arc::new(Router {
+        workers,
+        sessions: Mutex::new(HashMap::new()),
+        moving: Mutex::new(HashSet::new()),
+        moved: Condvar::new(),
+        next_internal: AtomicU64::new(1),
+        round_robin: AtomicU64::new(0),
+        connect: ClientConfig {
+            // Worker reads block until the worker answers or dies —
+            // a read timeout would misread a long diffusion job as a
+            // dead worker.
+            read_timeout: None,
+            ..ClientConfig::default()
+        },
+    });
+
+    // Bring the whole fleet up before accepting clients, so the first
+    // request does not pay every worker's model-build latency at once.
+    for index in 0..router.workers.len() {
+        if let Err(message) = ensure_connected(&router, index) {
+            eprintln!("chatpattern-router: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let server = match NdjsonServer::bind(options.listen.as_str(), options.max_connections) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!(
+                "chatpattern-router: cannot listen on {}: {error}",
+                options.listen
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("chatpattern-router: listening on {}", server.local_addr());
+    server.spawn(Arc::new(RouterHandler { router })).join();
+    ExitCode::SUCCESS
+}

@@ -1,17 +1,18 @@
 //! `chatpattern-serve` — the JSON-lines wire front-end.
 //!
 //! Reads one [`RequestEnvelope`](chatpattern_core::RequestEnvelope)
-//! per stdin line, executes it on a [`PatternEngine`], and writes one
-//! [`ResponseEnvelope`] per stdout line, echoing the client-chosen
-//! `id`. Each accepted job gets a
+//! per line, executes it on a [`PatternEngine`], and writes one
+//! [`ResponseEnvelope`](chatpattern_core::ResponseEnvelope) per line,
+//! echoing the client-chosen `id`. Each accepted job gets a
 //! completion-writer thread, so responses go out the moment the job
-//! finishes — an interactive client can hold stdin open and still
-//! receive every reply immediately — and may arrive out of submission
-//! order; the `id` is the correlation key. The format is documented
-//! with worked examples in `docs/WIRE_PROTOCOL.md`.
+//! finishes — an interactive client can hold its stream open and
+//! still receive every reply immediately — and may arrive out of
+//! submission order; the `id` is the correlation key. The format is
+//! documented with worked examples in `docs/WIRE_PROTOCOL.md`.
 //!
 //! ```text
-//! chatpattern-serve [--backend inline|threadpool|sharded] [--shards N]
+//! chatpattern-serve [--listen ADDR] [--max-connections N]
+//!                   [--backend inline|threadpool|sharded] [--shards N]
 //!                   [--workers N] [--queue-depth N] [--cache-capacity N]
 //!                   [--max-sessions N] [--session-ttl-secs N]
 //!                   [--session-dir PATH]
@@ -19,36 +20,33 @@
 //!                   [--training-patterns N] [--seed N] [--stats]
 //! ```
 //!
-//! `--backend` selects the engine's execution strategy (see
-//! `docs/ENGINE.md`); duplicate in-flight requests coalesce onto one
-//! execution regardless of backend, and every client still receives
-//! its own reply under its own id. Stateful multi-turn sessions
-//! (`SessionOpen` / `SessionTurn` / `SessionClose` envelopes, see
-//! `docs/SESSIONS.md`) are bounded by `--max-sessions` and
-//! `--session-ttl-secs`; session requests are never cached or
-//! coalesced, and a client that wants deterministic turn ordering
-//! should pipeline them (wait for each turn's reply before sending the
-//! next). With `--session-dir`, capacity eviction *spills* sessions to
-//! disk instead of destroying them — a turn on a spilled id rehydrates
-//! it transparently, and spilled sessions survive a restart over the
-//! same directory — while the `SessionSnapshot` / `SessionRestore`
-//! request kinds export a live session from one serve process and
-//! import it into another (cross-process handoff, no shared directory
-//! needed). `--stats` prints the engine's
-//! [`EngineStats`](chatpattern_core::EngineStats) counters to stderr
-//! at EOF. Malformed lines produce
-//! an error envelope immediately (with the line's `id` when one is
-//! recoverable, `null` otherwise) and never abort the stream; there is
-//! no network stack offline, so framing a socket around stdin/stdout
-//! is left to `socat`-style plumbing.
+//! Two transports, one protocol (byte-identical envelopes): the
+//! default stdin/stdout pipe, and — with `--listen ADDR` — an
+//! NDJSON-over-TCP server (`cp_net`) where every connection is its
+//! own request stream over the same shared engine. `--backend`
+//! selects the engine's execution strategy (see `docs/ENGINE.md`);
+//! duplicate in-flight requests coalesce onto one execution
+//! regardless of backend. Stateful multi-turn sessions (`SessionOpen`
+//! / `SessionTurn` / `SessionClose`, see `docs/SESSIONS.md`) are
+//! bounded by `--max-sessions` and `--session-ttl-secs`; with
+//! `--session-dir`, capacity eviction *spills* sessions to disk, and
+//! the `SessionSnapshot` / `SessionRestore` request kinds export a
+//! live session from one serve process and import it into another
+//! (what the `chatpattern-router` uses to rebalance a fleet). The
+//! `Stats` request kind answers the engine's
+//! [`EngineStats`](chatpattern_core::EngineStats) counters over the
+//! wire mid-stream; `--stats` additionally prints them to stderr at
+//! every EOF/disconnect — including a broken pipe, which is treated
+//! as a clean close (a client that got what it wanted and went away
+//! is not an error). Malformed lines produce an error envelope
+//! immediately (with the line's `id` when one is recoverable, `null`
+//! otherwise) and never abort the stream.
 
-use chatpattern_core::wire::{decode_request_line, ResponseEnvelope};
-use chatpattern_core::{BackendKind, ChatPattern, EngineConfig, JobHandle, PatternEngine};
-use serde_json::Value;
-use std::io::{BufRead, Write};
+use chatpattern_core::{BackendKind, ChatPattern, EngineConfig, PatternEngine};
+use cp_net::{ConnectionHandler, EngineHandler, LineSink, NdjsonServer};
+use std::io::BufRead;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Everything the command line can configure.
 struct Options {
@@ -61,6 +59,8 @@ struct Options {
     session_ttl_secs: u64,
     session_dir: Option<String>,
     stats: bool,
+    listen: Option<String>,
+    max_connections: usize,
 }
 
 impl Default for Options {
@@ -77,18 +77,27 @@ impl Default for Options {
             session_ttl_secs: 900,
             session_dir: None,
             stats: false,
+            listen: None,
+            max_connections: cp_net::DEFAULT_MAX_CONNECTIONS,
         }
     }
 }
 
 const USAGE: &str = "\
-chatpattern-serve: JSON-lines PatternRequest server over stdin/stdout
+chatpattern-serve: JSON-lines PatternRequest server over stdin/stdout or TCP
 
 Each input line: {\"id\": <scalar>, \"request\": <PatternRequest>}
 Each output line: {\"id\": <same>, \"outcome\": {\"Ok\": ...} | {\"Err\": ...}}
 (see docs/WIRE_PROTOCOL.md)
 
 Options:
+  --listen ADDR          serve the same protocol over TCP instead of
+                         stdin/stdout (use port 0 for an OS-assigned
+                         port; the bound address is announced on
+                         stderr as 'listening on HOST:PORT'); every
+                         connection is an independent NDJSON stream
+                         over one shared engine
+  --max-connections N    concurrently served TCP connections (default 64)
   --backend NAME         execution backend: inline, threadpool (default)
                          or sharded (per-shard queues + workers, jobs
                          routed by request-key hash; needs
@@ -116,7 +125,9 @@ Options:
   --diffusion-steps N    diffusion chain length K (default 12)
   --training-patterns N  training patterns per style (default 64)
   --seed N               master seed (default 0)
-  --stats                print engine counters to stderr at EOF
+  --stats                print engine counters to stderr at every
+                         EOF/disconnect (counters are also queryable
+                         in-band via the Stats request kind)
   --help                 this text";
 
 fn parse_args() -> Result<Options, String> {
@@ -164,6 +175,8 @@ fn parse_args() -> Result<Options, String> {
             "--diffusion-steps" => options.diffusion_steps = number("--diffusion-steps")?,
             "--training-patterns" => options.training_patterns = number("--training-patterns")?,
             "--seed" => options.seed = number("--seed")? as u64,
+            "--listen" => options.listen = Some(value.clone()),
+            "--max-connections" => options.max_connections = number("--max-connections")?,
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
     }
@@ -184,44 +197,95 @@ fn parse_args() -> Result<Options, String> {
     Ok(options)
 }
 
-/// Stdout shared between the reader loop (error envelopes) and the
-/// per-job completion writers, plus the sticky failure flag.
-struct WireOut {
-    // `Stdout` (not `StdoutLock`): the lock guard is not `Send`, and
-    // the completion writers live on their own threads. The mutex
-    // makes each write-plus-flush atomic across them.
-    out: Mutex<std::io::Stdout>,
-    failed: AtomicBool,
+/// One stderr line of engine counters — the shape `wire_smoke.sh`
+/// greps, flushed at every EOF/disconnect when `--stats` is on.
+fn print_stats(engine: &PatternEngine<ChatPattern>) {
+    let stats = engine.stats();
+    eprintln!(
+        "chatpattern-serve: backend={} submitted={} completed={} failed={} cancelled={} \
+         cache_hits={} cache_misses={} coalesced={} sessions_open={} sessions_evicted={} \
+         sessions_spilled={} sessions_restored={} turns={} queue_depths={:?}",
+        engine.config().backend.name(),
+        stats.submitted,
+        stats.completed,
+        stats.failed,
+        stats.cancelled,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.coalesced,
+        stats.sessions_open,
+        stats.sessions_evicted,
+        stats.sessions_spilled,
+        stats.sessions_restored,
+        stats.turns,
+        stats.queue_depths,
+    );
 }
 
-impl WireOut {
-    /// Writes one envelope line; records (and reports) I/O failure.
-    fn write(&self, envelope: &ResponseEnvelope) {
-        let mut out = self.out.lock().expect("stdout lock");
-        if let Err(error) = writeln!(out, "{}", envelope.to_line()).and_then(|()| out.flush()) {
-            eprintln!("chatpattern-serve: stdout error: {error}");
-            self.failed.store(true, Ordering::Relaxed);
+/// TCP-mode handler: the shared [`EngineHandler`] plus the `--stats`
+/// flush on every disconnect.
+struct ServeHandler {
+    inner: EngineHandler<ChatPattern>,
+    stats: bool,
+}
+
+impl ConnectionHandler for ServeHandler {
+    fn on_line(&self, line: &str, sink: &Arc<LineSink>) {
+        self.inner.on_line(line, sink);
+    }
+
+    fn on_disconnect(&self, _sink: &Arc<LineSink>) {
+        if self.stats {
+            print_stats(self.inner.engine());
         }
     }
 }
 
-/// Waits for one job on its own thread and writes the response the
-/// moment it finishes — this is what lets an interactive client hold
-/// stdin open and still receive each reply immediately, and where
-/// out-of-order completion surfaces on the wire.
-fn spawn_completion_writer(
-    id: Value,
-    handle: JobHandle,
-    out: &Arc<WireOut>,
-) -> std::thread::JoinHandle<()> {
-    let out = Arc::clone(out);
-    std::thread::spawn(move || {
-        let envelope = match handle.wait() {
-            Ok(response) => ResponseEnvelope::ok(id, response),
-            Err(error) => ResponseEnvelope::error(id, &error),
+/// The stdin/stdout transport: one NDJSON stream, EOF ends it. A
+/// broken stdout pipe is a clean close (stop reading, still report
+/// stats); only real I/O errors fail the process.
+fn serve_stdio(handler: &EngineHandler<ChatPattern>, stats: bool) -> ExitCode {
+    let stdin = std::io::stdin();
+    let sink = Arc::new(LineSink::stdout());
+    let mut io_failed = false;
+
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(error) => {
+                eprintln!("chatpattern-serve: stdin error: {error}");
+                io_failed = true;
+                break;
+            }
         };
-        out.write(&envelope);
-    })
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Blocking submit inside: the bounded queue is the
+        // back-pressure that keeps a huge pipe from ballooning memory
+        // — and it bounds the live writer threads to roughly
+        // queue_depth + workers.
+        handler.on_line(&line, &sink);
+        if sink.is_closed() || sink.has_failed() {
+            break;
+        }
+    }
+
+    // EOF (or a gone client): wait for everything still in flight so
+    // the final counters include it.
+    handler.drain();
+    if let Some(error) = sink.error() {
+        eprintln!("chatpattern-serve: stdout error: {error}");
+        io_failed = true;
+    }
+    if stats {
+        print_stats(handler.engine());
+    }
+    if io_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
@@ -250,83 +314,34 @@ fn main() -> ExitCode {
         }
     };
     let engine = match PatternEngine::with_config(system, options.engine) {
-        Ok(engine) => engine,
+        Ok(engine) => Arc::new(engine),
         Err(error) => {
             eprintln!("chatpattern-serve: {error}");
             return ExitCode::FAILURE;
         }
     };
+    let handler = EngineHandler::new(engine);
 
-    let stdin = std::io::stdin();
-    let out = Arc::new(WireOut {
-        out: Mutex::new(std::io::stdout()),
-        failed: AtomicBool::new(false),
-    });
-    let mut waiters: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    let mut io_failed = false;
-
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(line) => line,
-            Err(error) => {
-                eprintln!("chatpattern-serve: stdin error: {error}");
-                io_failed = true;
-                break;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
+    match &options.listen {
+        None => serve_stdio(&handler, options.stats),
+        Some(addr) => {
+            let server = match NdjsonServer::bind(addr.as_str(), options.max_connections) {
+                Ok(server) => server,
+                Err(error) => {
+                    eprintln!("chatpattern-serve: cannot listen on {addr}: {error}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // The announcement line is part of the CLI contract: the
+            // router and the smoke scripts parse it to learn the
+            // OS-assigned port under `--listen 127.0.0.1:0`.
+            eprintln!("chatpattern-serve: listening on {}", server.local_addr());
+            let handle = server.spawn(Arc::new(ServeHandler {
+                inner: handler,
+                stats: options.stats,
+            }));
+            handle.join();
+            ExitCode::SUCCESS
         }
-        match decode_request_line(&line) {
-            Ok(envelope) => {
-                // Blocking submit: the bounded queue is the
-                // back-pressure that keeps a huge pipe from ballooning
-                // memory — and it bounds the live writer threads to
-                // roughly queue_depth + workers.
-                let handle = engine.submit_blocking(envelope.request);
-                waiters.push(spawn_completion_writer(envelope.id, handle, &out));
-                waiters.retain(|w| !w.is_finished());
-            }
-            Err((id, error)) => out.write(&ResponseEnvelope::error(id, &error)),
-        }
-        if out.failed.load(Ordering::Relaxed) {
-            io_failed = true;
-            break;
-        }
-    }
-
-    // EOF: wait for everything still in flight to be answered.
-    for waiter in waiters {
-        let _ = waiter.join();
-    }
-    io_failed |= out.failed.load(Ordering::Relaxed);
-
-    if options.stats {
-        let stats = engine.stats();
-        eprintln!(
-            "chatpattern-serve: backend={} submitted={} completed={} failed={} cancelled={} \
-             cache_hits={} cache_misses={} coalesced={} sessions_open={} sessions_evicted={} \
-             sessions_spilled={} sessions_restored={} turns={} queue_depths={:?}",
-            engine.config().backend.name(),
-            stats.submitted,
-            stats.completed,
-            stats.failed,
-            stats.cancelled,
-            stats.cache_hits,
-            stats.cache_misses,
-            stats.coalesced,
-            stats.sessions_open,
-            stats.sessions_evicted,
-            stats.sessions_spilled,
-            stats.sessions_restored,
-            stats.turns,
-            stats.queue_depths,
-        );
-    }
-
-    if io_failed {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
     }
 }

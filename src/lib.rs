@@ -16,7 +16,12 @@
 //! request-level result cache, and in-flight request coalescing (see
 //! `docs/ENGINE.md`) — or run the `chatpattern-serve` binary, which
 //! speaks the JSON-lines wire protocol from `docs/WIRE_PROTOCOL.md`
-//! over stdin/stdout. Interactive refinement runs through stateful
+//! over stdin/stdout or — with `--listen` — over NDJSON-on-TCP (the
+//! [`net`] transport crate). `chatpattern-router` shards a whole
+//! fleet of serve workers behind one address using the stable
+//! [`core::routing`] hash and can rebalance live sessions between
+//! them (see `docs/ROUTER.md`). Interactive refinement runs through
+//! stateful
 //! multi-turn sessions (`SessionOpen` / `SessionTurn` /
 //! `SessionClose`, bounded by a TTL + LRU [`SessionStore`]; see
 //! `docs/SESSIONS.md`): follow-up turns operate on the previous turn's
@@ -53,6 +58,7 @@ pub use cp_extend as extend;
 pub use cp_geom as geom;
 pub use cp_legalize as legalize;
 pub use cp_metrics as metrics;
+pub use cp_net as net;
 pub use cp_nn as nn;
 pub use cp_squish as squish;
 

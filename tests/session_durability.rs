@@ -16,6 +16,11 @@
 //!   survive a `kill`ed serve process: a new process over the same
 //!   directory resumes them mid-dialog, while sessions that were only
 //!   live in the crashed process's memory are gone.
+//! * **Fleet restart recovery** (ISSUE 6) — the same guarantee holds
+//!   behind the `chatpattern-router`: SIGKILL a spawned worker and the
+//!   router respawns it over its per-worker `--session-dir`, so the
+//!   worker's spilled sessions resume mid-dialog through the same
+//!   client connection, with only its warm-in-memory session lost.
 
 use chatpattern::{
     BackendKind, ChatPattern, EngineConfig, Error, PatternEngine, PatternRequest, PatternService,
@@ -412,6 +417,249 @@ fn killed_serve_process_leaves_spilled_sessions_recoverable() {
         WireOutcome::Ok(_) => panic!("session b cannot have survived the crash"),
     }
     serve_b.shutdown();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// A strict request-then-response client over TCP to a spawned
+/// router fleet (mirrors `ServeClient`, but for `chatpattern-router`).
+struct RouterClient {
+    child: Child,
+    client: cp_net::NdjsonClient,
+    addr: String,
+}
+
+impl RouterClient {
+    fn spawn(workers: usize, session_dir: &str, extra_serve_args: &[&str]) -> RouterClient {
+        let mut command = Command::new(env!("CARGO_BIN_EXE_chatpattern-router"));
+        command.args([
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            &workers.to_string(),
+            "--serve-bin",
+            env!("CARGO_BIN_EXE_chatpattern-serve"),
+            "--session-dir",
+            session_dir,
+        ]);
+        // The worker model configuration must match `build_system`.
+        for arg in [
+            "--window",
+            "16",
+            "--training-patterns",
+            "8",
+            "--diffusion-steps",
+            "6",
+            "--workers",
+            "2",
+            "--seed",
+            "3",
+        ]
+        .iter()
+        .chain(extra_serve_args)
+        {
+            command.args(["--serve-arg", arg]);
+        }
+        let mut child = command
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("router binary starts");
+        let stderr = child.stderr.take().expect("stderr piped");
+        let mut lines = BufReader::new(stderr).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("router announces its address before EOF")
+                .expect("router stderr reads");
+            if let Some(addr) = line.strip_prefix("chatpattern-router: listening on ") {
+                break addr.trim().to_owned();
+            }
+        };
+        std::thread::spawn(move || for _ in lines.by_ref() {});
+        let client = cp_net::NdjsonClient::connect(
+            &addr,
+            cp_net::ClientConfig {
+                read_timeout: Some(std::time::Duration::from_secs(120)),
+                ..cp_net::ClientConfig::default()
+            },
+        )
+        .expect("router accepts the test client");
+        RouterClient {
+            child,
+            client,
+            addr,
+        }
+    }
+
+    fn exchange(&mut self, id: &str, request: PatternRequest) -> ResponseEnvelope {
+        self.client
+            .call(&RequestEnvelope {
+                id: serde_json::to_value(&id),
+                request,
+            })
+            .expect("router answers")
+    }
+
+    fn expect_ok(&mut self, id: &str, request: PatternRequest) -> ResponsePayload {
+        let reply = self.exchange(id, request);
+        match reply.outcome {
+            WireOutcome::Ok(response) => response.payload,
+            WireOutcome::Err(error) => panic!("request {id} failed: {error:?}"),
+        }
+    }
+
+    /// Worker pids from the Fleet control view.
+    fn worker_pids(&mut self) -> Vec<Option<u32>> {
+        self.client
+            .send_line(r#"{"id":"fleet","control":"Fleet"}"#)
+            .expect("control line sent");
+        let reply = self
+            .client
+            .recv_line()
+            .expect("control reply reads")
+            .expect("control reply arrives");
+        let fleet: serde_json::Value =
+            serde_json::from_str(&reply).unwrap_or_else(|e| panic!("unparsable {reply:?}: {e}"));
+        fleet
+            .get("control")
+            .and_then(|c| c.get("Fleet"))
+            .and_then(|f| f.get("workers"))
+            .and_then(|w| w.as_array())
+            .unwrap_or_else(|| panic!("malformed fleet view: {fleet:?}"))
+            .iter()
+            .map(|worker| worker.get("pid").and_then(|p| p.as_u64()).map(|p| p as u32))
+            .collect()
+    }
+
+    fn shutdown(mut self) {
+        self.client
+            .send_line(r#"{"id":"bye","control":"Shutdown"}"#)
+            .expect("control line sent");
+        let _ = self.client.recv_line();
+        assert!(self.child.wait().expect("router exits").success());
+    }
+}
+
+impl Drop for RouterClient {
+    fn drop(&mut self) {
+        // Best-effort cleanup on panic: Shutdown takes the spawned
+        // workers down with the router; a bare SIGKILL would orphan
+        // them.
+        if self.child.try_wait().ok().flatten().is_none() {
+            let config = cp_net::ClientConfig {
+                attempts: 1,
+                read_timeout: Some(std::time::Duration::from_secs(5)),
+                ..cp_net::ClientConfig::default()
+            };
+            if let Ok(mut client) = cp_net::NdjsonClient::connect(&self.addr, config) {
+                let _ = client.send_line(r#"{"id":"drop","control":"Shutdown"}"#);
+                let _ = client.recv_line();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+#[test]
+fn sigkilled_router_worker_rehydrates_its_spilled_sessions() {
+    const SESSIONS: usize = 4;
+    let dir = temp_dir("fleet");
+    let dir_arg = dir.to_str().expect("utf-8 temp path");
+    // Two workers, each with session capacity 1 over its own spill
+    // directory: on every worker, only the most recently touched
+    // session is warm in memory — every earlier one has been evicted
+    // to disk.
+    let mut fleet = RouterClient::spawn(2, dir_arg, &["--max-sessions", "1"]);
+
+    // Sessions are pinned by the stable routing hash, so the test can
+    // compute each one's worker the same way the router does.
+    let assigned: Vec<usize> = (0..SESSIONS)
+        .map(|s| (chatpattern::core::routing::route_hash(&format!("rt-{s}")) % 2) as usize)
+        .collect();
+    for s in 0..SESSIONS {
+        let sid = format!("rt-{s}");
+        fleet.expect_ok(
+            &format!("open-{s}"),
+            PatternRequest::SessionOpen(SessionOpenParams {
+                session: sid.clone(),
+                seed: Some(60 + s as u64),
+            }),
+        );
+        let ResponsePayload::SessionTurn(turn) = fleet.expect_ok(
+            &format!("turn-{s}"),
+            PatternRequest::SessionTurn(SessionTurnParams {
+                session: sid,
+                utterance: TURNS[0].to_owned(),
+            }),
+        ) else {
+            panic!("wrong payload");
+        };
+        assert_eq!(turn.turn, 1);
+    }
+
+    // SIGKILL the worker hosting the most sessions (pigeonhole: at
+    // least 2 of the 4). Its last-touched session is warm-only and
+    // dies with it; the earlier ones are already spilled.
+    let victim = (0..2)
+        .max_by_key(|w| assigned.iter().filter(|a| *a == w).count())
+        .expect("two workers");
+    assert!(
+        assigned.iter().filter(|a| **a == victim).count() >= 2,
+        "victim worker must host a warm and a spilled session: {assigned:?}"
+    );
+    let warm = (0..SESSIONS)
+        .rev()
+        .find(|s| assigned[*s] == victim)
+        .expect("victim hosts sessions");
+    let pid = fleet.worker_pids()[victim].expect("spawned worker has a pid");
+    assert!(
+        Command::new("kill")
+            .args(["-9", &pid.to_string()])
+            .status()
+            .expect("kill runs")
+            .success(),
+        "SIGKILL delivered"
+    );
+
+    // Every spilled session — on the victim (after the router
+    // respawns it over the same --session-dir) and on the survivor —
+    // resumes mid-dialog; only the victim's warm session is gone.
+    for s in 0..SESSIONS {
+        let sid = format!("rt-{s}");
+        let reply = fleet.exchange(
+            &format!("resume-{s}"),
+            PatternRequest::SessionTurn(SessionTurnParams {
+                session: sid.clone(),
+                utterance: "1 more pattern.".into(),
+            }),
+        );
+        if s == warm {
+            match reply.outcome {
+                WireOutcome::Err(error) => assert_eq!(
+                    error.kind, "SessionNotFound",
+                    "the warm session lived only in the killed worker's memory"
+                ),
+                WireOutcome::Ok(_) => panic!("session {sid} cannot have survived the kill"),
+            }
+        } else {
+            match reply.outcome {
+                WireOutcome::Ok(response) => {
+                    let ResponsePayload::SessionTurn(turn) = response.payload else {
+                        panic!("wrong payload for {sid}");
+                    };
+                    assert_eq!(turn.turn, 2, "{sid} resumed mid-dialog");
+                    assert_eq!(turn.library.len(), 3, "{sid} kept its library");
+                }
+                WireOutcome::Err(error) => {
+                    panic!("spilled session {sid} must rehydrate, got {error:?}")
+                }
+            }
+        }
+    }
+    fleet.shutdown();
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
