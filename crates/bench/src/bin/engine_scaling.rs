@@ -23,6 +23,15 @@
 //! backend (default `2,4`). `CP_ENGINE_SESSIONS` / `CP_ENGINE_TURNS`
 //! shape the session sweep (default `4` × `4`);
 //! `CP_ROUTER_WORKERS` the router fleet sizes (default `1,2`).
+//!
+//! With `--check` the binary becomes a regression gate: it runs the
+//! same sweeps but, instead of overwriting `BENCH_ENGINE.json`,
+//! compares every `*millis` metric against the committed baseline
+//! (`--baseline PATH`, default `BENCH_ENGINE.json`) and exits
+//! non-zero when any is slower than `--threshold` times its baseline
+//! (default `1.5`). When the baseline was recorded at a different
+//! config (window / steps / train / CPU count) the comparison is
+//! advisory: ratios are printed but never fail the run.
 
 use chatpattern_core::{
     BackendKind, ChatPattern, EngineConfig, GenerateParams, JobHandle, PatternEngine,
@@ -273,6 +282,7 @@ fn run_tcp_round_trip(system: &Arc<ChatPattern>, cfg: &BenchConfig, workers: usi
         client
             .send(&RequestEnvelope {
                 id: serde_json::to_value(&(i as u64)),
+                tenant: None,
                 request,
             })
             .expect("request sent");
@@ -293,6 +303,7 @@ fn run_tcp_round_trip(system: &Arc<ChatPattern>, cfg: &BenchConfig, workers: usi
         let reply = client
             .call(&RequestEnvelope {
                 id: serde_json::to_value(&(i as u64)),
+                tenant: None,
                 request,
             })
             .expect("call round-trips");
@@ -389,6 +400,7 @@ fn run_router_fanout(cfg: &BenchConfig, workers: usize) -> Result<f64, String> {
             client
                 .send(&RequestEnvelope {
                     id: serde_json::to_value(&(i as u64)),
+                    tenant: None,
                     request,
                 })
                 .map_err(|e| format!("router send failed: {e}"))?;
@@ -423,7 +435,178 @@ fn sweep(var: &str, default: &str) -> Vec<usize> {
         .collect()
 }
 
+/// `--check` mode options.
+struct CheckMode {
+    threshold: f64,
+    baseline: String,
+}
+
+fn parse_check_args() -> Option<CheckMode> {
+    let mut args = std::env::args().skip(1);
+    let mut check = false;
+    let mut threshold = 1.5;
+    let mut baseline = "BENCH_ENGINE.json".to_owned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--threshold" => {
+                threshold = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threshold needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--baseline" => {
+                baseline = args.next().unwrap_or_else(|| {
+                    eprintln!("--baseline needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: engine_scaling \
+                     [--check [--threshold FACTOR] [--baseline PATH]]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    check.then_some(CheckMode {
+        threshold,
+        baseline,
+    })
+}
+
+/// Flattens every `*millis` number in a result tree into
+/// `(path, value)` pairs; array elements are identified by their
+/// descriptive fields (backend, workers, …) so rows match across runs
+/// even when their order changes.
+fn collect_millis(prefix: &str, value: &serde_json::Value, out: &mut Vec<(String, f64)>) {
+    const IDENTITY_KEYS: [&str; 6] = [
+        "backend",
+        "workers",
+        "shards",
+        "sessions",
+        "turns_per_session",
+        "tenant",
+    ];
+    match value {
+        serde_json::Value::Object(map) => {
+            for (key, field) in map {
+                if let Some(number) = field.as_f64() {
+                    if key.ends_with("millis") {
+                        out.push((format!("{prefix}{key}"), number));
+                    }
+                } else {
+                    collect_millis(&format!("{prefix}{key}."), field, out);
+                }
+            }
+        }
+        serde_json::Value::Array(items) => {
+            for (index, item) in items.iter().enumerate() {
+                let label = item
+                    .as_object()
+                    .map(|map| {
+                        IDENTITY_KEYS
+                            .iter()
+                            .filter_map(|k| {
+                                map.get(*k).map(|v| {
+                                    let text = v
+                                        .as_str()
+                                        .map(str::to_owned)
+                                        .or_else(|| v.as_f64().map(|n| n.to_string()))
+                                        .unwrap_or_default();
+                                    format!("{k}={text}")
+                                })
+                            })
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .filter(|label| !label.is_empty())
+                    .unwrap_or_else(|| index.to_string());
+                collect_millis(&format!("{prefix}[{label}]."), item, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compares the freshly-measured results against the committed
+/// baseline. Returns `true` when the run passes (no metric slower
+/// than `threshold ×` its baseline, or config-mismatch advisory).
+fn check_against_baseline(current_json: &str, mode: &CheckMode) -> bool {
+    let baseline_text = match std::fs::read_to_string(&mode.baseline) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!(
+                "check FAILED: cannot read baseline {}: {error}",
+                mode.baseline
+            );
+            return false;
+        }
+    };
+    let baseline: serde_json::Value = match serde_json::from_str(&baseline_text) {
+        Ok(value) => value,
+        Err(_) => {
+            eprintln!("check FAILED: baseline {} is not valid JSON", mode.baseline);
+            return false;
+        }
+    };
+    let current: serde_json::Value =
+        serde_json::from_str(current_json).expect("own results are valid JSON");
+
+    // A baseline recorded at another scale (or host) still prints the
+    // ratios, but only a same-config comparison can fail the build.
+    let config_matches = ["batch", "window", "steps", "train", "cpus"]
+        .iter()
+        .all(|key| {
+            baseline.get(key).and_then(|v| v.as_u64()) == current.get(key).and_then(|v| v.as_u64())
+        });
+    if !config_matches {
+        println!(
+            "check: baseline config differs from this run — ratios are advisory, \
+             the check cannot fail"
+        );
+    }
+
+    let mut baseline_metrics = Vec::new();
+    collect_millis("", &baseline, &mut baseline_metrics);
+    let mut current_metrics = Vec::new();
+    collect_millis("", &current, &mut current_metrics);
+    let current_by_path: std::collections::HashMap<&str, f64> = current_metrics
+        .iter()
+        .map(|(path, value)| (path.as_str(), *value))
+        .collect();
+
+    println!(
+        "\nregression check vs {} (threshold {:.2}x):",
+        mode.baseline, mode.threshold
+    );
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (path, base) in &baseline_metrics {
+        let Some(now) = current_by_path.get(path.as_str()) else {
+            println!("  {path:<60} skipped (not measured in this run)");
+            continue;
+        };
+        compared += 1;
+        let ratio = if *base > 0.0 { now / base } else { 1.0 };
+        let verdict = if ratio <= mode.threshold {
+            "ok"
+        } else {
+            regressions += 1;
+            "REGRESSION"
+        };
+        println!("  {path:<60} {now:9.1} ms vs {base:9.1} ms  {ratio:5.2}x  {verdict}");
+    }
+    println!(
+        "check: {compared} metrics compared, {regressions} over {:.2}x",
+        mode.threshold
+    );
+    regressions == 0 || !config_matches
+}
+
 fn main() {
+    let check = parse_check_args();
     let cfg = BenchConfig::from_env();
     cfg.print_banner("Engine scaling: serial vs. inline/threadpool/sharded backends");
     let worker_sweep = sweep("CP_ENGINE_WORKERS", "2,4,8");
@@ -606,6 +789,15 @@ fn main() {
          \"router_fanout\":[{router_rows}]}}\n",
         cfg.window, cfg.steps, cfg.train
     );
-    std::fs::write("BENCH_ENGINE.json", &json).expect("write BENCH_ENGINE.json");
-    println!("\nwrote BENCH_ENGINE.json");
+    match check {
+        None => {
+            std::fs::write("BENCH_ENGINE.json", &json).expect("write BENCH_ENGINE.json");
+            println!("\nwrote BENCH_ENGINE.json");
+        }
+        Some(mode) => {
+            if !check_against_baseline(&json, &mode) {
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -226,6 +226,46 @@ impl PatternRequest {
             _ => None,
         }
     }
+
+    /// The QoS priority lane of this request: chat turns and session
+    /// operations are interactive (a user is waiting
+    /// mid-conversation), one-shot generation work is standard, and
+    /// evaluation sweeps are batch. `Stats` is classified interactive
+    /// but never queued — the engine answers it inline.
+    #[must_use]
+    pub fn lane(&self) -> cp_qos::Lane {
+        match self {
+            PatternRequest::Chat(_)
+            | PatternRequest::SessionOpen(_)
+            | PatternRequest::SessionTurn(_)
+            | PatternRequest::SessionClose(_)
+            | PatternRequest::SessionSnapshot(_)
+            | PatternRequest::SessionRestore(_)
+            | PatternRequest::Stats => cp_qos::Lane::Interactive,
+            PatternRequest::Generate(_)
+            | PatternRequest::Extend(_)
+            | PatternRequest::Modify(_)
+            | PatternRequest::Legalize(_) => cp_qos::Lane::Standard,
+            PatternRequest::Evaluate(_) => cp_qos::Lane::Batch,
+        }
+    }
+
+    /// What admitting this request costs against a tenant's quota:
+    /// chat turns consume a turn token; session open/restore reserves
+    /// an open-session slot.
+    #[must_use]
+    pub fn admit_class(&self) -> cp_qos::AdmitClass {
+        cp_qos::AdmitClass {
+            consumes_turn: matches!(
+                self,
+                PatternRequest::Chat(_) | PatternRequest::SessionTurn(_)
+            ),
+            opens_session: matches!(
+                self,
+                PatternRequest::SessionOpen(_) | PatternRequest::SessionRestore(_)
+            ),
+        }
+    }
 }
 
 /// Outcome of a [`PatternRequest::Chat`] session.

@@ -17,10 +17,18 @@
 //! scheduling policy. The sharded backend routes by
 //! [`ExecTask::route`] — a stable hash of the request key — so repeated
 //! identical requests land on the same shard and stay cache-hot there.
+//!
+//! Queued backends dequeue **weighted-fair**, not FIFO: every task
+//! carries a QoS lane and tenant ([`ExecTask::lane`] /
+//! [`ExecTask::tenant`]), and the pool queue is a
+//! [`cp_qos::FairQueue`] — lanes share by
+//! [`cp_qos::LaneWeights`] credits and tenants round-robin within a
+//! lane, so one flooding tenant cannot starve everyone else's queued
+//! work.
 
 pub use crate::broker::ExecTask;
 use crate::Error;
-use std::collections::VecDeque;
+use cp_qos::{FairQueue, LaneWeights};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 
@@ -115,7 +123,9 @@ impl ExecBackend for InlineBackend {
 }
 
 struct PoolQueue {
-    tasks: VecDeque<Arc<ExecTask>>,
+    /// Weighted-fair across lanes, round-robin across tenants, FIFO
+    /// within a tenant — see [`cp_qos::FairQueue`].
+    tasks: FairQueue<Arc<ExecTask>>,
     shutdown: bool,
 }
 
@@ -129,7 +139,8 @@ struct PoolShared {
     space_ready: Condvar,
 }
 
-/// The bounded-queue worker pool (the engine's original strategy).
+/// The bounded-queue worker pool (the engine's original strategy),
+/// dequeuing in weighted-fair order.
 pub struct ThreadPoolBackend {
     shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
@@ -141,13 +152,14 @@ impl ThreadPoolBackend {
         label: &str,
         workers: usize,
         queue_depth: usize,
+        weights: LaneWeights,
         run: TaskFn,
     ) -> ThreadPoolBackend {
         let shared = Arc::new(PoolShared {
             depth: queue_depth,
             run,
             queue: Mutex::new(PoolQueue {
-                tasks: VecDeque::new(),
+                tasks: FairQueue::new(queue_depth, weights),
                 shutdown: false,
             }),
             task_ready: Condvar::new(),
@@ -171,7 +183,7 @@ fn worker_loop(shared: &PoolShared) {
         let task = {
             let mut queue = shared.queue.lock().expect("queue lock");
             loop {
-                if let Some(task) = queue.tasks.pop_front() {
+                if let Some((task, _queued_for)) = queue.tasks.pop() {
                     shared.space_ready.notify_one();
                     break task;
                 }
@@ -189,7 +201,7 @@ impl ExecBackend for ThreadPoolBackend {
     fn dispatch(&self, task: Arc<ExecTask>, block: bool) -> Result<(), Error> {
         {
             let mut queue = self.shared.queue.lock().expect("queue lock");
-            while queue.tasks.len() >= self.shared.depth {
+            while queue.tasks.is_full() {
                 if !block {
                     return Err(Error::QueueFull {
                         depth: self.shared.depth,
@@ -197,7 +209,13 @@ impl ExecBackend for ThreadPoolBackend {
                 }
                 queue = self.shared.space_ready.wait(queue).expect("queue lock");
             }
-            queue.tasks.push_back(task);
+            let lane = task.lane();
+            let tenant = task.tenant().to_owned();
+            queue
+                .tasks
+                .push(lane, &tenant, task)
+                .map_err(|_| ())
+                .expect("space was awaited under the queue lock");
         }
         self.shared.task_ready.notify_one();
         Ok(())
@@ -211,14 +229,14 @@ impl ExecBackend for ThreadPoolBackend {
         let drained = {
             let mut queue = self.shared.queue.lock().expect("queue lock");
             queue.shutdown = true;
-            std::mem::take(&mut queue.tasks)
+            queue.tasks.drain()
         };
         self.shared.task_ready.notify_all();
         self.shared.space_ready.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        drained.into()
+        drained
     }
 }
 
@@ -246,6 +264,7 @@ impl ShardedBackend {
         shards: usize,
         workers: usize,
         queue_depth: usize,
+        weights: LaneWeights,
         run: &TaskFn,
     ) -> ShardedBackend {
         let base = workers / shards;
@@ -257,6 +276,7 @@ impl ShardedBackend {
                     &format!("pattern-shard-{s}"),
                     shard_workers,
                     queue_depth,
+                    weights,
                     Arc::clone(run),
                 )
             })

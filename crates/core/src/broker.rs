@@ -168,12 +168,19 @@ struct TaskState {
     subscribers: Vec<Subscriber>,
 }
 
-/// One shared execution: a request, the backend routing hash, and
-/// every submitter waiting on the result. This is the unit an
+/// One shared execution: a request, the backend routing hash, the
+/// tenant/lane QoS context, and every submitter waiting on the
+/// result. This is the unit an
 /// [`ExecBackend`](crate::backend::ExecBackend) queues and runs.
 pub struct ExecTask {
     key: Option<String>,
     route: u64,
+    tenant: String,
+    lane: cp_qos::Lane,
+    /// Whether admission reserved a session slot for this request
+    /// (kept here so abandoned and drained tasks can roll the
+    /// reservation back without access to the request).
+    opens_session: bool,
     state: Mutex<TaskState>,
 }
 
@@ -193,12 +200,18 @@ impl ExecTask {
     fn new(
         key: Option<String>,
         route: u64,
+        tenant: &str,
+        lane: cp_qos::Lane,
         request: PatternRequest,
         leader: Arc<JobShared>,
     ) -> Arc<ExecTask> {
+        let opens_session = request.admit_class().opens_session;
         Arc::new(ExecTask {
             key,
             route,
+            tenant: tenant.to_owned(),
+            lane,
+            opens_session,
             state: Mutex::new(TaskState {
                 phase: TaskPhase::Queued,
                 request: Some(request),
@@ -214,6 +227,24 @@ impl ExecTask {
     #[must_use]
     pub fn route(&self) -> u64 {
         self.route
+    }
+
+    /// The tenant whose submission leads this execution (QoS
+    /// accounting and fair queuing).
+    #[must_use]
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The priority lane of the leading request.
+    #[must_use]
+    pub fn lane(&self) -> cp_qos::Lane {
+        self.lane
+    }
+
+    /// Whether this task's admission reserved an open-session slot.
+    pub(crate) fn opens_session(&self) -> bool {
+        self.opens_session
     }
 
     /// Claims the task for execution: returns the request, or `None`
@@ -346,12 +377,14 @@ impl ResultBroker {
         &self,
         key: Option<String>,
         route: u64,
+        tenant: &str,
+        lane: cp_qos::Lane,
         request: PatternRequest,
         dispatch: Option<&dyn Fn(Arc<ExecTask>) -> Result<(), Error>>,
     ) -> Admission {
         let Some(key) = key else {
             let job = JobShared::pending();
-            let task = ExecTask::new(None, route, request, Arc::clone(&job));
+            let task = ExecTask::new(None, route, tenant, lane, request, Arc::clone(&job));
             return Admission::Lead { task, job };
         };
         let mut state = self.state.lock().expect("broker lock");
@@ -365,7 +398,14 @@ impl ResultBroker {
             return Admission::Coalesced { task, job };
         }
         let job = JobShared::pending();
-        let task = ExecTask::new(Some(key.clone()), route, request, Arc::clone(&job));
+        let task = ExecTask::new(
+            Some(key.clone()),
+            route,
+            tenant,
+            lane,
+            request,
+            Arc::clone(&job),
+        );
         if let Some(dispatch) = dispatch {
             if let Err(error) = dispatch(Arc::clone(&task)) {
                 return Admission::Rejected(error);
@@ -451,6 +491,11 @@ mod tests {
     use crate::{GenerateParams, Timing};
     use cp_dataset::Style;
 
+    /// Tenant/lane context for admissions whose QoS fields are
+    /// irrelevant to the property under test.
+    const T: &str = "test-tenant";
+    const L: cp_qos::Lane = cp_qos::Lane::Standard;
+
     fn request(seed: u64) -> PatternRequest {
         PatternRequest::Generate(GenerateParams {
             style: Style::Layer10001,
@@ -475,11 +520,12 @@ mod tests {
     #[test]
     fn identical_submissions_coalesce_onto_one_task() {
         let broker = ResultBroker::new(8);
-        let Admission::Lead { task, .. } = broker.admit(Some("k".into()), 0, request(1), None)
+        let Admission::Lead { task, .. } =
+            broker.admit(Some("k".into()), 0, T, L, request(1), None)
         else {
             panic!("first submission leads");
         };
-        match broker.admit(Some("k".into()), 0, request(1), None) {
+        match broker.admit(Some("k".into()), 0, T, L, request(1), None) {
             Admission::Coalesced { task: shared, .. } => assert!(Arc::ptr_eq(&shared, &task)),
             _ => panic!("second identical submission coalesces"),
         }
@@ -490,7 +536,7 @@ mod tests {
         assert!(subscribers[1].1, "waiter is coalesced");
         assert_eq!(broker.inflight_len(), 0);
         assert!(matches!(
-            broker.admit(Some("k".into()), 0, request(1), None),
+            broker.admit(Some("k".into()), 0, T, L, request(1), None),
             Admission::CacheHit(_)
         ));
     }
@@ -498,8 +544,8 @@ mod tests {
     #[test]
     fn unkeyed_requests_never_share_a_task() {
         let broker = ResultBroker::new(8);
-        let first = broker.admit(None, 0, request(1), None);
-        let second = broker.admit(None, 1, request(1), None);
+        let first = broker.admit(None, 0, T, L, request(1), None);
+        let second = broker.admit(None, 1, T, L, request(1), None);
         assert!(matches!(first, Admission::Lead { .. }));
         assert!(matches!(second, Admission::Lead { .. }));
         assert_eq!(broker.inflight_len(), 0, "unkeyed tasks are unregistered");
@@ -508,7 +554,8 @@ mod tests {
     #[test]
     fn last_detach_abandons_a_queued_task() {
         let broker = ResultBroker::new(8);
-        let Admission::Lead { task, job } = broker.admit(Some("k".into()), 0, request(1), None)
+        let Admission::Lead { task, job } =
+            broker.admit(Some("k".into()), 0, T, L, request(1), None)
         else {
             panic!("leads");
         };
@@ -521,7 +568,7 @@ mod tests {
         assert!(task.claim().is_none(), "abandoned tasks are never executed");
         // A fresh identical submit starts a new execution.
         assert!(matches!(
-            broker.admit(Some("k".into()), 0, request(1), None),
+            broker.admit(Some("k".into()), 0, T, L, request(1), None),
             Admission::Lead { .. }
         ));
     }
@@ -529,12 +576,13 @@ mod tests {
     #[test]
     fn detach_of_one_waiter_keeps_the_execution_alive() {
         let broker = ResultBroker::new(8);
-        let Admission::Lead { task, .. } = broker.admit(Some("k".into()), 0, request(1), None)
+        let Admission::Lead { task, .. } =
+            broker.admit(Some("k".into()), 0, T, L, request(1), None)
         else {
             panic!("leads");
         };
         let Admission::Coalesced { job: waiter, .. } =
-            broker.admit(Some("k".into()), 0, request(1), None)
+            broker.admit(Some("k".into()), 0, T, L, request(1), None)
         else {
             panic!("coalesces");
         };
@@ -560,11 +608,12 @@ mod tests {
     #[test]
     fn reject_returns_every_attached_subscriber() {
         let broker = ResultBroker::new(8);
-        let Admission::Lead { task, .. } = broker.admit(Some("k".into()), 0, request(1), None)
+        let Admission::Lead { task, .. } =
+            broker.admit(Some("k".into()), 0, T, L, request(1), None)
         else {
             panic!("leads");
         };
-        let _ = broker.admit(Some("k".into()), 0, request(1), None);
+        let _ = broker.admit(Some("k".into()), 0, T, L, request(1), None);
         let subscribers = broker.reject(&task);
         assert_eq!(subscribers.len(), 2);
         assert_eq!(broker.inflight_len(), 0);

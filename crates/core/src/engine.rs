@@ -37,6 +37,7 @@ use crate::backend::{
 };
 use crate::broker::{Admission, ExecTask, JobShared, ResultBroker, TaskPhase};
 use crate::{Error, PatternRequest, PatternResponse, PatternService, ResponsePayload, Timing};
+use cp_qos::{QosConfig, QosGate, TenantLaneStats, TenantLedger};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -168,6 +169,11 @@ pub struct EngineStats {
     /// [`BackendKind::ThreadPool`], one per shard for
     /// [`BackendKind::Sharded`].
     pub queue_depths: Vec<usize>,
+    /// Per-(tenant, lane) QoS accounting rows, sorted by tenant then
+    /// lane name. Empty until the first tagged (or default-tenant)
+    /// submission; [`EngineStats::merge`] sums matching rows across a
+    /// fleet.
+    pub tenants: Vec<TenantLaneStats>,
 }
 
 impl EngineStats {
@@ -205,6 +211,7 @@ impl EngineStats {
         self.sessions_restored += other.sessions_restored;
         self.turns += other.turns;
         self.queue_depths.extend_from_slice(&other.queue_depths);
+        self.tenants = cp_qos::merge_rows(&[&self.tenants, &other.tenants]);
     }
 }
 
@@ -224,6 +231,7 @@ impl AtomicStats {
         &self,
         queue_depths: Vec<usize>,
         sessions: crate::session::SessionStats,
+        tenants: Vec<TenantLaneStats>,
     ) -> EngineStats {
         EngineStats {
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -239,6 +247,7 @@ impl AtomicStats {
             sessions_restored: sessions.restored,
             turns: sessions.turns,
             queue_depths,
+            tenants,
         }
     }
 
@@ -363,21 +372,40 @@ impl JobHandle {
     }
 }
 
-/// Service + broker + stats: everything a backend's task closure needs.
+/// Service + broker + stats + QoS gate: everything a backend's task
+/// closure needs.
 struct EngineCore<S> {
     service: S,
     broker: Arc<ResultBroker>,
     stats: Arc<AtomicStats>,
+    /// Per-tenant admission control; a slot admitted in `submit_inner`
+    /// is released here once the task leaves the system (executed,
+    /// abandoned, rejected or drained).
+    gate: Arc<QosGate>,
+    /// Per-(tenant, lane) accounting behind [`EngineStats::tenants`].
+    ledger: Arc<TenantLedger>,
 }
 
 impl<S: PatternService> EngineCore<S> {
+    /// Rolls back everything [`QosGate::try_admit`] granted for a task
+    /// that will never produce a result for its leader.
+    fn release_task_qos(&self, task: &ExecTask) {
+        if task.opens_session() {
+            self.gate.release_session(task.tenant());
+        }
+        self.gate.release(task.tenant());
+    }
+
     /// Executes one claimed task and fans the result out to every
     /// subscriber (the leader plus any coalesced waiters).
     fn run_task(&self, task: &Arc<ExecTask>) {
         let Some(request) = task.claim() else {
-            // Every subscriber detached while the task was queued.
+            // Every subscriber detached while the task was queued; the
+            // leader's QoS grants die with it.
+            self.release_task_qos(task);
             return;
         };
+        let closes_session = matches!(request, crate::PatternRequest::SessionClose(_));
         let started = Instant::now();
         // A panicking service must not poison the broker: without the
         // catch, `complete` would never run, the key would stay
@@ -395,28 +423,42 @@ impl<S: PatternService> EngineCore<S> {
             (Ok(response), true) => Some(Arc::new(response.payload.clone())),
             _ => None,
         };
+        // Session-slot bookkeeping: a failed open/restore never made a
+        // session, a successful close retires one; the in-flight slot
+        // itself is released unconditionally now that execution is
+        // over.
+        if task.opens_session() && result.is_err() {
+            self.gate.release_session(task.tenant());
+        }
+        if closes_session && result.is_ok() {
+            self.gate.release_session(task.tenant());
+        }
+        self.gate.release(task.tenant());
         let subscribers = self.broker.complete(task, cache_copy);
         for (job, coalesced) in subscribers {
+            // Each handle's timing runs from its own submission:
+            // `micros` is the handle's real submission-to-completion
+            // latency, so a waiter that attached mid-execution reports
+            // zero queue wait and only the slice of the shared
+            // execution it actually overlapped with.
+            let total = elapsed_micros(job.submitted_at);
+            let exec_share = exec_micros.min(total);
+            let queue_micros = total - exec_share;
+            if !coalesced {
+                // The leader's queue wait is the per-tenant QoS
+                // signal (coalesced waiters only count as admitted).
+                self.ledger
+                    .record_completed(task.tenant(), task.lane(), queue_micros);
+            }
             let shared = match &result {
-                Ok(response) => {
-                    // Each handle's timing runs from its own
-                    // submission: `micros` is the handle's real
-                    // submission-to-completion latency, so a waiter
-                    // that attached mid-execution reports zero queue
-                    // wait and only the slice of the shared execution
-                    // it actually overlapped with.
-                    let total = elapsed_micros(job.submitted_at);
-                    let exec_share = exec_micros.min(total);
-                    let queue_micros = total - exec_share;
-                    Ok(PatternResponse {
-                        payload: response.payload.clone(),
-                        timing: if coalesced {
-                            Timing::coalesced(queue_micros, exec_share)
-                        } else {
-                            Timing::queued(queue_micros, exec_share)
-                        },
-                    })
-                }
+                Ok(response) => Ok(PatternResponse {
+                    payload: response.payload.clone(),
+                    timing: if coalesced {
+                        Timing::coalesced(queue_micros, exec_share)
+                    } else {
+                        Timing::queued(queue_micros, exec_share)
+                    },
+                }),
                 Err(error) => Err(error.clone()),
             };
             let ok = shared.is_ok();
@@ -478,17 +520,37 @@ impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
             .expect("default config is valid")
     }
 
-    /// Wraps `service` with an explicit configuration.
+    /// Wraps `service` with an explicit configuration and no QoS
+    /// limits (unlimited default quota, default lane weights).
     ///
     /// # Errors
     ///
     /// Returns [`Error::Config`] when the configuration is invalid.
     pub fn with_config(service: S, config: EngineConfig) -> Result<PatternEngine<S>, Error> {
+        PatternEngine::with_qos(service, config, QosConfig::default())
+    }
+
+    /// Wraps `service` with an explicit configuration **and** a
+    /// multi-tenant QoS policy: per-tenant admission quotas
+    /// ([`QosConfig::default_quota`] / overrides) and the lane weights
+    /// the queued backends dequeue with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when the configuration is invalid.
+    pub fn with_qos(
+        service: S,
+        config: EngineConfig,
+        qos: QosConfig,
+    ) -> Result<PatternEngine<S>, Error> {
         config.validate()?;
+        let weights = qos.lane_weights;
         let core = Arc::new(EngineCore {
             service,
             broker: Arc::new(ResultBroker::new(config.cache_capacity)),
             stats: Arc::new(AtomicStats::default()),
+            gate: Arc::new(QosGate::new(qos)),
+            ledger: Arc::new(TenantLedger::new()),
         });
         let run: TaskFn = {
             let core = Arc::clone(&core);
@@ -500,12 +562,14 @@ impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
                 "pattern-engine",
                 config.workers,
                 config.queue_depth,
+                weights,
                 run,
             )),
             BackendKind::Sharded { shards } => Box::new(ShardedBackend::new(
                 shards,
                 config.workers,
                 config.queue_depth,
+                weights,
                 &run,
             )),
         };
@@ -531,6 +595,7 @@ impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
         self.core.stats.snapshot(
             self.backend.queue_depths(),
             self.core.service.session_stats(),
+            self.core.ledger.snapshot(),
         )
     }
 
@@ -550,20 +615,52 @@ impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
     /// # Errors
     ///
     /// Returns [`Error::QueueFull`] when the target bounded queue is at
-    /// capacity. The request is not enqueued; retry or use
-    /// [`PatternEngine::submit_blocking`].
+    /// capacity (the request is not enqueued; retry or use
+    /// [`PatternEngine::submit_blocking`]) and [`Error::Overloaded`]
+    /// when the default tenant's QoS quota refuses the admission.
     pub fn submit(&self, request: PatternRequest) -> Result<JobHandle, Error> {
-        self.submit_inner(request, false)
+        self.submit_as(None, request)
+    }
+
+    /// [`PatternEngine::submit`] on behalf of a tenant (`None` = the
+    /// QoS default tenant): the tenant's quota gates admission, its
+    /// lane/tenant identity drives weighted-fair dequeue, and the
+    /// request lands in that tenant's [`EngineStats::tenants`] rows.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Overloaded`] (with a retry-after hint) when the
+    /// tenant's quota refuses the request; [`Error::QueueFull`] when
+    /// the target bounded queue is at capacity.
+    pub fn submit_as(
+        &self,
+        tenant: Option<&str>,
+        request: PatternRequest,
+    ) -> Result<JobHandle, Error> {
+        self.submit_inner(tenant.unwrap_or(cp_qos::DEFAULT_TENANT), request, false)
     }
 
     /// Submits a request, blocking until queue space is available
-    /// (the back-pressure path batch drivers want).
+    /// (the back-pressure path batch drivers want). A QoS quota
+    /// rejection does not block — it surfaces as an already-failed
+    /// handle carrying [`Error::Overloaded`].
     pub fn submit_blocking(&self, request: PatternRequest) -> JobHandle {
-        self.submit_inner(request, true)
-            .expect("blocking submit never reports QueueFull")
+        self.submit_blocking_as(None, request)
     }
 
-    fn submit_inner(&self, request: PatternRequest, block: bool) -> Result<JobHandle, Error> {
+    /// [`PatternEngine::submit_blocking`] on behalf of a tenant
+    /// (`None` = the QoS default tenant).
+    pub fn submit_blocking_as(&self, tenant: Option<&str>, request: PatternRequest) -> JobHandle {
+        self.submit_inner(tenant.unwrap_or(cp_qos::DEFAULT_TENANT), request, true)
+            .unwrap_or_else(|error| JobHandle::done(Err(error)))
+    }
+
+    fn submit_inner(
+        &self,
+        tenant: &str,
+        request: PatternRequest,
+        block: bool,
+    ) -> Result<JobHandle, Error> {
         // Stats is answered inline from the live counters — it never
         // queues behind real work (a stats poll during a drain must
         // not wait for a diffusion job) and is exempt from the
@@ -578,6 +675,26 @@ impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
             })));
         }
         let stats = &self.core.stats;
+        // QoS admission happens before the broker sees the request: a
+        // tenant over quota is refused with a typed retry-after hint
+        // and costs the system nothing. On success the in-flight slot
+        // (plus any session reservation) is held until the task leaves
+        // the system — released below for cache hits, coalesced
+        // waiters and dispatch rejections, by `run_task` for executed
+        // and abandoned tasks, and by `Drop` for drained ones.
+        let lane = request.lane();
+        let class = request.admit_class();
+        if let Err(rejection) = self.core.gate.try_admit(tenant, class) {
+            self.core.ledger.record_rejected(tenant, lane);
+            return Err(Error::overloaded(rejection.retry_after_ms));
+        }
+        self.core.ledger.record_admitted(tenant, lane);
+        let release_admission = || {
+            if class.opens_session {
+                self.core.gate.release_session(tenant);
+            }
+            self.core.gate.release(tenant);
+        };
         let key = cache_key(&request);
         // Routing priority: keyed requests go by key hash (cache
         // affinity), session requests go by *session-id* hash (every
@@ -610,12 +727,17 @@ impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
         match self
             .core
             .broker
-            .admit(key, route, request, in_lock_dispatch)
+            .admit(key, route, tenant, lane, request, in_lock_dispatch)
         {
             Admission::CacheHit(payload) => {
                 stats.add(&stats.submitted);
                 stats.add(&stats.cache_hits);
                 stats.add(&stats.completed);
+                // The request never reaches the executor: the slot
+                // frees immediately and the hit counts as a completed
+                // request with zero queue wait.
+                release_admission();
+                self.core.ledger.record_completed(tenant, lane, 0);
                 Ok(JobHandle::done(Ok(PatternResponse {
                     // Deep clone outside the broker lock.
                     payload: ResponsePayload::clone(&payload),
@@ -625,12 +747,18 @@ impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
             Admission::Coalesced { task, job } => {
                 stats.add(&stats.submitted);
                 stats.add(&stats.coalesced);
+                // The leader's slot covers the execution; a waiter
+                // holds nothing while it waits.
+                release_admission();
                 Ok(JobHandle {
                     shared: job,
                     attachment: Some(self.attachment(task)),
                 })
             }
-            Admission::Rejected(error) => Err(error),
+            Admission::Rejected(error) => {
+                release_admission();
+                Err(error)
+            }
             Admission::Lead { task, job } => {
                 let outcome = if dispatched_in_lock && task.is_keyed() {
                     Ok(())
@@ -653,6 +781,7 @@ impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
                         // never registered — reject returns just the
                         // leader, so nobody else is affected.
                         let _ = self.core.broker.reject(&task);
+                        release_admission();
                         Err(error)
                     }
                 }
@@ -671,8 +800,10 @@ impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
 
 impl<S: PatternService + Send + Sync + 'static> Drop for PatternEngine<S> {
     fn drop(&mut self) {
-        // Anything still queued will never run; release its waiters.
+        // Anything still queued will never run; release its waiters
+        // (and the QoS grants its leader still holds).
         for task in self.backend.shutdown() {
+            self.core.release_task_qos(&task);
             for (job, _) in self.core.broker.reject(&task) {
                 job.finish_if_pending(Err(Error::Cancelled), || {
                     self.core.stats.add(&self.core.stats.cancelled);
@@ -1078,5 +1209,190 @@ mod tests {
         let b = cache_key(&generate(1)).expect("seeded requests have keys");
         assert_eq!(a, b, "identical requests share a key");
         assert_ne!(a, cache_key(&generate(2)).expect("key"));
+    }
+
+    /// An engine over [`SlowService`] with one tenant-quota override.
+    fn qos_engine(
+        delay: Duration,
+        tenant: &str,
+        quota: cp_qos::TenantQuota,
+    ) -> PatternEngine<SlowService> {
+        let mut qos = QosConfig::new();
+        qos.tenant_quotas.insert(tenant.to_owned(), quota);
+        PatternEngine::with_qos(
+            SlowService { delay },
+            EngineConfig {
+                backend: BackendKind::ThreadPool,
+                workers: 1,
+                queue_depth: 8,
+                cache_capacity: 0,
+            },
+            qos,
+        )
+        .expect("valid config")
+    }
+
+    fn tenant_row(stats: &EngineStats, tenant: &str) -> (u64, u64, u64) {
+        stats
+            .tenants
+            .iter()
+            .filter(|row| row.tenant == tenant)
+            .fold((0, 0, 0), |acc, row| {
+                (
+                    acc.0 + row.admitted,
+                    acc.1 + row.rejected,
+                    acc.2 + row.completed,
+                )
+            })
+    }
+
+    #[test]
+    fn qos_inflight_quota_rejects_with_retry_after_and_recovers() {
+        let engine = qos_engine(
+            Duration::from_millis(40),
+            "flood",
+            cp_qos::TenantQuota {
+                max_inflight: 1,
+                ..cp_qos::TenantQuota::default()
+            },
+        );
+        let first = engine
+            .submit_as(Some("flood"), generate(1))
+            .expect("first fills the quota");
+        let over = engine.submit_as(Some("flood"), generate(2));
+        match over {
+            Err(Error::Overloaded { retry_after_ms }) => assert!(retry_after_ms > 0),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Another tenant is untouched by the flooder's quota.
+        engine
+            .submit_as(Some("calm"), generate(3))
+            .expect("other tenants admit")
+            .wait()
+            .expect("completes");
+        first.wait().expect("quota holder completes");
+        // The slot is free again once the job finished.
+        engine
+            .submit_as(Some("flood"), generate(4))
+            .expect("slot released on completion")
+            .wait()
+            .expect("completes");
+        let stats = engine.stats();
+        let (admitted, rejected, completed) = tenant_row(&stats, "flood");
+        assert_eq!(admitted, 2);
+        assert_eq!(rejected, 1);
+        assert_eq!(completed, 2);
+        let (admitted, rejected, completed) = tenant_row(&stats, "calm");
+        assert_eq!((admitted, rejected, completed), (1, 0, 1));
+    }
+
+    #[test]
+    fn qos_blocking_submit_surfaces_overloaded_as_failed_handle() {
+        let engine = qos_engine(
+            Duration::from_millis(40),
+            "flood",
+            cp_qos::TenantQuota {
+                max_inflight: 1,
+                ..cp_qos::TenantQuota::default()
+            },
+        );
+        let first = engine
+            .submit_as(Some("flood"), generate(1))
+            .expect("admits");
+        let over = engine.submit_blocking_as(Some("flood"), generate(2));
+        assert!(matches!(over.wait(), Err(Error::Overloaded { .. })));
+        first.wait().expect("completes");
+    }
+
+    #[test]
+    fn qos_session_cap_holds_until_close() {
+        let open = |id: &str| {
+            PatternRequest::SessionOpen(crate::SessionOpenParams {
+                session: id.into(),
+                seed: Some(1),
+            })
+        };
+        let engine = qos_engine(
+            Duration::ZERO,
+            "t",
+            cp_qos::TenantQuota {
+                max_sessions: 1,
+                ..cp_qos::TenantQuota::default()
+            },
+        );
+        engine
+            .submit_as(Some("t"), open("a"))
+            .expect("first session admits")
+            .wait()
+            .expect("opens");
+        let err = engine.submit_as(Some("t"), open("b"));
+        assert!(matches!(err, Err(Error::Overloaded { .. })));
+        // SlowService treats SessionClose like any request and
+        // succeeds, which must release the reservation.
+        engine
+            .submit_as(
+                Some("t"),
+                PatternRequest::SessionClose(crate::SessionCloseParams {
+                    session: "a".into(),
+                }),
+            )
+            .expect("close admits")
+            .wait()
+            .expect("closes");
+        engine
+            .submit_as(Some("t"), open("b"))
+            .expect("slot freed by the close")
+            .wait()
+            .expect("opens");
+    }
+
+    #[test]
+    fn qos_turn_budget_rejects_burst_turns() {
+        let turn = || {
+            PatternRequest::SessionTurn(crate::SessionTurnParams {
+                session: "s".into(),
+                utterance: "x".into(),
+            })
+        };
+        let engine = qos_engine(
+            Duration::ZERO,
+            "t",
+            cp_qos::TenantQuota {
+                turns_per_sec: 0.001,
+                turn_burst: 1.0,
+                ..cp_qos::TenantQuota::default()
+            },
+        );
+        engine
+            .submit_as(Some("t"), turn())
+            .expect("budget covers one turn")
+            .wait()
+            .expect("turn runs");
+        match engine.submit_as(Some("t"), turn()) {
+            Err(Error::Overloaded { retry_after_ms }) => {
+                assert!(retry_after_ms > 0, "refill hint present");
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Generate does not consume turn tokens.
+        engine
+            .submit_as(Some("t"), generate(9))
+            .expect("non-turn work unaffected")
+            .wait()
+            .expect("completes");
+    }
+
+    #[test]
+    fn qos_default_tenant_rows_accumulate_without_config() {
+        let engine = slow_engine(2, 8);
+        engine.submit_blocking(generate(1)).wait().expect("runs");
+        let stats = engine.stats();
+        let (admitted, rejected, completed) = tenant_row(&stats, cp_qos::DEFAULT_TENANT);
+        assert_eq!((admitted, rejected, completed), (1, 0, 1));
+        assert!(
+            stats.tenants.iter().all(|row| row.lane == "standard"),
+            "generate rides the standard lane: {:?}",
+            stats.tenants
+        );
     }
 }

@@ -67,6 +67,14 @@ pub enum Error {
         /// The configured queue depth that was exhausted.
         depth: usize,
     },
+    /// The tenant's QoS quota (concurrent jobs, open sessions or turn
+    /// budget) refused the request before it was enqueued. The hint
+    /// says how long to back off; it travels on the wire as the
+    /// `Overloaded` error kind with a `retry_after_ms` field.
+    Overloaded {
+        /// Milliseconds the client should wait before retrying.
+        retry_after_ms: u64,
+    },
     /// The service itself failed unexpectedly (it panicked while
     /// executing a request). The engine converts such panics into this
     /// error instead of hanging the job's waiters or killing the
@@ -118,6 +126,12 @@ impl Error {
             message: message.into(),
         }
     }
+
+    /// QoS admission rejection with a retry-after hint.
+    #[must_use]
+    pub fn overloaded(retry_after_ms: u64) -> Error {
+        Error::Overloaded { retry_after_ms }
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -155,6 +169,12 @@ impl std::fmt::Display for Error {
             Error::QueueFull { depth } => {
                 write!(f, "engine queue is full ({depth} jobs already pending)")
             }
+            Error::Overloaded { retry_after_ms } => {
+                write!(
+                    f,
+                    "service overloaded for this tenant; retry in {retry_after_ms} ms"
+                )
+            }
             Error::Internal { message } => write!(f, "internal service failure: {message}"),
         }
     }
@@ -173,6 +193,7 @@ impl std::error::Error for Error {
             | Error::SessionPersist { .. }
             | Error::Cancelled
             | Error::QueueFull { .. }
+            | Error::Overloaded { .. }
             | Error::Internal { .. } => None,
         }
     }
@@ -250,6 +271,9 @@ mod tests {
         let full = Error::QueueFull { depth: 8 };
         assert!(full.to_string().contains("queue is full"));
         assert!(full.to_string().contains('8'));
+        let overloaded = Error::overloaded(250);
+        assert!(overloaded.to_string().contains("overloaded"));
+        assert!(overloaded.to_string().contains("250 ms"));
         let internal = Error::internal("worker exploded");
         assert!(internal.to_string().contains("internal service failure"));
         assert!(internal.to_string().contains("worker exploded"));

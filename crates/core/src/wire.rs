@@ -20,6 +20,10 @@ pub struct RequestEnvelope {
     /// Any JSON scalar works; `null` (or a missing `id`) is rejected
     /// by [`decode_request_line`].
     pub id: Value,
+    /// The tenant this request is accounted to for QoS (quotas, fair
+    /// queuing, per-tenant stats). Absent/`null` means the default
+    /// tenant, so pre-QoS clients keep working unchanged.
+    pub tenant: Option<String>,
     /// The request to execute.
     pub request: PatternRequest,
 }
@@ -32,6 +36,10 @@ pub struct WireError {
     pub kind: String,
     /// Human-readable description (the error's `Display` form).
     pub message: String,
+    /// For backpressure kinds (`Overloaded`, `QueueFull`): how many
+    /// milliseconds the client should wait before retrying. Absent on
+    /// every other kind.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl From<&Error> for WireError {
@@ -47,11 +55,20 @@ impl From<&Error> for WireError {
             Error::SessionPersist { .. } => "SessionPersist",
             Error::Cancelled => "Cancelled",
             Error::QueueFull { .. } => "QueueFull",
+            Error::Overloaded { .. } => "Overloaded",
             Error::Internal { .. } => "Internal",
+        };
+        let retry_after_ms = match error {
+            Error::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+            // A full queue drains as soon as a worker frees up; the
+            // default QoS hint is an honest "come back shortly".
+            Error::QueueFull { .. } => Some(cp_qos::DEFAULT_RETRY_AFTER_MS),
+            _ => None,
         };
         WireError {
             kind: kind.to_owned(),
             message: error.to_string(),
+            retry_after_ms,
         }
     }
 }
@@ -152,6 +169,7 @@ mod tests {
     fn request_envelope_round_trips() {
         let envelope = RequestEnvelope {
             id: serde_json::to_value(&"job-1"),
+            tenant: None,
             request: sample_request(),
         };
         let text = serde_json::to_string(&envelope).expect("serializes");
@@ -163,11 +181,34 @@ mod tests {
     fn numeric_ids_survive() {
         let envelope = RequestEnvelope {
             id: serde_json::to_value(&42u64),
+            tenant: None,
             request: sample_request(),
         };
         let back = decode_request_line(&serde_json::to_string(&envelope).expect("serializes"))
             .expect("decodes");
         assert_eq!(back.id, 42u64);
+    }
+
+    #[test]
+    fn tenant_field_round_trips_and_defaults() {
+        let envelope = RequestEnvelope {
+            id: serde_json::to_value(&1u64),
+            tenant: Some("alice".to_owned()),
+            request: sample_request(),
+        };
+        let back = decode_request_line(&serde_json::to_string(&envelope).expect("serializes"))
+            .expect("decodes");
+        assert_eq!(back.tenant.as_deref(), Some("alice"));
+        // A pre-QoS envelope without the field decodes as no tenant.
+        let legacy = serde_json::to_string(&RequestEnvelope {
+            id: serde_json::to_value(&2u64),
+            tenant: None,
+            request: sample_request(),
+        })
+        .expect("serializes");
+        assert!(!legacy.contains("\"tenant\":\""));
+        let back = decode_request_line(&legacy).expect("decodes");
+        assert_eq!(back.tenant, None);
     }
 
     #[test]
@@ -203,11 +244,22 @@ mod tests {
             (Error::session_persist("disk full"), "SessionPersist"),
             (Error::Cancelled, "Cancelled"),
             (Error::QueueFull { depth: 4 }, "QueueFull"),
+            (Error::overloaded(40), "Overloaded"),
             (Error::internal("x"), "Internal"),
         ];
         for (error, kind) in cases {
             assert_eq!(WireError::from(&error).kind, kind);
         }
+    }
+
+    #[test]
+    fn backpressure_kinds_carry_retry_after() {
+        let overloaded = WireError::from(&Error::overloaded(40));
+        assert_eq!(overloaded.retry_after_ms, Some(40));
+        let full = WireError::from(&Error::QueueFull { depth: 4 });
+        assert!(full.retry_after_ms.is_some());
+        let plain = WireError::from(&Error::invalid_request("x"));
+        assert_eq!(plain.retry_after_ms, None);
     }
 
     #[test]

@@ -15,9 +15,14 @@ use std::sync::{Arc, Condvar, Mutex};
 /// key. Malformed lines get an immediate error envelope and never
 /// tear down the stream.
 ///
-/// `submit_blocking` provides the back-pressure: the engine's bounded
-/// queue caps in-flight jobs (and thereby live writer threads) at
-/// roughly `queue_depth + workers`.
+/// Back-pressure is **typed, not blocking**: requests are submitted
+/// non-blocking under the envelope's tenant, so a full queue
+/// (`QueueFull`) or an exhausted tenant quota (`Overloaded`) answers
+/// immediately with an error envelope carrying `retry_after_ms`
+/// instead of stalling the reader thread — one flooding connection
+/// can no longer freeze every other connection's submissions. The
+/// engine's bounded queue still caps in-flight jobs (and thereby
+/// live writer threads) at roughly `queue_depth + workers`.
 pub struct EngineHandler<S: PatternService + Send + Sync + 'static> {
     engine: Arc<PatternEngine<S>>,
     in_flight: Arc<(Mutex<usize>, Condvar)>,
@@ -54,8 +59,20 @@ impl<S: PatternService + Send + Sync + 'static> ConnectionHandler for EngineHand
     fn on_line(&self, line: &str, sink: &Arc<LineSink>) {
         match decode_request_line(line) {
             Ok(envelope) => {
-                let handle = self.engine.submit_blocking(envelope.request);
                 let id = envelope.id;
+                let handle = match self
+                    .engine
+                    .submit_as(envelope.tenant.as_deref(), envelope.request)
+                {
+                    Ok(handle) => handle,
+                    Err(error) => {
+                        // QueueFull / Overloaded: answer right now with
+                        // the retry-after hint rather than blocking the
+                        // connection's reader.
+                        sink.send_line(&ResponseEnvelope::error(id, &error).to_line());
+                        return;
+                    }
+                };
                 let sink = Arc::clone(sink);
                 let in_flight = Arc::clone(&self.in_flight);
                 *in_flight.0.lock().expect("in-flight lock") += 1;

@@ -36,6 +36,7 @@
 //! let reply = client
 //!     .call(&RequestEnvelope {
 //!         id: serde_json::to_value(&1u64),
+//!         tenant: None,
 //!         request: PatternRequest::Stats,
 //!     })
 //!     .expect("stats round-trips");

@@ -11,10 +11,14 @@
 # snapshot exported from one serve process restores into another and
 # the conversation continues (cross-process handoff), (g) the TCP
 # transport (`--listen`) answers the same fixture payload-identical to
-# stdio and flushes --stats on client disconnect, and (h) a 2-worker
+# stdio and flushes --stats on client disconnect, (h) a 2-worker
 # router fleet routes a session, survives draining its host worker
-# (live rebalance), and aggregates fleet stats. Run from anywhere;
-# needs jq and built (or buildable) release binaries.
+# (live rebalance), and aggregates fleet stats, and (i) a tenant that
+# floods past its --tenant-quota collects typed Overloaded envelopes
+# with a retry_after_ms hint while a calm tenant on the same server
+# still completes, with the rejection counted in the per-tenant stats
+# ledger. Run from anywhere; needs jq and built (or buildable)
+# release binaries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -397,3 +401,85 @@ wait "$ROUTER_PID" || { echo "wire smoke FAILED: router exited non-zero" >&2; rm
 rm -rf "$SESS_DIR"
 
 echo "wire smoke OK: router fleet (pin, drain, live migration, aggregated stats, shutdown)"
+
+# (i) QoS overload burst: tenant "flood" has an in-flight quota of 1.
+# A pipelined burst holds the quota with one slow request, so the
+# follow-ups must be answered immediately with the typed Overloaded
+# envelope (retry_after_ms present) — while tenant "calm" on the same
+# server completes untouched, and the per-tenant stats ledger counts
+# the rejections.
+SESS_DIR=$(mktemp -d)
+"$BIN" --window 16 --training-patterns 8 --diffusion-steps 6 --workers 2 --seed 3 \
+    --tenant-quota flood:inflight=1 --cache-capacity 0 --stats \
+    --listen 127.0.0.1:0 2> "$SESS_DIR/err" &
+QOS_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^chatpattern-serve: listening on //p' "$SESS_DIR/err" | head -n 1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "wire smoke FAILED: QoS serve never announced its address" >&2
+    kill "$QOS_PID" 2> /dev/null || true
+    rm -rf "$SESS_DIR"
+    exit 1
+fi
+
+qos_fail() {
+    echo "wire smoke FAILED: $1" >&2
+    echo "replies were:" >&2
+    printf '%s' "$QOS_OUT" >&2
+    kill "$QOS_PID" 2> /dev/null || true
+    rm -rf "$SESS_DIR"
+    exit 1
+}
+
+exec 7<> "/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+# q-f1 is deliberately heavy (count=16) so it holds flood's single
+# in-flight slot while the rest of the burst is read; distinct seeds
+# keep the requests out of the coalescer.
+printf '%s\n' \
+    '{"id":"q-f1","tenant":"flood","request":{"Generate":{"style":"Layer10001","rows":16,"cols":16,"count":16,"seed":90001}}}' \
+    '{"id":"q-f2","tenant":"flood","request":{"Generate":{"style":"Layer10001","rows":16,"cols":16,"count":1,"seed":90002}}}' \
+    '{"id":"q-f3","tenant":"flood","request":{"Generate":{"style":"Layer10001","rows":16,"cols":16,"count":1,"seed":90003}}}' \
+    '{"id":"q-calm","tenant":"calm","request":{"Generate":{"style":"Layer10001","rows":16,"cols":16,"count":1,"seed":90004}}}' >&7
+QOS_OUT=""
+for _ in $(seq 1 4); do
+    if ! IFS= read -t 120 -r LINE <&7; then
+        exec 7<&- 7>&- || true
+        qos_fail "QoS serve did not answer the whole burst"
+    fi
+    QOS_OUT+="$LINE"$'\n'
+done
+exec 7<&- 7>&-
+
+echo "$QOS_OUT" | jq -es 'map(select(.id == "q-f1")) | first | .outcome | has("Ok")' > /dev/null \
+    || qos_fail "the in-quota flood request must complete"
+echo "$QOS_OUT" | jq -es 'map(select(.id == "q-calm")) | first | .outcome | has("Ok")' > /dev/null \
+    || qos_fail "the calm tenant must complete despite the flood"
+REJECTED_WIRE=$(echo "$QOS_OUT" | jq -es '
+    [.[] | select(.outcome.Err.kind == "Overloaded")] | length')
+echo "$QOS_OUT" | jq -es '
+    [.[] | select(.outcome.Err.kind == "Overloaded")]
+    | length >= 1 and all(.[]; .outcome.Err.retry_after_ms != null)' > /dev/null \
+    || qos_fail "the over-quota burst must yield typed Overloaded envelopes with retry_after_ms"
+
+# The disconnect flushes --stats; the flood tenant's standard-lane row
+# must account the wire-visible rejections.
+LEDGER_REJECTED=""
+for _ in $(seq 1 100); do
+    LEDGER_REJECTED=$(sed -n 's/.*tenant=flood lane=standard .*rejected=\([0-9]*\).*/\1/p' \
+        "$SESS_DIR/err" | head -n 1)
+    [ -n "$LEDGER_REJECTED" ] && break
+    sleep 0.1
+done
+kill "$QOS_PID" 2> /dev/null || true
+wait "$QOS_PID" 2> /dev/null || true
+rm -rf "$SESS_DIR"
+if [ "$LEDGER_REJECTED" != "$REJECTED_WIRE" ]; then
+    echo "wire smoke FAILED: ledger rejected=$LEDGER_REJECTED but the wire saw $REJECTED_WIRE Overloaded replies" >&2
+    exit 1
+fi
+
+echo "wire smoke OK: QoS overload burst ($REJECTED_WIRE typed Overloaded with retry hint, calm tenant unharmed, ledger matches)"

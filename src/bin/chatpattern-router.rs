@@ -8,7 +8,15 @@
 //! (`chatpattern_core::routing`, the single source of truth), so
 //! cache-hot keys and every turn of one session stay worker-local. A
 //! `Stats` request is answered with the *fleet* view: one
-//! [`EngineStats`] merged across all workers.
+//! [`EngineStats`] merged across all workers — including the
+//! per-(tenant, lane) QoS rows, summed fleet-wide.
+//!
+//! The envelope's `tenant` field is forwarded verbatim, so each
+//! worker's QoS gate (quotas from `--tenant-quota`, lane weights from
+//! `--lane-weights` — both forwarded to every spawned worker) sees
+//! the same tenant identity the client presented to the router, and
+//! an over-quota tenant gets the same typed `Overloaded` +
+//! `retry_after_ms` answer it would get from a single serve process.
 //!
 //! The headline capability is **live session rebalancing**: draining
 //! a worker issues `SessionSnapshot` on the source, `SessionRestore`
@@ -68,6 +76,12 @@ Options:
                          chatpattern-serve next to this executable)
   --serve-arg ARG        extra argument forwarded to every spawned
                          worker (repeatable; model + engine flags)
+  --tenant-quota SPEC    per-tenant admission limits, validated here
+                         and forwarded to every spawned worker
+                         (repeatable; serve --tenant-quota syntax)
+  --lane-weights W       weighted-fair lane credits, validated here
+                         and forwarded to every spawned worker
+                         (serve --lane-weights syntax)
   --session-dir PATH     give worker i the spill directory
                          PATH/worker-i — this is what lets a respawned
                          worker rehydrate its sessions after a crash
@@ -113,6 +127,21 @@ fn parse_args() -> Result<Options, String> {
             "--worker" => options.attach.push(value.clone()),
             "--serve-bin" => options.serve_bin = Some(value.clone()),
             "--serve-arg" => options.serve_args.push(value.clone()),
+            "--tenant-quota" => {
+                // Validate eagerly so a typo fails the router start
+                // instead of every worker spawn.
+                chatpattern_core::qos::QosConfig::default()
+                    .apply_quota_flag(&value)
+                    .map_err(|e| format!("--tenant-quota: {e}"))?;
+                options.serve_args.push("--tenant-quota".to_owned());
+                options.serve_args.push(value.clone());
+            }
+            "--lane-weights" => {
+                chatpattern_core::qos::LaneWeights::parse(&value)
+                    .map_err(|e| format!("--lane-weights: {e}"))?;
+                options.serve_args.push("--lane-weights".to_owned());
+                options.serve_args.push(value.clone());
+            }
             "--session-dir" => options.session_dir = Some(value.clone()),
             "--max-connections" => options.max_connections = number("--max-connections")?,
             other => return Err(format!("unknown flag {other} (try --help)")),
@@ -508,10 +537,17 @@ fn fail_pending(worker: &Worker, reason: &str) {
 /// Forwards one request line to a worker, reviving it first when its
 /// link is down. Registration happens before the send so the reader
 /// can never race the reply past us.
-fn forward(router: &Arc<Router>, index: usize, request: &PatternRequest, entry: Pending) {
+fn forward(
+    router: &Arc<Router>,
+    index: usize,
+    tenant: Option<&str>,
+    request: &PatternRequest,
+    entry: Pending,
+) {
     let internal = router.next_internal.fetch_add(1, Ordering::Relaxed);
     let line = serde_json::to_string(&RequestEnvelope {
         id: serde_json::to_value(&internal),
+        tenant: tenant.map(str::to_owned),
         request: request.clone(),
     })
     .expect("requests serialize");
@@ -565,14 +601,22 @@ fn forward(router: &Arc<Router>, index: usize, request: &PatternRequest, entry: 
     }
 }
 
-/// A synchronous router-internal request to one worker.
+/// A synchronous router-internal request to one worker. Internal
+/// calls run as the default tenant: fleet plumbing (stats polls,
+/// rebalancing snapshots) must never be throttled by a client quota.
 fn call_worker(
     router: &Arc<Router>,
     index: usize,
     request: &PatternRequest,
 ) -> Result<ResponseEnvelope, String> {
     let slot = ReplySlot::new();
-    forward(router, index, request, Pending::Internal(Arc::clone(&slot)));
+    forward(
+        router,
+        index,
+        None,
+        request,
+        Pending::Internal(Arc::clone(&slot)),
+    );
     slot.wait(INTERNAL_CALL_TIMEOUT)
         .ok_or_else(|| format!("worker {index}: internal call timed out"))
 }
@@ -806,6 +850,7 @@ impl ConnectionHandler for RouterHandler {
                     Ok(worker) => forward(
                         &self.router,
                         worker,
+                        envelope.tenant.as_deref(),
                         &envelope.request,
                         Pending::Client {
                             id: envelope.id,

@@ -14,6 +14,7 @@
 //! chatpattern-serve [--listen ADDR] [--max-connections N]
 //!                   [--backend inline|threadpool|sharded] [--shards N]
 //!                   [--workers N] [--queue-depth N] [--cache-capacity N]
+//!                   [--tenant-quota [TENANT:]SPEC]... [--lane-weights W]
 //!                   [--max-sessions N] [--session-ttl-secs N]
 //!                   [--session-dir PATH]
 //!                   [--window N] [--diffusion-steps N]
@@ -42,6 +43,7 @@
 //! immediately (with the line's `id` when one is recoverable, `null`
 //! otherwise) and never abort the stream.
 
+use chatpattern_core::qos::{LaneWeights, QosConfig};
 use chatpattern_core::{BackendKind, ChatPattern, EngineConfig, PatternEngine};
 use cp_net::{ConnectionHandler, EngineHandler, LineSink, NdjsonServer};
 use std::io::BufRead;
@@ -51,6 +53,7 @@ use std::sync::Arc;
 /// Everything the command line can configure.
 struct Options {
     engine: EngineConfig,
+    qos: QosConfig,
     window: usize,
     diffusion_steps: usize,
     training_patterns: usize,
@@ -67,6 +70,7 @@ impl Default for Options {
     fn default() -> Options {
         Options {
             engine: EngineConfig::default(),
+            qos: QosConfig::default(),
             // The builder's defaults, restated so `--help` can print
             // them without constructing a builder.
             window: 64,
@@ -108,6 +112,19 @@ Options:
   --queue-depth N        bounded submission queue, per shard when
                          sharded (default 256)
   --cache-capacity N     LRU result-cache entries, 0 disables (default 128)
+  --tenant-quota SPEC    per-tenant admission limits; SPEC is
+                         comma-separated name=value with names
+                         inflight, sessions, tps, burst (0/omitted =
+                         unlimited), e.g. inflight=4,sessions=8,tps=2.
+                         Prefix TENANT: to limit one tenant, bare SPEC
+                         sets the default quota; repeatable. Over-quota
+                         requests answer an Overloaded error envelope
+                         with retry_after_ms instead of queuing
+  --lane-weights W       weighted-fair dequeue credits for the
+                         interactive/standard/batch lanes, either bare
+                         \"4,2,1\" (the default) or named
+                         \"interactive=4,standard=2,batch=1\"; zero
+                         weights are clamped to 1 so no lane starves
   --max-sessions N       open chat sessions held at once; opening more
                          evicts the least-recently-used (default 64)
   --session-ttl-secs N   idle seconds before a session expires (default 900;
@@ -168,6 +185,16 @@ fn parse_args() -> Result<Options, String> {
             "--workers" => options.engine.workers = number("--workers")?,
             "--queue-depth" => options.engine.queue_depth = number("--queue-depth")?,
             "--cache-capacity" => options.engine.cache_capacity = number("--cache-capacity")?,
+            "--tenant-quota" => {
+                options
+                    .qos
+                    .apply_quota_flag(&value)
+                    .map_err(|e| format!("--tenant-quota: {e}"))?;
+            }
+            "--lane-weights" => {
+                options.qos.lane_weights =
+                    LaneWeights::parse(&value).map_err(|e| format!("--lane-weights: {e}"))?;
+            }
             "--max-sessions" => options.max_sessions = number("--max-sessions")?,
             "--session-ttl-secs" => options.session_ttl_secs = number("--session-ttl-secs")? as u64,
             "--session-dir" => options.session_dir = Some(value.clone()),
@@ -220,6 +247,15 @@ fn print_stats(engine: &PatternEngine<ChatPattern>) {
         stats.turns,
         stats.queue_depths,
     );
+    // One extra line per (tenant, lane) QoS row, after the main
+    // counter line so existing log scrapers keep matching it.
+    for row in &stats.tenants {
+        eprintln!(
+            "chatpattern-serve: tenant={} lane={} admitted={} rejected={} completed={} \
+             queue_micros={}",
+            row.tenant, row.lane, row.admitted, row.rejected, row.completed, row.queue_micros,
+        );
+    }
 }
 
 /// TCP-mode handler: the shared [`EngineHandler`] plus the `--stats`
@@ -261,10 +297,10 @@ fn serve_stdio(handler: &EngineHandler<ChatPattern>, stats: bool) -> ExitCode {
         if line.trim().is_empty() {
             continue;
         }
-        // Blocking submit inside: the bounded queue is the
-        // back-pressure that keeps a huge pipe from ballooning memory
-        // — and it bounds the live writer threads to roughly
-        // queue_depth + workers.
+        // Submission inside is non-blocking: a full queue or an
+        // exhausted tenant quota answers an error envelope with
+        // retry_after_ms immediately, and accepted work still bounds
+        // the live writer threads to roughly queue_depth + workers.
         handler.on_line(&line, &sink);
         if sink.is_closed() || sink.has_failed() {
             break;
@@ -313,7 +349,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let engine = match PatternEngine::with_config(system, options.engine) {
+    let engine = match PatternEngine::with_qos(system, options.engine, options.qos.clone()) {
         Ok(engine) => Arc::new(engine),
         Err(error) => {
             eprintln!("chatpattern-serve: {error}");

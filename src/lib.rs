@@ -49,6 +49,9 @@
 //! ```
 
 pub use chatpattern_core as core;
+/// Multi-tenant QoS: lanes, quotas, the weighted-fair queue and
+/// per-tenant stats rows (see `docs/ENGINE.md`).
+pub use chatpattern_core::qos;
 pub use cp_agent as agent;
 pub use cp_baselines as baselines;
 pub use cp_dataset as dataset;

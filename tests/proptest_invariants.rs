@@ -872,3 +872,314 @@ fn snapshot_restore_round_trip_matches_uninterrupted_runs() {
         },
     );
 }
+
+// ---------------------------------------------------------------------
+
+/// One step of a random weighted-fair-queue workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueueOp {
+    /// Push an item for (lane index, tenant index).
+    Push(u8, u8),
+    /// Pop one item.
+    Pop,
+}
+
+const QUEUE_TENANTS: u8 = 4;
+const QUEUE_CAPACITY: usize = 24;
+
+/// A workload plus the lane weights it runs under.
+#[derive(Debug, Clone)]
+struct QueueCase {
+    weights: [u32; 3],
+    ops: Vec<QueueOp>,
+}
+
+fn arb_queue_case(rng: &mut ChaCha8Rng) -> QueueCase {
+    let weights = [
+        rng.gen_range(0..5u32),
+        rng.gen_range(0..5u32),
+        rng.gen_range(0..5u32),
+    ];
+    let len = rng.gen_range(1..120usize);
+    let ops = (0..len)
+        .map(|_| {
+            if rng.gen_range(0..10u32) < 7 {
+                QueueOp::Push(rng.gen_range(0..3u8), rng.gen_range(0..QUEUE_TENANTS))
+            } else {
+                QueueOp::Pop
+            }
+        })
+        .collect();
+    QueueCase { weights, ops }
+}
+
+/// Shrink candidates: drop one op at a time, then pull each weight
+/// toward the 4/2/1 default.
+fn shrink_queue_case(case: &QueueCase) -> Vec<QueueCase> {
+    let mut out: Vec<QueueCase> = (0..case.ops.len())
+        .map(|skip| QueueCase {
+            weights: case.weights,
+            ops: case
+                .ops
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, op)| *op)
+                .collect(),
+        })
+        .collect();
+    let defaults = [4u32, 2, 1];
+    for lane in 0..3 {
+        if case.weights[lane] != defaults[lane] {
+            let mut weights = case.weights;
+            weights[lane] = defaults[lane];
+            out.push(QueueCase {
+                weights,
+                ops: case.ops.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Replays a workload against [`chatpattern::qos::FairQueue`] and a
+/// naive per-(lane, tenant) FIFO model, then drains the remainder
+/// checking the fairness invariants:
+///
+/// * **per-tenant FIFO** — every popped item is the oldest
+///   outstanding item of its (lane, tenant) pair;
+/// * **conservation** — accepted pushes and pops/drains balance
+///   exactly, and rejected pushes only happen at capacity;
+/// * **lane starvation bound** — during the final drain, a non-empty
+///   lane never waits more than one full credit cycle between
+///   services;
+/// * **tenant round-robin bound** — during the final drain, while a
+///   non-empty tenant waits, no other tenant of its lane is served
+///   twice.
+fn check_queue_case(case: &QueueCase) -> Result<(), String> {
+    use chatpattern::qos::{FairQueue, LaneWeights, LANES};
+    use std::collections::HashMap;
+    use std::collections::VecDeque;
+
+    let weights = LaneWeights {
+        interactive: case.weights[0],
+        standard: case.weights[1],
+        batch: case.weights[2],
+    };
+    let credits = weights.credits();
+    let cycle = weights.cycle() as usize;
+    let mut queue: FairQueue<(usize, u8, u64)> = FairQueue::new(QUEUE_CAPACITY, weights);
+    let mut model: HashMap<(usize, u8), VecDeque<u64>> = HashMap::new();
+    let mut outstanding = 0usize;
+    let mut seq = 0u64;
+    let mut accepted = 0usize;
+    let mut removed = 0usize;
+
+    let pop_checked = |queue: &mut FairQueue<(usize, u8, u64)>,
+                       model: &mut HashMap<(usize, u8), VecDeque<u64>>,
+                       outstanding: &mut usize|
+     -> Result<Option<(usize, u8)>, String> {
+        match queue.pop() {
+            None => {
+                if *outstanding != 0 {
+                    return Err(format!("pop returned None with {outstanding} items queued"));
+                }
+                Ok(None)
+            }
+            Some(((lane, tenant, got), _queued_for)) => {
+                let fifo = model
+                    .get_mut(&(lane, tenant))
+                    .ok_or_else(|| format!("popped unknown stream ({lane}, {tenant})"))?;
+                let expected = fifo
+                    .pop_front()
+                    .ok_or_else(|| format!("stream ({lane}, {tenant}) over-drained"))?;
+                if got != expected {
+                    return Err(format!(
+                        "per-tenant FIFO violated on ({lane}, {tenant}): \
+                         popped #{got}, oldest is #{expected}"
+                    ));
+                }
+                *outstanding -= 1;
+                Ok(Some((lane, tenant)))
+            }
+        }
+    };
+
+    for (step, op) in case.ops.iter().enumerate() {
+        match op {
+            QueueOp::Push(lane_idx, tenant_idx) => {
+                let lane = LANES[*lane_idx as usize];
+                let tenant = format!("t{tenant_idx}");
+                match queue.push(lane, &tenant, (*lane_idx as usize, *tenant_idx, seq)) {
+                    Ok(()) => {
+                        if outstanding >= QUEUE_CAPACITY {
+                            return Err(format!("op {step}: push accepted past capacity"));
+                        }
+                        model
+                            .entry((*lane_idx as usize, *tenant_idx))
+                            .or_default()
+                            .push_back(seq);
+                        outstanding += 1;
+                        accepted += 1;
+                    }
+                    Err(returned) => {
+                        if outstanding != QUEUE_CAPACITY {
+                            return Err(format!(
+                                "op {step}: push rejected with {outstanding}/{QUEUE_CAPACITY} used"
+                            ));
+                        }
+                        if returned != (*lane_idx as usize, *tenant_idx, seq) {
+                            return Err(format!(
+                                "op {step}: rejected push returned a different item"
+                            ));
+                        }
+                    }
+                }
+                seq += 1;
+            }
+            QueueOp::Pop => {
+                if pop_checked(&mut queue, &mut model, &mut outstanding)?.is_some() {
+                    removed += 1;
+                }
+            }
+        }
+        if queue.len() != outstanding {
+            return Err(format!(
+                "op {step}: len {} != model {outstanding}",
+                queue.len()
+            ));
+        }
+    }
+
+    // Static drain: no more pushes, so the fairness bounds are exact.
+    // `lane_wait[l]` counts pops since lane l was last served while
+    // non-empty; `served_since[(l, t)]` is the set of lane-l tenants
+    // served since tenant t was last served — round-robin means no
+    // tenant appears in it twice while t waits non-empty.
+    let mut lane_wait = [0usize; 3];
+    let mut served_since: HashMap<(usize, u8), std::collections::HashSet<u8>> = HashMap::new();
+    let non_empty = |model: &HashMap<(usize, u8), VecDeque<u64>>, lane: usize| -> Vec<u8> {
+        model
+            .iter()
+            .filter(|((l, _), fifo)| *l == lane && !fifo.is_empty())
+            .map(|((_, t), _)| *t)
+            .collect()
+    };
+    while outstanding > 0 {
+        let before: Vec<Vec<u8>> = (0..3).map(|lane| non_empty(&model, lane)).collect();
+        let Some((lane, tenant)) = pop_checked(&mut queue, &mut model, &mut outstanding)? else {
+            return Err("drain ended early".to_owned());
+        };
+        removed += 1;
+        lane_wait[lane] = 0;
+        served_since.insert((lane, tenant), std::collections::HashSet::new());
+        for (l, tenants) in before.iter().enumerate() {
+            if l == lane {
+                for t in tenants {
+                    if *t == tenant {
+                        continue;
+                    }
+                    let served = served_since.entry((l, *t)).or_default();
+                    if !served.insert(tenant) {
+                        return Err(format!(
+                            "tenant t{t} starved in lane {l}: t{tenant} was served \
+                             twice while it waited"
+                        ));
+                    }
+                }
+            } else if !tenants.is_empty() {
+                lane_wait[l] += 1;
+                if lane_wait[l] > cycle {
+                    return Err(format!(
+                        "lane {l} (credit {}) starved: waited {} pops, cycle is {cycle}",
+                        credits[l], lane_wait[l]
+                    ));
+                }
+            }
+        }
+    }
+    if removed != accepted {
+        return Err(format!(
+            "conservation violated: {accepted} in, {removed} out"
+        ));
+    }
+    if queue.pop().is_some() {
+        return Err("queue non-empty after the model drained".to_owned());
+    }
+    Ok(())
+}
+
+#[test]
+fn fair_queue_matches_fifo_model_and_fairness_bounds() {
+    shrink::check(
+        "fair_queue_matches_fifo_model_and_fairness_bounds",
+        CASES,
+        9000,
+        arb_queue_case,
+        shrink_queue_case,
+        check_queue_case,
+    );
+}
+
+#[test]
+fn fair_queue_weight_shares_are_exact_under_saturation() {
+    // With every lane saturated (>= one full cycle of items queued),
+    // the first credit cycle of pops serves each lane exactly its
+    // clamped weight — the "weights respected" half of weighted-fair.
+    use chatpattern::qos::{FairQueue, LaneWeights, LANES};
+    shrink::check(
+        "fair_queue_weight_shares_are_exact_under_saturation",
+        CASES,
+        9500,
+        |rng| {
+            [
+                rng.gen_range(0..5u32),
+                rng.gen_range(0..5u32),
+                rng.gen_range(0..5u32),
+            ]
+        },
+        |w| {
+            let mut out = Vec::new();
+            for lane in 0..3 {
+                if w[lane] > 0 {
+                    let mut smaller = *w;
+                    smaller[lane] -= 1;
+                    out.push(smaller);
+                }
+            }
+            out
+        },
+        |w| {
+            let weights = LaneWeights {
+                interactive: w[0],
+                standard: w[1],
+                batch: w[2],
+            };
+            let credits = weights.credits();
+            let cycle = weights.cycle() as usize;
+            let mut queue: FairQueue<usize> = FairQueue::new(3 * cycle, weights);
+            for i in 0..cycle {
+                for (lane_idx, lane) in LANES.iter().enumerate() {
+                    queue
+                        .push(*lane, &format!("t{}", i % 2), lane_idx)
+                        .map_err(|_| "saturation push rejected".to_owned())?;
+                }
+            }
+            let mut served = [0usize; 3];
+            for _ in 0..cycle {
+                let (lane_idx, _) = queue.pop().ok_or("pop on a saturated queue")?;
+                served[lane_idx] += 1;
+            }
+            for lane in 0..3 {
+                if served[lane] != credits[lane] as usize {
+                    return Err(format!(
+                        "lane {lane} served {} of its {} credits in the first cycle \
+                         (weights {w:?})",
+                        served[lane], credits[lane]
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}

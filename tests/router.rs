@@ -136,6 +136,7 @@ impl RouterFleet {
         self.client
             .call(&RequestEnvelope {
                 id: serde_json::to_value(&id),
+                tenant: None,
                 request,
             })
             .expect("router answers")

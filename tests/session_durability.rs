@@ -182,6 +182,7 @@ impl ServeClient {
     fn exchange(&mut self, id: &str, request: PatternRequest) -> ResponseEnvelope {
         let envelope = RequestEnvelope {
             id: serde_json::to_value(&id),
+            tenant: None,
             request,
         };
         let line = serde_json::to_string(&envelope).expect("serializes");
@@ -496,6 +497,7 @@ impl RouterClient {
         self.client
             .call(&RequestEnvelope {
                 id: serde_json::to_value(&id),
+                tenant: None,
                 request,
             })
             .expect("router answers")
