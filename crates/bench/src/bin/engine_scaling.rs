@@ -10,9 +10,17 @@
 //! `tcp_round_trip` sweep (the same Generate batch through an
 //! in-process `cp_net` NDJSON-over-TCP loopback server, pipelined and
 //! strictly sequential — the transport tax relative to the in-process
-//! backends above), and a `router_fanout` sweep (the batch through a
+//! backends above), a `router_fanout` sweep (the batch through a
 //! real spawned `chatpattern-router` fleet at several worker counts;
-//! skipped with a note when the release binaries are not built).
+//! skipped with a note when the release binaries are not built), a
+//! `microbatch` sweep (an 8-request batch-compatible Generate burst
+//! through a single worker, fused by the drain stage vs. forced solo,
+//! plus the same burst at the denoiser layer through the fused
+//! batched UNet — the kernel where cross-request batching amortizes
+//! the most), and a
+//! `hot_loops` sweep (`Layout::union_area`,
+//! `SquishPattern::from_layout` and the legalizer solve in isolation
+//! on a dense synthetic layout — the three surgically-tuned loops).
 //! Prints a table and writes `BENCH_ENGINE.json` (in the working
 //! directory) so the perf trajectory captures the backend dimension,
 //! coalescing, the stateful session workloads and the network path.
@@ -29,9 +37,11 @@
 //! compares every `*millis` metric against the committed baseline
 //! (`--baseline PATH`, default `BENCH_ENGINE.json`) and exits
 //! non-zero when any is slower than `--threshold` times its baseline
-//! (default `1.5`). When the baseline was recorded at a different
-//! config (window / steps / train / CPU count) the comparison is
-//! advisory: ratios are printed but never fail the run.
+//! (default `1.5`). The run also fails when the baseline lacks a
+//! metric this bench emits (a stale baseline leaves new series
+//! unguarded). When the baseline was recorded at a different config
+//! (window / steps / train / CPU count) the comparison is advisory:
+//! ratios and staleness are printed but never fail the run.
 
 use chatpattern_core::{
     BackendKind, ChatPattern, EngineConfig, GenerateParams, JobHandle, PatternEngine,
@@ -78,6 +88,15 @@ fn engine(
     backend: BackendKind,
     workers: usize,
 ) -> PatternEngine<Arc<ChatPattern>> {
+    engine_with_microbatch(system, backend, workers, 1)
+}
+
+fn engine_with_microbatch(
+    system: &Arc<ChatPattern>,
+    backend: BackendKind,
+    workers: usize,
+    max_microbatch: usize,
+) -> PatternEngine<Arc<ChatPattern>> {
     PatternEngine::with_config(
         Arc::clone(system),
         EngineConfig {
@@ -88,6 +107,7 @@ fn engine(
             // cache replay (in-flight coalescing stays active but the
             // batch has distinct seeds, so it never triggers here).
             cache_capacity: 0,
+            max_microbatch,
         },
     )
     .expect("valid engine config")
@@ -127,6 +147,149 @@ fn run_coalescing(system: &Arc<ChatPattern>, cfg: &BenchConfig, workers: usize) 
     }
     let millis = started.elapsed().as_secs_f64() * 1e3;
     (millis, engine.stats().coalesced)
+}
+
+/// A burst of batch-compatible Generate requests (same style/shape,
+/// distinct seeds) through a single-worker thread pool. A tiny
+/// shape-incompatible job pins the worker first, so the whole burst is
+/// sitting in the queue when the worker pops the leader and — with
+/// `max_microbatch > 1` — drains the rest into one fused
+/// `sample_batch` call. With `max_microbatch == 1` every job samples
+/// alone; the ratio of the two runs is the fused-vs-serial speedup.
+/// Returns `(millis, fused_jobs)` where `fused_jobs` is the engine's
+/// `batched` counter (jobs that ran inside a fused execution).
+fn run_microbatch(
+    system: &Arc<ChatPattern>,
+    cfg: &BenchConfig,
+    burst: usize,
+    max_microbatch: usize,
+) -> (f64, u64) {
+    let engine = engine_with_microbatch(system, BackendKind::ThreadPool, 1, max_microbatch);
+    // 4×4 differs from the burst shape, so its fingerprint never
+    // matches and it cannot fuse with (or be drained by) the burst.
+    let blocker = engine.submit_blocking(PatternRequest::Generate(GenerateParams {
+        style: Style::Layer10003,
+        rows: 4,
+        cols: 4,
+        count: 1,
+        seed: 0,
+    }));
+    let started = Instant::now();
+    let handles: Vec<JobHandle> = (0..burst as u64)
+        .map(|seed| {
+            engine.submit_blocking(PatternRequest::Generate(GenerateParams {
+                style: Style::Layer10001,
+                rows: cfg.window,
+                cols: cfg.window,
+                count: 1,
+                seed,
+            }))
+        })
+        .collect();
+    blocker.wait().expect("blocker request completes");
+    for handle in handles {
+        handle.wait().expect("burst request completes");
+    }
+    let millis = started.elapsed().as_secs_f64() * 1e3;
+    (millis, engine.stats().batched)
+}
+
+/// The same 8-compatible-request burst at the denoiser layer: N seeded
+/// reverse processes through the fused batched UNet denoiser
+/// (`sample_batch`, one batch-inner conv pass per step) vs. N serial
+/// `sample` calls. This is where cross-request microbatching pays the
+/// most — the convolution kernel amortizes its weight loads and
+/// boundary checks across the batch — whereas the MRF engine path
+/// above is dominated by per-sample mean-field arithmetic. Also
+/// asserts the fused outputs are byte-identical to the serial ones.
+/// Returns `(serial_millis, fused_millis)`.
+fn run_unet_burst(cfg: &BenchConfig, burst: usize) -> (f64, f64) {
+    use cp_diffusion::{DiffusionModel, NoiseSchedule, UNetDenoiser};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    let size = 32usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let denoiser = UNetDenoiser::new(8, vec![0], size, &mut rng);
+    let model = DiffusionModel::new(NoiseSchedule::scaled_default(cfg.steps), denoiser, size);
+    // Warm-up pass.
+    let mut warm = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let _ = model.sample(size, size, Some(0), &mut warm);
+
+    let started = Instant::now();
+    let serial: Vec<_> = (0..burst as u64)
+        .map(|seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            model.sample(size, size, Some(0), &mut rng)
+        })
+        .collect();
+    let serial_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut rngs: Vec<ChaCha8Rng> = (0..burst as u64).map(ChaCha8Rng::seed_from_u64).collect();
+    let started = Instant::now();
+    let fused = model.sample_batch(size, size, Some(0), &mut rngs);
+    let fused_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(fused, serial, "fused UNet burst must be byte-identical");
+    (serial_ms, fused_ms)
+}
+
+/// The three surgically-optimised inner loops, isolated from the
+/// engine: `Layout::union_area` (row-band sweep over one reused
+/// coverage mask), `SquishPattern::from_layout` (per-rect block fill),
+/// and the legalizer solve (flat bound collection plus
+/// buffer-reusing area repair), all on one dense synthetic layout.
+/// Returns `(union_millis, encode_millis, legalize_millis, rows, cols)`
+/// where `rows × cols` is the scan-grid size the loops ran over.
+fn run_hot_loops(cfg: &BenchConfig, rects: usize, reps: usize) -> (f64, f64, f64, usize, usize) {
+    use cp_drc::DesignRules;
+    use cp_geom::{Layout, Rect};
+    use cp_legalize::Legalizer;
+    use cp_squish::SquishPattern;
+    use rand::{Rng, SeedableRng};
+
+    let frame = 4096i64;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut layout = Layout::new(Rect::new(0, 0, frame, frame));
+    for _ in 0..rects {
+        let x0 = rng.gen_range(0..frame - 256);
+        let y0 = rng.gen_range(0..frame - 256);
+        let w = rng.gen_range(16..256);
+        let h = rng.gen_range(16..256);
+        layout.push(Rect::new(x0, y0, x0 + w, y0 + h));
+    }
+
+    let started = Instant::now();
+    let mut area = 0;
+    for _ in 0..reps {
+        area = std::hint::black_box(&layout).union_area();
+    }
+    let union_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert!(area > 0, "synthetic layout draws something");
+
+    let started = Instant::now();
+    let mut pattern = SquishPattern::from_layout(&layout);
+    for _ in 1..reps {
+        pattern = SquishPattern::from_layout(std::hint::black_box(&layout));
+    }
+    let encode_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let topology = pattern.topology().clone();
+    let (rows, cols) = topology.shape();
+    // 64 nm per interval against 20 nm rule minimums: the solve always
+    // succeeds, so the timing measures the solver, not failure paths.
+    let legal_w = 64 * (cols as i64 + 1);
+    let legal_h = 64 * (rows as i64 + 1);
+    let legalizer = Legalizer::new(DesignRules::new(20, 20, 400));
+    let started = Instant::now();
+    for i in 0..reps {
+        let mut legalize_rng = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.seed + i as u64);
+        let legalized = legalizer
+            .legalize(&topology, legal_w, legal_h, &mut legalize_rng)
+            .expect("synthetic topology legalizes in a generous frame");
+        std::hint::black_box(legalized);
+    }
+    let legalize_ms = started.elapsed().as_secs_f64() * 1e3;
+    (union_ms, encode_ms, legalize_ms, rows, cols)
 }
 
 /// N concurrent sessions × M turns each through one engine: opens the
@@ -602,7 +765,31 @@ fn check_against_baseline(current_json: &str, mode: &CheckMode) -> bool {
         "check: {compared} metrics compared, {regressions} over {:.2}x",
         mode.threshold
     );
-    regressions == 0 || !config_matches
+
+    // Staleness: a series this bench emits but the baseline lacks is
+    // unguarded — new sweeps would silently escape the gate forever.
+    // Only a same-config baseline can be declared stale (a skipped
+    // sweep on another host is not staleness).
+    let baseline_paths: std::collections::HashSet<&str> = baseline_metrics
+        .iter()
+        .map(|(path, _)| path.as_str())
+        .collect();
+    let mut stale = 0usize;
+    for (path, _) in &current_metrics {
+        if !baseline_paths.contains(path.as_str()) {
+            println!("  {path:<60} MISSING from baseline");
+            stale += 1;
+        }
+    }
+    if stale > 0 {
+        eprintln!(
+            "check: STALE baseline — {stale} metric(s) measured by this bench are \
+             absent from {}; regenerate it by running engine_scaling without --check \
+             and committing the new file",
+            mode.baseline
+        );
+    }
+    (regressions == 0 && stale == 0) || !config_matches
 }
 
 fn main() {
@@ -666,6 +853,25 @@ fn main() {
         "  coalescing burst ({UNIQUE} unique) {burst_ms:7.1} ms   \
          {coalesced}/{BATCH} coalesced ({:.0}%)",
         hit_rate * 100.0
+    );
+
+    // Microbatch burst: the same-shape different-seed workload the
+    // drain stage fuses into one `sample_batch` call, vs. the same
+    // burst forced solo. Single worker so the fused-vs-serial delta is
+    // the batched denoiser itself, not thread-level parallelism.
+    const MICROBATCH_BURST: usize = 8;
+    let (solo_ms, _) = run_microbatch(&system, &cfg, MICROBATCH_BURST, 1);
+    let (fused_ms, fused_jobs) = run_microbatch(&system, &cfg, MICROBATCH_BURST, MICROBATCH_BURST);
+    let microbatch_speedup = solo_ms / fused_ms;
+    println!(
+        "  microbatch {MICROBATCH_BURST}-burst fused  {fused_ms:9.1} ms   \
+         {microbatch_speedup:.2}x vs {solo_ms:.1} ms solo ({fused_jobs} jobs fused)"
+    );
+    let (unet_solo_ms, unet_fused_ms) = run_unet_burst(&cfg, MICROBATCH_BURST);
+    let unet_speedup = unet_solo_ms / unet_fused_ms;
+    println!(
+        "  unet {MICROBATCH_BURST}-burst fused        {unet_fused_ms:9.1} ms   \
+         {unet_speedup:.2}x vs {unet_solo_ms:.1} ms serial"
     );
 
     // Session sweep: the stateful multi-turn workload, threadpool vs.
@@ -763,6 +969,19 @@ fn main() {
         }
     }
 
+    // Hot loops: the three measured inner loops on their own, no
+    // engine in the way — regressions here are what the surgery fixed.
+    const HOT_RECTS: usize = 192;
+    const HOT_REPS: usize = 10;
+    let (union_ms, encode_ms, legalize_ms, hot_rows, hot_cols) =
+        run_hot_loops(&cfg, HOT_RECTS, HOT_REPS);
+    println!(
+        "  hot_loops union_area      {union_ms:9.1} ms   \
+         {HOT_REPS} reps, {HOT_RECTS} rects, {hot_rows}x{hot_cols} grid"
+    );
+    println!("  hot_loops squish_encode   {encode_ms:9.1} ms   {HOT_REPS} reps");
+    println!("  hot_loops legalize        {legalize_ms:9.1} ms   {HOT_REPS} reps");
+
     if cpus == 1 {
         println!(
             "\nnote: this host exposes a single CPU, so the threaded numbers measure\n\
@@ -786,7 +1005,17 @@ fn main() {
          \"pipelined_requests_per_sec\":{tcp_pipelined_rps:.3},\
          \"sequential_millis\":{tcp_sequential_ms:.3},\
          \"sequential_requests_per_sec\":{tcp_sequential_rps:.3}}},\
-         \"router_fanout\":[{router_rows}]}}\n",
+         \"router_fanout\":[{router_rows}],\
+         \"microbatch\":{{\"burst\":{MICROBATCH_BURST},\"workers\":1,\
+         \"solo_millis\":{solo_ms:.3},\"fused_millis\":{fused_ms:.3},\
+         \"speedup\":{microbatch_speedup:.3},\"fused_jobs\":{fused_jobs},\
+         \"unet_solo_millis\":{unet_solo_ms:.3},\"unet_fused_millis\":{unet_fused_ms:.3},\
+         \"unet_speedup\":{unet_speedup:.3}}},\
+         \"hot_loops\":{{\"rects\":{HOT_RECTS},\"reps\":{HOT_REPS},\
+         \"grid_rows\":{hot_rows},\"grid_cols\":{hot_cols},\
+         \"union_area_millis\":{union_ms:.3},\
+         \"squish_encode_millis\":{encode_ms:.3},\
+         \"legalize_millis\":{legalize_ms:.3}}}}}\n",
         cfg.window, cfg.steps, cfg.train
     );
     match check {

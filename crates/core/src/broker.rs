@@ -42,8 +42,9 @@ pub(crate) enum JobState {
         /// Whether this handle was cancelled (detached) rather than
         /// served.
         cancelled: bool,
-        /// `Some` until `wait` takes it.
-        result: Option<Result<PatternResponse, Error>>,
+        /// `Some` until `wait` takes it. Boxed: a response dwarfs the
+        /// `Pending` variant every live handle carries.
+        result: Option<Box<Result<PatternResponse, Error>>>,
     },
 }
 
@@ -74,7 +75,7 @@ impl JobShared {
         Arc::new(JobShared {
             state: Mutex::new(JobState::Done {
                 cancelled: false,
-                result: Some(result),
+                result: Some(Box::new(result)),
             }),
             done: Condvar::new(),
             submitted_at: Instant::now(),
@@ -96,7 +97,7 @@ impl JobShared {
             JobState::Pending => {
                 *state = JobState::Done {
                     cancelled: false,
-                    result: Some(result),
+                    result: Some(Box::new(result)),
                 };
                 counted();
                 self.done.notify_all();
@@ -114,7 +115,7 @@ impl JobShared {
             JobState::Pending => {
                 *state = JobState::Done {
                     cancelled: true,
-                    result: Some(Err(Error::Cancelled)),
+                    result: Some(Box::new(Err(Error::Cancelled))),
                 };
                 self.done.notify_all();
                 true
@@ -128,7 +129,7 @@ impl JobShared {
         let mut state = self.state.lock().expect("job lock");
         loop {
             if let JobState::Done { result, .. } = &mut *state {
-                return result
+                return *result
                     .take()
                     .expect("wait consumes the handle, so the result is untaken");
             }
@@ -181,7 +182,43 @@ pub struct ExecTask {
     /// (kept here so abandoned and drained tasks can roll the
     /// reservation back without access to the request).
     opens_session: bool,
+    /// Microbatch compatibility fingerprint: tasks with equal `Some`
+    /// values may execute as one fused `execute_batch` call. `None`
+    /// for request kinds that never fuse.
+    batch_key: Option<u64>,
     state: Mutex<TaskState>,
+}
+
+/// Hashes the batch-compatibility tuple of a request — everything that
+/// must match for two queued requests to share one fused execution,
+/// which is every parameter **except the seed** (each request keeps its
+/// own RNG stream inside the fused call). Only `Generate` and `Extend`
+/// participate; stateful, unkeyed-chat and inline-answered requests
+/// never fuse. A hash collision is harmless: the service's
+/// `execute_batch` re-checks real compatibility and falls back to the
+/// serial map.
+fn batch_fingerprint(request: &PatternRequest) -> Option<u64> {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut hasher = DefaultHasher::new();
+    match request {
+        PatternRequest::Generate(p) => {
+            (0u8, p.style, p.rows, p.cols, p.count).hash(&mut hasher);
+        }
+        PatternRequest::Extend(p) => {
+            (
+                1u8,
+                p.seed_topology.shape(),
+                p.rows,
+                p.cols,
+                p.method,
+                p.style,
+            )
+                .hash(&mut hasher);
+        }
+        _ => return None,
+    }
+    Some(hasher.finish())
 }
 
 impl std::fmt::Debug for ExecTask {
@@ -206,12 +243,14 @@ impl ExecTask {
         leader: Arc<JobShared>,
     ) -> Arc<ExecTask> {
         let opens_session = request.admit_class().opens_session;
+        let batch_key = batch_fingerprint(&request);
         Arc::new(ExecTask {
             key,
             route,
             tenant: tenant.to_owned(),
             lane,
             opens_session,
+            batch_key,
             state: Mutex::new(TaskState {
                 phase: TaskPhase::Queued,
                 request: Some(request),
@@ -245,6 +284,15 @@ impl ExecTask {
     /// Whether this task's admission reserved an open-session slot.
     pub(crate) fn opens_session(&self) -> bool {
         self.opens_session
+    }
+
+    /// Microbatch compatibility fingerprint — a hash of every request
+    /// parameter except the seed: a queued backend may fuse tasks whose
+    /// fingerprints are equal and `Some` into one batched execution.
+    /// `None` — never fused.
+    #[must_use]
+    pub fn batch_key(&self) -> Option<u64> {
+        self.batch_key
     }
 
     /// Claims the task for execution: returns the request, or `None`

@@ -91,30 +91,49 @@ impl Layout {
     /// Area of the union of all drawn shapes, in nm².
     ///
     /// Computed on the scan-line grid so overlaps are counted once.
+    /// Sweeps row bands with one reused coverage mask instead of
+    /// testing every `(cell, rect)` pair: each rect's edges are scan
+    /// lines, so its covered cells form the contiguous index block
+    /// `[r0, r1) × [c0, c1)` found by binary search once per rect.
     #[must_use]
     pub fn union_area(&self) -> i64 {
         let scan = ScanLines::from_layout(self);
+        let xs = scan.xs();
+        let ys = scan.ys();
+        let spans: Vec<(usize, usize, usize, usize)> = self
+            .rects
+            .iter()
+            .map(|r| {
+                let c0 = xs.binary_search(&r.x0()).expect("rect edge is a scan line");
+                let c1 = xs.binary_search(&r.x1()).expect("rect edge is a scan line");
+                let r0 = ys.binary_search(&r.y0()).expect("rect edge is a scan line");
+                let r1 = ys.binary_search(&r.y1()).expect("rect edge is a scan line");
+                (r0, r1, c0, c1)
+            })
+            .collect();
+        let mut covered = vec![false; scan.cols()];
         let mut area = 0;
-        for (row, y_span) in scan.y_intervals().iter().enumerate() {
-            for (col, x_span) in scan.x_intervals().iter().enumerate() {
-                if self.cell_is_drawn(&scan, row, col) {
-                    area += x_span * y_span;
+        for row in 0..scan.rows() {
+            covered.fill(false);
+            let mut any = false;
+            for &(r0, r1, c0, c1) in &spans {
+                if r0 <= row && row < r1 {
+                    covered[c0..c1].fill(true);
+                    any = true;
                 }
             }
+            if !any {
+                continue;
+            }
+            let mut row_len = 0;
+            for (col, &hit) in covered.iter().enumerate() {
+                if hit {
+                    row_len += xs[col + 1] - xs[col];
+                }
+            }
+            area += row_len * (ys[row + 1] - ys[row]);
         }
         area
-    }
-
-    /// Whether grid cell `(row, col)` of the scan-line grid is covered by
-    /// at least one drawn rectangle.
-    pub(crate) fn cell_is_drawn(&self, scan: &ScanLines, row: usize, col: usize) -> bool {
-        let cx = scan.x_cell_midpoint(col);
-        let cy = scan.y_cell_midpoint(row);
-        // Midpoint-in-rect test: scan lines pass through every rect edge,
-        // so a cell is either fully inside or fully outside each rect.
-        self.rects
-            .iter()
-            .any(|r| 2 * r.x0() <= cx && cx < 2 * r.x1() && 2 * r.y0() <= cy && cy < 2 * r.y1())
     }
 
     /// Returns a new layout translated by `(dx, dy)` (frame and shapes).

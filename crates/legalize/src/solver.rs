@@ -5,7 +5,6 @@ use cp_drc::DesignRules;
 use cp_geom::{label_components, Axis};
 use cp_squish::{Region, SquishPattern, Topology};
 use rand::Rng;
-use std::collections::BTreeMap;
 
 /// Minimal solution of one axis, kept for diagnostics and tests.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -197,26 +196,36 @@ impl Legalizer {
     }
 
     /// Gathers deduplicated width/space interval bounds along `axis`.
+    ///
+    /// The run scan reads the raw topology bytes (no per-cell bounds
+    /// checks) and collects every run into a flat list that is then
+    /// stable-sorted and merged. The result is identical to the
+    /// BTreeMap this used to build — ascending `(start, end)` order,
+    /// first witness kept unless a later run carries a strictly
+    /// greater bound — because the stable sort preserves the
+    /// perpendicular scan order within each key. Determinism matters
+    /// here: the bound order (and witness choice on ties) feeds slack
+    /// distribution downstream, so the output must stay a pure
+    /// function of `(topology, seed)`.
     fn collect_bounds(&self, topology: &Topology, axis: Axis) -> Vec<IntervalBound> {
         let (lines, perpendicular) = match axis {
             Axis::X => (topology.cols(), topology.rows()),
             Axis::Y => (topology.rows(), topology.cols()),
         };
-        let get = |line: usize, p: usize| match axis {
-            Axis::X => topology.get(p, line),
-            Axis::Y => topology.get(line, p),
-        };
-        // BTreeMap, not HashMap: the bound order (and witness choice
-        // on ties) feeds slack distribution downstream, and HashMap
-        // iteration order varies per instance and per thread — the
-        // output must stay a pure function of `(topology, seed)`.
-        let mut map: BTreeMap<(usize, usize), IntervalBound> = BTreeMap::new();
+        let bytes = topology.as_bytes();
+        let cols = topology.cols();
+        let mut raw: Vec<IntervalBound> = Vec::new();
         for p in 0..perpendicular {
+            // Row-major slice walk for X, strided column walk for Y.
+            let at = |line: usize| match axis {
+                Axis::X => bytes[p * cols + line] != 0,
+                Axis::Y => bytes[line * cols + p] != 0,
+            };
             let mut i = 0;
             while i < lines {
-                let v = get(i, p);
+                let v = at(i);
                 let start = i;
-                while i < lines && get(i, p) == v {
+                while i < lines && at(i) == v {
                     i += 1;
                 }
                 let end = i - 1;
@@ -227,22 +236,28 @@ impl Legalizer {
                 } else {
                     continue; // border gap: no rule
                 };
-                map.entry((start, end))
-                    .and_modify(|e| {
-                        if bound > e.bound {
-                            e.bound = bound;
-                            e.witness = p;
-                        }
-                    })
-                    .or_insert(IntervalBound {
-                        start,
-                        end,
-                        bound,
-                        witness: p,
-                    });
+                raw.push(IntervalBound {
+                    start,
+                    end,
+                    bound,
+                    witness: p,
+                });
             }
         }
-        map.into_values().collect()
+        raw.sort_by_key(|b| (b.start, b.end));
+        let mut bounds: Vec<IntervalBound> = Vec::with_capacity(raw.len());
+        for b in raw {
+            match bounds.last_mut() {
+                Some(e) if e.start == b.start && e.end == b.end => {
+                    if b.bound > e.bound {
+                        e.bound = b.bound;
+                        e.witness = b.witness;
+                    }
+                }
+                _ => bounds.push(b),
+            }
+        }
+        bounds
     }
 
     /// Mints slack into polygons below the minimum area.
@@ -267,23 +282,42 @@ impl Legalizer {
             return Ok(());
         }
         let comp_count = labels.count() as usize;
-        for _pass in 0..self.area_repair_iters {
-            let dx: Vec<i64> = dx_min
-                .iter()
-                .zip(dx_share.iter())
-                .map(|(m, s)| m + s)
-                .collect();
-            let dy: Vec<i64> = dy_min
-                .iter()
-                .zip(dy_share.iter())
-                .map(|(m, s)| m + s)
-                .collect();
-            let mut areas = vec![0i64; comp_count];
-            for (r, c, set) in topology.iter() {
-                if set {
-                    areas[labels.label(r, c) as usize] += dx[c] * dy[r];
+        // Everything a pass needs is allocated once and reused: the
+        // effective delta vectors, the per-component area accumulator,
+        // the per-component cell lists (gathered here instead of
+        // re-walking the label grid every pass) and the per-axis growth
+        // accumulators. The repair loop itself then runs allocation-free.
+        let mut cells: Vec<Vec<(usize, usize)>> = vec![Vec::new(); comp_count];
+        for (r, c, set) in topology.iter() {
+            if set {
+                cells[labels.label(r, c) as usize].push((r, c));
+            }
+        }
+        let mut dx = vec![0i64; dx_min.len()];
+        let mut dy = vec![0i64; dy_min.len()];
+        let mut areas = vec![0i64; comp_count];
+        let mut col_height = vec![0i64; dx_min.len()];
+        let mut row_width = vec![0i64; dy_min.len()];
+        let compute_areas = |dx: &mut [i64],
+                             dy: &mut [i64],
+                             areas: &mut [i64],
+                             dx_share: &[i64],
+                             dy_share: &[i64]| {
+            for ((d, m), s) in dx.iter_mut().zip(dx_min).zip(dx_share) {
+                *d = m + s;
+            }
+            for ((d, m), s) in dy.iter_mut().zip(dy_min).zip(dy_share) {
+                *d = m + s;
+            }
+            areas.fill(0);
+            for (id, comp) in cells.iter().enumerate() {
+                for &(r, c) in comp {
+                    areas[id] += dx[c] * dy[r];
                 }
             }
+        };
+        for _pass in 0..self.area_repair_iters {
+            compute_areas(&mut dx, &mut dy, &mut areas, dx_share, dy_share);
             let deficient: Vec<usize> = (0..comp_count)
                 .filter(|&id| areas[id] < self.rules.min_area())
                 .collect();
@@ -293,17 +327,18 @@ impl Legalizer {
             let mut minted = false;
             for &id in &deficient {
                 let deficit = self.rules.min_area() - areas[id];
-                // BTreeMap for deterministic tie-breaks (see collect_bounds).
-                let mut col_height: BTreeMap<usize, i64> = BTreeMap::new();
-                let mut row_width: BTreeMap<usize, i64> = BTreeMap::new();
-                for (r, c) in labels.cells_of(id as u32) {
-                    *col_height.entry(c).or_insert(0) += dy[r];
-                    *row_width.entry(r).or_insert(0) += dx[c];
+                // Flat accumulators with an ascending last-max scan
+                // reproduce the old BTreeMap tie-break exactly (ties
+                // pick the largest index); zero entries mark columns
+                // and rows outside the component, since every live
+                // delta is at least 1 nm.
+                col_height.fill(0);
+                row_width.fill(0);
+                for &(r, c) in &cells[id] {
+                    col_height[c] += dy[r];
+                    row_width[r] += dx[c];
                 }
-                let (&grow_col, &height) = col_height
-                    .iter()
-                    .max_by_key(|(_, &h)| h)
-                    .expect("component has cells");
+                let (grow_col, height) = last_max(&col_height).expect("component has cells");
                 let need_cols = (deficit + height - 1) / height;
                 let take_x = need_cols.min(*slack_x);
                 dx_share[grow_col] += take_x;
@@ -311,10 +346,7 @@ impl Legalizer {
                 minted |= take_x > 0;
                 if take_x < need_cols {
                     // X budget dry: grow the widest row from the Y budget.
-                    let (&grow_row, &width) = row_width
-                        .iter()
-                        .max_by_key(|(_, &w)| w)
-                        .expect("component has cells");
+                    let (grow_row, width) = last_max(&row_width).expect("component has cells");
                     if width > 0 {
                         let residual = (need_cols - take_x) * height;
                         let need_rows = (residual + width - 1) / width;
@@ -346,22 +378,7 @@ impl Legalizer {
             }
         }
         // Final verification after the last pass.
-        let dx: Vec<i64> = dx_min
-            .iter()
-            .zip(dx_share.iter())
-            .map(|(m, s)| m + s)
-            .collect();
-        let dy: Vec<i64> = dy_min
-            .iter()
-            .zip(dy_share.iter())
-            .map(|(m, s)| m + s)
-            .collect();
-        let mut areas = vec![0i64; comp_count];
-        for (r, c, set) in topology.iter() {
-            if set {
-                areas[labels.label(r, c) as usize] += dx[c] * dy[r];
-            }
-        }
+        compute_areas(&mut dx, &mut dy, &mut areas, dx_share, dy_share);
         if let Some((worst, &area)) = areas
             .iter()
             .enumerate()
@@ -379,6 +396,19 @@ impl Legalizer {
         }
         Ok(())
     }
+}
+
+/// Index and value of the last maximum positive entry (ascending scan,
+/// ties keep the larger index — the same choice a BTreeMap keyed by
+/// index feeds `max_by_key`). `None` when every entry is zero.
+fn last_max(values: &[i64]) -> Option<(usize, i64)> {
+    let mut best: Option<(usize, i64)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v > 0 && best.is_none_or(|(_, b)| v >= b) {
+            best = Some((i, v));
+        }
+    }
+    best
 }
 
 /// Randomly splits `slack` nanometres over `n` intervals (non-negative

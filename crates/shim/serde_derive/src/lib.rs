@@ -15,15 +15,22 @@
 //! exactly one variant key — `{"Ok": ..., "Err": ...}` is rejected, not
 //! first-match-wins (the wire envelopes depend on this). Generics,
 //! tuple structs and tuple variants are rejected with a compile error.
+//!
+//! One field attribute is honoured: `#[serde(default)]` makes a field
+//! fall back to `Default::default()` when the key is absent (or null)
+//! during deserialization — the forward-compat knob newer stats
+//! counters use so old peers' snapshots still parse. Any other content
+//! inside `#[serde(...)]` is a compile error rather than a silent
+//! behavior change.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(&input, Mode::Serialize)
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(&input, Mode::Deserialize)
 }
@@ -34,11 +41,18 @@ enum Mode {
     Deserialize,
 }
 
+/// One named field: its name plus whether `#[serde(default)]` lets it
+/// fall back to `Default::default()` when missing from the input.
+struct Field {
+    name: String,
+    default: bool,
+}
+
 enum VariantShape {
     /// `V` — serialized as the string `"V"`.
     Unit,
     /// `V { f, ... }` — serialized as `{"V": {"f": ...}}`.
-    Named(Vec<String>),
+    Named(Vec<Field>),
     /// `V(T)` — serialized as `{"V": <payload>}`.
     Newtype,
 }
@@ -49,7 +63,7 @@ struct Variant {
 }
 
 enum Shape {
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
     Enum(Vec<Variant>),
 }
 
@@ -125,21 +139,55 @@ fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
     chunks
 }
 
-/// Field name from one `name: Type` chunk.
-fn field_name(chunk: &[TokenTree]) -> Result<String, String> {
-    match skip_attrs_and_vis(chunk) {
+/// Whether one `#[...]` attribute body is a serde field attribute, and
+/// if so, that it contains exactly `default` (anything else inside
+/// `#[serde(...)]` is unsupported and must fail loudly).
+fn serde_default_attr(body: &TokenStream) -> Result<bool, String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)]
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            match inner.as_slice() {
+                [TokenTree::Ident(arg)] if arg.to_string() == "default" => Ok(true),
+                _ => Err(format!(
+                    "serde shim derive supports #[serde(default)] only, found #[serde({})]",
+                    args.stream()
+                )),
+            }
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Field name and `#[serde(default)]` flag from one `name: Type` chunk.
+fn parse_field(chunk: &[TokenTree]) -> Result<Field, String> {
+    let mut default = false;
+    let mut rest = chunk;
+    while let [TokenTree::Punct(p), TokenTree::Group(g), tail @ ..] = rest {
+        if p.as_char() != '#' {
+            break;
+        }
+        default |= serde_default_attr(&g.stream())?;
+        rest = tail;
+    }
+    match skip_attrs_and_vis(rest) {
         [TokenTree::Ident(name), TokenTree::Punct(colon), ..] if colon.as_char() == ':' => {
-            Ok(name.to_string())
+            Ok(Field {
+                name: name.to_string(),
+                default,
+            })
         }
         _ => Err("serde shim derive supports named fields only".to_owned()),
     }
 }
 
-fn parse_named_fields(body: &TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(body: &TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
     split_top_level_commas(&tokens)
         .iter()
-        .map(|chunk| field_name(chunk))
+        .map(|chunk| parse_field(chunk))
         .collect()
 }
 
@@ -212,10 +260,11 @@ fn parse(input: &TokenStream) -> Result<(String, Shape), String> {
 // Codegen
 // ---------------------------------------------------------------------
 
-fn struct_serialize(name: &str, fields: &[String]) -> String {
+fn struct_serialize(name: &str, fields: &[Field]) -> String {
     let inserts: String = fields
         .iter()
         .map(|f| {
+            let f = &f.name;
             format!(
                 "map.insert(::std::string::String::from({f:?}), \
                  ::serde::Serialize::to_value(&self.{f}));\n"
@@ -234,20 +283,34 @@ fn struct_serialize(name: &str, fields: &[String]) -> String {
     )
 }
 
-fn fields_from_object(path: &str, fields: &[String]) -> String {
+fn fields_from_object(path: &str, fields: &[Field]) -> String {
     let inits: String = fields
         .iter()
-        .map(|f| {
-            format!(
-                "{f}: ::serde::Deserialize::from_value(\
-                 obj.get({f:?}).unwrap_or(&::serde::Value::Null))?,\n"
-            )
+        .map(|field| {
+            let f = &field.name;
+            if field.default {
+                // Absent key (older peer) or explicit null both fall
+                // back; a present non-null value must still parse.
+                format!(
+                    "{f}: match obj.get({f:?}) {{\n\
+                         ::std::option::Option::Some(found)\n\
+                             if !matches!(found, ::serde::Value::Null) =>\n\
+                             ::serde::Deserialize::from_value(found)?,\n\
+                         _ => ::std::default::Default::default(),\n\
+                     }},\n"
+                )
+            } else {
+                format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                     obj.get({f:?}).unwrap_or(&::serde::Value::Null))?,\n"
+                )
+            }
         })
         .collect();
     format!("{path} {{\n{inits}}}")
 }
 
-fn struct_deserialize(name: &str, fields: &[String]) -> String {
+fn struct_deserialize(name: &str, fields: &[Field]) -> String {
     let body = fields_from_object(name, fields);
     format!(
         "#[automatically_derived]\n\
@@ -280,10 +343,15 @@ fn enum_serialize(name: &str, variants: &[Variant]) -> String {
                      }}\n"
                 ),
                 VariantShape::Named(fields) => {
-                    let bindings = fields.join(", ");
+                    let bindings = fields
+                        .iter()
+                        .map(|f| f.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ");
                     let inserts: String = fields
                         .iter()
                         .map(|f| {
+                            let f = &f.name;
                             format!(
                                 "inner.insert(::std::string::String::from({f:?}), \
                                  ::serde::Serialize::to_value({f}));\n"

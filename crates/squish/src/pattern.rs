@@ -71,11 +71,7 @@ impl SquishPattern {
                 Some(i) => i,
                 None => rows,
             };
-            for row in r0..r1 {
-                for col in c0..c1 {
-                    topology.set(row, col, true);
-                }
-            }
+            topology.fill_block(r0, r1, c0, c1, true);
         }
         SquishPattern {
             topology,

@@ -133,6 +133,26 @@ impl Topology {
         self.bits[row * self.cols + col] = u8::from(value);
     }
 
+    /// Sets every cell in the half-open block `[row0, row1) × [col0,
+    /// col1)` — one contiguous slice fill per row instead of a bounds
+    /// check per cell, which is what the squish encoder's rect-stabbing
+    /// loop wants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block is inverted or reaches out of bounds.
+    pub fn fill_block(&mut self, row0: usize, row1: usize, col0: usize, col1: usize, value: bool) {
+        assert!(
+            row0 <= row1 && row1 <= self.rows && col0 <= col1 && col1 <= self.cols,
+            "topology block out of bounds"
+        );
+        let byte = u8::from(value);
+        for row in row0..row1 {
+            let start = row * self.cols;
+            self.bits[start + col0..start + col1].fill(byte);
+        }
+    }
+
     /// Raw row-major cell bytes (0 or 1).
     #[must_use]
     pub fn as_bytes(&self) -> &[u8] {

@@ -108,6 +108,7 @@ fn parallel_execute_many_matches_serial_across_all_kinds() {
             workers: 4,
             queue_depth: 64,
             cache_capacity: 0,
+            max_microbatch: 1,
         },
     )
     .expect("valid config");
@@ -141,6 +142,7 @@ fn cache_hit_replays_payload_with_fresh_timing() {
             workers: 2,
             queue_depth: 16,
             cache_capacity: 8,
+            max_microbatch: 1,
         },
     )
     .expect("valid config");
@@ -172,6 +174,7 @@ fn unseeded_chat_bypasses_the_cache() {
             workers: 2,
             queue_depth: 16,
             cache_capacity: 8,
+            max_microbatch: 1,
         },
     )
     .expect("valid config");
@@ -204,6 +207,7 @@ fn cancelling_a_queued_job_yields_cancelled() {
             workers: 1,
             queue_depth: 16,
             cache_capacity: 0,
+            max_microbatch: 1,
         },
     )
     .expect("valid config");
@@ -289,6 +293,7 @@ fn gated_engine(
             workers: 2,
             queue_depth: 64,
             cache_capacity,
+            max_microbatch: 1,
         },
     )
     .expect("valid config");
@@ -304,6 +309,7 @@ fn inline_reference(request: PatternRequest) -> String {
             workers: 1,
             queue_depth: 1,
             cache_capacity: 0,
+            max_microbatch: 1,
         },
     )
     .expect("valid config");
@@ -430,6 +436,7 @@ fn session_turns_are_never_cached_or_coalesced() {
             workers: 2,
             queue_depth: 32,
             cache_capacity: 8,
+            max_microbatch: 1,
         },
     )
     .expect("valid config");
@@ -510,6 +517,7 @@ fn sharded_session_turns_are_shard_affine_and_ordered() {
             workers: 4,
             queue_depth: 64,
             cache_capacity: 8,
+            max_microbatch: 1,
         },
     )
     .expect("valid config");
@@ -584,6 +592,7 @@ fn evicted_session_turn_is_a_typed_error_through_the_engine() {
             workers: 2,
             queue_depth: 16,
             cache_capacity: 0,
+            max_microbatch: 1,
         },
     )
     .expect("valid config");
@@ -620,6 +629,7 @@ fn sharded_execute_many_matches_serial_across_all_kinds() {
             workers: 4,
             queue_depth: 64,
             cache_capacity: 0,
+            max_microbatch: 1,
         },
     )
     .expect("valid config");

@@ -9,13 +9,18 @@
 //! failure message carries a minimal counterexample (plus its seed),
 //! not whatever 8-rect layout the generator happened to produce.
 
+use chatpattern::dataset::Style;
 use chatpattern::drc::{check_pattern, DesignRules};
 use chatpattern::geom::{Layout, Rect};
 use chatpattern::legalize::Legalizer;
 use chatpattern::squish::{complexity, normalize_to, SquishPattern, Topology};
-use chatpattern::{ChatPattern, Error, MemoryPersist, SessionConfig, SessionStore};
+use chatpattern::{
+    BackendKind, ChatParams, ChatPattern, EngineConfig, Error, EvaluateParams, GenerateParams,
+    LegalizeParams, MemoryPersist, PatternEngine, PatternRequest, SessionConfig, SessionStore,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -1181,5 +1186,269 @@ fn fair_queue_weight_shares_are_exact_under_saturation() {
             }
             Ok(())
         },
+    );
+}
+
+// ---------------------------------------------------------------------
+
+/// One submission in a random microbatching workload: a tenant index,
+/// a request-kind selector, and a deliberately small seed space so
+/// duplicate requests (the coalescer's and cache's input) arise
+/// naturally alongside batch-compatible runs.
+#[derive(Debug, Clone, Copy)]
+struct MicrobatchItem {
+    tenant: u8,
+    kind: u8,
+    seed: u64,
+}
+
+/// A random submission queue plus the engine knobs under test.
+#[derive(Debug, Clone)]
+struct MicrobatchCase {
+    max_microbatch: usize,
+    cache_capacity: usize,
+    items: Vec<MicrobatchItem>,
+}
+
+const MICROBATCH_TENANTS: u8 = 3;
+
+fn microbatch_tenant(i: u8) -> &'static str {
+    ["t0", "t1", "t2"][i as usize % MICROBATCH_TENANTS as usize]
+}
+
+fn arb_microbatch_case(rng: &mut ChaCha8Rng) -> MicrobatchCase {
+    let len = rng.gen_range(4..=12usize);
+    MicrobatchCase {
+        max_microbatch: rng.gen_range(2..=5),
+        cache_capacity: if rng.gen_range(0..2u32) == 0 { 0 } else { 8 },
+        items: (0..len)
+            .map(|_| MicrobatchItem {
+                tenant: rng.gen_range(0..MICROBATCH_TENANTS),
+                kind: rng.gen_range(0..8u8),
+                seed: rng.gen_range(0..6u64),
+            })
+            .collect(),
+    }
+}
+
+fn shrink_microbatch_case(case: &MicrobatchCase) -> Vec<MicrobatchCase> {
+    let mut out = Vec::new();
+    if case.items.len() > 1 {
+        let half = case.items.len() / 2;
+        out.push(MicrobatchCase {
+            items: case.items[..half].to_vec(),
+            ..case.clone()
+        });
+        out.push(MicrobatchCase {
+            items: case.items[half..].to_vec(),
+            ..case.clone()
+        });
+    }
+    for i in 0..case.items.len() {
+        let mut items = case.items.clone();
+        items.remove(i);
+        out.push(MicrobatchCase {
+            items,
+            ..case.clone()
+        });
+    }
+    if case.cache_capacity != 0 {
+        out.push(MicrobatchCase {
+            cache_capacity: 0,
+            ..case.clone()
+        });
+    }
+    out
+}
+
+/// Kinds 0-4 map to Generate (the only fusible kind, biased so the
+/// drain stage sees batch-compatible runs); 5-7 interleave the other
+/// request kinds so fused batches form around incompatible jobs.
+fn microbatch_request(item: MicrobatchItem, topology: &Topology) -> PatternRequest {
+    match item.kind {
+        0..=4 => PatternRequest::Generate(GenerateParams {
+            style: if item.seed.is_multiple_of(2) {
+                Style::Layer10001
+            } else {
+                Style::Layer10003
+            },
+            rows: 16,
+            cols: 16,
+            count: 1,
+            seed: item.seed,
+        }),
+        5 => PatternRequest::Evaluate(EvaluateParams {
+            topologies: vec![topology.clone()],
+            frame_nm: 512,
+            seed: item.seed,
+        }),
+        6 => PatternRequest::Legalize(LegalizeParams {
+            topology: topology.clone(),
+            width_nm: 512,
+            height_nm: 512,
+            seed: item.seed,
+        }),
+        _ => PatternRequest::Chat(ChatParams {
+            request: "Generate 1 pattern, topology size 16*16, physical size \
+                      512nm x 512nm, style Layer-10001."
+                .into(),
+            seed: Some(item.seed),
+        }),
+    }
+}
+
+fn check_microbatch_case(
+    system: &Arc<ChatPattern>,
+    topology: &Topology,
+    case: &MicrobatchCase,
+) -> Result<(), String> {
+    let engine = |backend, max_microbatch| {
+        PatternEngine::with_config(
+            Arc::clone(system),
+            EngineConfig {
+                backend,
+                workers: 1,
+                queue_depth: 64,
+                cache_capacity: case.cache_capacity,
+                max_microbatch,
+            },
+        )
+        .expect("valid config")
+    };
+
+    // Reference: the inline backend executes each submission on the
+    // caller thread in order — microbatching never engages.
+    let inline = engine(BackendKind::Inline, 1);
+    let expected = case
+        .items
+        .iter()
+        .map(|&item| {
+            let response = inline
+                .submit_blocking_as(
+                    Some(microbatch_tenant(item.tenant)),
+                    microbatch_request(item, topology),
+                )
+                .wait()
+                .map_err(|e| format!("inline execution failed: {e:?}"))?;
+            serde_json::to_string(&response.payload).map_err(|e| e.to_string())
+        })
+        .collect::<Result<Vec<String>, String>>()?;
+
+    // Under test: a single worker pinned by a shape-incompatible
+    // blocker while the case's items queue behind it, so the drain
+    // stage fuses whatever compatible runs the random queue contains.
+    let fused = engine(BackendKind::ThreadPool, case.max_microbatch);
+    let blocker = fused.submit_blocking_as(
+        Some("blocker"),
+        PatternRequest::Generate(GenerateParams {
+            style: Style::Layer10001,
+            rows: 4,
+            cols: 4,
+            count: 1,
+            seed: 0,
+        }),
+    );
+    let handles: Vec<_> = case
+        .items
+        .iter()
+        .map(|&item| {
+            fused.submit_blocking_as(
+                Some(microbatch_tenant(item.tenant)),
+                microbatch_request(item, topology),
+            )
+        })
+        .collect();
+    blocker
+        .wait()
+        .map_err(|e| format!("blocker failed: {e:?}"))?;
+    for (i, handle) in handles.into_iter().enumerate() {
+        let response = handle
+            .wait()
+            .map_err(|e| format!("request {i} failed: {e:?}"))?;
+        let got = serde_json::to_string(&response.payload).map_err(|e| e.to_string())?;
+        if got != expected[i] {
+            return Err(format!(
+                "request {i} ({:?}) diverged from the inline reference",
+                case.items[i]
+            ));
+        }
+    }
+
+    // Ledger consistency: every submission (blocker included) was
+    // admitted exactly once under its own tenant, nothing was
+    // rejected, and fused batch members each count once — every
+    // submission was delivered (`completed` includes cache hits and
+    // coalesced waiters), while the QoS ledger's completed rows count
+    // executions and cache hits only (waiters are admitted-only).
+    let stats = fused.stats();
+    let total = case.items.len() as u64 + 1;
+    if stats.submitted != total {
+        return Err(format!("submitted {} of {total}", stats.submitted));
+    }
+    if stats.completed != total {
+        return Err(format!(
+            "completed {} of {total} (failed {}, cancelled {})",
+            stats.completed, stats.failed, stats.cancelled
+        ));
+    }
+    let mut expected_admitted: BTreeMap<&str, u64> = BTreeMap::new();
+    expected_admitted.insert("blocker", 1);
+    for item in &case.items {
+        *expected_admitted
+            .entry(microbatch_tenant(item.tenant))
+            .or_insert(0) += 1;
+    }
+    let mut admitted: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut completed_rows = 0u64;
+    for row in &stats.tenants {
+        if row.rejected != 0 {
+            return Err(format!(
+                "tenant {} lane {} rejected {} without any quota configured",
+                row.tenant, row.lane, row.rejected
+            ));
+        }
+        *admitted.entry(row.tenant.as_str()).or_insert(0) += row.admitted;
+        completed_rows += row.completed;
+    }
+    if admitted != expected_admitted {
+        return Err(format!(
+            "per-tenant admissions {admitted:?} != submissions {expected_admitted:?}"
+        ));
+    }
+    if completed_rows + stats.coalesced != stats.completed {
+        return Err(format!(
+            "per-tenant completed rows sum to {completed_rows}, but the \
+             global counters say {} completed with {} coalesced waiters",
+            stats.completed, stats.coalesced
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn microbatched_threadpool_matches_inline_and_ledger_counts_each_job_once() {
+    // Real model executions dominate, so this property runs fewer,
+    // richer cases over one shared system (seeded requests carry all
+    // per-case variation).
+    let system = Arc::new(
+        ChatPattern::builder()
+            .window(16)
+            .training_patterns(8)
+            .diffusion_steps(6)
+            .seed(3)
+            .build()
+            .expect("valid configuration"),
+    );
+    let topology = system
+        .generate(Style::Layer10001, 16, 16, 1, 99)
+        .expect("generates")
+        .remove(0);
+    shrink::check(
+        "microbatched_threadpool_matches_inline_and_ledger_counts_each_job_once",
+        8,
+        11000,
+        arb_microbatch_case,
+        shrink_microbatch_case,
+        |case| check_microbatch_case(&system, &topology, case),
     );
 }
