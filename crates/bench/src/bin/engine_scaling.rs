@@ -18,6 +18,12 @@
 //! plus the same burst at the denoiser layer through the fused
 //! batched UNet — the kernel where cross-request batching amortizes
 //! the most), and a
+//! `connection_scaling` sweep (C idle + K active connections against
+//! an in-process loopback serve, the 64-thread-capped thread
+//! transport vs. the epoll event loop up to 1024 connections, with
+//! active-request p50/p99 and a sustained-idle-connection proof;
+//! shape it with `CP_CONN_IDLE` / `CP_CONN_ACTIVE` / `CP_CONN_CALLS`),
+//! and a
 //! `hot_loops` sweep (`Layout::union_area`,
 //! `SquishPattern::from_layout` and the legalizer solve in isolation
 //! on a dense synthetic layout — the three surgically-tuned loops).
@@ -589,6 +595,133 @@ fn run_router_fanout(cfg: &BenchConfig, workers: usize) -> Result<f64, String> {
     result
 }
 
+/// One `connection_scaling` measurement.
+#[cfg(unix)]
+struct ConnScale {
+    p50_ms: f64,
+    p99_ms: f64,
+    /// Idle connections that still answered a request after the
+    /// active burst (the "sustained" proof).
+    sustained: usize,
+    /// The engine's peak concurrent-connection counter for the run.
+    peak: u64,
+}
+
+/// C idle + K active connections against an in-process loopback serve:
+/// open `idle` connections that sit silent through the measurement,
+/// then run `active` connections each doing `calls` strictly
+/// sequential Stats round-trips (cheap engine work, so the latency is
+/// transport + submit-path overhead — exactly what grows with the
+/// connection count). Afterwards every idle connection is pinged once;
+/// the count that still answers is the sustained-connection proof.
+/// The thread transport runs at its `DEFAULT_MAX_CONNECTIONS` cap; the
+/// event loop at its own (4096) default.
+#[cfg(unix)]
+fn run_connection_scaling(
+    system: &Arc<ChatPattern>,
+    workers: usize,
+    event_loop: bool,
+    idle: usize,
+    active: usize,
+    calls: usize,
+) -> Result<ConnScale, String> {
+    use chatpattern_core::wire::{RequestEnvelope, WireOutcome};
+    use cp_net::{ClientConfig, EngineHandler, NdjsonClient};
+
+    let engine = Arc::new(engine(system, BackendKind::ThreadPool, workers));
+    let counters = engine.conn_counters();
+    let handler = Arc::new(EngineHandler::new(Arc::clone(&engine)));
+    enum Server {
+        Threads(cp_net::ServerHandle),
+        EventLoop(cp_net::EventLoopHandle),
+    }
+    let (addr, server) = if event_loop {
+        let server =
+            cp_net::EventLoopServer::bind("127.0.0.1:0", cp_net::EventLoopConfig::default())
+                .map_err(|e| format!("event-loop bind failed: {e}"))?
+                .conn_counters(counters);
+        let addr = server.local_addr().to_string();
+        let handle = server
+            .spawn(handler)
+            .map_err(|e| format!("event-loop spawn failed: {e}"))?;
+        (addr, Server::EventLoop(handle))
+    } else {
+        let server = cp_net::NdjsonServer::bind("127.0.0.1:0", cp_net::DEFAULT_MAX_CONNECTIONS)
+            .map_err(|e| format!("thread-server bind failed: {e}"))?
+            .conn_counters(counters);
+        let addr = server.local_addr().to_string();
+        (addr, Server::Threads(server.spawn(handler)))
+    };
+
+    let config = ClientConfig::default();
+    let mut idle_conns = Vec::with_capacity(idle);
+    for i in 0..idle {
+        idle_conns.push(
+            NdjsonClient::connect(&addr, config.clone())
+                .map_err(|e| format!("idle connect {i} failed: {e}"))?,
+        );
+    }
+
+    let threads: Vec<_> = (0..active)
+        .map(|conn| {
+            let addr = addr.clone();
+            let config = config.clone();
+            std::thread::spawn(move || -> Result<Vec<f64>, String> {
+                let mut client = NdjsonClient::connect(&addr, config)
+                    .map_err(|e| format!("active connect failed: {e}"))?;
+                let mut samples = Vec::with_capacity(calls);
+                for call in 0..calls {
+                    let started = Instant::now();
+                    let reply = client
+                        .call(&RequestEnvelope {
+                            id: serde_json::to_value(&((conn * calls + call) as u64)),
+                            tenant: None,
+                            request: PatternRequest::Stats,
+                        })
+                        .map_err(|e| format!("active call failed: {e}"))?;
+                    if !matches!(reply.outcome, WireOutcome::Ok(_)) {
+                        return Err("active request errored".to_owned());
+                    }
+                    samples.push(started.elapsed().as_secs_f64() * 1e3);
+                }
+                Ok(samples)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(active * calls);
+    for thread in threads {
+        latencies.extend(thread.join().expect("active connection thread")?);
+    }
+    latencies.sort_by(f64::total_cmp);
+    let p50_ms = latencies[latencies.len() / 2];
+    let p99_ms = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+
+    let mut sustained = 0usize;
+    for (i, client) in idle_conns.iter_mut().enumerate() {
+        let answered = client
+            .call(&RequestEnvelope {
+                id: serde_json::to_value(&(1_000_000 + i as u64)),
+                tenant: None,
+                request: PatternRequest::Stats,
+            })
+            .map(|reply| matches!(reply.outcome, WireOutcome::Ok(_)))
+            .unwrap_or(false);
+        sustained += usize::from(answered);
+    }
+    let peak = engine.stats().connections_peak;
+    drop(idle_conns);
+    match server {
+        Server::Threads(handle) => handle.shutdown(),
+        Server::EventLoop(handle) => handle.shutdown(),
+    }
+    Ok(ConnScale {
+        p50_ms,
+        p99_ms,
+        sustained,
+        peak,
+    })
+}
+
 fn sweep(var: &str, default: &str) -> Vec<usize> {
     std::env::var(var)
         .unwrap_or_else(|_| default.to_owned())
@@ -644,13 +777,15 @@ fn parse_check_args() -> Option<CheckMode> {
 /// descriptive fields (backend, workers, …) so rows match across runs
 /// even when their order changes.
 fn collect_millis(prefix: &str, value: &serde_json::Value, out: &mut Vec<(String, f64)>) {
-    const IDENTITY_KEYS: [&str; 6] = [
+    const IDENTITY_KEYS: [&str; 8] = [
         "backend",
         "workers",
         "shards",
         "sessions",
         "turns_per_session",
         "tenant",
+        "transport",
+        "connections",
     ];
     match value {
         serde_json::Value::Object(map) => {
@@ -969,6 +1104,65 @@ fn main() {
         }
     }
 
+    // Connection scaling: C idle + K active connections, thread
+    // transport at its 64-connection cap vs. the event loop up to
+    // 1024. The sustained count proves every idle connection still
+    // answers after the active burst.
+    let mut conn_rows = String::new();
+    let conn_active = sweep("CP_CONN_ACTIVE", "4").first().copied().unwrap_or(4);
+    let conn_calls = sweep("CP_CONN_CALLS", "25").first().copied().unwrap_or(25);
+    let thread_cap = cp_net::DEFAULT_MAX_CONNECTIONS;
+    #[cfg(unix)]
+    {
+        cp_net::raise_nofile_limit();
+        let loop_idle = sweep("CP_CONN_IDLE", "32,256,512,1024");
+        // `sweep` drops zeros, so the thread transport's idle list is
+        // fixed: bare active conns, then idle near its 64-conn cap.
+        let sweeps: [(&str, bool, Vec<usize>); 2] = [
+            ("threads", false, vec![0, 32]),
+            ("event-loop", true, loop_idle),
+        ];
+        for (transport, event_loop, idles) in sweeps {
+            for &idle in &idles {
+                let total = idle + conn_active;
+                match run_connection_scaling(
+                    &system,
+                    max_workers,
+                    event_loop,
+                    idle,
+                    conn_active,
+                    conn_calls,
+                ) {
+                    Ok(scale) => {
+                        println!(
+                            "  connection_scaling {transport:<10} {total:5} conns   \
+                             p50 {:7.2} ms  p99 {:7.2} ms  ({}/{idle} idle sustained)",
+                            scale.p50_ms, scale.p99_ms, scale.sustained
+                        );
+                        let _ = write!(
+                            conn_rows,
+                            "{}{{\"transport\":\"{transport}\",\"connections\":{total},\
+                             \"idle\":{idle},\"active\":{conn_active},\
+                             \"sustained\":{},\"peak_connections\":{},\
+                             \"p50_millis\":{:.3},\"p99_millis\":{:.3}}}",
+                            if conn_rows.is_empty() { "" } else { "," },
+                            scale.sustained,
+                            scale.peak,
+                            scale.p50_ms,
+                            scale.p99_ms,
+                        );
+                    }
+                    Err(reason) => {
+                        println!(
+                            "  connection_scaling {transport:<10} {total:5} conns   \
+                             skipped: {reason}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     // Hot loops: the three measured inner loops on their own, no
     // engine in the way — regressions here are what the surgery fixed.
     const HOT_RECTS: usize = 192;
@@ -1006,6 +1200,9 @@ fn main() {
          \"sequential_millis\":{tcp_sequential_ms:.3},\
          \"sequential_requests_per_sec\":{tcp_sequential_rps:.3}}},\
          \"router_fanout\":[{router_rows}],\
+         \"connection_scaling\":{{\"active\":{conn_active},\
+         \"calls_per_conn\":{conn_calls},\
+         \"thread_cap\":{thread_cap},\"rows\":[{conn_rows}]}},\
          \"microbatch\":{{\"burst\":{MICROBATCH_BURST},\"workers\":1,\
          \"solo_millis\":{solo_ms:.3},\"fused_millis\":{fused_ms:.3},\
          \"speedup\":{microbatch_speedup:.3},\"fused_jobs\":{fused_jobs},\

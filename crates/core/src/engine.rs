@@ -202,6 +202,25 @@ pub struct EngineStats {
     /// submission; [`EngineStats::merge`] sums matching rows across a
     /// fleet.
     pub tenants: Vec<TenantLaneStats>,
+    /// Transport connections currently open against this engine (a
+    /// gauge; zero unless a server attached [`ConnCounters`]). Absent
+    /// on the wire from older peers — defaults to zero.
+    #[serde(default)]
+    pub connections_live: u64,
+    /// High-water mark of concurrently open transport connections.
+    /// Under [`EngineStats::merge`] this is the *sum* of per-worker
+    /// peaks — an upper bound on the fleet-wide simultaneous peak.
+    #[serde(default)]
+    pub connections_peak: u64,
+    /// Connections that ended normally: peer EOF, reset, or a write to
+    /// a vanished peer.
+    #[serde(default)]
+    pub disconnects_clean: u64,
+    /// Connections the event-loop transport killed because their
+    /// outbound queue exceeded its high-water mark (a slow reader
+    /// accumulating unread replies).
+    #[serde(default)]
+    pub disconnects_backpressure: u64,
 }
 
 impl EngineStats {
@@ -247,6 +266,53 @@ impl EngineStats {
         self.turns += other.turns;
         self.queue_depths.extend_from_slice(&other.queue_depths);
         self.tenants = cp_qos::merge_rows(&[&self.tenants, &other.tenants]);
+        self.connections_live += other.connections_live;
+        self.connections_peak += other.connections_peak;
+        self.disconnects_clean += other.disconnects_clean;
+        self.disconnects_backpressure += other.disconnects_backpressure;
+    }
+}
+
+/// Transport-connection telemetry: live/peak gauges plus disconnect
+/// reasons, kept engine-side so a [`PatternRequest::Stats`] request
+/// (and the router's fleet fan-in) reports them like any other
+/// counter. Servers call [`ConnCounters::connected`] /
+/// `disconnected_*`; the engine folds the numbers into
+/// [`EngineStats`].
+#[derive(Debug, Default)]
+pub struct ConnCounters {
+    live: AtomicU64,
+    peak: AtomicU64,
+    clean: AtomicU64,
+    backpressure: AtomicU64,
+}
+
+impl ConnCounters {
+    /// One connection accepted.
+    pub fn connected(&self) {
+        let now = self.live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// One connection ended normally (EOF, reset, vanished peer).
+    pub fn disconnected_clean(&self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        self.clean.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One connection was killed for exceeding its outbound
+    /// high-water mark (event-loop back-pressure).
+    pub fn disconnected_backpressure(&self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        self.backpressure.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds the current counter values into a stats snapshot.
+    pub fn fill(&self, stats: &mut EngineStats) {
+        stats.connections_live = self.live.load(Ordering::Relaxed);
+        stats.connections_peak = self.peak.load(Ordering::Relaxed);
+        stats.disconnects_clean = self.clean.load(Ordering::Relaxed);
+        stats.disconnects_backpressure = self.backpressure.load(Ordering::Relaxed);
     }
 }
 
@@ -299,6 +365,7 @@ impl AtomicStats {
             turns: sessions.turns,
             queue_depths,
             tenants,
+            ..EngineStats::default()
         }
     }
 
@@ -629,6 +696,9 @@ pub struct PatternEngine<S: PatternService + Send + Sync + 'static> {
     config: EngineConfig,
     /// Round-robin routing for unkeyed (uncacheable) requests.
     route_counter: AtomicU64,
+    /// Transport-connection telemetry, updated by whatever server
+    /// fronts this engine and reported through [`PatternEngine::stats`].
+    conn: Arc<ConnCounters>,
 }
 
 impl<S: PatternService + Send + Sync + 'static> std::fmt::Debug for PatternEngine<S> {
@@ -708,6 +778,7 @@ impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
             backend,
             config,
             route_counter: AtomicU64::new(0),
+            conn: Arc::new(ConnCounters::default()),
         })
     }
 
@@ -722,11 +793,22 @@ impl<S: PatternService + Send + Sync + 'static> PatternEngine<S> {
     /// service's session gauges.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        self.core.stats.snapshot(
+        let mut stats = self.core.stats.snapshot(
             self.backend.queue_depths(),
             self.core.service.session_stats(),
             self.core.ledger.snapshot(),
-        )
+        );
+        self.conn.fill(&mut stats);
+        stats
+    }
+
+    /// The engine's transport-connection counters. A server fronting
+    /// this engine clones the `Arc` and records connects/disconnects;
+    /// the numbers surface in [`PatternEngine::stats`] (and therefore
+    /// in `Stats` over the wire).
+    #[must_use]
+    pub fn conn_counters(&self) -> Arc<ConnCounters> {
+        Arc::clone(&self.conn)
     }
 
     /// The wrapped service.

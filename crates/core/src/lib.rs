@@ -77,7 +77,7 @@ pub use backend::BackendKind;
 /// The QoS vocabulary (lanes, quotas, fair queue, tenant stats),
 /// re-exported so engine embedders need no direct `cp_qos` dependency.
 pub use cp_qos as qos;
-pub use engine::{EngineConfig, EngineStats, JobHandle, JobStatus, PatternEngine};
+pub use engine::{ConnCounters, EngineConfig, EngineStats, JobHandle, JobStatus, PatternEngine};
 pub use error::Error;
 pub use session::{
     JsonDirPersist, MemoryPersist, SessionConfig, SessionPersist, SessionStats, SessionStore,

@@ -4,16 +4,27 @@
 //! The wire protocol (`docs/WIRE_PROTOCOL.md`) is transport-agnostic:
 //! one JSON request envelope per line in, one response envelope per
 //! line out, `id` as the only correlation key. This crate is the TCP
-//! carrier for it — deliberately std-only and blocking (the offline
-//! build has no async runtime): a thread-per-connection
-//! [`NdjsonServer`] with a bounded accept pool, a [`LineSink`] that
-//! treats a vanished peer (`EPIPE` and friends) as a clean close
-//! instead of an error, a reconnecting [`NdjsonClient`], and an
-//! [`EngineHandler`] that plugs a
+//! carrier for it — deliberately std-only (the offline build has no
+//! async runtime), in two execution shapes behind one
+//! [`ConnectionHandler`] trait:
+//!
+//! * a blocking thread-per-connection [`NdjsonServer`] with a bounded
+//!   accept pool — simple, and capped by thread count;
+//! * a readiness-driven [`EventLoopServer`] (epoll on Linux via direct
+//!   `extern "C"` declarations, portable `poll(2)` fallback) that
+//!   multiplexes thousands of mostly-idle connections on one loop
+//!   thread, with incremental NDJSON framing ([`LineFramer`]) and
+//!   bounded per-connection outbound queues (slow readers are
+//!   disconnected past a high-water mark instead of buffered without
+//!   bound).
+//!
+//! Both share the [`LineSink`] that treats a vanished peer (`EPIPE`
+//! and friends) as a clean close instead of an error, the reconnecting
+//! [`NdjsonClient`], and the [`EngineHandler`] that plugs a
 //! [`PatternEngine`](chatpattern_core::PatternEngine) straight into
-//! either transport. `chatpattern-serve --listen` and the
-//! `chatpattern-router` fleet front-end are both built from these
-//! parts.
+//! any transport. `chatpattern-serve --listen --transport
+//! {threads,event-loop}` and the `chatpattern-router` fleet front-end
+//! are both built from these parts.
 //!
 //! ```
 //! use chatpattern_core::wire::RequestEnvelope;
@@ -46,11 +57,28 @@
 //! ```
 
 mod client;
+#[cfg(unix)]
+mod conn;
+#[cfg(unix)]
+mod event_loop;
 mod handler;
+#[cfg(unix)]
+mod poller;
 mod server;
 mod sink;
 
 pub use client::{connect_with_backoff, ClientConfig, NdjsonClient, NdjsonReceiver, NdjsonSender};
+#[cfg(unix)]
+pub use conn::{
+    FlushOutcome, Framed, LineFramer, NonblockingConn, OutboundQueue, QueueWriter, ReadOutcome,
+    DEFAULT_MAX_LINE_BYTES, DEFAULT_OUTBOUND_HIGH_WATER,
+};
+#[cfg(unix)]
+pub use event_loop::{
+    EventLoopConfig, EventLoopHandle, EventLoopServer, DEFAULT_EVENT_LOOP_CONNECTIONS,
+};
 pub use handler::EngineHandler;
+#[cfg(unix)]
+pub use poller::{raise_nofile_limit, Interest, PollEvent, Poller, WakePipe};
 pub use server::{ConnectionHandler, NdjsonServer, ServerHandle, DEFAULT_MAX_CONNECTIONS};
 pub use sink::{is_disconnect, LineSink};

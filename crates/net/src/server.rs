@@ -1,6 +1,7 @@
 //! The blocking NDJSON-over-TCP server.
 
 use crate::sink::LineSink;
+use chatpattern_core::ConnCounters;
 use std::io::{self, BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -40,6 +41,7 @@ pub struct NdjsonServer {
     listener: TcpListener,
     addr: SocketAddr,
     max_connections: usize,
+    counters: Option<Arc<ConnCounters>>,
 }
 
 impl NdjsonServer {
@@ -55,7 +57,18 @@ impl NdjsonServer {
             listener,
             addr,
             max_connections: max_connections.max(1),
+            counters: None,
         })
+    }
+
+    /// Attaches connection counters (live/peak/disconnect reasons) so
+    /// the transport shows up in the engine's `Stats`. Thread-transport
+    /// disconnects are always *clean* — its back-pressure lands in the
+    /// accept gate, never in a mid-stream kill.
+    #[must_use]
+    pub fn conn_counters(mut self, counters: Arc<ConnCounters>) -> NdjsonServer {
+        self.counters = Some(counters);
+        self
     }
 
     /// The bound address (the real port, even when bound with `:0`).
@@ -89,8 +102,12 @@ impl NdjsonServer {
                     drop(active);
                     let handler = Arc::clone(&handler);
                     let gate = Arc::clone(&gate);
+                    let counters = self.counters.clone();
                     std::thread::spawn(move || {
-                        serve_connection(stream, &*handler);
+                        if let Some(counters) = &counters {
+                            counters.connected();
+                        }
+                        serve_connection(stream, &*handler, counters.as_deref());
                         let (count, freed) = &*gate;
                         *count.lock().expect("gate lock") -= 1;
                         freed.notify_one();
@@ -107,11 +124,22 @@ impl NdjsonServer {
 }
 
 /// Runs one connection to completion: read lines, hand them to the
-/// handler, notify it when the peer goes away.
-fn serve_connection<H: ConnectionHandler>(stream: TcpStream, handler: &H) {
+/// handler, notify it when the peer goes away. The disconnect is
+/// counted before `on_disconnect` so a stats flush from the callback
+/// already sees it.
+fn serve_connection<H: ConnectionHandler>(
+    stream: TcpStream,
+    handler: &H,
+    counters: Option<&ConnCounters>,
+) {
     let sink = match stream.try_clone() {
         Ok(write_half) => Arc::new(LineSink::new(Box::new(write_half))),
-        Err(_) => return,
+        Err(_) => {
+            if let Some(counters) = counters {
+                counters.disconnected_clean();
+            }
+            return;
+        }
     };
     let reader = BufReader::new(stream);
     for line in reader.lines() {
@@ -127,6 +155,9 @@ fn serve_connection<H: ConnectionHandler>(stream: TcpStream, handler: &H) {
     // Note: completion threads may still hold the sink and deliver
     // late replies — a client that half-closed its write side keeps
     // receiving answers until the last writer drops the sink.
+    if let Some(counters) = counters {
+        counters.disconnected_clean();
+    }
     handler.on_disconnect(&sink);
 }
 

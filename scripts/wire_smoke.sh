@@ -19,8 +19,11 @@
 # still completes, with the rejection counted in the per-tenant stats
 # ledger, and (j) a single-worker serve with --max-microbatch fuses a
 # batch-compatible Generate burst (batched > 0 in --stats) with
-# replies payload-identical to a serial run. Run from anywhere; needs
-# jq and built (or buildable) release binaries.
+# replies payload-identical to a serial run, and (k) the epoll
+# event-loop transport (`--transport event-loop`) answers the same
+# fixture payload-identical to the stdio run and reports its
+# connection counters in --stats. Run from anywhere; needs jq and
+# built (or buildable) release binaries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -524,3 +527,63 @@ if [ -z "$BATCHED" ] || [ "$BATCHED" -eq 0 ]; then
 fi
 
 echo "wire smoke OK: microbatched burst ($BATCHED of $MB_N jobs fused, replies identical to serial)"
+
+# (k) Event-loop transport equivalence: the same fixture over
+# `--listen ... --transport event-loop` must be payload-identical to
+# the stdio run from section (g) (same FLAGS, same normalize), and the
+# stats flush on disconnect must carry the new connection counters.
+SESS_DIR=$(mktemp -d)
+"$BIN" "${FLAGS[@]}" --stats --listen 127.0.0.1:0 --transport event-loop 2> "$SESS_DIR/err" &
+EL_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^chatpattern-serve: listening on //p' "$SESS_DIR/err" | head -n 1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "wire smoke FAILED: serve --transport event-loop never announced its address" >&2
+    cat "$SESS_DIR/err" >&2 || true
+    kill "$EL_PID" 2> /dev/null || true
+    rm -rf "$SESS_DIR"
+    exit 1
+fi
+
+exec 8<> "/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+cat "$IN" >&8
+EL_OUT=""
+for _ in $(seq 1 "$N_REQ"); do
+    if ! IFS= read -t 120 -r LINE <&8; then
+        echo "wire smoke FAILED: event-loop serve did not answer all $N_REQ requests" >&2
+        kill "$EL_PID" 2> /dev/null || true
+        rm -rf "$SESS_DIR"
+        exit 1
+    fi
+    EL_OUT+="$LINE"$'\n'
+done
+exec 8<&- 8>&-
+
+if ! diff <(printf '%s' "$EL_OUT" | normalize) <(echo "$STDIO_OUT" | normalize); then
+    echo "wire smoke FAILED: event-loop and stdio transports disagree on the same fixture" >&2
+    kill "$EL_PID" 2> /dev/null || true
+    rm -rf "$SESS_DIR"
+    exit 1
+fi
+
+# The disconnect flushes --stats with the connection counters: this
+# run's one client peaked the gauge at 1 and closed cleanly.
+CONN_LINE=""
+for _ in $(seq 1 100); do
+    CONN_LINE=$(grep -o 'conns_peak=[0-9]* disconnects_clean=[0-9]*' "$SESS_DIR/err" | head -n 1)
+    [ -n "$CONN_LINE" ] && break
+    sleep 0.1
+done
+kill "$EL_PID" 2> /dev/null || true
+wait "$EL_PID" 2> /dev/null || true
+rm -rf "$SESS_DIR"
+if [ "$CONN_LINE" != "conns_peak=1 disconnects_clean=1" ]; then
+    echo "wire smoke FAILED: event-loop stats counters read '$CONN_LINE' (want conns_peak=1 disconnects_clean=1)" >&2
+    exit 1
+fi
+
+echo "wire smoke OK: event-loop transport payload-identical to stdio ($N_REQ responses), connection counters flushed"

@@ -87,7 +87,23 @@ Options:
                          worker rehydrate its sessions after a crash
   --max-connections N    concurrently served client connections
                          (default 64)
+  --pool N               TCP connections per worker (default 2): each
+                         forwarded request round-robins over the pool,
+                         so one slow reply cannot head-of-line-block
+                         every other request to that shard
+  --rebalance-threshold N  auto-rebalance: when the per-worker session
+                         or queue-depth skew (max minus min across live
+                         workers) exceeds N, move sessions from the
+                         busiest to the least-loaded worker through the
+                         same drain machinery, one at a time, until the
+                         skew closes (default 0 = off)
+  --rebalance-interval-ms MS  how often the auto-rebalancer inspects
+                         fleet stats (default 1000; needs
+                         --rebalance-threshold)
   --help                 this text";
+
+/// Default TCP connections per worker.
+const DEFAULT_POOL: usize = 2;
 
 struct Options {
     listen: String,
@@ -97,6 +113,9 @@ struct Options {
     serve_args: Vec<String>,
     session_dir: Option<String>,
     max_connections: usize,
+    pool: usize,
+    rebalance_threshold: usize,
+    rebalance_interval: Duration,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -108,6 +127,9 @@ fn parse_args() -> Result<Options, String> {
         serve_args: Vec::new(),
         session_dir: None,
         max_connections: cp_net::DEFAULT_MAX_CONNECTIONS,
+        pool: DEFAULT_POOL,
+        rebalance_threshold: 0,
+        rebalance_interval: Duration::from_millis(1000),
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -144,6 +166,14 @@ fn parse_args() -> Result<Options, String> {
             }
             "--session-dir" => options.session_dir = Some(value.clone()),
             "--max-connections" => options.max_connections = number("--max-connections")?,
+            "--pool" => options.pool = number("--pool")?.max(1),
+            "--rebalance-threshold" => {
+                options.rebalance_threshold = number("--rebalance-threshold")?;
+            }
+            "--rebalance-interval-ms" => {
+                options.rebalance_interval =
+                    Duration::from_millis(number("--rebalance-interval-ms")?.max(1) as u64);
+            }
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
     }
@@ -184,7 +214,7 @@ struct ControlReply {
 
 #[derive(Serialize)]
 enum ControlOutcome {
-    Fleet(FleetView),
+    Fleet(Box<FleetView>),
     Drained { worker: usize, moved: usize },
     ShuttingDown,
     Error { message: String },
@@ -203,6 +233,10 @@ struct WorkerView {
     pid: Option<u32>,
     draining: bool,
     sessions: usize,
+    /// Connection-pool size configured for this worker.
+    pool: usize,
+    /// Pool connections currently established.
+    links: usize,
     stats: Option<EngineStats>,
 }
 
@@ -264,13 +298,35 @@ impl ReplySlot {
     }
 }
 
-/// The live half of a worker: present while connected.
-struct WorkerLink {
+/// The worker's process-level state: its current address, and (spawn
+/// mode) the live child. Present once the worker has been brought up.
+struct WorkerProc {
     addr: String,
     child: Option<Child>,
-    /// Write half of the worker connection (reads happen on the
+}
+
+/// One pooled TCP connection to a worker. Requests round-robin over a
+/// worker's links, and each link keeps its own in-flight map — a reply
+/// always comes back on the connection its request went out on, so one
+/// link dying fails exactly its own requests.
+struct Link {
+    /// Write half while connected (reads happen on the link's
     /// dedicated reader thread).
-    stream: TcpStream,
+    stream: Mutex<Option<TcpStream>>,
+    pending: Mutex<HashMap<u64, Pending>>,
+    /// Bumped per (re)connect so a stale reader thread can tell it no
+    /// longer owns the link.
+    generation: AtomicU64,
+}
+
+impl Link {
+    fn new() -> Link {
+        Link {
+            stream: Mutex::new(None),
+            pending: Mutex::new(HashMap::new()),
+            generation: AtomicU64::new(0),
+        }
+    }
 }
 
 struct Worker {
@@ -279,12 +335,12 @@ struct Worker {
     /// Attach-mode address (fixed); spawn mode learns the address
     /// from the child's announcement line each (re)spawn.
     attach_addr: Option<String>,
-    link: Mutex<Option<WorkerLink>>,
-    pending: Mutex<HashMap<u64, Pending>>,
+    proc: Mutex<Option<WorkerProc>>,
+    /// The connection pool (`--pool` entries).
+    links: Vec<Link>,
+    /// Round-robin cursor over `links`.
+    next_link: AtomicU64,
     draining: AtomicBool,
-    /// Bumped per (re)connect so a stale reader thread can tell it no
-    /// longer owns the link.
-    generation: AtomicU64,
 }
 
 // ----------------------------------------------------------------- router
@@ -354,51 +410,67 @@ impl Router {
     }
 }
 
-/// Ensures the worker has a live connection, (re)spawning and
-/// (re)connecting with backoff as needed. Returns the error message
-/// when the worker cannot be revived.
-fn ensure_connected(router: &Arc<Router>, index: usize) -> Result<(), String> {
+/// Ensures the worker *process* is alive (spawning or respawning as
+/// needed) and returns its address. A spawned child that exited
+/// invalidates every pool link even if the sockets have not reported
+/// the death yet — their in-flight entries fail now instead of
+/// lingering, and the generation bumps tell stale readers to stand
+/// down.
+fn ensure_worker_process(router: &Arc<Router>, index: usize) -> Result<String, String> {
     let worker = &router.workers[index];
-    let mut link = worker.link.lock().expect("link lock");
-    // A spawned child that exited invalidates the link even if the
-    // socket has not reported the death yet.
-    if let Some(live) = link.as_mut() {
+    let mut proc = worker.proc.lock().expect("proc lock");
+    if let Some(live) = proc.as_mut() {
         let child_exited = live
             .child
             .as_mut()
             .is_some_and(|c| c.try_wait().ok().flatten().is_some());
-        if child_exited {
-            // We (not the reader) discovered the death: take over the
-            // teardown so entries from the dead connection fail now
-            // instead of lingering. The generation bump below tells
-            // the stale reader to stand down.
-            *link = None;
-            fail_pending(worker, &format!("worker {index} exited"));
-        } else {
-            return Ok(());
+        if !child_exited {
+            return Ok(live.addr.clone());
+        }
+        *proc = None;
+        for link in &worker.links {
+            let mut stream = link.stream.lock().expect("link lock");
+            if stream.take().is_some() {
+                link.generation.fetch_add(1, Ordering::Relaxed);
+            }
+            drop(stream);
+            fail_pending(link, &format!("worker {index} exited"));
         }
     }
-
     let (addr, child) = match (&worker.spawn, &worker.attach_addr) {
         (Some(spec), _) => spawn_worker(spec, index)?,
         (None, Some(addr)) => (addr.clone(), None),
         (None, None) => unreachable!("a worker is spawned or attached"),
     };
-    let stream = connect_with_backoff(addr.as_str(), &router.connect)
+    *proc = Some(WorkerProc {
+        addr: addr.clone(),
+        child,
+    });
+    Ok(addr)
+}
+
+/// Ensures one pool link of the worker has a live connection,
+/// (re)spawning the process and (re)connecting with backoff as needed.
+/// Returns the error message when the worker cannot be revived.
+fn ensure_connected(router: &Arc<Router>, index: usize, slot: usize) -> Result<(), String> {
+    let addr = ensure_worker_process(router, index)?;
+    let worker = &router.workers[index];
+    let link = &worker.links[slot];
+    let mut stream = link.stream.lock().expect("link lock");
+    if stream.is_some() {
+        return Ok(());
+    }
+    let conn = connect_with_backoff(addr.as_str(), &router.connect)
         .map_err(|e| format!("worker {index}: cannot connect to {addr}: {e}"))?;
-    let read_half = stream
+    let read_half = conn
         .try_clone()
         .map_err(|e| format!("worker {index}: clone failed: {e}"))?;
-    let generation = worker.generation.fetch_add(1, Ordering::Relaxed) + 1;
-    *link = Some(WorkerLink {
-        addr,
-        child,
-        stream,
-    });
-    drop(link);
+    let generation = link.generation.fetch_add(1, Ordering::Relaxed) + 1;
+    *stream = Some(conn);
+    drop(stream);
 
     let router = Arc::clone(router);
-    std::thread::spawn(move || read_worker(&router, index, generation, read_half));
+    std::thread::spawn(move || read_worker(&router, index, slot, generation, read_half));
     Ok(())
 }
 
@@ -442,11 +514,18 @@ fn spawn_worker(spec: &SpawnSpec, index: usize) -> Result<(String, Option<Child>
     Ok((addr, Some(child)))
 }
 
-/// The per-worker reader: pumps response lines back to whoever is
-/// waiting on them; on connection loss, fails every pending entry and
-/// releases the link (the next forward revives the worker).
-fn read_worker(router: &Arc<Router>, index: usize, generation: u64, stream: TcpStream) {
-    let worker = &router.workers[index];
+/// The per-link reader: pumps response lines back to whoever is
+/// waiting on them; on connection loss, fails the link's own pending
+/// entries and releases the slot (the next forward reconnects it — or,
+/// when the whole process died, respawns it).
+fn read_worker(
+    router: &Arc<Router>,
+    index: usize,
+    slot: usize,
+    generation: u64,
+    stream: TcpStream,
+) {
+    let link = &router.workers[index].links[slot];
     let mut reader = std::io::BufReader::new(stream).lines();
     while let Some(Ok(line)) = reader.next() {
         if line.trim().is_empty() {
@@ -459,11 +538,7 @@ fn read_worker(router: &Arc<Router>, index: usize, generation: u64, stream: TcpS
         let Some(internal) = envelope.id.as_u64() else {
             continue;
         };
-        let entry = worker
-            .pending
-            .lock()
-            .expect("pending lock")
-            .remove(&internal);
+        let entry = link.pending.lock().expect("pending lock").remove(&internal);
         match entry {
             Some(Pending::Client {
                 id,
@@ -484,34 +559,32 @@ fn read_worker(router: &Arc<Router>, index: usize, generation: u64, stream: TcpS
         }
     }
 
-    // Only the reader that still owns the link tears it down (and
+    // Only the reader that still owns the slot tears it down (and
     // fails the in-flight entries): a reconnect bumps the generation,
     // and a stale reader must not touch entries registered for the
     // fresh connection. Both the check and the teardown happen under
-    // the link lock, which `ensure_connected` also holds while it
-    // bumps the generation.
+    // the slot's stream lock, which `ensure_connected` also holds
+    // while it bumps the generation. The worker process is *not*
+    // killed here: a single pool socket dying says nothing about its
+    // siblings, and real process death is detected by `try_wait` in
+    // `ensure_worker_process` on the next forward.
     {
-        let mut link = worker.link.lock().expect("link lock");
-        if worker.generation.load(Ordering::Relaxed) != generation {
+        let mut stream = link.stream.lock().expect("link lock");
+        if link.generation.load(Ordering::Relaxed) != generation {
             return;
         }
-        if let Some(mut dead) = link.take() {
-            if let Some(child) = dead.child.as_mut() {
-                let _ = child.kill();
-                let _ = child.wait();
-            }
-        }
-        fail_pending(worker, &format!("worker {index} connection lost"));
+        *stream = None;
+        fail_pending(link, &format!("worker {index} connection lost"));
     }
 }
 
-/// Fails every in-flight entry of a worker whose connection is gone.
-/// Callers must own the teardown (hold the link lock as the current
-/// generation's reader, or as `ensure_connected` discovering a dead
-/// child).
-fn fail_pending(worker: &Worker, reason: &str) {
+/// Fails every in-flight entry of a pool link whose connection is
+/// gone. Callers must own the teardown (hold the slot's stream lock as
+/// the current generation's reader, or as `ensure_worker_process`
+/// discovering a dead child).
+fn fail_pending(link: &Link, reason: &str) {
     let orphans: Vec<Pending> = {
-        let mut pending = worker.pending.lock().expect("pending lock");
+        let mut pending = link.pending.lock().expect("pending lock");
         pending.drain().map(|(_, entry)| entry).collect()
     };
     if orphans.is_empty() {
@@ -534,9 +607,10 @@ fn fail_pending(worker: &Worker, reason: &str) {
     }
 }
 
-/// Forwards one request line to a worker, reviving it first when its
-/// link is down. Registration happens before the send so the reader
-/// can never race the reply past us.
+/// Forwards one request line to a worker over the next pool link
+/// (round-robin), reviving process and connection first when they are
+/// down. Registration happens before the send — on the same link the
+/// send uses — so the reader can never race the reply past us.
 fn forward(
     router: &Arc<Router>,
     index: usize,
@@ -555,23 +629,27 @@ fn forward(
 
     let mut entry = Some(entry);
     for _attempt in 0..2 {
-        if let Err(message) = ensure_connected(router, index) {
+        // Each attempt advances the cursor, so a retry lands on a
+        // different pool slot when there is more than one.
+        let slot =
+            (worker.next_link.fetch_add(1, Ordering::Relaxed) % worker.links.len() as u64) as usize;
+        if let Err(message) = ensure_connected(router, index, slot) {
             eprintln!("chatpattern-router: {message}");
             continue;
         }
-        worker
-            .pending
+        let link = &worker.links[slot];
+        link.pending
             .lock()
             .expect("pending lock")
             .insert(internal, entry.take().expect("entry available"));
         let sent = {
-            let mut link = worker.link.lock().expect("link lock");
-            match link.as_mut() {
+            let mut stream = link.stream.lock().expect("link lock");
+            match stream.as_mut() {
                 Some(live) => {
                     use std::io::Write;
                     let mut framed = line.clone();
                     framed.push('\n');
-                    live.stream.write_all(framed.as_bytes()).is_ok()
+                    live.write_all(framed.as_bytes()).is_ok()
                 }
                 None => false,
             }
@@ -581,12 +659,7 @@ fn forward(
         }
         // Reclaim the entry (when the reader has not already failed
         // it) and retry on a fresh connection.
-        match worker
-            .pending
-            .lock()
-            .expect("pending lock")
-            .remove(&internal)
-        {
+        match link.pending.lock().expect("pending lock").remove(&internal) {
             Some(reclaimed) => entry = Some(reclaimed),
             None => return,
         }
@@ -623,15 +696,16 @@ fn call_worker(
 
 // ------------------------------------------------------------- rebalancing
 
-/// Moves one session from `source` to a hash-chosen live target:
-/// snapshot → restore → re-route → close the source copy.
-fn move_session(router: &Arc<Router>, sid: &str, source: usize) -> Result<Option<usize>, String> {
-    let targets = router.live_workers();
-    if targets.is_empty() {
-        return Err("no live workers left to move sessions to".to_owned());
-    }
-    let target = targets[(route_hash(sid) % targets.len() as u64) as usize];
-
+/// Moves one session from `source` to `target`: snapshot → restore →
+/// re-route → close the source copy. Callers choose the target (drain
+/// hashes over the remaining live workers; the auto-rebalancer picks
+/// the least-loaded one).
+fn move_session(
+    router: &Arc<Router>,
+    sid: &str,
+    source: usize,
+    target: usize,
+) -> Result<Option<usize>, String> {
     let snapshot = call_worker(
         router,
         source,
@@ -698,7 +772,7 @@ fn drain_worker(router: &Arc<Router>, index: usize) -> Result<usize, String> {
             .store(false, Ordering::Relaxed);
         return Err("cannot drain the last live worker".to_owned());
     }
-    let resident: Vec<String> = {
+    let mut resident: Vec<String> = {
         let sessions = router.sessions.lock().expect("session lock");
         sessions
             .iter()
@@ -707,15 +781,23 @@ fn drain_worker(router: &Arc<Router>, index: usize) -> Result<usize, String> {
             .collect()
     };
     {
+        // Claim each session for this drain; one already in the moving
+        // set is being handled by a concurrent mover (the
+        // auto-rebalancer) and is left to it.
         let mut moving = router.moving.lock().expect("moving lock");
-        for sid in &resident {
-            moving.insert(sid.clone());
-        }
+        resident.retain(|sid| moving.insert(sid.clone()));
     }
     let mut moved = 0;
     let mut first_error = None;
     for sid in &resident {
-        match move_session(router, sid, index) {
+        let targets = router.live_workers();
+        let outcome = if targets.is_empty() {
+            Err("no live workers left to move sessions to".to_owned())
+        } else {
+            let target = targets[(route_hash(sid) % targets.len() as u64) as usize];
+            move_session(router, sid, index, target)
+        };
+        match outcome {
             Ok(Some(target)) => {
                 moved += 1;
                 eprintln!("chatpattern-router: moved session {sid} {index} -> {target}");
@@ -735,6 +817,101 @@ fn drain_worker(router: &Arc<Router>, index: usize) -> Result<usize, String> {
         None => Ok(moved),
         Some(message) => Err(message),
     }
+}
+
+/// One auto-rebalance pass: measure per-live-worker load (sessions
+/// hosted from the routing table, queued jobs from each worker's
+/// `Stats`), and while either skew (max − min) exceeds the threshold,
+/// move one session at a time from the busiest worker to the
+/// least-loaded one through the same snapshot → restore machinery a
+/// manual drain uses. Returns the number of sessions moved.
+fn auto_rebalance(router: &Arc<Router>, threshold: usize) -> usize {
+    let mut moved = 0;
+    loop {
+        let live = router.live_workers();
+        if live.len() < 2 {
+            return moved;
+        }
+        let queued: HashMap<usize, usize> = live
+            .iter()
+            .map(|&index| {
+                let depth = call_worker(router, index, &PatternRequest::Stats)
+                    .ok()
+                    .and_then(|reply| match reply.outcome {
+                        WireOutcome::Ok(response) => match response.payload {
+                            ResponsePayload::Stats(stats) => {
+                                Some(stats.queue_depths.iter().sum::<usize>())
+                            }
+                            _ => None,
+                        },
+                        WireOutcome::Err(_) => None,
+                    })
+                    .unwrap_or(0);
+                (index, depth)
+            })
+            .collect();
+        let counts: HashMap<usize, usize> = {
+            let sessions = router.sessions.lock().expect("session lock");
+            live.iter()
+                .map(|&index| (index, sessions.values().filter(|w| **w == index).count()))
+                .collect()
+        };
+        let load = |index: usize| (counts[&index], queued[&index]);
+        let &busiest = live.iter().max_by_key(|&&w| load(w)).expect("live workers");
+        let &calmest = live.iter().min_by_key(|&&w| load(w)).expect("live workers");
+        let session_skew = counts[&busiest].saturating_sub(counts[&calmest]);
+        let queue_skew = queued.values().max().unwrap_or(&0) - queued.values().min().unwrap_or(&0);
+        if session_skew <= threshold && queue_skew <= threshold {
+            return moved;
+        }
+        if session_skew == 0 {
+            // Skewed by queue depth alone with nothing movable:
+            // sessions are the only load the router can shift.
+            return moved;
+        }
+        // Claim one resident session of the busiest worker that no
+        // concurrent mover owns, re-checking placement under the lock.
+        let sid = {
+            let mut moving = router.moving.lock().expect("moving lock");
+            let sessions = router.sessions.lock().expect("session lock");
+            let candidate = sessions
+                .iter()
+                .find(|(sid, w)| **w == busiest && !moving.contains(*sid))
+                .map(|(sid, _)| sid.clone());
+            match candidate {
+                Some(sid) => {
+                    moving.insert(sid.clone());
+                    sid
+                }
+                None => return moved,
+            }
+        };
+        let outcome = move_session(router, &sid, busiest, calmest);
+        router.moving.lock().expect("moving lock").remove(&sid);
+        router.moved.notify_all();
+        match outcome {
+            Ok(Some(target)) => {
+                moved += 1;
+                eprintln!(
+                    "chatpattern-router: auto-rebalance moved session {sid} {busiest} -> {target} \
+                     (session skew {session_skew}, queue skew {queue_skew})"
+                );
+            }
+            Ok(None) => {}
+            Err(message) => {
+                eprintln!("chatpattern-router: auto-rebalance of {sid} failed: {message}");
+                return moved;
+            }
+        }
+    }
+}
+
+/// The background skew watcher behind `--rebalance-threshold`.
+fn spawn_rebalancer(router: Arc<Router>, threshold: usize, interval: Duration) {
+    std::thread::spawn(move || loop {
+        std::thread::sleep(interval);
+        auto_rebalance(&router, threshold);
+    });
 }
 
 // -------------------------------------------------------- client frontend
@@ -780,18 +957,24 @@ impl RouterHandler {
                     .iter()
                     .zip(per_worker)
                     .map(|(worker, stats)| {
-                        let link = worker.link.lock().expect("link lock");
+                        let proc = worker.proc.lock().expect("proc lock");
                         WorkerView {
                             index: worker.index,
-                            addr: link.as_ref().map(|l| l.addr.clone()),
-                            pid: link.as_ref().and_then(|l| l.child.as_ref().map(Child::id)),
+                            addr: proc.as_ref().map(|p| p.addr.clone()),
+                            pid: proc.as_ref().and_then(|p| p.child.as_ref().map(Child::id)),
                             draining: worker.draining.load(Ordering::Relaxed),
                             sessions: sessions.values().filter(|w| **w == worker.index).count(),
+                            pool: worker.links.len(),
+                            links: worker
+                                .links
+                                .iter()
+                                .filter(|l| l.stream.lock().expect("link lock").is_some())
+                                .count(),
                             stats,
                         }
                     })
                     .collect();
-                ControlOutcome::Fleet(FleetView { workers, fleet })
+                ControlOutcome::Fleet(Box::new(FleetView { workers, fleet }))
             }
             RouterControl::Drain { worker } => match drain_worker(&self.router, worker) {
                 Ok(moved) => ControlOutcome::Drained { worker, moved },
@@ -807,8 +990,8 @@ impl RouterHandler {
         sink.send_line(&serde_json::to_string(&reply).expect("control replies serialize"));
         if shutting_down {
             for worker in &self.router.workers {
-                if let Some(mut link) = worker.link.lock().expect("link lock").take() {
-                    if let Some(child) = link.child.as_mut() {
+                if let Some(mut proc) = worker.proc.lock().expect("proc lock").take() {
+                    if let Some(child) = proc.child.as_mut() {
                         let _ = child.kill();
                         let _ = child.wait();
                     }
@@ -906,10 +1089,10 @@ fn main() -> ExitCode {
                         args,
                     }),
                     attach_addr: None,
-                    link: Mutex::new(None),
-                    pending: Mutex::new(HashMap::new()),
+                    proc: Mutex::new(None),
+                    links: (0..options.pool).map(|_| Link::new()).collect(),
+                    next_link: AtomicU64::new(0),
                     draining: AtomicBool::new(false),
-                    generation: AtomicU64::new(0),
                 }
             })
             .collect()
@@ -922,10 +1105,10 @@ fn main() -> ExitCode {
                 index,
                 spawn: None,
                 attach_addr: Some(addr.clone()),
-                link: Mutex::new(None),
-                pending: Mutex::new(HashMap::new()),
+                proc: Mutex::new(None),
+                links: (0..options.pool).map(|_| Link::new()).collect(),
+                next_link: AtomicU64::new(0),
                 draining: AtomicBool::new(false),
-                generation: AtomicU64::new(0),
             })
             .collect()
     };
@@ -949,10 +1132,22 @@ fn main() -> ExitCode {
     // Bring the whole fleet up before accepting clients, so the first
     // request does not pay every worker's model-build latency at once.
     for index in 0..router.workers.len() {
-        if let Err(message) = ensure_connected(&router, index) {
+        if let Err(message) = ensure_connected(&router, index, 0) {
             eprintln!("chatpattern-router: {message}");
             return ExitCode::FAILURE;
         }
+    }
+
+    if options.rebalance_threshold > 0 {
+        eprintln!(
+            "chatpattern-router: auto-rebalance on (threshold {}, every {:?})",
+            options.rebalance_threshold, options.rebalance_interval
+        );
+        spawn_rebalancer(
+            Arc::clone(&router),
+            options.rebalance_threshold,
+            options.rebalance_interval,
+        );
     }
 
     let server = match NdjsonServer::bind(options.listen.as_str(), options.max_connections) {

@@ -11,7 +11,8 @@
 //! documented with worked examples in `docs/WIRE_PROTOCOL.md`.
 //!
 //! ```text
-//! chatpattern-serve [--listen ADDR] [--max-connections N]
+//! chatpattern-serve [--listen ADDR] [--transport threads|event-loop]
+//!                   [--max-connections N]
 //!                   [--backend inline|threadpool|sharded] [--shards N]
 //!                   [--workers N] [--queue-depth N] [--cache-capacity N]
 //!                   [--tenant-quota [TENANT:]SPEC]... [--lane-weights W]
@@ -45,10 +46,21 @@
 
 use chatpattern_core::qos::{LaneWeights, QosConfig};
 use chatpattern_core::{BackendKind, ChatPattern, EngineConfig, PatternEngine};
-use cp_net::{ConnectionHandler, EngineHandler, LineSink, NdjsonServer};
+use cp_net::{
+    ConnectionHandler, EngineHandler, EventLoopConfig, EventLoopServer, LineSink, NdjsonServer,
+};
 use std::io::BufRead;
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// Which TCP execution shape serves `--listen`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Transport {
+    /// Blocking thread-per-connection with a bounded accept pool.
+    Threads,
+    /// Readiness-driven event loop (epoll, `poll(2)` fallback).
+    EventLoop,
+}
 
 /// Everything the command line can configure.
 struct Options {
@@ -63,7 +75,10 @@ struct Options {
     session_dir: Option<String>,
     stats: bool,
     listen: Option<String>,
-    max_connections: usize,
+    transport: Transport,
+    /// `None` until `--max-connections` is given, so each transport
+    /// can apply its own default (64 threads vs. 4096 multiplexed).
+    max_connections: Option<usize>,
 }
 
 impl Default for Options {
@@ -82,7 +97,8 @@ impl Default for Options {
             session_dir: None,
             stats: false,
             listen: None,
-            max_connections: cp_net::DEFAULT_MAX_CONNECTIONS,
+            transport: Transport::Threads,
+            max_connections: None,
         }
     }
 }
@@ -101,7 +117,16 @@ Options:
                          stderr as 'listening on HOST:PORT'); every
                          connection is an independent NDJSON stream
                          over one shared engine
-  --max-connections N    concurrently served TCP connections (default 64)
+  --transport NAME       TCP execution shape for --listen: 'threads'
+                         (default; one blocking thread per connection,
+                         bounded accept pool) or 'event-loop'
+                         (readiness-driven epoll/poll multiplexing —
+                         thousands of mostly-idle connections on one
+                         loop thread; slow readers are disconnected
+                         past an outbound high-water mark)
+  --max-connections N    concurrently served TCP connections (default
+                         64 for --transport threads, 4096 for
+                         event-loop)
   --backend NAME         execution backend: inline, threadpool (default)
                          or sharded (per-shard queues + workers, jobs
                          routed by request-key hash; needs
@@ -209,7 +234,18 @@ fn parse_args() -> Result<Options, String> {
             "--training-patterns" => options.training_patterns = number("--training-patterns")?,
             "--seed" => options.seed = number("--seed")? as u64,
             "--listen" => options.listen = Some(value.clone()),
-            "--max-connections" => options.max_connections = number("--max-connections")?,
+            "--transport" => {
+                options.transport = match value.as_str() {
+                    "threads" => Transport::Threads,
+                    "event-loop" => Transport::EventLoop,
+                    other => {
+                        return Err(format!(
+                            "--transport must be threads or event-loop, got {other:?}"
+                        ))
+                    }
+                }
+            }
+            "--max-connections" => options.max_connections = Some(number("--max-connections")?),
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
     }
@@ -238,7 +274,8 @@ fn print_stats(engine: &PatternEngine<ChatPattern>) {
         "chatpattern-serve: backend={} submitted={} completed={} failed={} cancelled={} \
          cache_hits={} cache_misses={} coalesced={} batched={} sessions_open={} \
          sessions_evicted={} sessions_spilled={} sessions_restored={} turns={} \
-         queue_depths={:?}",
+         queue_depths={:?} conns_live={} conns_peak={} disconnects_clean={} \
+         disconnects_backpressure={}",
         engine.config().backend.name(),
         stats.submitted,
         stats.completed,
@@ -254,6 +291,10 @@ fn print_stats(engine: &PatternEngine<ChatPattern>) {
         stats.sessions_restored,
         stats.turns,
         stats.queue_depths,
+        stats.connections_live,
+        stats.connections_peak,
+        stats.disconnects_clean,
+        stats.disconnects_backpressure,
     );
     // One extra line per (tenant, lane) QoS row, after the main
     // counter line so existing log scrapers keep matching it.
@@ -364,27 +405,64 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let counters = engine.conn_counters();
     let handler = EngineHandler::new(engine);
 
     match &options.listen {
         None => serve_stdio(&handler, options.stats),
         Some(addr) => {
-            let server = match NdjsonServer::bind(addr.as_str(), options.max_connections) {
-                Ok(server) => server,
-                Err(error) => {
-                    eprintln!("chatpattern-serve: cannot listen on {addr}: {error}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            // The announcement line is part of the CLI contract: the
-            // router and the smoke scripts parse it to learn the
-            // OS-assigned port under `--listen 127.0.0.1:0`.
-            eprintln!("chatpattern-serve: listening on {}", server.local_addr());
-            let handle = server.spawn(Arc::new(ServeHandler {
+            let handler = Arc::new(ServeHandler {
                 inner: handler,
                 stats: options.stats,
-            }));
-            handle.join();
+            });
+            match options.transport {
+                Transport::Threads => {
+                    let max = options
+                        .max_connections
+                        .unwrap_or(cp_net::DEFAULT_MAX_CONNECTIONS);
+                    let server = match NdjsonServer::bind(addr.as_str(), max) {
+                        Ok(server) => server.conn_counters(counters),
+                        Err(error) => {
+                            eprintln!("chatpattern-serve: cannot listen on {addr}: {error}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    // The announcement line is part of the CLI
+                    // contract: the router and the smoke scripts parse
+                    // it to learn the OS-assigned port under
+                    // `--listen 127.0.0.1:0`.
+                    eprintln!("chatpattern-serve: listening on {}", server.local_addr());
+                    server.spawn(handler).join();
+                }
+                Transport::EventLoop => {
+                    // Thousands of sockets need fd headroom beyond the
+                    // usual shell default of 1024.
+                    cp_net::raise_nofile_limit();
+                    let config = EventLoopConfig {
+                        max_connections: options
+                            .max_connections
+                            .unwrap_or(cp_net::DEFAULT_EVENT_LOOP_CONNECTIONS),
+                        ..EventLoopConfig::default()
+                    };
+                    let server = match EventLoopServer::bind(addr.as_str(), config) {
+                        Ok(server) => server.conn_counters(counters),
+                        Err(error) => {
+                            eprintln!("chatpattern-serve: cannot listen on {addr}: {error}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    // Same announcement contract as the thread
+                    // transport: clients cannot tell them apart.
+                    eprintln!("chatpattern-serve: listening on {}", server.local_addr());
+                    match server.spawn(handler) {
+                        Ok(handle) => handle.join(),
+                        Err(error) => {
+                            eprintln!("chatpattern-serve: cannot start event loop: {error}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
             ExitCode::SUCCESS
         }
     }

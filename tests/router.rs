@@ -18,6 +18,11 @@
 //!   byte-identical payloads over stdio serve, TCP serve and the
 //!   router (asserted against the in-process reference here; the
 //!   stdio/TCP diff also runs in `scripts/wire_smoke.sh`).
+//! * **Auto-rebalance** — with `--rebalance-threshold 1`, a fleet
+//!   whose sessions all hash onto one worker is evened out by the
+//!   background rebalancer without any drain command, and every moved
+//!   conversation still closes byte-identical to the uninterrupted
+//!   reference.
 
 use chatpattern::{
     ChatPattern, GenerateParams, PatternRequest, RequestEnvelope, ResponseEnvelope,
@@ -316,6 +321,79 @@ fn three_worker_fleet_keeps_sessions_and_keys_worker_local() {
             }),
         );
         assert!(matches!(payload, ResponsePayload::SessionClose(_)));
+    }
+    fleet.shutdown();
+}
+
+#[test]
+fn auto_rebalance_evens_out_a_skewed_fleet_losslessly() {
+    const BASE_SEED: u64 = 60;
+    let mut fleet = RouterFleet::spawn(
+        2,
+        &[
+            "--rebalance-threshold",
+            "1",
+            "--rebalance-interval-ms",
+            "200",
+        ],
+    );
+
+    // Four session ids that all hash onto worker 0 of a two-worker
+    // fleet — the maximal skew the rebalancer exists to fix.
+    let sids: Vec<String> = (0..64)
+        .map(|i| format!("rb-{i}"))
+        .filter(|sid| chatpattern_core::routing::route_hash(sid).is_multiple_of(2))
+        .take(4)
+        .collect();
+    assert_eq!(sids.len(), 4, "hash collisions exist among 64 candidates");
+    for (k, sid) in sids.iter().enumerate() {
+        open(&mut fleet, sid, BASE_SEED + k as u64);
+    }
+    for sid in &sids {
+        turn(&mut fleet, sid, 0);
+        turn(&mut fleet, sid, 1);
+    }
+
+    // No drain command: the background rebalancer alone must bring the
+    // per-worker session counts within the threshold (2/2 here).
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let view = fleet.fleet_view();
+        let counts: Vec<usize> = view.iter().map(|(sessions, _, _)| *sessions).collect();
+        let (max, min) = (
+            counts.iter().copied().max().unwrap_or(0),
+            counts.iter().copied().min().unwrap_or(0),
+        );
+        assert_eq!(counts.iter().sum::<usize>(), sids.len(), "{view:?}");
+        if max - min <= 1 {
+            assert_eq!((max, min), (2, 2), "balanced means 2/2 here: {view:?}");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "auto-rebalance never evened out the fleet: {view:?}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Every conversation — two of them freshly moved — continues and
+    // closes byte-identical to the uninterrupted in-process reference.
+    for sid in &sids {
+        turn(&mut fleet, sid, 2);
+    }
+    for (k, sid) in sids.iter().enumerate() {
+        let payload = fleet.expect_ok(
+            &format!("close-{sid}"),
+            PatternRequest::SessionClose(SessionCloseParams {
+                session: sid.clone(),
+            }),
+        );
+        let routed = serde_json::to_string(&payload).expect("serializes");
+        assert_eq!(
+            routed,
+            uninterrupted_close_payload(sid, BASE_SEED + k as u64),
+            "session {sid} diverged after an auto-rebalance"
+        );
     }
     fleet.shutdown();
 }
