@@ -7,6 +7,10 @@
 //! sessions over a smaller store capacity with an in-memory
 //! durability layer, so every turn pays a spill + rehydrate — the
 //! steady-state cost of durable over-capacity operation), a
+//! `session_durability` sweep (the spill-ahead writer firing on every
+//! turn over a sharded on-disk store — the per-turn durable-write tax
+//! — followed by a restart over the same directory with one lazy
+//! rehydrate turn per session), a
 //! `tcp_round_trip` sweep (the same Generate batch through an
 //! in-process `cp_net` NDJSON-over-TCP loopback server, pipelined and
 //! strictly sequential — the transport tax relative to the in-process
@@ -428,6 +432,104 @@ fn run_session_spill(
         "an over-capacity sweep must exercise spill + rehydrate"
     );
     (millis, stats.sessions_spilled, stats.sessions_restored)
+}
+
+/// N sessions in a sharded on-disk store with the spill-ahead writer
+/// firing on every turn: the measured time is real durable-write
+/// overhead (snapshot + compaction + tmp-write + rename per turn). A
+/// second system over the same directory then serves one turn per
+/// session — the restart path, every turn a lazy rehydrate. Returns
+/// `(turn_millis, restart_millis, spilled_ahead, bytes_saved)`.
+fn run_session_durability(
+    cfg: &BenchConfig,
+    sessions: usize,
+    turns: usize,
+    shards: usize,
+    workers: usize,
+) -> (f64, f64, u64, u64) {
+    let dir = std::env::temp_dir().join(format!(
+        "cp-bench-durability-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).expect("bench spill dir");
+    let build = || {
+        Arc::new(
+            ChatPattern::builder()
+                .window(cfg.window)
+                .training_patterns(cfg.train)
+                .diffusion_steps(cfg.steps)
+                .seed(cfg.seed)
+                .max_sessions(sessions.max(1))
+                .session_dir(&dir)
+                .persist_shards(shards)
+                .spill_ahead_turns(1)
+                .build()
+                .expect("valid durability configuration"),
+        )
+    };
+    let utterance = format!(
+        "Generate 1 pattern, topology size {w}*{w}, physical size {f}nm x {f}nm, \
+         style Layer-10001.",
+        w = cfg.window,
+        f = cfg.frame_nm(cfg.window),
+    );
+
+    let system = build();
+    let live = engine(&system, BackendKind::ThreadPool, workers);
+    for s in 0..sessions {
+        live.execute(PatternRequest::SessionOpen(SessionOpenParams {
+            session: format!("durable-{s}"),
+            seed: Some(s as u64),
+        }))
+        .expect("session opens");
+    }
+    let started = Instant::now();
+    for _ in 0..turns {
+        for s in 0..sessions {
+            live.execute(PatternRequest::SessionTurn(SessionTurnParams {
+                session: format!("durable-{s}"),
+                utterance: utterance.clone(),
+            }))
+            .expect("durable turn succeeds");
+        }
+    }
+    let turn_millis = started.elapsed().as_secs_f64() * 1e3;
+    let stats = live.stats();
+    let spilled_ahead = stats.sessions_spilled_ahead;
+    let bytes_saved = stats.snapshot_bytes_saved;
+    assert_eq!(
+        spilled_ahead as usize,
+        sessions * turns,
+        "spill-ahead every turn must write every turn"
+    );
+    // Simulated stop: drop the engine without closing sessions — the
+    // spill-ahead snapshots on disk are what the restart finds.
+    drop(live);
+    drop(system);
+
+    let system = build();
+    let engine = engine(&system, BackendKind::ThreadPool, workers);
+    let started = Instant::now();
+    for s in 0..sessions {
+        engine
+            .execute(PatternRequest::SessionTurn(SessionTurnParams {
+                session: format!("durable-{s}"),
+                utterance: utterance.clone(),
+            }))
+            .expect("restarted turn rehydrates");
+    }
+    let restart_millis = started.elapsed().as_secs_f64() * 1e3;
+    let stats = engine.stats();
+    assert_eq!(
+        stats.sessions_restored as usize, sessions,
+        "every session rehydrated from its spill-ahead snapshot"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    (turn_millis, restart_millis, spilled_ahead, bytes_saved)
 }
 
 /// The Generate batch through an in-process TCP loopback
@@ -1066,6 +1168,31 @@ fn main() {
          {spill_turns_per_sec:.1} turns/s ({spilled} spilled, {restored} restored)"
     );
 
+    // Durability sweep: spill-ahead on every turn over a sharded
+    // on-disk store (per-turn durable-write cost), then the restart
+    // path — one lazy rehydrate turn per session over the same
+    // directory.
+    let durability_shards = 4usize;
+    let (durable_turn_ms, restart_ms, spilled_ahead, bytes_saved) = run_session_durability(
+        &cfg,
+        spill_sessions,
+        n_turns,
+        durability_shards,
+        session_workers,
+    );
+    #[allow(clippy::cast_precision_loss)]
+    let durable_turns_per_sec = (spill_sessions * n_turns) as f64 / (durable_turn_ms / 1e3);
+    println!(
+        "  session_durability turns  {durable_turn_ms:9.1} ms   \
+         {spill_sessions} sessions x {n_turns} turns, spill-ahead every turn over \
+         {durability_shards} shards, {durable_turns_per_sec:.1} turns/s \
+         ({spilled_ahead} spilled ahead, {bytes_saved} B compacted away)"
+    );
+    println!(
+        "  session_durability restart{restart_ms:9.1} ms   \
+         {spill_sessions} sessions rehydrated lazily after the restart"
+    );
+
     // TCP loopback: same batch, same engine backend, plus the wire.
     let (tcp_pipelined_ms, tcp_sequential_ms) = run_tcp_round_trip(&system, &cfg, max_workers);
     #[allow(clippy::cast_precision_loss)]
@@ -1194,6 +1321,13 @@ fn main() {
          \"capacity\":{spill_capacity},\"turns_per_session\":{n_turns},\
          \"workers\":{session_workers},\"spilled\":{spilled},\"restored\":{restored},\
          \"millis\":{spill_ms:.3},\"turns_per_sec\":{spill_turns_per_sec:.3}}},\
+         \"session_durability\":{{\"sessions\":{spill_sessions},\
+         \"turns_per_session\":{n_turns},\"shards\":{durability_shards},\
+         \"workers\":{session_workers},\"spilled_ahead\":{spilled_ahead},\
+         \"snapshot_bytes_saved\":{bytes_saved},\
+         \"turn_millis\":{durable_turn_ms:.3},\
+         \"turns_per_sec\":{durable_turns_per_sec:.3},\
+         \"restart_rehydrate_millis\":{restart_ms:.3}}},\
          \"tcp_round_trip\":{{\"requests\":{BATCH},\"workers\":{max_workers},\
          \"pipelined_millis\":{tcp_pipelined_ms:.3},\
          \"pipelined_requests_per_sec\":{tcp_pipelined_rps:.3},\

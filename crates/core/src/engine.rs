@@ -190,6 +190,16 @@ pub struct EngineStats {
     pub sessions_spilled: u64,
     /// Spilled sessions rehydrated by a later turn, snapshot or close.
     pub sessions_restored: u64,
+    /// Warm sessions snapshotted ahead of any eviction by the
+    /// spill-ahead writer (turn-count or cadence trigger). Absent on
+    /// the wire from older peers — defaults to zero.
+    #[serde(default)]
+    pub sessions_spilled_ahead: u64,
+    /// Transcript bytes trimmed by snapshot compaction on the persist
+    /// path, cumulative. Absent on the wire from older peers —
+    /// defaults to zero.
+    #[serde(default)]
+    pub snapshot_bytes_saved: u64,
     /// Session turns executed.
     pub turns: u64,
     /// Jobs currently waiting in each backend queue, one entry per
@@ -235,6 +245,8 @@ impl EngineStats {
             sessions_evicted: sessions.evicted,
             sessions_spilled: sessions.spilled,
             sessions_restored: sessions.restored,
+            sessions_spilled_ahead: sessions.spilled_ahead,
+            snapshot_bytes_saved: sessions.bytes_saved,
             turns: sessions.turns,
             ..EngineStats::default()
         }
@@ -263,6 +275,8 @@ impl EngineStats {
         self.sessions_evicted += other.sessions_evicted;
         self.sessions_spilled += other.sessions_spilled;
         self.sessions_restored += other.sessions_restored;
+        self.sessions_spilled_ahead += other.sessions_spilled_ahead;
+        self.snapshot_bytes_saved += other.snapshot_bytes_saved;
         self.turns += other.turns;
         self.queue_depths.extend_from_slice(&other.queue_depths);
         self.tenants = cp_qos::merge_rows(&[&self.tenants, &other.tenants]);
@@ -362,6 +376,8 @@ impl AtomicStats {
             sessions_evicted: sessions.evicted,
             sessions_spilled: sessions.spilled,
             sessions_restored: sessions.restored,
+            sessions_spilled_ahead: sessions.spilled_ahead,
+            snapshot_bytes_saved: sessions.bytes_saved,
             turns: sessions.turns,
             queue_depths,
             tenants,

@@ -81,12 +81,13 @@ pub use engine::{ConnCounters, EngineConfig, EngineStats, JobHandle, JobStatus, 
 pub use error::Error;
 pub use session::{
     JsonDirPersist, MemoryPersist, SessionConfig, SessionPersist, SessionStats, SessionStore,
+    SpillAheadConfig,
 };
 pub use wire::{RequestEnvelope, ResponseEnvelope, WireError, WireOutcome};
 
 use cp_agent::{
-    try_auto_format, AgentSession, AgentSnapshot, ExpertPolicy, KnowledgeBase, SessionReport,
-    ToolContext, ToolRegistry,
+    try_auto_format, AgentSession, AgentSnapshot, ExpertPolicy, KnowledgeBase, Message, Role,
+    SessionReport, ToolContext, ToolRegistry,
 };
 use cp_dataset::{Dataset, DatasetBuilder, Style};
 use cp_diffusion::{DiffusionModel, Mask, MrfDenoiser, NoiseSchedule, PatternSampler};
@@ -99,7 +100,8 @@ use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Builder for a [`ChatPattern`] system.
@@ -121,6 +123,8 @@ pub struct ChatPatternBuilder {
     styles: Vec<Style>,
     sessions: SessionConfig,
     durability: SessionDurability,
+    spill_ahead: SpillAheadConfig,
+    persist_shards: usize,
 }
 
 /// Where evicted chat sessions go (see
@@ -148,6 +152,8 @@ impl Default for ChatPatternBuilder {
             styles: Style::ALL.to_vec(),
             sessions: SessionConfig::default(),
             durability: SessionDurability::None,
+            spill_ahead: SpillAheadConfig::default(),
+            persist_shards: 1,
         }
     }
 }
@@ -238,6 +244,40 @@ impl ChatPatternBuilder {
         self
     }
 
+    /// Spill-ahead turn trigger (`chatpattern-serve
+    /// --spill-ahead-turns`): with [`ChatPatternBuilder::session_dir`],
+    /// every N-th turn on a session also writes its snapshot to disk
+    /// while the session stays warm, so a crash loses at most the
+    /// in-flight turn. The write runs on the turn's own thread holding
+    /// only that session's lock — turns on other sessions never block.
+    #[must_use]
+    pub fn spill_ahead_turns(mut self, every_turns: u64) -> ChatPatternBuilder {
+        self.spill_ahead.every_turns = Some(every_turns.max(1));
+        self
+    }
+
+    /// Spill-ahead cadence trigger (`chatpattern-serve
+    /// --spill-ahead-secs`): a background maintenance thread flushes
+    /// every warm session with unpersisted turns on this interval (and
+    /// purges expired sessions while at it).
+    #[must_use]
+    pub fn spill_ahead_interval(mut self, interval: Duration) -> ChatPatternBuilder {
+        self.spill_ahead.interval = Some(interval);
+        self
+    }
+
+    /// Fans the session directory out over `shards` subdirectories
+    /// (`chatpattern-serve --persist-shards`, default 1 = flat
+    /// layout), each with its own lock, so a 10k-session store neither
+    /// serializes every spill on one directory lock nor makes restart
+    /// scans quadratic. Files spilled by an earlier unsharded run are
+    /// still found in the directory root.
+    #[must_use]
+    pub fn persist_shards(mut self, shards: usize) -> ChatPatternBuilder {
+        self.persist_shards = shards;
+        self
+    }
+
     /// Checks the configuration without building.
     ///
     /// # Errors
@@ -262,6 +302,24 @@ impl ChatPatternBuilder {
             return Err(Error::config("at least one style is required"));
         }
         self.sessions.validate()?;
+        if self.persist_shards == 0 {
+            return Err(Error::config(
+                "persist_shards must be at least 1 (got 0); 1 keeps the flat layout",
+            ));
+        }
+        let has_dir = matches!(self.durability, SessionDurability::Dir(_));
+        if self.spill_ahead.is_enabled() && !has_dir {
+            return Err(Error::config(
+                "spill-ahead needs a session directory to write to; configure session_dir \
+                 (serve: --session-dir) alongside the spill-ahead triggers",
+            ));
+        }
+        if self.persist_shards > 1 && !has_dir {
+            return Err(Error::config(
+                "persist_shards only applies to a session directory; configure session_dir \
+                 (serve: --session-dir) alongside it",
+            ));
+        }
         Ok(())
     }
 
@@ -311,6 +369,7 @@ impl ChatPatternBuilder {
         );
         let model = Arc::new(model);
         let legalizer = Legalizer::new(self.rules);
+        let snapshot_bytes_saved = Arc::new(AtomicU64::new(0));
         let sessions = match self.durability {
             SessionDurability::None => SessionStore::new(self.sessions),
             SessionDurability::Memory => SessionStore::with_persist(
@@ -322,15 +381,25 @@ impl ChatPatternBuilder {
                 // the legalizer — the snapshot carries only session
                 // state, so spilled files stay small and a restart with
                 // an equivalent model configuration rehydrates them.
+                // The encode closure additionally *compacts* the
+                // snapshot (rolling digest + bounded transcript tail):
+                // the transcript dominates snapshot size, yet future
+                // turns never read past the current turn's messages,
+                // so persisted files stay bounded as dialogs grow.
                 let decode_model = Arc::clone(&model);
                 let decode_legalizer = legalizer.clone();
+                let encode_saved = Arc::clone(&snapshot_bytes_saved);
                 SessionStore::with_persist(
                     self.sessions,
-                    Arc::new(JsonDirPersist::new(
+                    Arc::new(JsonDirPersist::sharded(
                         dir,
                         self.sessions.ttl,
-                        |session: &ChatSession| {
-                            serde_json::to_string(&session.snapshot())
+                        self.persist_shards,
+                        move |session: &ChatSession| {
+                            let mut snapshot = session.snapshot();
+                            let saved = snapshot.compact(SNAPSHOT_TRANSCRIPT_TAIL);
+                            encode_saved.fetch_add(saved, Ordering::Relaxed);
+                            serde_json::to_string(&snapshot)
                                 .map_err(|e| Error::session_persist(e.to_string()))
                         },
                         move |text| {
@@ -350,6 +419,11 @@ impl ChatPatternBuilder {
                 )
             }
         };
+        let sessions = Arc::new(sessions.with_spill_ahead(self.spill_ahead));
+        let maintenance = self
+            .spill_ahead
+            .interval
+            .map(|interval| Maintenance::spawn(Arc::clone(&sessions), interval));
         Ok(ChatPattern {
             model,
             legalizer,
@@ -359,7 +433,66 @@ impl ChatPatternBuilder {
             patch_nm,
             seed: self.seed,
             sessions,
+            snapshot_bytes_saved,
+            _maintenance: maintenance,
         })
+    }
+}
+
+/// The background session-maintenance thread: on the spill-ahead
+/// cadence it purges expired sessions (which spills them — see
+/// [`SessionStore::purge_expired`]) and flushes warm sessions with
+/// unpersisted turns. Stops (and joins) when the owning [`ChatPattern`]
+/// drops.
+struct Maintenance {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Maintenance {
+    fn spawn(sessions: Arc<SessionStore<ChatSession>>, interval: Duration) -> Maintenance {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("cp-session-maintenance".into())
+            .spawn(move || {
+                let (lock, cvar) = &*stop_flag;
+                let mut stopped = lock.lock().expect("maintenance stop lock");
+                loop {
+                    let (guard, timeout) = cvar
+                        .wait_timeout(stopped, interval)
+                        .expect("maintenance stop lock");
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    if timeout.timed_out() {
+                        // Run the sweep with the stop lock released so
+                        // shutdown never waits behind persist I/O more
+                        // than one tick.
+                        drop(stopped);
+                        sessions.purge_expired();
+                        sessions.spill_ahead_pass();
+                        stopped = lock.lock().expect("maintenance stop lock");
+                    }
+                }
+            })
+            .expect("maintenance thread spawns");
+        Maintenance {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for Maintenance {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.stop;
+        *lock.lock().expect("maintenance stop lock") = true;
+        cvar.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
     }
 }
 
@@ -492,6 +625,7 @@ impl ChatSession {
             session: self.id.clone(),
             seed: self.seed,
             agent: self.inner.snapshot(),
+            compaction: None,
         }
     }
 
@@ -511,10 +645,12 @@ impl ChatSession {
         sampler: Box<dyn cp_diffusion::PatternSampler>,
         legalizer: Legalizer,
     ) -> Result<ChatSession, Error> {
-        if snapshot.format != SESSION_SNAPSHOT_FORMAT {
+        if snapshot.format < SESSION_SNAPSHOT_FORMAT_MIN
+            || snapshot.format > SESSION_SNAPSHOT_FORMAT
+        {
             return Err(Error::session_persist(format!(
-                "unknown session snapshot format {} (this build reads format \
-                 {SESSION_SNAPSHOT_FORMAT})",
+                "unknown session snapshot format {} (this build reads formats \
+                 {SESSION_SNAPSHOT_FORMAT_MIN}..={SESSION_SNAPSHOT_FORMAT})",
                 snapshot.format
             )));
         }
@@ -535,9 +671,61 @@ impl ChatSession {
 
 /// Version tag of the serialized session snapshot layout. Bump it when
 /// [`SessionSnapshot`] (or anything nested in it) changes shape;
-/// [`ChatSession::restore`] rejects snapshots from other formats with
-/// a typed error instead of misreading them.
-pub const SESSION_SNAPSHOT_FORMAT: u32 = 1;
+/// [`ChatSession::restore`] rejects snapshots from unknown formats
+/// with a typed error instead of misreading them. Format 2 added the
+/// optional [`TranscriptCompaction`] record; format-1 snapshots (no
+/// `compaction` field) still restore unchanged
+/// ([`SESSION_SNAPSHOT_FORMAT_MIN`]).
+pub const SESSION_SNAPSHOT_FORMAT: u32 = 2;
+
+/// Oldest snapshot format [`ChatSession::restore`] still reads.
+pub const SESSION_SNAPSHOT_FORMAT_MIN: u32 = 1;
+
+/// Transcript messages a compacted snapshot keeps after the system
+/// prompt ([`SessionSnapshot::compact`]). Between turns the policy
+/// only ever reads the *current* turn's messages (requirement
+/// carry-over lives in [`cp_agent::PolicySnapshot`], the library and
+/// RNG in [`cp_agent::ContextSnapshot`]), so any tail is behaviorally
+/// safe; a short one keeps spill files bounded while preserving
+/// recent context for humans reading the file.
+pub const SNAPSHOT_TRANSCRIPT_TAIL: usize = 8;
+
+/// Rolling record of transcript messages trimmed from a snapshot by
+/// [`SessionSnapshot::compact`]: how many were dropped, a running
+/// digest of their contents (so two snapshots with different trimmed
+/// histories never look identical), and the content bytes saved.
+/// Folds across repeated compactions of the same dialog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TranscriptCompaction {
+    /// Messages dropped from the head of the transcript (the system
+    /// prompt is never dropped).
+    pub dropped: u64,
+    /// FNV-1a digest folded over every dropped message, in order.
+    pub digest: u64,
+    /// Transcript content bytes trimmed, cumulative.
+    pub bytes: u64,
+}
+
+/// Folds `message` into a running FNV-1a digest (`seed` 0 starts a
+/// fresh chain).
+fn fold_digest(seed: u64, message: &Message) -> u64 {
+    let mut hash = if seed == 0 {
+        0xcbf2_9ce4_8422_2325
+    } else {
+        seed
+    };
+    let role = match message.role {
+        Role::System => 0u8,
+        Role::User => 1,
+        Role::Assistant => 2,
+        Role::Observation => 3,
+    };
+    for byte in std::iter::once(role).chain(message.content.bytes()) {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
 
 /// The complete serializable state of one [`ChatSession`] between
 /// turns: identity (id + resolved seed) plus the agent's transcript,
@@ -545,7 +733,9 @@ pub const SESSION_SNAPSHOT_FORMAT: u32 = 1;
 /// position. JSON round-trippable — this is both the spill format of
 /// [`JsonDirPersist`] and the wire payload of
 /// `PatternRequest::{SessionSnapshot, SessionRestore}` (cross-process
-/// handoff; see `docs/SESSIONS.md`).
+/// handoff; see `docs/SESSIONS.md`). Wire snapshots are exported
+/// full-fidelity; the persist path compacts them first
+/// ([`SessionSnapshot::compact`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionSnapshot {
     /// Snapshot layout version ([`SESSION_SNAPSHOT_FORMAT`]).
@@ -556,6 +746,43 @@ pub struct SessionSnapshot {
     pub seed: u64,
     /// The agent's between-turns state.
     pub agent: AgentSnapshot,
+    /// Compaction record (`None` = full-fidelity transcript; also what
+    /// a format-1 snapshot deserializes to).
+    #[serde(default)]
+    pub compaction: Option<TranscriptCompaction>,
+}
+
+impl SessionSnapshot {
+    /// Compacts the snapshot in place: drops every transcript message
+    /// between the system prompt and the last `max_tail` entries,
+    /// folding the dropped messages into the rolling
+    /// [`TranscriptCompaction`] record. Returns the content bytes
+    /// trimmed by *this* call (0 when the transcript is already within
+    /// bounds).
+    ///
+    /// Restoring a compacted snapshot changes no future behavior: the
+    /// policy re-reads only the current turn's messages, and all
+    /// cross-turn state (requirement carry-over, library, knowledge,
+    /// RNG position) lives outside the transcript. Only artifacts that
+    /// replay the full dialog history (`session_close` transcripts,
+    /// wire snapshot exports) see the shorter transcript.
+    pub fn compact(&mut self, max_tail: usize) -> u64 {
+        let transcript = &mut self.agent.transcript;
+        if transcript.len() <= max_tail.saturating_add(1) {
+            return 0;
+        }
+        let keep_from = transcript.len() - max_tail;
+        let mut record = self.compaction.unwrap_or_default();
+        let mut saved = 0u64;
+        for message in transcript.drain(1..keep_from) {
+            record.dropped += 1;
+            saved += message.content.len() as u64;
+            record.digest = fold_digest(record.digest, &message);
+        }
+        record.bytes += saved;
+        self.compaction = Some(record);
+        saved
+    }
 }
 
 /// The assembled ChatPattern system.
@@ -571,7 +798,14 @@ pub struct ChatPattern {
     knowledge: KnowledgeBase,
     patch_nm: i64,
     seed: u64,
-    sessions: SessionStore<ChatSession>,
+    sessions: Arc<SessionStore<ChatSession>>,
+    /// Transcript bytes trimmed by persist-path snapshot compaction
+    /// (bumped by the encode closure; surfaced via
+    /// [`ChatPattern::session_stats`]).
+    snapshot_bytes_saved: Arc<AtomicU64>,
+    /// Background cadence thread (spill-ahead + TTL purge). Held only
+    /// for its `Drop` (signals the thread to stop and joins it).
+    _maintenance: Option<Maintenance>,
 }
 
 impl std::fmt::Debug for ChatPattern {
@@ -750,10 +984,12 @@ impl ChatPattern {
     }
 
     /// Session activity counters (open / evicted / spilled / restored
-    /// / turns).
+    /// / spilled-ahead / turns, plus compaction savings).
     #[must_use]
     pub fn session_stats(&self) -> SessionStats {
-        self.sessions.stats()
+        let mut stats = self.sessions.stats();
+        stats.bytes_saved = self.snapshot_bytes_saved.load(Ordering::Relaxed);
+        stats
     }
 
     /// Direct API: conditional generation of `count` topologies.
@@ -1445,6 +1681,96 @@ mod tests {
         assert_eq!(t2.turn, 2, "turn numbering continues from the snapshot");
         assert_eq!(t2.library.len(), 3);
         assert_eq!(t2.library[..2], t1.library[..]);
+    }
+
+    #[test]
+    fn format_one_snapshots_restore_unchanged() {
+        let system = small_system();
+        system.session_open("v1", Some(9)).expect("opens");
+        let t1 = system
+            .session_turn(
+                "v1",
+                "Generate 1 pattern, topology size 16*16, physical size 512nm x 512nm, \
+                 style Layer-10001.",
+            )
+            .expect("turn runs");
+        let snapshot = system.session_snapshot("v1").expect("exports");
+        let _ = system.session_close("v1").expect("closes");
+        // Rewrite the JSON exactly as a format-1 producer wrote it:
+        // format tag 1 and no `compaction` member at all.
+        let mut value = serde_json::to_value(&snapshot);
+        let serde_json::Value::Object(object) = &mut value else {
+            panic!("snapshot is an object");
+        };
+        object.insert("format".to_owned(), serde_json::to_value(&1u32));
+        object.remove("compaction");
+        let text = serde_json::to_string(&value).expect("serializes");
+        let legacy: SessionSnapshot = serde_json::from_str(&text).expect("format 1 parses");
+        assert_eq!(legacy.format, 1);
+        assert_eq!(legacy.compaction, None);
+        assert_eq!(legacy.agent, snapshot.agent, "payload untouched");
+        let info = system.session_restore(legacy).expect("format 1 restores");
+        assert_eq!(info.seed, 9);
+        let t2 = system
+            .session_turn("v1", "1 more pattern.")
+            .expect("restored session continues");
+        assert_eq!(t2.turn, 2);
+        assert_eq!(t2.library[..1], t1.library[..]);
+    }
+
+    #[test]
+    fn compaction_trims_transcript_without_changing_future_turns() {
+        let reference = small_system();
+        reference.session_open("c", Some(11)).expect("opens");
+        for _ in 0..3 {
+            reference
+                .session_turn(
+                    "c",
+                    "Generate 1 pattern, topology size 16*16, physical size 512nm x 512nm, \
+                     style Layer-10001.",
+                )
+                .expect("turn runs");
+        }
+        let full = reference.session_snapshot("c").expect("exports");
+        assert_eq!(full.compaction, None, "wire snapshots stay full fidelity");
+
+        let mut compacted = full.clone();
+        let saved = compacted.compact(2);
+        assert!(saved > 0, "three turns exceed a 2-message tail");
+        let record = compacted.compaction.expect("compaction recorded");
+        assert_eq!(record.bytes, saved);
+        assert!(record.dropped > 0);
+        assert_ne!(record.digest, 0, "digest covers the dropped messages");
+        assert_eq!(compacted.agent.transcript.len(), 3, "system prompt + tail");
+        assert_eq!(compacted.agent.transcript[0], full.agent.transcript[0]);
+        assert_eq!(
+            compacted.agent.transcript[1..],
+            full.agent.transcript[full.agent.transcript.len() - 2..]
+        );
+
+        // Re-compacting an already-bounded snapshot is a no-op that
+        // preserves the rolling record.
+        let mut again = compacted.clone();
+        assert_eq!(again.compact(2), 0);
+        assert_eq!(again, compacted);
+
+        // The follow-up turn is byte-identical whether it runs on the
+        // full-fidelity restore or the compacted one.
+        let next = "1 more pattern.";
+        let on_full = {
+            let system = small_system();
+            system.session_restore(full).expect("restores");
+            system.session_turn("c", next).expect("turn runs")
+        };
+        let on_compacted = {
+            let system = small_system();
+            system.session_restore(compacted).expect("restores");
+            system.session_turn("c", next).expect("turn runs")
+        };
+        assert_eq!(on_full.turn, on_compacted.turn);
+        assert_eq!(on_full.summary, on_compacted.summary);
+        assert_eq!(on_full.library, on_compacted.library);
+        assert_eq!(on_full.transcript, on_compacted.transcript);
     }
 
     #[test]

@@ -16,15 +16,23 @@
 //!   reopening the id starts a brand-new session.
 //! * **Durability (spill/rehydrate).** With a [`SessionPersist`] layer
 //!   attached ([`SessionStore::with_persist`]), capacity eviction
-//!   *spills* the victim to the persist layer instead of destroying
-//!   it, and a later turn / snapshot / close on the spilled id
-//!   transparently *rehydrates* it — the session keeps working until
-//!   its TTL really runs out. [`MemoryPersist`] keeps spilled sessions
-//!   in process memory; [`JsonDirPersist`] writes one JSON file per
-//!   session (`chatpattern-serve --session-dir`), which additionally
-//!   survives a process restart. A persist-layer write failure
-//!   surfaces as the typed [`Error::SessionPersist`] and the victim
-//!   stays live — never a panic, never a silent drop.
+//!   *and TTL expiry* both *spill* the victim to the persist layer
+//!   instead of destroying it, and a later turn / snapshot / close on
+//!   the spilled id transparently *rehydrates* it — the session keeps
+//!   working until the persist layer's own TTL really runs out.
+//!   [`MemoryPersist`] keeps spilled sessions in process memory;
+//!   [`JsonDirPersist`] writes one JSON file per session
+//!   (`chatpattern-serve --session-dir`), optionally fanned out over
+//!   shard subdirectories, which additionally survives a process
+//!   restart. A persist-layer write failure surfaces as the typed
+//!   [`Error::SessionPersist`] and the victim stays live — never a
+//!   panic, never a silent drop.
+//! * **Spill-ahead (zero-loss durability).** With a
+//!   [`SpillAheadConfig`] ([`SessionStore::with_spill_ahead`]) the
+//!   store also snapshots *warm* sessions — synchronously after every
+//!   N-th turn, and/or via background [`SessionStore::spill_ahead_pass`]
+//!   sweeps — so a crash loses at most the turn that was still in
+//!   flight, not everything since the last eviction.
 //! * **Per-session serialization.** Each session value sits behind its
 //!   own lock, taken only *after* the store map lock is released —
 //!   concurrent turns on one session serialize while turns on distinct
@@ -102,6 +110,14 @@ pub struct SessionStats {
     pub restored: u64,
     /// Turns executed since construction (successful or not).
     pub turns: u64,
+    /// Warm sessions snapshotted ahead of need by the spill-ahead
+    /// writer (turn-count trigger or background cadence). Unlike
+    /// `spilled`, the session stays live in memory.
+    pub spilled_ahead: u64,
+    /// Bytes the snapshot compactor trimmed from persisted snapshots
+    /// (filled by the owner of the encode pipeline — zero at the bare
+    /// store level).
+    pub bytes_saved: u64,
 }
 
 /// The session durability layer a [`SessionStore`] spills to on
@@ -140,6 +156,29 @@ pub trait SessionPersist<T>: Send + Sync {
 
     /// Ids of live spilled sessions, in unspecified order.
     fn ids(&self) -> Vec<String>;
+
+    /// Writes a *copy* of `value` under `id` while the session stays
+    /// live in memory — the spill-ahead path. Returns `Ok(true)` when
+    /// a durable copy landed, `Ok(false)` when the layer does not
+    /// support write-ahead copies (the default: [`MemoryPersist`] gains
+    /// nothing from one — a crash takes process memory with it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SessionPersist`] when the write fails; the
+    /// live session is unaffected either way.
+    fn spill_ahead(&self, id: &str, value: &T) -> Result<bool, Error> {
+        let _ = (id, value);
+        Ok(false)
+    }
+
+    /// Drops any durable copy stored under `id` (spilled or written
+    /// ahead). Called when a session closes cleanly so the id cannot
+    /// resurrect from a stale spill-ahead snapshot. Best-effort; a
+    /// failure is ignored (TTL reaps the file eventually).
+    fn forget(&self, id: &str) {
+        let _ = id;
+    }
 }
 
 /// In-memory [`SessionPersist`]: spilled sessions survive eviction but
@@ -245,12 +284,27 @@ fn decode_id(stem: &str) -> Option<String> {
     String::from_utf8(bytes).ok()
 }
 
+/// Filename suffix of the temp file a spill write stages through
+/// (`foo.session.json` is written as `foo.session.tmp`, then renamed).
+const SPILL_TMP_SUFFIX: &str = ".session.tmp";
+
 /// JSON-file [`SessionPersist`]: one `<escaped-id>.session.json` per
 /// spilled session under a directory, so spilled sessions survive a
 /// process restart (`chatpattern-serve --session-dir`). Spill writes
 /// go through a temp file + rename, so a crash mid-spill never leaves
-/// a half-written session file under the spill name. Expiry uses the
+/// a half-written session file under the spill name; temp files a
+/// crash *did* strand are swept on construction. Expiry uses the
 /// file's modification time against the configured TTL.
+///
+/// With `shards > 1` ([`JsonDirPersist::sharded`]) the files fan out
+/// over `shard-N/` subdirectories keyed by the stable routing hash of
+/// the id, each shard guarded by its own lock — a 10k-session
+/// directory neither serializes every spill on one directory nor
+/// forces a restart to scan one giant listing. Rehydration stays lazy:
+/// nothing is read until an id is actually touched. A sharded layer
+/// still finds files spilled by an earlier unsharded run in the
+/// directory root, so turning sharding on over an existing directory
+/// loses nothing.
 ///
 /// The layer is generic: `encode`/`decode` close over whatever
 /// dependencies reconstruction needs (for `ChatSession`, the trained
@@ -259,8 +313,16 @@ fn decode_id(stem: &str) -> Option<String> {
 pub struct JsonDirPersist<T> {
     dir: PathBuf,
     ttl: Duration,
+    shards: Vec<Shard>,
     encode: PersistEncode<T>,
     decode: PersistDecode<T>,
+}
+
+/// One spill subdirectory and the lock serializing multi-step
+/// filesystem operations inside it.
+struct Shard {
+    dir: PathBuf,
+    lock: Mutex<()>,
 }
 
 /// Serializer of a [`JsonDirPersist`]: renders a session value as the
@@ -282,7 +344,9 @@ impl<T> std::fmt::Debug for JsonDirPersist<T> {
 }
 
 impl<T> JsonDirPersist<T> {
-    /// Creates the layer, creating `dir` if needed.
+    /// Creates an unsharded layer (all files directly under `dir`),
+    /// creating `dir` if needed. Equivalent to
+    /// [`JsonDirPersist::sharded`] with one shard.
     ///
     /// # Errors
     ///
@@ -294,16 +358,81 @@ impl<T> JsonDirPersist<T> {
         encode: impl Fn(&T) -> Result<String, Error> + Send + Sync + 'static,
         decode: impl Fn(&str) -> Result<T, Error> + Send + Sync + 'static,
     ) -> Result<JsonDirPersist<T>, Error> {
+        JsonDirPersist::sharded(dir, ttl, 1, encode, decode)
+    }
+
+    /// Creates the layer with `shards` spill subdirectories
+    /// (`shard-0/` … `shard-N-1/`; `shards <= 1` keeps the flat
+    /// layout), creating them if needed. Stale `*.session.tmp` files a
+    /// crashed writer stranded are swept here — only the directory
+    /// listings are read, never file contents, so construction over a
+    /// 10k-session directory does not stall startup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SessionPersist`] when a directory cannot be
+    /// created.
+    pub fn sharded(
+        dir: impl Into<PathBuf>,
+        ttl: Duration,
+        shards: usize,
+        encode: impl Fn(&T) -> Result<String, Error> + Send + Sync + 'static,
+        decode: impl Fn(&str) -> Result<T, Error> + Send + Sync + 'static,
+    ) -> Result<JsonDirPersist<T>, Error> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(|e| {
             Error::session_persist(format!("cannot create session dir {}: {e}", dir.display()))
         })?;
+        let shard_dirs: Vec<PathBuf> = if shards <= 1 {
+            vec![dir.clone()]
+        } else {
+            (0..shards)
+                .map(|i| dir.join(format!("shard-{i}")))
+                .collect()
+        };
+        let mut built = Vec::with_capacity(shard_dirs.len());
+        for shard_dir in shard_dirs {
+            std::fs::create_dir_all(&shard_dir).map_err(|e| {
+                Error::session_persist(format!(
+                    "cannot create session shard dir {}: {e}",
+                    shard_dir.display()
+                ))
+            })?;
+            Self::sweep_stale_tmp(&shard_dir);
+            built.push(Shard {
+                dir: shard_dir,
+                lock: Mutex::new(()),
+            });
+        }
+        // A sharded layer over a previously flat directory: the root
+        // may hold legacy spills (and legacy tmp litter).
+        if built.len() > 1 {
+            Self::sweep_stale_tmp(&dir);
+        }
         Ok(JsonDirPersist {
             dir,
             ttl,
+            shards: built,
             encode: Box::new(encode),
             decode: Box::new(decode),
         })
+    }
+
+    /// Removes `*.session.tmp` litter a crashed mid-spill writer left
+    /// in `dir`. At construction time no write of ours is in flight,
+    /// so every tmp file there is an orphan.
+    fn sweep_stale_tmp(dir: &Path) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.filter_map(Result::ok) {
+            let Ok(name) = entry.file_name().into_string() else {
+                continue;
+            };
+            if name.ends_with(SPILL_TMP_SUFFIX) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
     }
 
     /// The directory spilled sessions live in.
@@ -312,8 +441,30 @@ impl<T> JsonDirPersist<T> {
         &self.dir
     }
 
+    /// The number of spill subdirectories (1 = flat layout).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `id`, by the same stable hash the router uses
+    /// to pin sessions to workers.
+    fn shard(&self, id: &str) -> &Shard {
+        let index = (crate::routing::route_hash(id) % self.shards.len() as u64) as usize;
+        &self.shards[index]
+    }
+
     fn path(&self, id: &str) -> PathBuf {
-        self.dir.join(format!("{}{SPILL_SUFFIX}", encode_id(id)))
+        self.shard(id)
+            .dir
+            .join(format!("{}{SPILL_SUFFIX}", encode_id(id)))
+    }
+
+    /// The pre-sharding flat location of `id` — consulted as a
+    /// fallback so enabling shards over an existing directory still
+    /// finds (and migrates-by-consumption) old spills.
+    fn legacy_path(&self, id: &str) -> Option<PathBuf> {
+        (self.shards.len() > 1).then(|| self.dir.join(format!("{}{SPILL_SUFFIX}", encode_id(id))))
     }
 
     /// Whether the file at `path` is younger than the TTL. Unreadable
@@ -325,42 +476,57 @@ impl<T> JsonDirPersist<T> {
             .and_then(|mtime| SystemTime::now().duration_since(mtime).ok())
             .is_some_and(|age| age <= self.ttl)
     }
+
+    /// Encodes `value` and lands it at `id`'s spill path via the
+    /// temp-file + rename protocol, under the owning shard's lock.
+    fn write(&self, id: &str, value: &T) -> Result<(), Error> {
+        let text = (self.encode)(value)?;
+        let path = self.path(id);
+        let tmp = path.with_extension("tmp");
+        let _guard = self.shard(id).lock.lock().expect("session shard lock");
+        std::fs::write(&tmp, text.as_bytes())
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .map_err(|error| {
+                let _ = std::fs::remove_file(&tmp);
+                Error::session_persist(format!(
+                    "cannot spill session \"{id}\" to {}: {error}",
+                    path.display()
+                ))
+            })
+    }
+
+    /// Resolves the live on-disk location of `id`, preferring the
+    /// sharded path and falling back to the legacy flat path. Expired
+    /// files are unlinked on sight. Call with the shard lock held.
+    fn live_path(&self, id: &str) -> Option<PathBuf> {
+        for path in std::iter::once(self.path(id)).chain(self.legacy_path(id)) {
+            if !path.exists() {
+                continue;
+            }
+            if !self.is_live(&path) {
+                let _ = std::fs::remove_file(&path);
+                continue;
+            }
+            return Some(path);
+        }
+        None
+    }
 }
 
 impl<T: Send> SessionPersist<T> for JsonDirPersist<T> {
     fn spill(&self, id: &str, value: T) -> Result<(), (T, Error)> {
-        let text = match (self.encode)(&value) {
-            Ok(text) => text,
-            Err(error) => return Err((value, error)),
-        };
-        let path = self.path(id);
-        let tmp = path.with_extension("tmp");
-        let written =
-            std::fs::write(&tmp, text.as_bytes()).and_then(|()| std::fs::rename(&tmp, &path));
-        match written {
+        match self.write(id, &value) {
             Ok(()) => Ok(()),
-            Err(error) => {
-                let _ = std::fs::remove_file(&tmp);
-                Err((
-                    value,
-                    Error::session_persist(format!(
-                        "cannot spill session \"{id}\" to {}: {error}",
-                        path.display()
-                    )),
-                ))
-            }
+            Err(error) => Err((value, error)),
         }
     }
 
     fn take(&self, id: &str) -> Result<Option<T>, Error> {
-        let path = self.path(id);
-        if !path.exists() {
+        let shard = self.shard(id);
+        let _guard = shard.lock.lock().expect("session shard lock");
+        let Some(path) = self.live_path(id) else {
             return Ok(None);
-        }
-        if !self.is_live(&path) {
-            let _ = std::fs::remove_file(&path);
-            return Ok(None);
-        }
+        };
         let text = std::fs::read_to_string(&path).map_err(|e| {
             Error::session_persist(format!(
                 "cannot read spilled session \"{id}\" from {}: {e}",
@@ -384,32 +550,80 @@ impl<T: Send> SessionPersist<T> for JsonDirPersist<T> {
     }
 
     fn contains(&self, id: &str) -> bool {
-        let path = self.path(id);
-        if !path.exists() {
-            return false;
-        }
-        if !self.is_live(&path) {
-            let _ = std::fs::remove_file(&path);
-            return false;
-        }
-        true
+        let shard = self.shard(id);
+        let _guard = shard.lock.lock().expect("session shard lock");
+        self.live_path(id).is_some()
     }
 
     fn ids(&self) -> Vec<String> {
-        let Ok(entries) = std::fs::read_dir(&self.dir) else {
-            return Vec::new();
-        };
-        entries
-            .filter_map(Result::ok)
-            .filter_map(|entry| {
+        let mut dirs: Vec<&Path> = self
+            .shards
+            .iter()
+            .map(|shard| shard.dir.as_path())
+            .collect();
+        if self.shards.len() > 1 {
+            dirs.push(&self.dir);
+        }
+        let mut out = Vec::new();
+        for dir in dirs {
+            let Ok(entries) = std::fs::read_dir(dir) else {
+                continue;
+            };
+            out.extend(entries.filter_map(Result::ok).filter_map(|entry| {
                 let name = entry.file_name().into_string().ok()?;
                 let stem = name.strip_suffix(SPILL_SUFFIX)?;
                 if !self.is_live(&entry.path()) {
                     return None;
                 }
                 decode_id(stem)
-            })
-            .collect()
+            }));
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn spill_ahead(&self, id: &str, value: &T) -> Result<bool, Error> {
+        self.write(id, value)?;
+        Ok(true)
+    }
+
+    fn forget(&self, id: &str) {
+        let shard = self.shard(id);
+        let _guard = shard.lock.lock().expect("session shard lock");
+        let _ = std::fs::remove_file(self.path(id));
+        if let Some(legacy) = self.legacy_path(id) {
+            let _ = std::fs::remove_file(legacy);
+        }
+    }
+}
+
+/// When and how the spill-ahead writer snapshots *warm* sessions, so
+/// a crash loses at most the in-flight turn instead of everything
+/// since the last capacity eviction.
+///
+/// Both triggers are optional and compose: `every_turns` writes
+/// synchronously at the end of every N-th turn (still holding only the
+/// session's own slot lock — turns on other sessions never block),
+/// `interval` is the cadence an owning maintenance loop should call
+/// [`SessionStore::spill_ahead_pass`] at to flush sessions the turn
+/// trigger has not caught yet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillAheadConfig {
+    /// Snapshot a session after every N-th turn on it (`None` = no
+    /// turn trigger).
+    pub every_turns: Option<u64>,
+    /// Suggested cadence for background passes (`None` = no cadence;
+    /// the store itself spawns no threads — see
+    /// [`SessionStore::spill_ahead_pass`]).
+    pub interval: Option<Duration>,
+}
+
+impl SpillAheadConfig {
+    /// Whether either trigger is configured.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.every_turns.is_some() || self.interval.is_some()
     }
 }
 
@@ -419,9 +633,23 @@ struct Slot<T> {
     /// Set (under the store lock) when the session is evicted or
     /// expired while references to the slot may still be live.
     evicted: AtomicBool,
+    /// Turns run since the last durable snapshot of this session (a
+    /// capacity spill, a purge spill, or a spill-ahead write). The
+    /// spill-ahead writer only touches sessions with a non-zero count.
+    dirty_turns: AtomicU64,
     /// `None` once closed. Guarded by this per-session mutex — holding
     /// it is what serializes turns on one session.
     value: Mutex<Option<T>>,
+}
+
+impl<T> Slot<T> {
+    fn new(value: Option<T>) -> Slot<T> {
+        Slot {
+            evicted: AtomicBool::new(false),
+            dirty_turns: AtomicU64::new(0),
+            value: Mutex::new(value),
+        }
+    }
 }
 
 struct Entry<T> {
@@ -439,6 +667,7 @@ struct Entry<T> {
 /// durability. See the [module docs](self).
 pub struct SessionStore<T> {
     config: SessionConfig,
+    spill_ahead: SpillAheadConfig,
     state: Mutex<HashMap<String, Entry<T>>>,
     persist: Option<Arc<dyn SessionPersist<T>>>,
     clock: AtomicU64,
@@ -446,6 +675,7 @@ pub struct SessionStore<T> {
     spilled: AtomicU64,
     restored: AtomicU64,
     turns: AtomicU64,
+    spilled_ahead: AtomicU64,
 }
 
 impl<T> std::fmt::Debug for SessionStore<T> {
@@ -465,6 +695,7 @@ impl<T> SessionStore<T> {
     pub fn new(config: SessionConfig) -> SessionStore<T> {
         SessionStore {
             config,
+            spill_ahead: SpillAheadConfig::default(),
             state: Mutex::new(HashMap::new()),
             persist: None,
             clock: AtomicU64::new(0),
@@ -472,7 +703,22 @@ impl<T> SessionStore<T> {
             spilled: AtomicU64::new(0),
             restored: AtomicU64::new(0),
             turns: AtomicU64::new(0),
+            spilled_ahead: AtomicU64::new(0),
         }
+    }
+
+    /// Enables the spill-ahead writer (no-op configuration disables
+    /// it). Only meaningful with a persist layer attached.
+    #[must_use]
+    pub fn with_spill_ahead(mut self, spill_ahead: SpillAheadConfig) -> SessionStore<T> {
+        self.spill_ahead = spill_ahead;
+        self
+    }
+
+    /// The spill-ahead configuration in force.
+    #[must_use]
+    pub fn spill_ahead_config(&self) -> SpillAheadConfig {
+        self.spill_ahead
     }
 
     /// Creates an empty store with a durability layer: capacity
@@ -522,27 +768,126 @@ impl<T> SessionStore<T> {
             spilled: self.spilled.load(Ordering::Relaxed),
             restored: self.restored.load(Ordering::Relaxed),
             turns: self.turns.load(Ordering::Relaxed),
+            spilled_ahead: self.spilled_ahead.load(Ordering::Relaxed),
+            bytes_saved: 0,
         }
     }
 
-    /// Drops every session idle past the TTL. Called lazily by every
-    /// store operation; callers never need to invoke it, but a serving
-    /// loop may want to on a timer.
+    /// Retires every session idle past the TTL: destroyed without a
+    /// persist layer, *spilled* with one (so a touch within the
+    /// persist TTL still rehydrates — idleness must not silently
+    /// destroy durable state). Called lazily by every store operation;
+    /// callers never need to invoke it, but a serving loop may want to
+    /// on a timer.
     pub fn purge_expired(&self) {
-        let mut state = self.state.lock().expect("session store lock");
-        Self::purge_locked(&mut state, &self.evicted, self.config.ttl);
+        let spills = {
+            let mut state = self.state.lock().expect("session store lock");
+            self.purge_locked(&mut state)
+        };
+        self.flush_purged(spills);
     }
 
-    fn purge_locked(state: &mut HashMap<String, Entry<T>>, evicted: &AtomicU64, ttl: Duration) {
+    /// Unlinks expired entries under the map lock. Without a persist
+    /// layer they are destroyed on the spot; with one, each idle
+    /// victim's value is *taken* (its slot `try_lock`ed — a session
+    /// mid-turn is left for the next purge) and returned for the
+    /// caller to spill via [`SessionStore::flush_purged`] **after
+    /// dropping the map lock** — persist I/O never runs under it.
+    fn purge_locked(&self, state: &mut HashMap<String, Entry<T>>) -> Vec<(String, T)> {
+        let ttl = self.config.ttl;
         let now = Instant::now();
-        state.retain(|_, entry| {
+        let mut spills: Vec<(String, T)> = Vec::new();
+        let has_persist = self.persist.is_some();
+        state.retain(|id, entry| {
             let live = now.saturating_duration_since(entry.last_used) <= ttl;
-            if !live {
-                entry.slot.evicted.store(true, Ordering::Release);
-                evicted.fetch_add(1, Ordering::Relaxed);
+            if live {
+                return true;
             }
-            live
+            if has_persist {
+                // Expired but durable: freeze the victim via its own
+                // lock and hand the value out for an off-lock spill. A
+                // busy slot is mid-turn — keep it until a later purge
+                // finds it idle (the turn refreshes nothing; it merely
+                // finishes).
+                let Ok(mut guard) = entry.slot.value.try_lock() else {
+                    return true;
+                };
+                entry.slot.evicted.store(true, Ordering::Release);
+                if let Some(value) = guard.take() {
+                    spills.push((id.clone(), value));
+                }
+                false
+            } else {
+                entry.slot.evicted.store(true, Ordering::Release);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+                false
+            }
         });
+        spills
+    }
+
+    /// Spills the values [`SessionStore::purge_locked`] unlinked. Must
+    /// be called with the map lock released. A write failure degrades
+    /// that session to the destroyed (pre-durability) outcome — purge
+    /// is background cleanup, so the error is absorbed into the
+    /// `evicted` counter rather than surfaced to an unrelated caller.
+    fn flush_purged(&self, spills: Vec<(String, T)>) {
+        if spills.is_empty() {
+            return;
+        }
+        let persist = self.persist.as_ref().expect("purge spills imply persist");
+        for (id, value) in spills {
+            match persist.spill(&id, value) {
+                Ok(()) => {
+                    self.spilled.fetch_add(1, Ordering::Relaxed);
+                }
+                Err((_, _)) => {
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// One background spill-ahead sweep: snapshots every warm session
+    /// with turns newer than its last durable copy, skipping sessions
+    /// mid-turn (their slot lock is busy — the turn trigger or the
+    /// next pass catches them). Candidates are collected under the map
+    /// lock, but every persist write runs with only the victim's own
+    /// slot lock held, so turns on other sessions never block behind
+    /// the writer. Returns how many snapshots landed.
+    ///
+    /// The store spawns no threads; an owning maintenance loop calls
+    /// this on the [`SpillAheadConfig::interval`] cadence.
+    pub fn spill_ahead_pass(&self) -> usize {
+        let Some(persist) = self.persist.clone() else {
+            return 0;
+        };
+        let candidates: Vec<(String, Arc<Slot<T>>)> = {
+            let state = self.state.lock().expect("session store lock");
+            state
+                .iter()
+                .filter(|(_, entry)| entry.slot.dirty_turns.load(Ordering::Relaxed) > 0)
+                .map(|(id, entry)| (id.clone(), Arc::clone(&entry.slot)))
+                .collect()
+        };
+        let mut written = 0;
+        for (id, slot) in candidates {
+            let Ok(guard) = slot.value.try_lock() else {
+                continue;
+            };
+            if slot.evicted.load(Ordering::Acquire) {
+                continue;
+            }
+            let Some(value) = guard.as_ref() else {
+                continue;
+            };
+            if let Ok(true) = persist.spill_ahead(&id, value) {
+                slot.dirty_turns.store(0, Ordering::Relaxed);
+                self.spilled_ahead.fetch_add(1, Ordering::Relaxed);
+                written += 1;
+            }
+        }
+        written
     }
 
     /// Brings the store below capacity so one insertion fits. With a
@@ -673,7 +1018,15 @@ impl<T> SessionStore<T> {
         loop {
             {
                 let mut state = self.state.lock().expect("session store lock");
-                Self::purge_locked(&mut state, &self.evicted, self.config.ttl);
+                let spills = self.purge_locked(&mut state);
+                if !spills.is_empty() {
+                    // Spill the purged victims off-lock, then re-run —
+                    // the persist layer now knows about them, so the
+                    // liveness probe below sees the truth.
+                    drop(state);
+                    self.flush_purged(spills);
+                    continue;
+                }
                 if state.contains_key(id) {
                     return Err(Error::invalid_request(format!(
                         "session \"{id}\" is already open; close it first or pick another id"
@@ -693,10 +1046,7 @@ impl<T> SessionStore<T> {
                     state.insert(
                         id.to_owned(),
                         Entry {
-                            slot: Arc::new(Slot {
-                                evicted: AtomicBool::new(false),
-                                value: Mutex::new(value.take()),
-                            }),
+                            slot: Arc::new(Slot::new(value.take())),
                             last_used: Instant::now(),
                             touched: self.clock.fetch_add(1, Ordering::Relaxed),
                         },
@@ -721,7 +1071,12 @@ impl<T> SessionStore<T> {
     fn resolve(&self, id: &str) -> Result<Arc<Slot<T>>, Error> {
         loop {
             let mut state = self.state.lock().expect("session store lock");
-            Self::purge_locked(&mut state, &self.evicted, self.config.ttl);
+            let spills = self.purge_locked(&mut state);
+            if !spills.is_empty() {
+                drop(state);
+                self.flush_purged(spills);
+                continue;
+            }
             if let Some(entry) = state.get_mut(id) {
                 entry.last_used = Instant::now();
                 entry.touched = self.clock.fetch_add(1, Ordering::Relaxed);
@@ -745,10 +1100,7 @@ impl<T> SessionStore<T> {
             }
             // Reserve the id: an empty slot, locked by this thread
             // *before* it becomes visible in the map.
-            let slot = Arc::new(Slot {
-                evicted: AtomicBool::new(false),
-                value: Mutex::new(None),
-            });
+            let slot = Arc::new(Slot::new(None));
             let mut guard = slot.value.lock().expect("freshly created lock");
             state.insert(
                 id.to_owned(),
@@ -828,6 +1180,25 @@ impl<T> SessionStore<T> {
             let outcome = (f.take().expect("f is called at most once"))(session);
             if count_turn {
                 self.turns.fetch_add(1, Ordering::Relaxed);
+                let dirty = slot.dirty_turns.fetch_add(1, Ordering::Relaxed) + 1;
+                // Turn-count spill-ahead trigger: write the snapshot
+                // *now*, on this thread, still holding only this
+                // session's slot lock — the map lock is long released,
+                // so turns on other sessions never block, and when the
+                // write lands the completed turn is already durable
+                // (a crash loses at most a turn still in flight).
+                if self.spill_ahead.every_turns.is_some_and(|n| dirty >= n) {
+                    if let (Some(persist), Some(live)) = (&self.persist, value.as_ref()) {
+                        if let Ok(true) = persist.spill_ahead(id, live) {
+                            slot.dirty_turns.store(0, Ordering::Relaxed);
+                            self.spilled_ahead.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Unsupported layer or write failure: the turn
+                        // itself succeeded — leave the dirty count so
+                        // the next trigger (or background pass)
+                        // retries.
+                    }
+                }
             }
             return outcome;
         }
@@ -895,7 +1266,12 @@ impl<T> SessionStore<T> {
         for _ in 0..4 {
             let slot = {
                 let mut state = self.state.lock().expect("session store lock");
-                Self::purge_locked(&mut state, &self.evicted, self.config.ttl);
+                let spills = self.purge_locked(&mut state);
+                if !spills.is_empty() {
+                    drop(state);
+                    self.flush_purged(spills);
+                    continue;
+                }
                 match state.remove(id) {
                     Some(entry) => entry.slot,
                     None => {
@@ -928,9 +1304,21 @@ impl<T> SessionStore<T> {
                 // layer now — go take it.
                 continue;
             }
-            return value.take().ok_or_else(|| {
-                Error::session_not_found(id, "the session was already closed or evicted")
-            });
+            return match value.take() {
+                Some(final_value) => {
+                    // A clean close consumes the id completely: drop
+                    // any spill-ahead copy so the closed session can
+                    // never resurrect from a stale snapshot.
+                    if let Some(persist) = &self.persist {
+                        persist.forget(id);
+                    }
+                    Ok(final_value)
+                }
+                None => Err(Error::session_not_found(
+                    id,
+                    "the session was already closed or evicted",
+                )),
+            };
         }
         Err(Error::session_not_found(
             id,
@@ -1247,15 +1635,45 @@ mod tests {
     fn spilled_sessions_expire_at_ttl() {
         let store = spill_store(1, 0);
         store.open("a", Vec::new).expect("opens");
-        // Zero TTL: "a" expires in the live map before the next open
-        // even runs, so this is destruction, not spilling.
+        // Zero TTL: "a" expires in the live map before the next access
+        // runs. With a persist layer attached expiry *spills* (the
+        // purge-path fix — destruction would break rehydration within
+        // the persist TTL), and here the persist TTL is zero too, so
+        // the spilled entry is expired by the time the turn looks.
         thread::sleep(Duration::from_millis(2));
         assert!(matches!(
             store.turn("a", |_| Ok(())),
             Err(Error::SessionNotFound { .. })
         ));
-        assert_eq!(store.stats().evicted, 1);
-        assert_eq!(store.stats().spilled, 0);
+        assert_eq!(store.stats().evicted, 0, "expiry spilled, not destroyed");
+        assert_eq!(store.stats().spilled, 1);
+        assert_eq!(store.stats().restored, 0);
+    }
+
+    #[test]
+    fn expired_warm_sessions_spill_and_rehydrate_within_persist_ttl() {
+        // Regression: `purge_locked` used to destroy expired sessions
+        // outright even with a persist layer attached — an idle-past-
+        // TTL session silently lost all durable state. Store TTL zero,
+        // persist TTL long: the purge must spill, and the next touch
+        // must rehydrate with the value intact.
+        let store: SessionStore<Vec<u64>> = SessionStore::with_persist(
+            SessionConfig {
+                capacity: 4,
+                ttl: Duration::ZERO,
+            },
+            Arc::new(MemoryPersist::new(Duration::from_secs(3600))),
+        );
+        store.open("idle", || vec![42]).expect("opens");
+        thread::sleep(Duration::from_millis(2));
+        let value = store
+            .turn("idle", |v| Ok(v.clone()))
+            .expect("an expired-but-spilled session rehydrates");
+        assert_eq!(value, vec![42], "no state was lost to the purge");
+        let stats = store.stats();
+        assert_eq!(stats.evicted, 0, "nothing was destroyed");
+        assert!(stats.spilled >= 1, "expiry went through the spill path");
+        assert!(stats.restored >= 1);
     }
 
     #[test]
@@ -1535,6 +1953,256 @@ mod tests {
         // And the spilled victim rehydrates with its state intact.
         let value = store.turn("victim", |v| Ok(v.clone())).expect("rehydrates");
         assert_eq!(value, vec![1]);
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cp-session-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn json_persist(dir: &Path, ttl: Duration, shards: usize) -> Arc<JsonDirPersist<Vec<u64>>> {
+        Arc::new(
+            JsonDirPersist::sharded(
+                dir,
+                ttl,
+                shards,
+                |v: &Vec<u64>| {
+                    serde_json::to_string(v).map_err(|e| Error::session_persist(e.to_string()))
+                },
+                |text| {
+                    serde_json::from_str(text).map_err(|e| Error::session_persist(e.to_string()))
+                },
+            )
+            .expect("dir created"),
+        )
+    }
+
+    #[test]
+    fn stale_tmp_litter_is_swept_at_construction() {
+        let dir = scratch_dir("tmp-sweep");
+        // Litter a crashed mid-spill writer would leave behind, in the
+        // root and in a shard subdirectory, plus a real spill file and
+        // a quarantined corpse that must both survive the sweep.
+        std::fs::create_dir_all(dir.join("shard-1")).expect("shard dir");
+        std::fs::write(dir.join("orphan.session.tmp"), "half-written").expect("written");
+        std::fs::write(dir.join("shard-1/orphan2.session.tmp"), "half").expect("written");
+        std::fs::write(dir.join("keep.session.json"), "[7]").expect("written");
+        std::fs::write(dir.join("old.session.corrupt"), "{broken").expect("written");
+        let persist = json_persist(&dir, Duration::from_secs(3600), 2);
+        assert!(
+            !dir.join("orphan.session.tmp").exists(),
+            "root litter swept"
+        );
+        assert!(
+            !dir.join("shard-1/orphan2.session.tmp").exists(),
+            "shard litter swept"
+        );
+        assert!(
+            dir.join("keep.session.json").exists(),
+            "real spill files are untouched"
+        );
+        assert!(
+            dir.join("old.session.corrupt").exists(),
+            "quarantined corpses are kept for forensics"
+        );
+        assert!(persist.contains("keep"), "the legacy flat spill is found");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn sharded_persist_fans_out_and_round_trips() {
+        let dir = scratch_dir("shards");
+        let ttl = Duration::from_secs(3600);
+        let persist = json_persist(&dir, ttl, 4);
+        assert_eq!(persist.shard_count(), 4);
+        for i in 0..16u64 {
+            persist
+                .spill(&format!("s{i}"), vec![i])
+                .expect("spill lands");
+        }
+        // The files really fanned out: no shard dir holds all of them,
+        // and the root holds none.
+        let census = |path: &Path| {
+            std::fs::read_dir(path)
+                .map(|entries| {
+                    entries
+                        .filter_map(Result::ok)
+                        .filter(|e| e.file_name().to_string_lossy().ends_with(SPILL_SUFFIX))
+                        .count()
+                })
+                .unwrap_or(0)
+        };
+        assert_eq!(census(&dir), 0, "sharded spills never land in the root");
+        let per_shard: Vec<usize> = (0..4)
+            .map(|i| census(&dir.join(format!("shard-{i}"))))
+            .collect();
+        assert_eq!(per_shard.iter().sum::<usize>(), 16);
+        assert!(
+            per_shard.iter().all(|&n| n < 16),
+            "fan-out used more than one shard: {per_shard:?}"
+        );
+        // ids() aggregates across shards; take() round-trips values.
+        let mut ids = persist.ids();
+        ids.sort();
+        assert_eq!(ids.len(), 16);
+        for i in 0..16u64 {
+            let value = persist
+                .take(&format!("s{i}"))
+                .expect("reads back")
+                .expect("present");
+            assert_eq!(value, vec![i]);
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn sharded_persist_still_finds_legacy_flat_spills() {
+        let dir = scratch_dir("legacy");
+        let ttl = Duration::from_secs(3600);
+        // An unsharded run spills a session…
+        json_persist(&dir, ttl, 1)
+            .spill("old-timer", vec![1, 2])
+            .expect("flat spill lands");
+        // …then the operator turns sharding on over the same dir.
+        let sharded = json_persist(&dir, ttl, 4);
+        assert!(sharded.contains("old-timer"));
+        assert!(sharded.ids().contains(&"old-timer".to_owned()));
+        let value = sharded
+            .take("old-timer")
+            .expect("reads back")
+            .expect("found in the flat root");
+        assert_eq!(value, vec![1, 2]);
+        assert!(
+            !sharded.contains("old-timer"),
+            "take consumed the legacy file"
+        );
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn turn_trigger_spill_ahead_keeps_warm_sessions_durable() {
+        let dir = scratch_dir("spill-ahead");
+        let ttl = Duration::from_secs(3600);
+        {
+            let store: SessionStore<Vec<u64>> = SessionStore::with_persist(
+                SessionConfig { capacity: 4, ttl },
+                json_persist(&dir, ttl, 1),
+            )
+            .with_spill_ahead(SpillAheadConfig {
+                every_turns: Some(1),
+                interval: None,
+            });
+            store.open("warm", Vec::new).expect("opens");
+            for i in 0..3u64 {
+                store
+                    .turn("warm", |v| {
+                        v.push(i);
+                        Ok(())
+                    })
+                    .expect("turn runs");
+            }
+            // The session never left memory, yet every turn landed a
+            // durable copy.
+            let stats = store.stats();
+            assert_eq!(stats.open, 1, "the session is still warm");
+            assert_eq!(stats.spilled, 0, "no eviction happened");
+            assert_eq!(stats.spilled_ahead, 3, "one write per turn");
+            assert!(dir.join("warm.session.json").exists());
+            // The store "crashes" here: dropped without close, taking
+            // the warm value with it.
+        }
+        let store: SessionStore<Vec<u64>> = SessionStore::with_persist(
+            SessionConfig { capacity: 4, ttl },
+            json_persist(&dir, ttl, 1),
+        );
+        let value = store
+            .turn("warm", |v| Ok(v.clone()))
+            .expect("the spill-ahead copy survives the crash");
+        assert_eq!(value, vec![0, 1, 2], "no completed turn was lost");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn clean_close_forgets_the_spill_ahead_copy() {
+        let dir = scratch_dir("forget");
+        let ttl = Duration::from_secs(3600);
+        let make_store = || -> SessionStore<Vec<u64>> {
+            SessionStore::with_persist(
+                SessionConfig { capacity: 4, ttl },
+                json_persist(&dir, ttl, 1),
+            )
+            .with_spill_ahead(SpillAheadConfig {
+                every_turns: Some(1),
+                interval: None,
+            })
+        };
+        let store = make_store();
+        store.open("done", || vec![9]).expect("opens");
+        store.turn("done", |_| Ok(())).expect("turn runs");
+        assert!(dir.join("done.session.json").exists());
+        assert_eq!(store.close("done").expect("closes"), vec![9]);
+        assert!(
+            !dir.join("done.session.json").exists(),
+            "close removed the write-ahead copy"
+        );
+        // A restart cannot resurrect the closed session.
+        let store = make_store();
+        assert!(matches!(
+            store.turn("done", |_| Ok(())),
+            Err(Error::SessionNotFound { .. })
+        ));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn background_pass_flushes_dirty_sessions_once() {
+        let dir = scratch_dir("pass");
+        let ttl = Duration::from_secs(3600);
+        let store: SessionStore<Vec<u64>> = SessionStore::with_persist(
+            SessionConfig { capacity: 4, ttl },
+            json_persist(&dir, ttl, 1),
+        )
+        .with_spill_ahead(SpillAheadConfig {
+            every_turns: None,
+            interval: Some(Duration::from_millis(10)),
+        });
+        store.open("a", || vec![1]).expect("opens");
+        store.open("b", || vec![2]).expect("opens");
+        store.turn("a", |_| Ok(())).expect("turn runs");
+        // Only "a" is dirty: one write, and a second pass is a no-op
+        // until another turn dirties something again.
+        assert_eq!(store.spill_ahead_pass(), 1);
+        assert!(dir.join("a.session.json").exists());
+        assert!(!dir.join("b.session.json").exists());
+        assert_eq!(store.spill_ahead_pass(), 0);
+        store.turn("b", |_| Ok(())).expect("turn runs");
+        assert_eq!(store.spill_ahead_pass(), 1);
+        assert_eq!(store.stats().spilled_ahead, 2);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn memory_persist_declines_spill_ahead() {
+        // MemoryPersist cannot outlive the process, so write-ahead
+        // copies are pointless — the default trait impl declines and
+        // the pass writes nothing.
+        let store = spill_store(4, 3600);
+        let store = store.with_spill_ahead(SpillAheadConfig {
+            every_turns: Some(1),
+            interval: None,
+        });
+        store.open("a", Vec::new).expect("opens");
+        store.turn("a", |_| Ok(())).expect("turn runs");
+        assert_eq!(store.stats().spilled_ahead, 0);
+        assert_eq!(store.spill_ahead_pass(), 0);
     }
 
     #[test]

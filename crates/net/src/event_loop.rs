@@ -269,9 +269,17 @@ impl<H: ConnectionHandler> LoopState<H> {
                 self.resume_accepts();
             }
         }
-        // Teardown: silence every queue so in-flight completion threads
-        // drop their replies instead of accumulating them forever.
-        for slot in self.conns.values() {
+        // Teardown: the stop flag is checked before queued events are
+        // processed, so replies completion threads enqueued just
+        // before shutdown may still sit unflushed. Give every
+        // non-killed queue one final write pass — bounded: each stops
+        // at WouldBlock rather than waiting for a slow reader — then
+        // silence the queues so in-flight completion threads drop
+        // their replies instead of accumulating them forever.
+        for slot in self.conns.values_mut() {
+            if !slot.conn.outbound().is_killed() {
+                let _ = slot.conn.flush_ready();
+            }
             slot.conn.outbound().close();
         }
     }

@@ -927,6 +927,40 @@ mod tests {
     }
 
     #[test]
+    fn turn_budget_retry_hint_never_rounds_to_zero() {
+        // A microscopic deficit must not produce retry_after_ms == 0 —
+        // a zero hint invites clients into an immediate-retry busy
+        // loop. Both rounding paths are pinned: a sub-millisecond wait
+        // ceils up to 1, and an f64-underflow wait (deficit / rate
+        // rounding to 0.0 seconds) hits the explicit >= 1 clamp.
+        let now = Instant::now();
+        let quota = TenantQuota {
+            turns_per_sec: 10_000.0,
+            turn_burst: 1.0,
+            ..TenantQuota::default()
+        };
+        let mut bucket = TokenBucket {
+            tokens: 1.0 - 1e-6,
+            last_refill: now,
+        };
+        // `now` again: zero elapsed time, so no refill masks the case.
+        let wait = bucket.try_take(now, &quota).expect_err("short a token");
+        assert_eq!(wait, 1, "sub-millisecond waits round up, not down");
+
+        let quota = TenantQuota {
+            turns_per_sec: f64::MAX,
+            turn_burst: 1.0,
+            ..TenantQuota::default()
+        };
+        let mut bucket = TokenBucket {
+            tokens: 1.0 - f64::EPSILON / 2.0,
+            last_refill: now,
+        };
+        let wait = bucket.try_take(now, &quota).expect_err("short a token");
+        assert!(wait >= 1, "underflowed waits clamp to >= 1 ms, got {wait}");
+    }
+
+    #[test]
     fn fair_queue_is_fifo_per_tenant_and_round_robin_across() {
         let mut queue = FairQueue::new(16, LaneWeights::default());
         for index in 0..3 {

@@ -85,6 +85,12 @@ Options:
   --session-dir PATH     give worker i the spill directory
                          PATH/worker-i — this is what lets a respawned
                          worker rehydrate its sessions after a crash
+  --spill-ahead-turns N  forwarded to every spawned worker: snapshot
+                         warm sessions every N turns (serve syntax)
+  --spill-ahead-secs N   forwarded to every spawned worker: background
+                         snapshot cadence in seconds (serve syntax)
+  --persist-shards N     forwarded to every spawned worker: shard each
+                         worker's spill directory N ways (serve syntax)
   --max-connections N    concurrently served client connections
                          (default 64)
   --pool N               TCP connections per worker (default 2): each
@@ -165,6 +171,13 @@ fn parse_args() -> Result<Options, String> {
                 options.serve_args.push(value.clone());
             }
             "--session-dir" => options.session_dir = Some(value.clone()),
+            "--spill-ahead-turns" | "--spill-ahead-secs" | "--persist-shards" => {
+                // Durability knobs ride through to every worker (each
+                // worker applies them to its own --session-dir slice).
+                number(&flag)?;
+                options.serve_args.push(flag.clone());
+                options.serve_args.push(value.clone());
+            }
             "--max-connections" => options.max_connections = number("--max-connections")?,
             "--pool" => options.pool = number("--pool")?.max(1),
             "--rebalance-threshold" => {

@@ -73,6 +73,9 @@ struct Options {
     max_sessions: usize,
     session_ttl_secs: u64,
     session_dir: Option<String>,
+    spill_ahead_turns: Option<u64>,
+    spill_ahead_secs: Option<u64>,
+    persist_shards: usize,
     stats: bool,
     listen: Option<String>,
     transport: Transport,
@@ -95,6 +98,9 @@ impl Default for Options {
             max_sessions: 64,
             session_ttl_secs: 900,
             session_dir: None,
+            spill_ahead_turns: None,
+            spill_ahead_secs: None,
+            persist_shards: 1,
             stats: false,
             listen: None,
             transport: Transport::Threads,
@@ -168,6 +174,20 @@ Options:
                          without a shared directory uses the
                          SessionSnapshot / SessionRestore request kinds
                          (docs/SESSIONS.md)
+  --spill-ahead-turns N  with --session-dir: snapshot a warm session to
+                         disk after every N completed turns, so a crash
+                         loses at most the in-flight turn (default: off)
+  --spill-ahead-secs N   with --session-dir: background cadence thread
+                         that snapshots every dirty session at least
+                         every N seconds, off the turn path (default:
+                         off; combines with --spill-ahead-turns)
+  --persist-shards N     fan the --session-dir store out over N
+                         shard-{i} subdirectories with per-shard
+                         locking; spilled sessions rehydrate lazily on
+                         first touch, so restarting over a huge
+                         directory does not stall startup (default 1 =
+                         flat layout; flat files from earlier runs are
+                         still found and migrated on touch)
   --window N             model window L (default 64)
   --diffusion-steps N    diffusion chain length K (default 12)
   --training-patterns N  training patterns per style (default 64)
@@ -229,6 +249,13 @@ fn parse_args() -> Result<Options, String> {
             "--max-sessions" => options.max_sessions = number("--max-sessions")?,
             "--session-ttl-secs" => options.session_ttl_secs = number("--session-ttl-secs")? as u64,
             "--session-dir" => options.session_dir = Some(value.clone()),
+            "--spill-ahead-turns" => {
+                options.spill_ahead_turns = Some(number("--spill-ahead-turns")? as u64);
+            }
+            "--spill-ahead-secs" => {
+                options.spill_ahead_secs = Some(number("--spill-ahead-secs")? as u64);
+            }
+            "--persist-shards" => options.persist_shards = number("--persist-shards")?,
             "--window" => options.window = number("--window")?,
             "--diffusion-steps" => options.diffusion_steps = number("--diffusion-steps")?,
             "--training-patterns" => options.training_patterns = number("--training-patterns")?,
@@ -275,7 +302,7 @@ fn print_stats(engine: &PatternEngine<ChatPattern>) {
          cache_hits={} cache_misses={} coalesced={} batched={} sessions_open={} \
          sessions_evicted={} sessions_spilled={} sessions_restored={} turns={} \
          queue_depths={:?} conns_live={} conns_peak={} disconnects_clean={} \
-         disconnects_backpressure={}",
+         disconnects_backpressure={} sessions_spilled_ahead={} snapshot_bytes_saved={}",
         engine.config().backend.name(),
         stats.submitted,
         stats.completed,
@@ -295,6 +322,8 @@ fn print_stats(engine: &PatternEngine<ChatPattern>) {
         stats.connections_peak,
         stats.disconnects_clean,
         stats.disconnects_backpressure,
+        stats.sessions_spilled_ahead,
+        stats.snapshot_bytes_saved,
     );
     // One extra line per (tenant, lane) QoS row, after the main
     // counter line so existing log scrapers keep matching it.
@@ -390,6 +419,15 @@ fn main() -> ExitCode {
         .session_ttl(std::time::Duration::from_secs(options.session_ttl_secs));
     if let Some(dir) = &options.session_dir {
         builder = builder.session_dir(dir);
+    }
+    if let Some(turns) = options.spill_ahead_turns {
+        builder = builder.spill_ahead_turns(turns);
+    }
+    if let Some(secs) = options.spill_ahead_secs {
+        builder = builder.spill_ahead_interval(std::time::Duration::from_secs(secs));
+    }
+    if options.persist_shards != 1 {
+        builder = builder.persist_shards(options.persist_shards);
     }
     let system = match builder.build() {
         Ok(system) => system,

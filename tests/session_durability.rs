@@ -666,6 +666,218 @@ fn sigkilled_router_worker_rehydrates_its_spilled_sessions() {
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
+/// Serialized `SessionTurn` payloads of the uninterrupted reference
+/// run — what each turn must look like on the wire, crash or no crash.
+fn uninterrupted_turn_payloads(id: &str) -> Vec<String> {
+    let system = build_system();
+    system.session_open(id, Some(SEED)).expect("opens");
+    TURNS
+        .iter()
+        .map(|utterance| {
+            let turn = system.session_turn(id, utterance).expect("turn runs");
+            serde_json::to_string(&ResponsePayload::SessionTurn(turn)).expect("serializes")
+        })
+        .collect()
+}
+
+#[test]
+fn sigkill_at_any_point_loses_at_most_the_inflight_turn() {
+    let reference = uninterrupted_turn_payloads("sk");
+
+    // Between-turns kills: SIGKILL after every prefix of completed
+    // turns. With --spill-ahead-turns 1 each completed turn is durable
+    // before its reply, so the restarted process resumes exactly where
+    // the dialog stopped and every remaining turn is byte-identical.
+    for kill_after in 1..TURNS.len() {
+        let dir = temp_dir(&format!("sigkill-{kill_after}"));
+        let dir_arg = dir.to_str().expect("utf-8 temp path");
+        let durability = ["--session-dir", dir_arg, "--spill-ahead-turns", "1"];
+        let mut serve_a = ServeClient::spawn(&durability);
+        serve_a.expect_ok(
+            "open",
+            PatternRequest::SessionOpen(SessionOpenParams {
+                session: "sk".into(),
+                seed: Some(SEED),
+            }),
+        );
+        for (i, utterance) in TURNS[..kill_after].iter().enumerate() {
+            let payload = serve_a.expect_ok(
+                &format!("a-{i}"),
+                PatternRequest::SessionTurn(SessionTurnParams {
+                    session: "sk".into(),
+                    utterance: (*utterance).to_owned(),
+                }),
+            );
+            assert_eq!(
+                serde_json::to_string(&payload).expect("serializes"),
+                reference[i]
+            );
+        }
+        serve_a.kill();
+
+        let mut serve_b = ServeClient::spawn(&durability);
+        for (i, utterance) in TURNS.iter().enumerate().skip(kill_after) {
+            let payload = serve_b.expect_ok(
+                &format!("b-{i}"),
+                PatternRequest::SessionTurn(SessionTurnParams {
+                    session: "sk".into(),
+                    utterance: (*utterance).to_owned(),
+                }),
+            );
+            assert_eq!(
+                serde_json::to_string(&payload).expect("serializes"),
+                reference[i],
+                "turn {} after SIGKILL at {kill_after} must be byte-identical",
+                i + 1
+            );
+        }
+        serve_b.shutdown();
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}
+
+#[test]
+fn sigkill_mid_turn_loses_only_the_inflight_turn() {
+    let reference = uninterrupted_turn_payloads("mid");
+    let dir = temp_dir("sigkill-mid");
+    let dir_arg = dir.to_str().expect("utf-8 temp path");
+    let durability = ["--session-dir", dir_arg, "--spill-ahead-turns", "1"];
+
+    let mut serve_a = ServeClient::spawn(&durability);
+    serve_a.expect_ok(
+        "open",
+        PatternRequest::SessionOpen(SessionOpenParams {
+            session: "mid".into(),
+            seed: Some(SEED),
+        }),
+    );
+    let payload = serve_a.expect_ok(
+        "t0",
+        PatternRequest::SessionTurn(SessionTurnParams {
+            session: "mid".into(),
+            utterance: TURNS[0].to_owned(),
+        }),
+    );
+    assert_eq!(
+        serde_json::to_string(&payload).expect("serializes"),
+        reference[0]
+    );
+    // Fire the second turn and SIGKILL without reading the reply: the
+    // kill lands at an arbitrary point of the in-flight turn.
+    let envelope = RequestEnvelope {
+        id: serde_json::to_value(&"t1"),
+        tenant: None,
+        request: PatternRequest::SessionTurn(SessionTurnParams {
+            session: "mid".into(),
+            utterance: TURNS[1].to_owned(),
+        }),
+    };
+    let line = serde_json::to_string(&envelope).expect("serializes");
+    {
+        let stdin = serve_a.stdin.as_mut().expect("stdin open");
+        writeln!(stdin, "{line}").expect("request written");
+        stdin.flush().expect("request flushed");
+    }
+    serve_a.kill();
+
+    // Restart: the session is at turn 1 (the in-flight turn was lost)
+    // or at turn 2 (it completed and spilled just before the kill) —
+    // never anything less or more. Resume from whichever point
+    // survived; the remaining turns stay byte-identical.
+    let mut serve_b = ServeClient::spawn(&durability);
+    let ResponsePayload::SessionSnapshot(peek) = serve_b.expect_ok(
+        "peek",
+        PatternRequest::SessionSnapshot(SessionSnapshotParams {
+            session: "mid".into(),
+        }),
+    ) else {
+        panic!("wrong payload");
+    };
+    let completed = peek.agent.turns;
+    assert!(
+        completed == 1 || completed == 2,
+        "at most the in-flight turn is lost, never a completed one: {completed}"
+    );
+    for (i, utterance) in TURNS.iter().enumerate().skip(completed) {
+        let payload = serve_b.expect_ok(
+            &format!("r-{i}"),
+            PatternRequest::SessionTurn(SessionTurnParams {
+                session: "mid".into(),
+                utterance: (*utterance).to_owned(),
+            }),
+        );
+        assert_eq!(
+            serde_json::to_string(&payload).expect("serializes"),
+            reference[i],
+            "turn {} after the mid-turn SIGKILL must be byte-identical",
+            i + 1
+        );
+    }
+    serve_b.shutdown();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn restart_over_ten_thousand_session_sharded_dir_rehydrates_lazily() {
+    const SESSIONS: usize = 10_000;
+    const SHARDS: usize = 8;
+    let dir = temp_dir("tenk");
+    for shard in 0..SHARDS {
+        std::fs::create_dir_all(dir.join(format!("shard-{shard}"))).expect("shard dir");
+    }
+    // One real snapshot, re-identified for every seeded session and
+    // written straight into its shard (the same route hash the store
+    // uses picks the subdirectory).
+    let system = build_system();
+    system.session_open("proto", Some(SEED)).expect("opens");
+    let mut snapshot = system.session_snapshot("proto").expect("exports");
+    for s in 0..SESSIONS {
+        let id = format!("bulk-{s}");
+        snapshot.session = id.clone();
+        let shard = (chatpattern::core::routing::route_hash(&id) % SHARDS as u64) as usize;
+        let path = dir
+            .join(format!("shard-{shard}"))
+            .join(format!("{id}.session.json"));
+        std::fs::write(path, serde_json::to_string(&snapshot).expect("serializes"))
+            .expect("snapshot seeded");
+    }
+    let census = |dir: &std::path::Path| -> usize {
+        (0..SHARDS)
+            .map(|shard| {
+                std::fs::read_dir(dir.join(format!("shard-{shard}")))
+                    .expect("shard dir reads")
+                    .count()
+            })
+            .sum()
+    };
+    assert_eq!(census(&dir), SESSIONS);
+
+    // Restart over the full directory. Rehydration is strictly
+    // on-demand (a touched id is read, decoded and consumed; nothing
+    // else is opened), so startup cost is independent of the 10k
+    // spilled sessions sitting on disk.
+    let dir_arg = dir.to_str().expect("utf-8 temp path");
+    let mut serve = ServeClient::spawn(&["--session-dir", dir_arg, "--persist-shards", "8"]);
+    for s in [17usize, 9_301] {
+        let id = format!("bulk-{s}");
+        let ResponsePayload::SessionTurn(turn) = serve.expect_ok(
+            &format!("touch-{s}"),
+            PatternRequest::SessionTurn(SessionTurnParams {
+                session: id.clone(),
+                utterance: TURNS[0].to_owned(),
+            }),
+        ) else {
+            panic!("wrong payload");
+        };
+        assert_eq!(turn.turn, 1, "{id} resumed from its seeded snapshot");
+    }
+    // Exactly the two touched snapshots were consumed; the other 9,998
+    // were never read, let alone decoded, by the restart.
+    assert_eq!(census(&dir), SESSIONS - 2);
+    serve.shutdown();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
 #[test]
 fn snapshot_restore_errors_are_typed() {
     let system = build_system();

@@ -275,6 +275,59 @@ fn poll_fallback_backend_serves_round_trips() {
 }
 
 #[test]
+fn shutdown_drains_replies_queued_before_close() {
+    let engine = build_engine();
+    let handle = spawn_event_loop(&engine, EventLoopConfig::default());
+
+    // Send a batch of requests and read NOTHING: every reply lands in
+    // the connection's outbound queue (and whatever slice of it the
+    // loop already pushed into the kernel buffer).
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout set");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    const REQUESTS: u64 = 8;
+    for i in 0..REQUESTS {
+        let line = format!("{}\n", generate_line(&format!("drain-{i}"), 200 + i));
+        stream.write_all(line.as_bytes()).expect("request written");
+    }
+
+    // Wait until every reply has been accepted into the outbound path,
+    // then shut the server down with all of them still unread.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while engine.stats().completed < REQUESTS {
+        assert!(
+            Instant::now() < deadline,
+            "engine stalled: {:?}",
+            engine.stats()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.shutdown();
+
+    // Accepted replies must not vanish: the teardown write pass drains
+    // queued bytes before the close, so all eight replies arrive,
+    // followed by a clean EOF.
+    let mut seen: Vec<String> = (0..REQUESTS)
+        .map(|_| {
+            let reply = read_reply(&mut reader);
+            assert!(matches!(reply.outcome, WireOutcome::Ok(_)), "{reply:?}");
+            reply.id.as_str().expect("string id").to_owned()
+        })
+        .collect();
+    seen.sort();
+    let expected: Vec<String> = (0..REQUESTS).map(|i| format!("drain-{i}")).collect();
+    assert_eq!(seen, expected);
+    let mut rest = String::new();
+    reader.read_line(&mut rest).expect("EOF reads");
+    assert!(
+        rest.is_empty(),
+        "nothing after the drained replies: {rest:?}"
+    );
+}
+
+#[test]
 fn slow_reader_is_killed_at_the_high_water_mark() {
     let engine = build_engine();
     let handle = spawn_event_loop(
